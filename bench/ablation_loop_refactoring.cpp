@@ -1,0 +1,114 @@
+// Ablation (Algorithms 2/3/4): measured wall time of the real reducible
+// kernels in their three loop forms — irregular edge-order scatter,
+// regularity-aware gather with the orientation branch, and branch-free
+// gather through the label matrix. This is a *measured* microbenchmark
+// (google-benchmark) of the actual kernels on this build machine, the
+// functional counterpart of the modeled Figure 6 refactoring step.
+#include <benchmark/benchmark.h>
+
+#include "mesh/mesh_cache.hpp"
+#include "sw/kernels.hpp"
+#include "sw/testcases.hpp"
+
+using namespace mpas;
+
+namespace {
+
+struct Fixture {
+  std::shared_ptr<const mesh::VoronoiMesh> mesh;
+  std::unique_ptr<sw::FieldStore> fields;
+  sw::SwParams params;
+
+  static Fixture& instance() {
+    static Fixture f = [] {
+      Fixture f;
+      f.mesh = mesh::get_global_mesh(6);  // the paper's 120-km mesh
+      f.fields = std::make_unique<sw::FieldStore>(*f.mesh);
+      const auto tc = sw::make_test_case(6);
+      sw::apply_initial_conditions(*tc, *f.mesh, *f.fields);
+      f.params.dt = 100;
+      sw::SwContext ctx{*f.mesh, *f.fields, f.params, 0, 0};
+      sw::diag_h_edge(ctx, sw::FieldId::H, 0, f.mesh->num_edges);
+      return f;
+    }();
+    return f;
+  }
+
+  sw::SwContext ctx() { return {*mesh, *fields, params, 0, 0}; }
+};
+
+sw::LoopVariant variant_of(const benchmark::State& state) {
+  return static_cast<sw::LoopVariant>(state.range(0));
+}
+
+void BM_Divergence(benchmark::State& state) {
+  Fixture& f = Fixture::instance();
+  const sw::LoopVariant v = variant_of(state);
+  for (auto _ : state) {
+    auto ctx = f.ctx();
+    sw::diag_divergence(ctx, sw::FieldId::U, 0, f.mesh->num_cells, v);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * f.mesh->num_cells);
+  state.SetLabel(to_string(v));
+}
+
+void BM_Vorticity(benchmark::State& state) {
+  Fixture& f = Fixture::instance();
+  const sw::LoopVariant v = variant_of(state);
+  for (auto _ : state) {
+    auto ctx = f.ctx();
+    sw::diag_vorticity(ctx, sw::FieldId::U, 0, f.mesh->num_vertices, v);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * f.mesh->num_vertices);
+  state.SetLabel(to_string(v));
+}
+
+void BM_TendThickness(benchmark::State& state) {
+  Fixture& f = Fixture::instance();
+  const sw::LoopVariant v = variant_of(state);
+  for (auto _ : state) {
+    auto ctx = f.ctx();
+    sw::tend_thickness(ctx, sw::FieldId::U, 0, f.mesh->num_cells, v);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * f.mesh->num_cells);
+  state.SetLabel(to_string(v));
+}
+
+void BM_KineticEnergy(benchmark::State& state) {
+  Fixture& f = Fixture::instance();
+  const sw::LoopVariant v = variant_of(state);
+  for (auto _ : state) {
+    auto ctx = f.ctx();
+    sw::diag_ke(ctx, sw::FieldId::U, 0, f.mesh->num_cells, v);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * f.mesh->num_cells);
+  state.SetLabel(to_string(v));
+}
+
+void BM_MomentumTendency(benchmark::State& state) {
+  // The heaviest pattern (F1); gather-only, included for scale.
+  Fixture& f = Fixture::instance();
+  auto ctx0 = f.ctx();
+  sw::diag_v_tangent(ctx0, sw::FieldId::U, 0, f.mesh->num_edges);
+  for (auto _ : state) {
+    auto ctx = f.ctx();
+    sw::tend_momentum(ctx, sw::FieldId::H, sw::FieldId::U, 0,
+                      f.mesh->num_edges);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * f.mesh->num_edges);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Divergence)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Vorticity)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TendThickness)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_KineticEnergy)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MomentumTendency)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

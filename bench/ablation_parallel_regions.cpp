@@ -1,0 +1,75 @@
+// Ablation (Section IV.B): one OpenMP parallel region per *kernel* vs one
+// per *pattern*. The paper keeps one region per kernel and removes the
+// implicit synchronizations because a fresh 240-thread region per pattern
+// costs too much. We quantify that with the machine model's region
+// overhead: per-step time with N_regions = #patterns vs #kernels vs the
+// fused minimum, across mesh sizes (the overhead matters most on small
+// per-rank workloads — exactly the strong-scaling tail of Figure 8a).
+#include <cstdio>
+#include <set>
+
+#include "bench_common.hpp"
+
+using namespace mpas;
+
+namespace {
+
+/// Count pattern nodes and distinct kernels per step (setup + 3*early +
+/// final).
+struct RegionCounts {
+  int patterns = 0;
+  int kernels = 0;
+};
+
+RegionCounts count_regions(const sw::SwGraphs& graphs) {
+  RegionCounts rc;
+  auto add = [&](const core::DataflowGraph& g, int repeats) {
+    std::set<core::KernelGroup> kernels;
+    for (const auto& n : g.nodes()) kernels.insert(n.kernel);
+    rc.patterns += repeats * g.num_nodes();
+    rc.kernels += repeats * static_cast<int>(kernels.size());
+  };
+  add(graphs.setup, 1);
+  add(graphs.early, 3);
+  add(graphs.final, 1);
+  return rc;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "== Ablation: parallel-region granularity (Section IV.B) ==\n\n");
+
+  const sw::SwGraphs graphs = sw::build_sw_graphs(nullptr, false);
+  const RegionCounts rc = count_regions(graphs);
+  const machine::DeviceSpec phi = machine::xeon_phi_5110p();
+  const Real region_cost = phi.region_overhead_us * 1e-6;
+
+  std::printf("pattern nodes per step: %d, kernel functions per step: %d\n",
+              rc.patterns, rc.kernels);
+  std::printf("Xeon Phi fork/join + barrier cost: %.0f us\n\n",
+              phi.region_overhead_us);
+
+  Table t({"cells", "compute time/step (s)", "region overhead: per-pattern",
+           "per-kernel", "overhead share per-pattern", "per-kernel"});
+  for (std::int64_t cells : {2562LL, 40962LL, 655362LL, 2621442LL}) {
+    const auto sizes = core::MeshSizes::icosahedral(cells);
+    // Pure compute (subtract the per-node overhead the simulator charges).
+    const Real with_regions =
+        bench::strategy_step_time(graphs, bench::Strategy::AccelOnly, sizes);
+    const Real compute = with_regions - rc.patterns * region_cost;
+    const Real per_pattern = rc.patterns * region_cost;
+    const Real per_kernel = rc.kernels * region_cost;
+    t.add_row({std::to_string(cells), Table::num(compute, 4),
+               Table::num(per_pattern, 3), Table::num(per_kernel, 3),
+               Table::fixed(per_pattern / (compute + per_pattern) * 100, 1) + "%",
+               Table::fixed(per_kernel / (compute + per_kernel) * 100, 1) + "%"});
+  }
+  bench::emit(t, "ablation_parallel_regions");
+  std::printf(
+      "Reading: per-pattern regions are negligible on the big meshes but\n"
+      "dominate small per-rank workloads — why the paper fuses regions per\n"
+      "kernel and why Figure 8(a) flattens at high process counts.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Ablation: the "adjustable part" of Figure 4(b). Sweeps a forced
+// host-fraction alpha applied to every splittable pattern and reports the
+// modeled per-step makespan and device balance, showing (a) a clear optimum
+// between the all-host and all-device extremes and (b) that the
+// load-balancing scheduler lands at or below the best fixed split.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/config.hpp"
+
+using namespace mpas;
+
+int main(int argc, char** argv) {
+  const Config cfg = Config::from_args(argc, argv);
+  const auto cells = cfg.get_int("cells", 655362);
+
+  std::printf(
+      "== Ablation: host/device split sweep (the adjustable part) ==\n\n");
+
+  const sw::SwGraphs graphs = sw::build_sw_graphs(nullptr, false);
+  const auto sizes = core::MeshSizes::icosahedral(cells);
+  core::SimOptions opts;
+  opts.platform = machine::paper_platform();
+
+  auto forced_split = [&](const core::DataflowGraph& g, Real alpha) {
+    core::Schedule s;
+    s.name = "forced-split";
+    s.assignments.resize(static_cast<std::size_t>(g.num_nodes()));
+    for (const auto& n : g.nodes()) {
+      auto& a = s.assignments[static_cast<std::size_t>(n.id)];
+      if (!n.splittable || alpha >= 1.0) a = {core::DeviceSide::Host, 1.0};
+      else if (alpha <= 0.0) a = {core::DeviceSide::Accel, 0.0};
+      else a = {core::DeviceSide::Split, alpha};
+    }
+    return s;
+  };
+
+  Table t({"host fraction", "time/step (s)", "device balance"});
+  Real best_fixed = 1e30;
+  for (Real alpha : {0.0, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.4, 0.5, 0.75,
+                     1.0}) {
+    const bench::StepSchedules s{forced_split(graphs.setup, alpha),
+                                 forced_split(graphs.early, alpha),
+                                 forced_split(graphs.final, alpha)};
+    const Real step = bench::modeled_step_time(graphs, s, sizes, opts);
+    const auto r =
+        core::simulate_schedule(graphs.early, s.early, sizes, opts);
+    best_fixed = std::min(best_fixed, step);
+    t.add_row({Table::fixed(alpha, 2), Table::num(step, 4),
+               Table::fixed(r.balance(), 3)});
+  }
+  bench::emit(t, "ablation_split_sweep");
+
+  const Real scheduler =
+      bench::strategy_step_time(graphs, bench::Strategy::PatternLevel, sizes);
+  std::printf("best fixed split:       %.4f s/step\n", best_fixed);
+  std::printf("load-balancing scheduler: %.4f s/step (%s best fixed)\n",
+              scheduler, scheduler <= best_fixed * 1.001 ? "<=" : ">");
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Shared helpers for the figure/table regeneration benches.
+//
+// Each bench binary prints the rows/series of one table or figure of the
+// paper (plus the paper's reported values where applicable, for side-by-side
+// shape comparison) and writes a CSV next to it under ./bench_out/.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "core/schedule.hpp"
+#include "machine/machine_model.hpp"
+#include "sw/model.hpp"
+#include "util/table.hpp"
+
+namespace mpas::bench {
+
+inline std::string out_dir() {
+  std::filesystem::create_directories("bench_out");
+  return "bench_out";
+}
+
+inline void emit(const Table& table, const std::string& name) {
+  std::printf("%s\n", table.to_ascii().c_str());
+  const std::string path = out_dir() + "/" + name + ".csv";
+  table.write_csv(path);
+  std::printf("[csv] %s\n\n", path.c_str());
+}
+
+/// The three per-step schedules of one execution strategy.
+struct StepSchedules {
+  core::Schedule setup, early, final;
+};
+
+enum class Strategy {
+  SerialBaseline,  // original code: host, 1 core, irregular loops
+  HostOnly,        // refactored code on the full host CPU
+  AccelOnly,       // everything offloaded to the Phi
+  KernelLevel,     // Figure 2 hybrid
+  PatternLevel,    // Figure 4(b) hybrid
+};
+
+inline const char* to_string(Strategy s) {
+  switch (s) {
+    case Strategy::SerialBaseline: return "cpu-serial(original)";
+    case Strategy::HostOnly: return "cpu-10-core";
+    case Strategy::AccelOnly: return "mic-only";
+    case Strategy::KernelLevel: return "kernel-level";
+    case Strategy::PatternLevel: return "pattern-driven";
+  }
+  return "?";
+}
+
+inline StepSchedules make_schedules(const sw::SwGraphs& graphs, Strategy s,
+                                    const core::MeshSizes& sizes,
+                                    const core::SimOptions& opts) {
+  using core::DeviceSide;
+  switch (s) {
+    case Strategy::SerialBaseline:
+      return {core::make_serial_baseline_schedule(graphs.setup),
+              core::make_serial_baseline_schedule(graphs.early),
+              core::make_serial_baseline_schedule(graphs.final)};
+    case Strategy::HostOnly:
+      return {core::make_single_device_schedule(graphs.setup,
+                                                DeviceSide::Host, "host"),
+              core::make_single_device_schedule(graphs.early,
+                                                DeviceSide::Host, "host"),
+              core::make_single_device_schedule(graphs.final,
+                                                DeviceSide::Host, "host")};
+    case Strategy::AccelOnly:
+      return {core::make_single_device_schedule(graphs.setup,
+                                                DeviceSide::Accel, "mic"),
+              core::make_single_device_schedule(graphs.early,
+                                                DeviceSide::Accel, "mic"),
+              core::make_single_device_schedule(graphs.final,
+                                                DeviceSide::Accel, "mic")};
+    case Strategy::KernelLevel:
+      return {core::make_kernel_level_schedule(graphs.setup, sizes, opts),
+              core::make_kernel_level_schedule(graphs.early, sizes, opts),
+              core::make_kernel_level_schedule(graphs.final, sizes, opts)};
+    case Strategy::PatternLevel:
+      return {core::make_pattern_level_schedule(graphs.setup, sizes, opts),
+              core::make_pattern_level_schedule(graphs.early, sizes, opts),
+              core::make_pattern_level_schedule(graphs.final, sizes, opts)};
+  }
+  return {};
+}
+
+/// Modeled seconds for one full RK-4 time step: setup + 3 early substeps +
+/// the final substep (Algorithm 1).
+inline Real modeled_step_time(const sw::SwGraphs& graphs,
+                              const StepSchedules& s,
+                              const core::MeshSizes& sizes,
+                              const core::SimOptions& opts) {
+  return core::simulate_schedule(graphs.setup, s.setup, sizes, opts).makespan +
+         3 * core::simulate_schedule(graphs.early, s.early, sizes, opts)
+                 .makespan +
+         core::simulate_schedule(graphs.final, s.final, sizes, opts).makespan;
+}
+
+/// Convenience: options for one strategy (the serial baseline downgrades
+/// the host optimization level).
+inline core::SimOptions options_for(Strategy s) {
+  core::SimOptions o;
+  o.platform = machine::paper_platform();
+  if (s == Strategy::SerialBaseline)
+    o.host_opt = machine::OptLevel::SerialBaseline;
+  return o;
+}
+
+inline Real strategy_step_time(const sw::SwGraphs& graphs, Strategy s,
+                               const core::MeshSizes& sizes) {
+  const core::SimOptions opts = options_for(s);
+  return modeled_step_time(graphs, make_schedules(graphs, s, sizes, opts),
+                           sizes, opts);
+}
+
+/// Paper Figure 7 reference values (seconds per step / speedups).
+struct Fig7Row {
+  std::int64_t cells;
+  Real cpu_s, kernel_s, pattern_s;     // execution time per step
+  Real kernel_speedup, pattern_speedup;
+};
+inline constexpr Fig7Row kPaperFig7[] = {
+    {40962, 0.271, 0.059, 0.045, 4.59, 6.02},
+    {163842, 1.115, 0.198, 0.143, 5.63, 7.80},
+    {655362, 4.434, 0.741, 0.532, 5.98, 8.34},
+    {2621442, 17.528, 2.896, 2.102, 6.05, 8.35},
+};
+
+}  // namespace mpas::bench

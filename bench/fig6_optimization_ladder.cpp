@@ -1,0 +1,60 @@
+// Regenerates Figure 6: single-Xeon-Phi speedup over the unoptimized
+// single-core baseline as the optimization techniques of Section IV are
+// applied cumulatively (Baseline -> OpenMP -> Refactoring -> SIMD ->
+// Streaming -> Others), on the 30-km mesh.
+//
+// Loop-structure semantics per stage: Baseline and OpenMP run the original
+// irregular (scatter) loops — OpenMP needs atomics; Refactoring onwards run
+// the regularity-aware gather loops (branch-free from the SIMD stage, which
+// is exactly what the label matrix of Algorithm 4 enables).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/config.hpp"
+
+using namespace mpas;
+
+int main(int argc, char** argv) {
+  const Config cfg = Config::from_args(argc, argv);
+  const auto cells = cfg.get_int("cells", 655362);
+  std::printf("== Figure 6: optimization ladder on one Xeon Phi (%lld cells) ==\n\n",
+              static_cast<long long>(cells));
+
+  const sw::SwGraphs graphs = sw::build_sw_graphs(nullptr, false);
+  const auto sizes = core::MeshSizes::icosahedral(cells);
+
+  struct Stage {
+    machine::OptLevel opt;
+    core::VariantChoice variant;
+    Real paper_speedup;  // read off Figure 6 (approximate bar heights)
+  };
+  const Stage stages[] = {
+      {machine::OptLevel::SerialBaseline, core::VariantChoice::Irregular, 1},
+      {machine::OptLevel::OpenMP, core::VariantChoice::Irregular, 18},
+      {machine::OptLevel::Refactored, core::VariantChoice::Refactored, 62},
+      {machine::OptLevel::Simd, core::VariantChoice::BranchFree, 75},
+      {machine::OptLevel::Streaming, core::VariantChoice::BranchFree, 85},
+      {machine::OptLevel::Full, core::VariantChoice::BranchFree, 97},
+  };
+
+  Real baseline = 0;
+  Table t({"tuning method", "modeled time/step (s)", "modeled speedup",
+           "paper speedup (approx)"});
+  for (const Stage& s : stages) {
+    core::SimOptions opts;
+    opts.platform = machine::paper_platform();
+    opts.accel_opt = s.opt;
+    bench::StepSchedules sched = bench::make_schedules(
+        graphs, bench::Strategy::AccelOnly, sizes, opts);
+    sched.setup.accel_variant = s.variant;
+    sched.early.accel_variant = s.variant;
+    sched.final.accel_variant = s.variant;
+    const Real step = bench::modeled_step_time(graphs, sched, sizes, opts);
+    if (s.opt == machine::OptLevel::SerialBaseline) baseline = step;
+    t.add_row({machine::to_string(s.opt), Table::num(step, 4),
+               Table::fixed(baseline / step, 1),
+               Table::fixed(s.paper_speedup, 0)});
+  }
+  bench::emit(t, "fig6_optimization_ladder");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Regenerates Figure 9: weak scaling with ~40962 cells per MPI process,
+// from 1 to 64 processes by factors of 4 (the paper: "Due to the limited
+// availability of the mesh data" they scale 1 -> 4 -> 16 -> 64 using the
+// 120/60/30/15-km meshes).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "mesh/mesh_cache.hpp"
+#include "partition/halo.hpp"
+#include "util/config.hpp"
+
+using namespace mpas;
+using bench::Strategy;
+
+int main(int argc, char** argv) {
+  const Config cfg = Config::from_args(argc, argv);
+  const int max_procs = static_cast<int>(cfg.get_int("max_procs", 64));
+
+  std::printf(
+      "== Figure 9: weak scaling, ~40962 cells per MPI process ==\n\n");
+
+  const sw::SwGraphs graphs = sw::build_sw_graphs(nullptr, false);
+
+  Table t({"# of MPI processes", "mesh", "cells/process",
+           "cpu version (s/step)", "pattern-driven (s/step)"});
+  const int procs_per_level[] = {1, 4, 16, 64};
+  const int level_of[] = {6, 7, 8, 9};
+  for (int i = 0; i < 4; ++i) {
+    const int p = procs_per_level[i];
+    if (p > max_procs) break;
+    const auto mesh = mesh::get_global_mesh(level_of[i]);
+    const auto part = partition::partition_cells_rcb(*mesh, p);
+    const auto stats = partition::worst_rank_halo_stats(*mesh, part);
+    const auto sizes = core::MeshSizes::icosahedral(stats.compute_cells);
+
+    core::SimOptions copts = bench::options_for(Strategy::SerialBaseline);
+    copts.halo_bytes_per_sync = p > 1 ? stats.sync_bytes() : 0;
+    copts.halo_neighbors = p > 1 ? stats.neighbors : 0;
+    const Real cpu = bench::modeled_step_time(
+        graphs,
+        bench::make_schedules(graphs, Strategy::SerialBaseline, sizes, copts),
+        sizes, copts);
+
+    core::SimOptions hopts = bench::options_for(Strategy::PatternLevel);
+    hopts.halo_bytes_per_sync = copts.halo_bytes_per_sync;
+    hopts.halo_neighbors = copts.halo_neighbors;
+    const Real hyb = bench::modeled_step_time(
+        graphs,
+        bench::make_schedules(graphs, Strategy::PatternLevel, sizes, hopts),
+        sizes, hopts);
+
+    t.add_row({std::to_string(p), mesh->resolution_label(),
+               std::to_string(mesh->num_cells / p), Table::num(cpu, 4),
+               Table::num(hyb, 4)});
+  }
+  bench::emit(t, "fig9_weak_scaling");
+  std::printf(
+      "Paper shape: both curves are nearly flat (paper: cpu ~0.271-0.274 s,\n"
+      "hybrid ~0.045-0.047 s per step across 1..64 processes).\n");
+  return 0;
+}

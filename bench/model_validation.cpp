@@ -1,0 +1,57 @@
+// Model validation: measured per-kernel time *shares* of a real serial run
+// on this build machine vs the machine model's predicted shares (for an
+// out-of-order CPU at the serial-baseline level). Absolute times differ by
+// hardware; the operation-mix fractions must agree if the per-pattern cost
+// signatures are honest.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "mesh/mesh_cache.hpp"
+#include "sw/profiler.hpp"
+#include "sw/testcases.hpp"
+#include "util/config.hpp"
+
+using namespace mpas;
+
+int main(int argc, char** argv) {
+  const Config cfg = Config::from_args(argc, argv);
+  const int level = static_cast<int>(cfg.get_int("level", 6));
+  const int steps = static_cast<int>(cfg.get_int("steps", 10));
+
+  const auto mesh = mesh::get_global_mesh(level);
+  const auto tc = sw::make_test_case(5);
+  sw::SwParams params;
+  params.dt = sw::suggested_time_step(*tc, *mesh, 0.5);
+
+  std::printf(
+      "== Model validation: measured vs predicted per-kernel shares ==\n"
+      "mesh %s (%d cells), %d steps, irregular (original) loops, 1 thread\n\n",
+      mesh->resolution_label().c_str(), mesh->num_cells, steps);
+
+  sw::StepProfiler profiler(*mesh, params, sw::LoopVariant::Irregular);
+  sw::apply_initial_conditions(*tc, *mesh, profiler.fields());
+  profiler.run(steps);
+
+  const auto predicted = sw::predicted_kernel_shares(
+      machine::xeon_e5_2680v2(), machine::OptLevel::SerialBaseline,
+      mesh->num_cells);
+
+  Table t({"kernel", "measured s", "measured share", "model share", "delta"});
+  Real worst = 0;
+  for (const auto& share : profiler.shares()) {
+    const auto it = predicted.find(share.kernel);
+    const Real model = it == predicted.end() ? 0 : it->second;
+    worst = std::max(worst, std::abs(model - share.measured_share));
+    t.add_row({share.kernel, Table::num(share.measured_seconds, 3),
+               Table::fixed(share.measured_share * 100, 1) + "%",
+               Table::fixed(model * 100, 1) + "%",
+               Table::fixed((model - share.measured_share) * 100, 1) + "pp"});
+  }
+  bench::emit(t, "model_validation");
+  std::printf(
+      "largest share deviation: %.1f percentage points. The dominant kernels\n"
+      "(compute_solve_diagnostics, compute_tend) must lead in both columns\n"
+      "for the Figure 6/7 results to be trustworthy.\n",
+      worst * 100);
+  return 0;
+}

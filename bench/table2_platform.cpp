@@ -1,0 +1,45 @@
+// Regenerates Table II: the modeled platform configuration. Datasheet rows
+// come straight from the DeviceSpec presets the machine model uses, so this
+// bench doubles as a check that the model's inputs match the paper's table.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace mpas;
+
+int main() {
+  std::printf("== Table II: configuration of the (modeled) test platform ==\n\n");
+
+  const machine::Platform p = machine::paper_platform();
+  Table t({"property", p.host.name, p.accelerator.name});
+  auto row = [&](const char* k, const std::string& a, const std::string& b) {
+    t.add_row({k, a, b});
+  };
+  auto num = [](Real v, int prec = 1) { return Table::fixed(v, prec); };
+
+  row("Frequency (GHz)", num(p.host.freq_ghz), num(p.accelerator.freq_ghz, 3));
+  row("Cores / Threads", std::to_string(p.host.cores) + " / " +
+                             std::to_string(p.host.cores * p.host.threads_per_core),
+      std::to_string(p.accelerator.cores) + " / " +
+          std::to_string(p.accelerator.cores * p.accelerator.threads_per_core));
+  row("SIMD width (doubles)", std::to_string(p.host.simd_width_dp),
+      std::to_string(p.accelerator.simd_width_dp));
+  row("Instruction set", "AVX", "IMCI");
+  row("Peak Gflop/s (DP)", num(p.host.peak_gflops()),
+      num(p.accelerator.peak_gflops()));
+  row("STREAM bandwidth (GB/s)", num(p.host.stream_bw_gbs),
+      num(p.accelerator.stream_bw_gbs));
+  row("Serial gather BW (GB/s)", num(p.host.serial_gather_bw_gbs, 2),
+      num(p.accelerator.serial_gather_bw_gbs, 2));
+  row("Parallel region overhead (us)", num(p.host.region_overhead_us),
+      num(p.accelerator.region_overhead_us));
+  row("Reserved cores (offload daemon)", std::to_string(p.host.reserved_cores),
+      std::to_string(p.accelerator.reserved_cores));
+  bench::emit(t, "table2_platform");
+
+  std::printf("Host<->device link: PCIe, %.1f GB/s, %.1f us latency\n",
+              p.link.bandwidth_gbs, p.link.latency_us);
+  std::printf("Network: FDR InfiniBand, %.1f GB/s, %.1f us latency\n",
+              p.network.bandwidth_gbs, p.network.latency_us);
+  return 0;
+}

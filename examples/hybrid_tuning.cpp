@@ -1,0 +1,96 @@
+// Demonstrates the scheduling machinery: builds the shallow-water data-flow
+// graphs, derives the kernel-level and pattern-driven hybrid schedules for
+// a chosen mesh size, prints the node-by-node placements (including the
+// adjustable host/device splits), and compares modeled per-step times and
+// load balance. Also shows changing the host:device capability ratio —
+// "the hybrid algorithm is flexible for any heterogeneous architecture
+// with arbitrary host-to-device ratios".
+//
+// Run:  ./hybrid_tuning [cells=655362] [accel_scale=1.0]
+#include <cstdio>
+
+#include "core/schedule.hpp"
+#include "sw/model.hpp"
+#include "util/config.hpp"
+#include "util/table.hpp"
+
+using namespace mpas;
+
+namespace {
+
+void print_schedule(const core::DataflowGraph& g, const core::Schedule& s) {
+  Table t({"pattern", "kernel", "device", "host share"});
+  for (const auto& node : g.nodes()) {
+    const auto& a = s.assignments[static_cast<std::size_t>(node.id)];
+    t.add_row({node.label, to_string(node.kernel),
+               core::to_string(a.side),
+               a.side == core::DeviceSide::Split
+                   ? Table::fixed(a.host_fraction * 100, 1) + "%"
+                   : (a.side == core::DeviceSide::Host ? "100%" : "0%")});
+  }
+  std::printf("%s\n", t.to_ascii().c_str());
+}
+
+void report(const char* name, const core::DataflowGraph& g,
+            const core::Schedule& s, const core::MeshSizes& sizes,
+            const core::SimOptions& opts) {
+  const core::SimResult r = core::simulate_schedule(g, s, sizes, opts);
+  std::printf(
+      "%-16s makespan %.4f s | host busy %.4f s | accel busy %.4f s | "
+      "balance %.2f | PCIe %.2f MB\n",
+      name, r.makespan, r.host_busy, r.accel_busy, r.balance(),
+      static_cast<double>(r.link_bytes) / 1e6);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Config cfg = Config::from_args(argc, argv);
+  const auto cells = cfg.get_int("cells", 655362);
+  const Real accel_scale = cfg.get_real("accel_scale", 1.0);
+
+  const sw::SwGraphs graphs = sw::build_sw_graphs(nullptr, false);
+  const auto sizes = core::MeshSizes::icosahedral(cells);
+
+  core::SimOptions opts;
+  opts.platform = machine::paper_platform();
+  // Scale the accelerator's memory system to explore other host:device
+  // capability ratios (e.g. accel_scale=2 approximates a newer device).
+  opts.platform.accelerator.stream_bw_gbs *= accel_scale;
+  opts.platform.accelerator.serial_gather_bw_gbs *= accel_scale;
+
+  std::printf("mesh size: %lld cells; accelerator scale %.2fx\n\n",
+              static_cast<long long>(cells), accel_scale);
+
+  const auto& g = graphs.early;
+  const auto host = core::make_single_device_schedule(
+      g, core::DeviceSide::Host, "host-only");
+  const auto accel = core::make_single_device_schedule(
+      g, core::DeviceSide::Accel, "accel-only");
+  const auto kernel = core::make_kernel_level_schedule(g, sizes, opts);
+  const auto pattern = core::make_pattern_level_schedule(g, sizes, opts);
+
+  std::printf("-- one RK substep (early), modeled --\n");
+  report("host-only", g, host, sizes, opts);
+  report("accel-only", g, accel, sizes, opts);
+  report("kernel-level", g, kernel, sizes, opts);
+  report("pattern-driven", g, pattern, sizes, opts);
+
+  std::printf("\n-- kernel-level placement (Figure 2) --\n");
+  print_schedule(g, kernel);
+  std::printf("-- pattern-driven placement (Figure 4b) --\n");
+  print_schedule(g, pattern);
+
+  // Gantt chart of one simulated substep under the pattern-driven schedule.
+  core::SimOptions trace_opts = opts;
+  trace_opts.record_trace = true;
+  const core::SimResult traced =
+      core::simulate_schedule(g, pattern, sizes, trace_opts);
+  std::printf("-- pattern-driven substep timeline --\n%s\n",
+              core::render_gantt(g, traced).c_str());
+
+  std::printf(
+      "Critical path (lower bound with both devices infinitely fast on\n"
+      "independent work): the pattern-driven makespan approaches it.\n");
+  return 0;
+}

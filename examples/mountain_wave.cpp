@@ -1,0 +1,108 @@
+// The paper's validation scenario (Figure 5): Williamson test case 5 —
+// a balanced zonal flow impinging on an isolated conical mountain. The run
+// writes the total height field at regular intervals for plotting, and
+// compares the original (irregular-loop) code against the pattern-driven
+// hybrid execution along the way.
+//
+// Run:  ./mountain_wave [level=5] [days=2] [snapshots=4] [vtk=true]
+#include <cmath>
+#include <cstdio>
+
+#include "mesh/mesh_cache.hpp"
+#include "sw/invariants.hpp"
+#include "sw/model.hpp"
+#include "sw/output.hpp"
+#include "sw/reference.hpp"
+#include "sw/testcases.hpp"
+#include "util/config.hpp"
+#include "util/table.hpp"
+
+using namespace mpas;
+
+namespace {
+
+void write_snapshot(const mesh::VoronoiMesh& mesh, const sw::FieldStore& f,
+                    double day) {
+  const auto h = f.get(sw::FieldId::H);
+  const auto b = f.get(sw::FieldId::Bottom);
+  Table t({"lon", "lat", "total_height"});
+  const Index stride = std::max<Index>(1, mesh.num_cells / 25000);
+  for (Index c = 0; c < mesh.num_cells; c += stride)
+    t.add_row({Table::num(mesh.lon_cell[c], 5), Table::num(mesh.lat_cell[c], 5),
+               Table::num(h[c] + b[c], 7)});
+  char name[64];
+  std::snprintf(name, sizeof(name), "tc5_height_day%04.1f.csv", day);
+  t.write_csv(name);
+  std::printf("  wrote %s\n", name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Config cfg = Config::from_args(argc, argv);
+  const int level = static_cast<int>(cfg.get_int("level", 5));
+  const Real days = cfg.get_real("days", 2.0);
+  const int snapshots = static_cast<int>(cfg.get_int("snapshots", 4));
+  const bool vtk = cfg.get_bool("vtk", false);
+
+  const auto mesh = mesh::get_global_mesh(level);
+  const auto tc = sw::make_test_case(5);
+  sw::SwParams params;
+  params.dt = sw::suggested_time_step(*tc, *mesh, 0.5);
+
+  std::printf("%s on %s (%d cells), dt=%.1f s, %.1f days\n",
+              tc->name().c_str(), mesh->resolution_label().c_str(),
+              mesh->num_cells, params.dt, days);
+
+  // Original serial code and the pattern-driven model side by side.
+  sw::ReferenceIntegrator original(*mesh, params, sw::LoopVariant::Irregular);
+  sw::apply_initial_conditions(*tc, *mesh, original.fields());
+  original.initialize();
+
+  sw::SwModel hybrid(*mesh, params);
+  sw::apply_initial_conditions(*tc, *mesh, hybrid.fields());
+  hybrid.initialize();
+
+  const sw::Invariants start = compute_invariants(*mesh, hybrid.fields());
+  const int total_steps = static_cast<int>(days * 86400.0 / params.dt);
+  const int chunk = std::max(1, total_steps / std::max(1, snapshots));
+
+  int done = 0;
+  write_snapshot(*mesh, hybrid.fields(), 0.0);
+  while (done < total_steps) {
+    const int n = std::min(chunk, total_steps - done);
+    original.run(n);
+    hybrid.run(n);
+    done += n;
+    const double day = done * params.dt / 86400.0;
+
+    const auto ho = original.fields().get(sw::FieldId::H);
+    const auto hh = hybrid.fields().get(sw::FieldId::H);
+    Real max_diff = 0;
+    for (Index c = 0; c < mesh->num_cells; ++c)
+      max_diff = std::max(max_diff, std::abs(ho[c] - hh[c]));
+    const sw::Invariants now = compute_invariants(*mesh, hybrid.fields());
+
+    std::printf(
+        "day %5.2f: h in [%7.1f, %7.1f] m, |orig-hybrid|max %.2e m, "
+        "mass drift %.1e, energy drift %.1e\n",
+        day, now.h_min, now.h_max, max_diff, now.mass_drift(start),
+        now.energy_drift(start));
+    write_snapshot(*mesh, hybrid.fields(), day);
+    if (vtk) {
+      char name[64];
+      std::snprintf(name, sizeof(name), "tc5_day%04.1f.vtk", day);
+      sw::write_vtk(name, *mesh, hybrid.fields(),
+                    {sw::FieldId::H, sw::FieldId::Bottom, sw::FieldId::Ke,
+                     sw::FieldId::ReconZonal, sw::FieldId::ReconMeridional});
+      std::printf("  wrote %s (open in ParaView)\n", name);
+    }
+  }
+
+  std::printf(
+      "\nThe mountain excites a train of gravity and Rossby waves; the\n"
+      "original and hybrid trajectories agree to accumulation-order\n"
+      "rounding (the paper's Figure 5 'difference within machine "
+      "precision').\n");
+  return 0;
+}

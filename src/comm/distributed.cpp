@@ -1,0 +1,348 @@
+#include "comm/distributed.hpp"
+
+#include <mutex>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace mpas::comm {
+
+using sw::FieldId;
+
+DistributedSw::DistributedSw(const mesh::VoronoiMesh& global_mesh,
+                             int num_ranks, sw::SwParams params,
+                             sw::LoopVariant variant, int halo_layers)
+    : global_(global_mesh),
+      params_(params),
+      variant_(variant),
+      part_(partition::partition_cells_rcb(global_mesh, num_ranks)),
+      world_(num_ranks) {
+  // The irregular (scatter) variants traverse whole arrays, including ghost
+  // entities with off-rank neighbours — they are not partition-safe. This
+  // mirrors the paper: the original loops had to be refactored before any
+  // decomposition of the iteration space.
+  MPAS_CHECK_MSG(variant_ != sw::LoopVariant::Irregular,
+                 "irregular loop variants cannot run on partitioned meshes");
+  locals_.reserve(static_cast<std::size_t>(num_ranks));
+  for (int r = 0; r < num_ranks; ++r)
+    locals_.push_back(
+        partition::build_local_mesh(global_mesh, part_, r, halo_layers));
+  plans_ = partition::build_exchange_plans(global_mesh, part_, locals_);
+  for (int r = 0; r < num_ranks; ++r)
+    stores_.push_back(std::make_unique<sw::FieldStore>(
+        locals_[static_cast<std::size_t>(r)].mesh));
+}
+
+void DistributedSw::apply_test_case(const sw::TestCase& tc) {
+  // Initial conditions are analytic, so every rank fills *all* local
+  // entities (halo included) directly — the values match the owners'
+  // bitwise because they come from the same lon/lat formulas.
+  for (int r = 0; r < num_ranks(); ++r)
+    sw::apply_initial_conditions(tc, locals_[static_cast<std::size_t>(r)].mesh,
+                                 *stores_[static_cast<std::size_t>(r)]);
+}
+
+void DistributedSw::exchange(FieldId field) {
+  const MeshLocation loc = sw::field_info(field).location;
+  const int tag = static_cast<int>(field);
+  // Phase 1: post every send.
+  for (int r = 0; r < num_ranks(); ++r) {
+    const auto& plan = plans_[static_cast<std::size_t>(r)];
+    const auto data = stores_[static_cast<std::size_t>(r)]->get(field);
+    for (const auto& peer : plan.peers) {
+      const auto& send =
+          loc == MeshLocation::Cell ? peer.send_cells : peer.send_edges;
+      if (send.empty()) continue;
+      std::vector<Real> buf;
+      buf.reserve(send.size());
+      for (Index i : send) buf.push_back(data[static_cast<std::size_t>(i)]);
+      world_.send(r, peer.rank, tag, std::move(buf));
+    }
+  }
+  // Phase 2: drain every receive.
+  for (int r = 0; r < num_ranks(); ++r) {
+    const auto& plan = plans_[static_cast<std::size_t>(r)];
+    auto data = stores_[static_cast<std::size_t>(r)]->get(field);
+    for (const auto& peer : plan.peers) {
+      const auto& recv =
+          loc == MeshLocation::Cell ? peer.recv_cells : peer.recv_edges;
+      if (recv.empty()) continue;
+      const std::vector<Real> buf = world_.recv(r, peer.rank, tag);
+      MPAS_CHECK(buf.size() == recv.size());
+      for (std::size_t i = 0; i < recv.size(); ++i)
+        data[static_cast<std::size_t>(recv[i])] = buf[i];
+    }
+  }
+  MPAS_CHECK_MSG(!world_.has_pending(), "unmatched halo messages");
+}
+
+void DistributedSw::compute_diagnostics(int rank, FieldId h_in, FieldId u_in) {
+  const auto& lm = locals_[static_cast<std::size_t>(rank)];
+  sw::SwContext ctx{lm.mesh, *stores_[static_cast<std::size_t>(rank)],
+                    params_, 0, 0};
+  sw::diag_h_edge(ctx, h_in, 0, lm.num_compute_edges);
+  sw::diag_ke(ctx, u_in, 0, lm.num_compute_cells, variant_);
+  sw::diag_vorticity(ctx, u_in, 0, lm.num_compute_vertices, variant_);
+  sw::diag_divergence(ctx, u_in, 0, lm.num_compute_cells, variant_);
+  sw::diag_v_tangent(ctx, u_in, 0, lm.num_inner_edges);
+  sw::diag_h_pv_vertex(ctx, h_in, 0, lm.num_compute_vertices);
+  sw::diag_pv_cell(ctx, 0, lm.num_compute_cells);
+  sw::diag_pv_edge(ctx, u_in, 0, lm.num_inner_edges);
+  if (params_.with_tracer) {
+    const FieldId q_in = h_in == FieldId::H ? FieldId::TracerQ
+                                            : FieldId::TracerQProvis;
+    sw::tracer_ratio(ctx, q_in, h_in, 0, lm.num_compute_cells);
+    sw::tracer_edge_value(ctx, 0, lm.num_compute_edges);
+  }
+}
+
+void DistributedSw::compute_tend(int rank, FieldId h_in, FieldId u_in) {
+  const auto& lm = locals_[static_cast<std::size_t>(rank)];
+  sw::SwContext ctx{lm.mesh, *stores_[static_cast<std::size_t>(rank)],
+                    params_, 0, 0};
+  sw::tend_thickness(ctx, u_in, 0, lm.num_owned_cells, variant_);
+  sw::tend_momentum(ctx, h_in, u_in, 0, lm.num_owned_edges);
+  if (params_.nu_del2_h != 0) {
+    sw::tend_h_laplacian(ctx, h_in, 0, lm.num_owned_cells);
+    sw::tend_h_add_del2(ctx, 0, lm.num_owned_cells);
+  }
+  if (params_.nu_del2_u != 0)
+    sw::tend_u_add_del2(ctx, 0, lm.num_owned_edges);
+  if (params_.with_tracer)
+    sw::tend_tracer(ctx, u_in, 0, lm.num_owned_cells, variant_);
+  sw::enforce_boundary_edge(ctx, 0, lm.num_owned_edges);
+}
+
+void DistributedSw::initialize() {
+  for (int r = 0; r < num_ranks(); ++r)
+    compute_diagnostics(r, FieldId::H, FieldId::U);
+  exchange(FieldId::PvEdge);
+  for (int r = 0; r < num_ranks(); ++r) {
+    const auto& lm = locals_[static_cast<std::size_t>(r)];
+    sw::SwContext ctx{lm.mesh, *stores_[static_cast<std::size_t>(r)],
+                      params_, 0, 0};
+    sw::reconstruct_vector(ctx, FieldId::U, 0, lm.num_owned_cells, variant_);
+    sw::reconstruct_horizontal(ctx, 0, lm.num_owned_cells);
+  }
+}
+
+void DistributedSw::step() {
+  const Real dt = params_.dt;
+  static constexpr Real kA[3] = {0.5, 0.5, 1.0};
+  static constexpr Real kB[4] = {1.0 / 6, 1.0 / 3, 1.0 / 3, 1.0 / 6};
+
+  // Step setup: seed provis and accumulators on all local entities so the
+  // halo copies of provis start coherent (H/U halos are coherent from the
+  // previous step's exchange).
+  for (int r = 0; r < num_ranks(); ++r) {
+    const auto& lm = locals_[static_cast<std::size_t>(r)];
+    sw::SwContext ctx{lm.mesh, *stores_[static_cast<std::size_t>(r)],
+                      params_, 0, 0};
+    sw::seed_provis_h(ctx, 0, lm.mesh.num_cells);
+    sw::seed_provis_u(ctx, 0, lm.mesh.num_edges);
+    sw::init_accum_h(ctx, 0, lm.num_owned_cells);
+    sw::init_accum_u(ctx, 0, lm.num_owned_edges);
+    if (params_.with_tracer) {
+      sw::seed_provis_tracer(ctx, 0, lm.mesh.num_cells);
+      sw::init_accum_tracer(ctx, 0, lm.num_owned_cells);
+    }
+  }
+
+  for (int stage = 0; stage < 4; ++stage) {
+    for (int r = 0; r < num_ranks(); ++r)
+      compute_tend(r, FieldId::HProvis, FieldId::UProvis);
+
+    if (stage < 3) {
+      for (int r = 0; r < num_ranks(); ++r) {
+        const auto& lm = locals_[static_cast<std::size_t>(r)];
+        sw::SwContext ctx{lm.mesh, *stores_[static_cast<std::size_t>(r)],
+                          params_, kA[stage] * dt, kB[stage] * dt};
+        sw::next_substep_h(ctx, 0, lm.num_owned_cells);
+        sw::next_substep_u(ctx, 0, lm.num_owned_edges);
+        sw::accumulate_h(ctx, 0, lm.num_owned_cells);
+        sw::accumulate_u(ctx, 0, lm.num_owned_edges);
+        if (params_.with_tracer) {
+          sw::next_substep_tracer(ctx, 0, lm.num_owned_cells);
+          sw::accumulate_tracer(ctx, 0, lm.num_owned_cells);
+        }
+      }
+      exchange(FieldId::HProvis);  // first halo sync of the substep
+      exchange(FieldId::UProvis);
+      if (params_.with_tracer) exchange(FieldId::TracerQProvis);
+      for (int r = 0; r < num_ranks(); ++r)
+        compute_diagnostics(r, FieldId::HProvis, FieldId::UProvis);
+      exchange(FieldId::PvEdge);   // second halo sync (APVM stencil)
+    } else {
+      for (int r = 0; r < num_ranks(); ++r) {
+        const auto& lm = locals_[static_cast<std::size_t>(r)];
+        sw::SwContext ctx{lm.mesh, *stores_[static_cast<std::size_t>(r)],
+                          params_, 0, kB[stage] * dt};
+        sw::accumulate_h(ctx, 0, lm.num_owned_cells);
+        sw::accumulate_u(ctx, 0, lm.num_owned_edges);
+        sw::commit_h(ctx, 0, lm.num_owned_cells);
+        sw::commit_u(ctx, 0, lm.num_owned_edges);
+        if (params_.with_tracer) {
+          sw::accumulate_tracer(ctx, 0, lm.num_owned_cells);
+          sw::commit_tracer(ctx, 0, lm.num_owned_cells);
+        }
+      }
+      exchange(FieldId::H);
+      exchange(FieldId::U);
+      if (params_.with_tracer) exchange(FieldId::TracerQ);
+      for (int r = 0; r < num_ranks(); ++r)
+        compute_diagnostics(r, FieldId::H, FieldId::U);
+      exchange(FieldId::PvEdge);
+      for (int r = 0; r < num_ranks(); ++r) {
+        const auto& lm = locals_[static_cast<std::size_t>(r)];
+        sw::SwContext ctx{lm.mesh, *stores_[static_cast<std::size_t>(r)],
+                          params_, 0, 0};
+        sw::reconstruct_vector(ctx, FieldId::U, 0, lm.num_owned_cells,
+                               variant_);
+        sw::reconstruct_horizontal(ctx, 0, lm.num_owned_cells);
+      }
+    }
+  }
+}
+
+void DistributedSw::run(int steps) {
+  for (int i = 0; i < steps; ++i) step();
+}
+
+void DistributedSw::exchange_rank(int rank, FieldId field) {
+  const MeshLocation loc = sw::field_info(field).location;
+  const int tag = static_cast<int>(field);
+  const auto& plan = plans_[static_cast<std::size_t>(rank)];
+  auto data = stores_[static_cast<std::size_t>(rank)]->get(field);
+  // Post every send first (non-blocking), then drain receives — the same
+  // Isend/Recv structure a real MPI halo exchange uses; two ranks
+  // exchanging with each other therefore never deadlock.
+  for (const auto& peer : plan.peers) {
+    const auto& send =
+        loc == MeshLocation::Cell ? peer.send_cells : peer.send_edges;
+    if (send.empty()) continue;
+    std::vector<Real> buf;
+    buf.reserve(send.size());
+    for (Index i : send) buf.push_back(data[static_cast<std::size_t>(i)]);
+    world_.send(rank, peer.rank, tag, std::move(buf));
+  }
+  for (const auto& peer : plan.peers) {
+    const auto& recv =
+        loc == MeshLocation::Cell ? peer.recv_cells : peer.recv_edges;
+    if (recv.empty()) continue;
+    const std::vector<Real> buf = world_.recv_blocking(rank, peer.rank, tag);
+    MPAS_CHECK(buf.size() == recv.size());
+    for (std::size_t i = 0; i < recv.size(); ++i)
+      data[static_cast<std::size_t>(recv[i])] = buf[i];
+  }
+}
+
+void DistributedSw::step_rank(int rank) {
+  // Twin of step(), restricted to one rank with rank-local exchanges (kept
+  // in sync with the lockstep driver; the equality of both modes and the
+  // serial reference is pinned by tests).
+  const Real dt = params_.dt;
+  static constexpr Real kA[3] = {0.5, 0.5, 1.0};
+  static constexpr Real kB[4] = {1.0 / 6, 1.0 / 3, 1.0 / 3, 1.0 / 6};
+  const auto& lm = locals_[static_cast<std::size_t>(rank)];
+  sw::FieldStore& store = *stores_[static_cast<std::size_t>(rank)];
+
+  {
+    sw::SwContext ctx{lm.mesh, store, params_, 0, 0};
+    sw::seed_provis_h(ctx, 0, lm.mesh.num_cells);
+    sw::seed_provis_u(ctx, 0, lm.mesh.num_edges);
+    sw::init_accum_h(ctx, 0, lm.num_owned_cells);
+    sw::init_accum_u(ctx, 0, lm.num_owned_edges);
+    if (params_.with_tracer) {
+      sw::seed_provis_tracer(ctx, 0, lm.mesh.num_cells);
+      sw::init_accum_tracer(ctx, 0, lm.num_owned_cells);
+    }
+  }
+
+  for (int stage = 0; stage < 4; ++stage) {
+    compute_tend(rank, FieldId::HProvis, FieldId::UProvis);
+    if (stage < 3) {
+      sw::SwContext ctx{lm.mesh, store, params_, kA[stage] * dt,
+                        kB[stage] * dt};
+      sw::next_substep_h(ctx, 0, lm.num_owned_cells);
+      sw::next_substep_u(ctx, 0, lm.num_owned_edges);
+      sw::accumulate_h(ctx, 0, lm.num_owned_cells);
+      sw::accumulate_u(ctx, 0, lm.num_owned_edges);
+      if (params_.with_tracer) {
+        sw::next_substep_tracer(ctx, 0, lm.num_owned_cells);
+        sw::accumulate_tracer(ctx, 0, lm.num_owned_cells);
+      }
+      exchange_rank(rank, FieldId::HProvis);
+      exchange_rank(rank, FieldId::UProvis);
+      if (params_.with_tracer) exchange_rank(rank, FieldId::TracerQProvis);
+      compute_diagnostics(rank, FieldId::HProvis, FieldId::UProvis);
+      exchange_rank(rank, FieldId::PvEdge);
+    } else {
+      sw::SwContext ctx{lm.mesh, store, params_, 0, kB[stage] * dt};
+      sw::accumulate_h(ctx, 0, lm.num_owned_cells);
+      sw::accumulate_u(ctx, 0, lm.num_owned_edges);
+      sw::commit_h(ctx, 0, lm.num_owned_cells);
+      sw::commit_u(ctx, 0, lm.num_owned_edges);
+      if (params_.with_tracer) {
+        sw::accumulate_tracer(ctx, 0, lm.num_owned_cells);
+        sw::commit_tracer(ctx, 0, lm.num_owned_cells);
+      }
+      exchange_rank(rank, FieldId::H);
+      exchange_rank(rank, FieldId::U);
+      if (params_.with_tracer) exchange_rank(rank, FieldId::TracerQ);
+      compute_diagnostics(rank, FieldId::H, FieldId::U);
+      exchange_rank(rank, FieldId::PvEdge);
+      sw::SwContext rctx{lm.mesh, store, params_, 0, 0};
+      sw::reconstruct_vector(rctx, FieldId::U, 0, lm.num_owned_cells,
+                             variant_);
+      sw::reconstruct_horizontal(rctx, 0, lm.num_owned_cells);
+    }
+  }
+}
+
+void DistributedSw::run_threaded(int steps) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(num_ranks()));
+  std::exception_ptr error;
+  std::mutex error_mutex;
+  for (int r = 0; r < num_ranks(); ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        for (int s = 0; s < steps; ++s) step_rank(r);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (error) std::rethrow_exception(error);
+  MPAS_CHECK_MSG(!world_.has_pending(), "unmatched halo messages");
+}
+
+std::vector<Real> DistributedSw::gather_global(FieldId field) const {
+  const MeshLocation loc = sw::field_info(field).location;
+  const std::int64_t n = loc == MeshLocation::Cell ? global_.num_cells
+                         : loc == MeshLocation::Edge ? global_.num_edges
+                                                     : global_.num_vertices;
+  std::vector<Real> out(static_cast<std::size_t>(n), 0.0);
+  for (int r = 0; r < num_ranks(); ++r) {
+    const auto& lm = locals_[static_cast<std::size_t>(r)];
+    const auto data = stores_[static_cast<std::size_t>(r)]->get(field);
+    if (loc == MeshLocation::Cell) {
+      for (Index i = 0; i < lm.num_owned_cells; ++i)
+        out[static_cast<std::size_t>(
+            lm.mesh.global_cell_id[static_cast<std::size_t>(i)])] =
+            data[static_cast<std::size_t>(i)];
+    } else if (loc == MeshLocation::Edge) {
+      for (Index i = 0; i < lm.num_owned_edges; ++i)
+        out[static_cast<std::size_t>(
+            lm.mesh.global_edge_id[static_cast<std::size_t>(i)])] =
+            data[static_cast<std::size_t>(i)];
+    } else {
+      MPAS_FAIL("gather for vertex fields not supported");
+    }
+  }
+  return out;
+}
+
+}  // namespace mpas::comm

@@ -1,0 +1,72 @@
+#include "comm/simworld.hpp"
+
+#include <chrono>
+#include <tuple>
+
+#include "util/error.hpp"
+
+namespace mpas::comm {
+
+SimWorld::SimWorld(int num_ranks) : num_ranks_(num_ranks) {
+  MPAS_CHECK(num_ranks >= 1);
+}
+
+void SimWorld::send(int from, int to, int tag, std::vector<Real> payload) {
+  MPAS_CHECK(from >= 0 && from < num_ranks_);
+  MPAS_CHECK(to >= 0 && to < num_ranks_);
+  MPAS_CHECK_MSG(from != to, "self-send (rank " << from << ")");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.messages += 1;
+    stats_.bytes += payload.size() * sizeof(Real);
+    queues_[Key{from, to, tag}].push_back(std::move(payload));
+  }
+  cv_.notify_all();
+}
+
+std::vector<Real> SimWorld::recv(int to, int from, int tag) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = queues_.find(Key{from, to, tag});
+  MPAS_CHECK_MSG(it != queues_.end() && !it->second.empty(),
+                 "recv with no matching message: " << from << " -> " << to
+                                                   << " tag " << tag);
+  std::vector<Real> payload = std::move(it->second.front());
+  it->second.pop_front();
+  if (it->second.empty()) queues_.erase(it);
+  return payload;
+}
+
+std::vector<Real> SimWorld::recv_blocking(int to, int from, int tag,
+                                          int timeout_ms) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const Key key{from, to, tag};
+  const bool arrived = cv_.wait_for(
+      lock, std::chrono::milliseconds(timeout_ms), [&] {
+        auto it = queues_.find(key);
+        return it != queues_.end() && !it->second.empty();
+      });
+  MPAS_CHECK_MSG(arrived, "recv_blocking timed out: " << from << " -> " << to
+                                                      << " tag " << tag);
+  auto it = queues_.find(key);
+  std::vector<Real> payload = std::move(it->second.front());
+  it->second.pop_front();
+  if (it->second.empty()) queues_.erase(it);
+  return payload;
+}
+
+bool SimWorld::has_pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return !queues_.empty();
+}
+
+SimWorld::Stats SimWorld::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void SimWorld::reset_stats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_ = {};
+}
+
+}  // namespace mpas::comm

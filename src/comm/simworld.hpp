@@ -1,0 +1,65 @@
+// In-process message-passing fabric: the MPI substitute (see DESIGN.md).
+//
+// Ranks are partition-local model instances driven in lockstep inside one
+// process. Messages are explicit typed buffers matched by (source,
+// destination, tag) in FIFO order — the same structure an MPI halo exchange
+// has, so exchange volume and message counts are measured for real; only
+// the wire time is modeled (machine::Network).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace mpas::comm {
+
+class SimWorld {
+ public:
+  explicit SimWorld(int num_ranks);
+
+  [[nodiscard]] int num_ranks() const { return num_ranks_; }
+
+  /// Non-blocking, thread-safe post (MPI_Isend-like: the payload is the
+  /// message, ownership transfers).
+  void send(int from, int to, int tag, std::vector<Real> payload);
+
+  /// FIFO-matched receive. Throws if no matching message has been posted —
+  /// the lockstep driver always posts all sends of a phase first.
+  std::vector<Real> recv(int to, int from, int tag);
+
+  /// Blocking FIFO-matched receive (MPI_Recv-like) for the threaded
+  /// driver: waits until a matching message arrives. Throws after
+  /// `timeout_ms` (deadlock guard).
+  std::vector<Real> recv_blocking(int to, int from, int tag,
+                                  int timeout_ms = 30000);
+
+  /// True if any message is still queued (catches protocol bugs in tests).
+  [[nodiscard]] bool has_pending() const;
+
+  struct Stats {
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+  void reset_stats();
+
+ private:
+  struct Key {
+    int from, to, tag;
+    bool operator<(const Key& o) const {
+      return std::tie(from, to, tag) < std::tie(o.from, o.to, o.tag);
+    }
+  };
+  int num_ranks_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<Key, std::deque<std::vector<Real>>> queues_;
+  Stats stats_;
+};
+
+}  // namespace mpas::comm

@@ -1,0 +1,138 @@
+#include "core/codegen.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace mpas::core {
+
+namespace {
+
+struct Traversal {
+  const char* output_count;   // loop bound for the gather form
+  const char* source_count;   // loop bound for the scatter form
+  const char* degree;         // neighbours per output entity
+  const char* neighbor_array; // connectivity row giving the neighbour
+  const char* sign_array;     // label matrix (empty if unsigned kind)
+  const char* out_var;        // gather loop variable
+  const char* in_var;         // neighbour loop variable
+};
+
+Traversal traversal_of(PatternKind kind) {
+  switch (kind) {
+    case PatternKind::A:
+      return {"m.num_cells", "m.num_edges", "m.n_edges_on_cell[c]",
+              "m.edges_on_cell(c, j)", "m.edge_sign_on_cell(c, j)", "c", "e"};
+    case PatternKind::B:
+      return {"m.num_cells", nullptr, "m.n_edges_on_cell[c]",
+              "m.cells_on_cell(c, j)", nullptr, "c", "other"};
+    case PatternKind::D:
+      return {"m.num_vertices", "m.num_edges",
+              "mesh::VoronoiMesh::kVertexDegree", "m.edges_on_vertex(v, j)",
+              "m.edge_sign_on_vertex(v, j)", "v", "e"};
+    case PatternKind::E:
+      return {"m.num_vertices", nullptr, "mesh::VoronoiMesh::kVertexDegree",
+              "m.cells_on_vertex(v, j)", nullptr, "v", "c"};
+    case PatternKind::F:
+      return {"m.num_edges", nullptr, "m.n_edges_on_edge[e]",
+              "m.edges_on_edge(e, j)", nullptr, "e", "eoe"};
+    case PatternKind::H:
+      return {"m.num_cells", nullptr, "m.n_edges_on_cell[c]",
+              "m.vertices_on_cell(c, j)", nullptr, "c", "v"};
+    case PatternKind::C:
+    case PatternKind::G:
+    case PatternKind::Local:
+      MPAS_FAIL("code generation for kind "
+                << to_string(kind)
+                << " is trivial (fixed 2-point or local) and not templated");
+  }
+  MPAS_FAIL("unknown pattern kind");
+}
+
+}  // namespace
+
+std::string generate_loop(const LoopSpec& spec, VariantChoice variant) {
+  MPAS_CHECK(!spec.name.empty());
+  MPAS_CHECK(!spec.contribution.empty());
+  const Traversal t = traversal_of(spec.kind);
+
+  std::ostringstream os;
+  const char* suffix = variant == VariantChoice::Irregular ? "irregular"
+                       : variant == VariantChoice::Refactored ? "refactored"
+                                                              : "branch_free";
+  os << "// generated: pattern " << to_string(spec.kind) << " ("
+     << pattern_description(spec.kind) << "), " << suffix << " form\n";
+  os << "inline void " << spec.name << "_" << suffix
+     << "(const mesh::VoronoiMesh& m, std::span<Real> " << spec.output
+     << ") {\n";
+
+  if (variant == VariantChoice::Irregular) {
+    // Algorithm 2: traverse source entities, scatter into both endpoints.
+    MPAS_CHECK_MSG(spec.oriented && t.source_count != nullptr,
+                   "irregular form exists only for oriented reducible "
+                   "patterns (kinds A and D)");
+    os << "  for (Index " << t.out_var << " = 0; " << t.out_var << " < "
+       << t.output_count << "; ++" << t.out_var << ") " << spec.output << "["
+       << t.out_var << "] = 0;\n";
+    os << "  for (Index e = 0; e < " << t.source_count << "; ++e) {\n";
+    os << "    const Real contrib = " << spec.contribution << ";\n";
+    if (spec.kind == PatternKind::A) {
+      os << "    " << spec.output
+         << "[m.cells_on_edge(e, 0)] += contrib;  // racy under threads\n";
+      os << "    " << spec.output << "[m.cells_on_edge(e, 1)] -= contrib;\n";
+    } else {
+      os << "    for (int k = 0; k < 2; ++k) {\n"
+         << "      const Index v = m.vertices_on_edge(e, k);\n"
+         << "      for (int j = 0; j < mesh::VoronoiMesh::kVertexDegree; ++j)\n"
+         << "        if (m.edges_on_vertex(v, j) == e)\n"
+         << "          " << spec.output
+         << "[v] += m.edge_sign_on_vertex(v, j) * contrib;\n"
+         << "    }\n";
+    }
+    os << "  }\n";
+    if (!spec.normalize.empty()) {
+      os << "  for (Index " << t.out_var << " = 0; " << t.out_var << " < "
+         << t.output_count << "; ++" << t.out_var << ") " << spec.output
+         << "[" << t.out_var << "] = " << spec.output << "[" << t.out_var
+         << "] " << spec.normalize << ";\n";
+    }
+    os << "}\n";
+    return os.str();
+  }
+
+  // Gather forms (Algorithms 3 and 4).
+  os << "  for (Index " << t.out_var << " = 0; " << t.out_var << " < "
+     << t.output_count << "; ++" << t.out_var << ") {\n";
+  os << "    Real acc = 0;\n";
+  os << "    for (Index j = 0; j < " << t.degree << "; ++j) {\n";
+  os << "      const Index " << t.in_var << " = " << t.neighbor_array << ";\n";
+  if (spec.oriented && variant == VariantChoice::Refactored) {
+    MPAS_CHECK(t.sign_array != nullptr);
+    os << "      if (" << t.sign_array << " > 0)\n";
+    os << "        acc += " << spec.contribution << ";\n";
+    os << "      else\n";
+    os << "        acc -= " << spec.contribution << ";\n";
+  } else if (spec.oriented) {
+    os << "      acc += " << t.sign_array << " * (" << spec.contribution
+       << ");  // label matrix, no branch\n";
+  } else {
+    os << "      acc += " << spec.contribution << ";\n";
+  }
+  os << "    }\n";
+  os << "    " << spec.output << "[" << t.out_var << "] = acc"
+     << (spec.normalize.empty() ? "" : (" " + spec.normalize)) << ";\n";
+  os << "  }\n}\n";
+  return os.str();
+}
+
+std::string generate_all_variants(const LoopSpec& spec) {
+  std::string out;
+  if (spec.oriented &&
+      (spec.kind == PatternKind::A || spec.kind == PatternKind::D))
+    out += generate_loop(spec, VariantChoice::Irregular) + "\n";
+  out += generate_loop(spec, VariantChoice::Refactored) + "\n";
+  out += generate_loop(spec, VariantChoice::BranchFree) + "\n";
+  return out;
+}
+
+}  // namespace mpas::core

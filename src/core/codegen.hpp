@@ -1,0 +1,51 @@
+// Pattern-loop code generation — the paper's stated future work
+// ("leveraging automatic code generation techniques for the ease of
+// implementation and optimization").
+//
+// Given an abstract description of a stencil pattern (its Figure 3 kind and
+// the per-neighbour contribution expression), emit C++ source for any of
+// the three loop disciplines of Algorithms 2-4:
+//   * Irregular   — source-entity traversal scattering into shared outputs
+//                   (only generated for the reducible kinds A and D);
+//   * Refactored  — output-entity gather with the orientation conditional;
+//   * BranchFree  — gather with the sign taken from the label matrix.
+// The generated functions use the VoronoiMesh connectivity names verbatim,
+// so the text drops into this code base unchanged (the generator's output
+// for the divergence pattern is compile-tested in tests/test_codegen.cpp
+// against the handwritten kernel).
+#pragma once
+
+#include <string>
+
+#include "core/pattern.hpp"
+
+namespace mpas::core {
+
+struct LoopSpec {
+  std::string name;        // generated function name
+  PatternKind kind;        // traversal/connectivity selection
+  /// Per-neighbour contribution in terms of the loop variables the
+  /// generator introduces: `e` (edge), `c`/`other` (cells), `v` (vertex),
+  /// plus any arrays the caller closes over, e.g. "u[e] * m.dv_edge[e]".
+  std::string contribution;
+  /// True when the contribution enters with an orientation sign (the
+  /// divergence/vorticity/flux family) — exactly the loops Algorithm 2
+  /// scatters and Algorithms 3/4 refactor.
+  bool oriented = false;
+  /// Normalisation applied to the accumulated value, e.g.
+  /// "/ m.area_cell[c]". Empty = none.
+  std::string normalize;
+  /// Name of the output array variable, indexed by the output entity.
+  std::string output = "out";
+};
+
+/// Generate the loop body as a complete C++ function
+///   void <name>_<variant>(const mesh::VoronoiMesh& m, <Args>...)
+/// Throws mpas::Error for unsupported combinations (Irregular is only
+/// defined for the reducible kinds A and D).
+std::string generate_loop(const LoopSpec& spec, VariantChoice variant);
+
+/// Convenience: all variants that exist for the spec, concatenated.
+std::string generate_all_variants(const LoopSpec& spec);
+
+}  // namespace mpas::core

@@ -1,0 +1,194 @@
+#include "core/dataflow.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace mpas::core {
+
+const char* to_string(PatternKind k) {
+  switch (k) {
+    case PatternKind::A: return "A";
+    case PatternKind::B: return "B";
+    case PatternKind::C: return "C";
+    case PatternKind::D: return "D";
+    case PatternKind::E: return "E";
+    case PatternKind::F: return "F";
+    case PatternKind::G: return "G";
+    case PatternKind::H: return "H";
+    case PatternKind::Local: return "X";
+  }
+  return "?";
+}
+
+const char* pattern_description(PatternKind k) {
+  switch (k) {
+    case PatternKind::A: return "mass point from surrounding velocity points";
+    case PatternKind::B: return "mass point from neighbouring mass points";
+    case PatternKind::C: return "velocity point from its two mass points";
+    case PatternKind::D: return "vorticity point from its three velocity points";
+    case PatternKind::E: return "vorticity point from its three mass points";
+    case PatternKind::F: return "velocity point from the edges of both cells";
+    case PatternKind::G: return "velocity point from its two vorticity points";
+    case PatternKind::H: return "mass point from its surrounding vorticity points";
+    case PatternKind::Local: return "local computation (no neighbour access)";
+  }
+  return "?";
+}
+
+const char* to_string(KernelGroup k) {
+  switch (k) {
+    case KernelGroup::ComputeTend: return "compute_tend";
+    case KernelGroup::EnforceBoundaryEdge: return "enforce_boundary_edge";
+    case KernelGroup::ComputeNextSubstepState:
+      return "compute_next_substep_state";
+    case KernelGroup::ComputeSolveDiagnostics:
+      return "compute_solve_diagnostics";
+    case KernelGroup::AccumulativeUpdate: return "accumulative_update";
+    case KernelGroup::MpasReconstruct: return "mpas_reconstruct";
+    case KernelGroup::StepSetup: return "step_setup";
+    case KernelGroup::Count: break;
+  }
+  return "?";
+}
+
+int DataflowGraph::add_node(PatternNode node) {
+  MPAS_CHECK_MSG(!finalized_, "graph already finalized");
+  MPAS_CHECK(!node.label.empty());
+  MPAS_CHECK(!node.outputs.empty());
+  node.id = static_cast<int>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  halo_after_.push_back(0);
+  return nodes_.back().id;
+}
+
+void DataflowGraph::add_halo_sync_after(int node_id) {
+  MPAS_CHECK(node_id >= 0 && node_id < num_nodes());
+  halo_after_[node_id] = 1;
+}
+
+void DataflowGraph::finalize() {
+  MPAS_CHECK(!finalized_);
+  const int n = num_nodes();
+  succ_.assign(n, {});
+  pred_.assign(n, {});
+
+  std::map<std::string, int> last_writer;
+  std::map<std::string, std::vector<int>> readers_since_write;
+  std::vector<std::set<int>> pred_sets(n);
+
+  for (int i = 0; i < n; ++i) {
+    const PatternNode& node = nodes_[i];
+    for (const std::string& in : node.inputs) {
+      // RAW: depend on the last writer (if the variable was produced
+      // earlier in this program; otherwise it is an incoming value).
+      auto it = last_writer.find(in);
+      if (it != last_writer.end() && it->second != i)
+        pred_sets[i].insert(it->second);
+      readers_since_write[in].push_back(i);
+    }
+    for (const std::string& out : node.outputs) {
+      // WAW: a later writer waits for the earlier one.
+      auto it = last_writer.find(out);
+      if (it != last_writer.end() && it->second != i)
+        pred_sets[i].insert(it->second);
+      // WAR: a writer waits for all readers of the previous value.
+      for (int reader : readers_since_write[out])
+        if (reader != i) pred_sets[i].insert(reader);
+      readers_since_write[out].clear();
+      last_writer[out] = i;
+    }
+  }
+
+  for (int i = 0; i < n; ++i) {
+    for (int p : pred_sets[i]) {
+      pred_[i].push_back(p);
+      succ_[p].push_back(i);
+    }
+    std::sort(pred_[i].begin(), pred_[i].end());
+  }
+  for (auto& s : succ_) std::sort(s.begin(), s.end());
+  finalized_ = true;
+}
+
+std::vector<int> DataflowGraph::topological_order() const {
+  MPAS_CHECK(finalized_);
+  // Insertion order is program order; every dependency points backwards,
+  // so it is already topological. (Checked here for safety.)
+  std::vector<int> order(nodes_.size());
+  for (int i = 0; i < num_nodes(); ++i) {
+    order[i] = i;
+    for (int p : pred_[i]) MPAS_CHECK(p < i);
+  }
+  return order;
+}
+
+std::vector<int> DataflowGraph::levels() const {
+  MPAS_CHECK(finalized_);
+  std::vector<int> level(nodes_.size(), 0);
+  for (int i = 0; i < num_nodes(); ++i)
+    for (int p : pred_[i]) level[i] = std::max(level[i], level[p] + 1);
+  return level;
+}
+
+Real DataflowGraph::critical_path(const std::vector<Real>& node_cost) const {
+  MPAS_CHECK(finalized_);
+  MPAS_CHECK(node_cost.size() == nodes_.size());
+  std::vector<Real> finish(nodes_.size(), 0);
+  Real best = 0;
+  for (int i = 0; i < num_nodes(); ++i) {
+    Real start = 0;
+    for (int p : pred_[i]) start = std::max(start, finish[p]);
+    finish[i] = start + node_cost[i];
+    best = std::max(best, finish[i]);
+  }
+  return best;
+}
+
+std::vector<std::vector<int>> DataflowGraph::independent_sets() const {
+  const std::vector<int> lvl = levels();
+  const int max_level = *std::max_element(lvl.begin(), lvl.end());
+  std::vector<std::vector<int>> sets(static_cast<std::size_t>(max_level) + 1);
+  for (int i = 0; i < num_nodes(); ++i) sets[lvl[i]].push_back(i);
+  return sets;
+}
+
+std::string DataflowGraph::to_dot() const {
+  MPAS_CHECK(finalized_);
+  std::ostringstream os;
+  os << "digraph \"" << name_ << "\" {\n  rankdir=TB;\n  node [shape=box];\n";
+
+  // Cluster nodes by kernel, like the grey boxes of Figure 4.
+  std::map<KernelGroup, std::vector<int>> by_kernel;
+  for (const auto& node : nodes_) by_kernel[node.kernel].push_back(node.id);
+  int cluster = 0;
+  for (const auto& [kernel, ids] : by_kernel) {
+    os << "  subgraph cluster_" << cluster++ << " {\n    label=\""
+       << to_string(kernel) << "\";\n";
+    for (int id : ids) {
+      const auto& node = nodes_[id];
+      os << "    n" << id << " [label=\"" << node.label << "\\n"
+         << to_string(node.kind) << ": " << to_string(node.iterates)
+         << (node.kind == PatternKind::Local ? "" : " stencil") << "\""
+         << (node.kind == PatternKind::Local ? ", shape=box"
+                                             : ", shape=ellipse")
+         << "];\n";
+    }
+    os << "  }\n";
+  }
+  for (int i = 0; i < num_nodes(); ++i) {
+    for (int s : succ_[i]) os << "  n" << i << " -> n" << s << ";\n";
+    if (halo_after_[i])
+      os << "  n" << i
+         << " -> halo" << i
+         << " [color=red];\n  halo" << i
+         << " [label=\"Exchange halo\", color=red, shape=diamond];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace mpas::core

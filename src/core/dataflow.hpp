@@ -1,0 +1,82 @@
+// The data-flow diagram (Figure 4): pattern nodes wired by def-use analysis
+// of their input/output variables over the program order of Algorithm 1.
+//
+// Edges include read-after-write (true data flow), write-after-read and
+// write-after-write (so that executing nodes concurrently in any order
+// consistent with the graph is safe on shared memory). Synchronization
+// points (the red "Exchange halo" marks of Figure 4) are attached to nodes:
+// a sync-after node's outputs must be globally exchanged before any
+// successor runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/pattern.hpp"
+
+namespace mpas::core {
+
+class DataflowGraph {
+ public:
+  explicit DataflowGraph(std::string name) : name_(std::move(name)) {}
+
+  /// Append a node in program order. Returns its id.
+  int add_node(PatternNode node);
+
+  /// Mark a halo-exchange synchronization after `node_id`: its outputs are
+  /// exchanged with neighbouring ranks (and, in the hybrid runtime, made
+  /// host-resident) before successors start.
+  void add_halo_sync_after(int node_id);
+
+  /// Derive dependency edges from the field def-use chains. Must be called
+  /// once after all nodes are added.
+  void finalize();
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  [[nodiscard]] const PatternNode& node(int id) const { return nodes_[id]; }
+  [[nodiscard]] PatternNode& node(int id) { return nodes_[id]; }
+  [[nodiscard]] const std::vector<PatternNode>& nodes() const { return nodes_; }
+
+  [[nodiscard]] const std::vector<int>& successors(int id) const {
+    return succ_[id];
+  }
+  [[nodiscard]] const std::vector<int>& predecessors(int id) const {
+    return pred_[id];
+  }
+  [[nodiscard]] bool has_halo_sync_after(int id) const {
+    return halo_after_[id];
+  }
+  [[nodiscard]] bool finalized() const { return finalized_; }
+
+  /// Node ids in a valid execution order (== insertion order, which is the
+  /// program order of Algorithm 1 and always topological by construction).
+  [[nodiscard]] std::vector<int> topological_order() const;
+
+  /// Level of each node: length of the longest dependency chain to it.
+  /// Nodes on the same level are mutually independent *within a level only
+  /// if no edge connects them*; levels are used for the concurrency report.
+  [[nodiscard]] std::vector<int> levels() const;
+
+  /// Longest path through the graph with the given per-node costs
+  /// (seconds); the lower bound of any schedule's makespan.
+  [[nodiscard]] Real critical_path(const std::vector<Real>& node_cost) const;
+
+  /// Sets of nodes with no dependency between them, per level — the
+  /// "numbers of independent sets of input variables" annotation of Fig. 4.
+  [[nodiscard]] std::vector<std::vector<int>> independent_sets() const;
+
+  /// Graphviz rendering of the diagram (kernels as clusters, halo syncs as
+  /// red edges) — regenerates the structure of Figure 4.
+  [[nodiscard]] std::string to_dot() const;
+
+ private:
+  std::string name_;
+  std::vector<PatternNode> nodes_;
+  std::vector<std::vector<int>> succ_;
+  std::vector<std::vector<int>> pred_;
+  std::vector<char> halo_after_;
+  bool finalized_ = false;
+};
+
+}  // namespace mpas::core

@@ -1,0 +1,118 @@
+// Hybrid schedules over the data-flow graph and their discrete-event timing
+// simulation on the modeled platform (Table II).
+//
+// A Schedule assigns each pattern node to the host CPU, the accelerator, or
+// both (a range split — the light-yellow "adjustable part" boxes of Figure
+// 4(b)). The simulator executes the graph in dependency order on two device
+// timelines plus a PCIe-link timeline, inserting transfers whenever data
+// crosses devices and charging halo-exchange barriers at the marked sync
+// points. Its makespan is the modeled per-substep execution time used by
+// the Figure 6-9 benches.
+#pragma once
+
+#include "core/dataflow.hpp"
+#include "machine/machine_model.hpp"
+
+namespace mpas::core {
+
+enum class DeviceSide : int { Host = 0, Accel = 1, Split = 2 };
+
+const char* to_string(DeviceSide side);
+
+struct Assignment {
+  DeviceSide side = DeviceSide::Host;
+  Real host_fraction = 1.0;  // only meaningful for Split
+};
+
+struct Schedule {
+  std::string name;
+  std::vector<Assignment> assignments;  // indexed by node id
+  VariantChoice host_variant = VariantChoice::BranchFree;
+  VariantChoice accel_variant = VariantChoice::BranchFree;
+};
+
+struct SimOptions {
+  machine::Platform platform;
+  machine::OptLevel host_opt = machine::OptLevel::Full;
+  machine::OptLevel accel_opt = machine::OptLevel::Full;
+  int host_threads = -1;   // -1: full complement
+  int accel_threads = -1;
+
+  /// Halo exchange parameters for the marked sync points (0 = single rank,
+  /// syncs are free). Bytes are per rank per sync; messages go to
+  /// `halo_neighbors` neighbouring ranks.
+  std::int64_t halo_bytes_per_sync = 0;
+  int halo_neighbors = 0;
+
+  /// Record a per-node execution trace in SimResult (for Gantt rendering).
+  bool record_trace = false;
+};
+
+/// One executed slice of a node on one device (trace entry).
+struct TraceEntry {
+  int node = -1;
+  DeviceSide side = DeviceSide::Host;  // Host or Accel (never Split)
+  Real start = 0;
+  Real finish = 0;
+};
+
+struct SimResult {
+  Real makespan = 0;
+  Real host_busy = 0;       // seconds the host computed
+  Real accel_busy = 0;      // seconds the accelerator computed
+  Real link_busy = 0;       // PCIe transfer seconds
+  Real comm_seconds = 0;    // network halo-exchange seconds
+  std::int64_t link_bytes = 0;
+
+  /// Fraction of the busier device's time the other device was also busy —
+  /// the load-balance indicator the pattern-driven design improves.
+  [[nodiscard]] Real balance() const {
+    const Real hi = std::max(host_busy, accel_busy);
+    const Real lo = std::min(host_busy, accel_busy);
+    return hi > 0 ? lo / hi : 1.0;
+  }
+
+  /// Per-node execution trace (filled when SimOptions::record_trace).
+  std::vector<TraceEntry> trace;
+};
+
+/// Render a SimResult trace as a two-lane ASCII Gantt chart.
+std::string render_gantt(const DataflowGraph& graph, const SimResult& result,
+                         int width = 88);
+
+/// Cost of one node under `opts` on the given side for `entities` of its
+/// iteration space (helper shared by the simulator and the schedulers).
+Real node_time(const PatternNode& node, DeviceSide side,
+               std::int64_t entities, const Schedule& schedule,
+               const SimOptions& opts);
+
+/// Simulate `schedule` over `graph` with the entity counts in `sizes`.
+SimResult simulate_schedule(const DataflowGraph& graph,
+                            const Schedule& schedule, const MeshSizes& sizes,
+                            const SimOptions& opts);
+
+// ---- schedule builders -------------------------------------------------------
+/// Everything on one device.
+Schedule make_single_device_schedule(const DataflowGraph& graph,
+                                     DeviceSide side, std::string name);
+
+/// The serial "original code" schedule: host, one thread, irregular loops.
+/// (Pair with OptLevel::SerialBaseline in SimOptions.)
+Schedule make_serial_baseline_schedule(const DataflowGraph& graph);
+
+/// Kernel-level hybrid design (Figure 2): every kernel function is placed
+/// wholly on one device; the best of all kernel->device assignments is
+/// chosen by exhaustive simulation (an *optimistic* version of the paper's
+/// hand-tuned kernel-level algorithm).
+Schedule make_kernel_level_schedule(const DataflowGraph& graph,
+                                    const MeshSizes& sizes,
+                                    const SimOptions& opts);
+
+/// Pattern-driven hybrid design (Figure 4(b)): list scheduling at pattern
+/// granularity with earliest-finish-time device choice, and range splitting
+/// of heavy data-parallel patterns to equalize device completion times.
+Schedule make_pattern_level_schedule(const DataflowGraph& graph,
+                                     const MeshSizes& sizes,
+                                     const SimOptions& opts);
+
+}  // namespace mpas::core

@@ -1,0 +1,247 @@
+// Discrete-event simulation of a hybrid schedule: two device timelines, one
+// transfer-link timeline, per-field residency tracking, and halo-exchange
+// barriers.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "core/schedule.hpp"
+#include "util/error.hpp"
+
+namespace mpas::core {
+
+const char* to_string(DeviceSide side) {
+  switch (side) {
+    case DeviceSide::Host: return "host";
+    case DeviceSide::Accel: return "accel";
+    case DeviceSide::Split: return "split";
+  }
+  return "?";
+}
+
+Real node_time(const PatternNode& node, DeviceSide side,
+               std::int64_t entities, const Schedule& schedule,
+               const SimOptions& opts) {
+  MPAS_CHECK(side != DeviceSide::Split);
+  const bool host = side == DeviceSide::Host;
+  const VariantChoice variant =
+      host ? schedule.host_variant : schedule.accel_variant;
+  const machine::KernelCost& cost = node.cost(variant);
+  return machine::kernel_time(
+      host ? opts.platform.host : opts.platform.accelerator, cost, entities,
+      host ? opts.host_opt : opts.accel_opt,
+      host ? opts.host_threads : opts.accel_threads);
+}
+
+namespace {
+
+/// Where the current version of a field lives. For a split-produced field
+/// each side initially holds only its own range; "complete" means the side
+/// has (or has received) the full array.
+struct FieldState {
+  int version = -1;        // producing node id (-1: initial data)
+  bool complete_on_host = true;
+  bool complete_on_accel = true;  // initial data is resident everywhere
+  Real ready_host = 0;     // time the side's copy (full or local half)
+  Real ready_accel = 0;    //   becomes valid
+  std::int64_t bytes = 0;
+  Real host_fraction = 1.0;  // producer's split point
+  bool split = false;
+};
+
+}  // namespace
+
+SimResult simulate_schedule(const DataflowGraph& graph,
+                            const Schedule& schedule, const MeshSizes& sizes,
+                            const SimOptions& opts) {
+  MPAS_CHECK(graph.finalized());
+  MPAS_CHECK(schedule.assignments.size() ==
+             static_cast<std::size_t>(graph.num_nodes()));
+
+  Real host_free = 0, accel_free = 0, link_free = 0, barrier = 0;
+  SimResult result;
+  std::map<std::string, FieldState> fields;
+  std::vector<Real> node_finish(static_cast<std::size_t>(graph.num_nodes()), 0);
+
+  // Transfer helper: move the missing portion of `f` to `side`, returning
+  // the time it becomes available there.
+  auto make_available = [&](FieldState& f, DeviceSide side) -> Real {
+    const bool to_host = side == DeviceSide::Host;
+    if (to_host && f.complete_on_host) return f.ready_host;
+    if (!to_host && f.complete_on_accel) return f.ready_accel;
+    // Bytes that must cross the link: the whole field, or only the remote
+    // portion of a split-produced field.
+    Real frac = 1.0;
+    if (f.split) frac = to_host ? (1.0 - f.host_fraction) : f.host_fraction;
+    const auto bytes = static_cast<std::int64_t>(
+        std::ceil(static_cast<double>(f.bytes) * frac));
+    const Real src_ready = to_host ? f.ready_accel : f.ready_host;
+    const Real start = std::max(link_free, src_ready);
+    const Real finish = start + opts.platform.link.time(bytes);
+    link_free = finish;
+    result.link_busy += finish - start;
+    result.link_bytes += bytes;
+    // The side is complete once its local portion exists AND the remote
+    // portion has arrived.
+    if (to_host) {
+      f.complete_on_host = true;
+      f.ready_host = std::max(f.ready_host, finish);
+      return f.ready_host;
+    }
+    f.complete_on_accel = true;
+    f.ready_accel = std::max(f.ready_accel, finish);
+    return f.ready_accel;
+  };
+
+  for (int id : graph.topological_order()) {
+    const PatternNode& node = graph.node(id);
+    const Assignment& asg = schedule.assignments[static_cast<std::size_t>(id)];
+    const std::int64_t n = sizes.at(node.iterates);
+
+    // Sides that will execute (and therefore need the inputs).
+    const bool run_host = asg.side != DeviceSide::Accel;
+    const bool run_accel = asg.side != DeviceSide::Host;
+    MPAS_CHECK_MSG(asg.side != DeviceSide::Split || node.splittable,
+                   "node " << node.label << " cannot be split");
+
+    // Dependency readiness per executing side.
+    Real ready_host = barrier, ready_accel = barrier;
+    for (int p : graph.predecessors(id)) {
+      ready_host = std::max(ready_host, node_finish[static_cast<std::size_t>(p)]);
+      ready_accel = ready_host;  // refined below by data availability
+    }
+    for (const std::string& in : node.inputs) {
+      auto it = fields.find(in);
+      if (it == fields.end()) continue;  // incoming value: everywhere at t=0
+      if (run_host)
+        ready_host = std::max(ready_host,
+                              make_available(it->second, DeviceSide::Host));
+      if (run_accel)
+        ready_accel = std::max(
+            ready_accel, make_available(it->second, DeviceSide::Accel));
+    }
+
+    // Execute.
+    Real finish = 0;
+    const Real host_frac =
+        asg.side == DeviceSide::Host
+            ? 1.0
+            : (asg.side == DeviceSide::Accel ? 0.0 : asg.host_fraction);
+    Real host_finish = 0, accel_finish = 0;
+    if (host_frac > 0) {
+      const auto nh = static_cast<std::int64_t>(
+          std::llround(static_cast<double>(n) * host_frac));
+      const Real t = node_time(node, DeviceSide::Host, nh, schedule, opts);
+      const Real start = std::max(host_free, ready_host);
+      host_finish = start + t;
+      host_free = host_finish;
+      result.host_busy += t;
+      if (opts.record_trace)
+        result.trace.push_back({id, DeviceSide::Host, start, host_finish});
+    }
+    if (host_frac < 1.0) {
+      const auto na = static_cast<std::int64_t>(
+          std::llround(static_cast<double>(n) * (1.0 - host_frac)));
+      const Real t = node_time(node, DeviceSide::Accel, na, schedule, opts);
+      const Real start = std::max(accel_free, ready_accel);
+      accel_finish = start + t;
+      accel_free = accel_finish;
+      result.accel_busy += t;
+      if (opts.record_trace)
+        result.trace.push_back({id, DeviceSide::Accel, start, accel_finish});
+    }
+    finish = std::max(host_finish, accel_finish);
+    node_finish[static_cast<std::size_t>(id)] = finish;
+
+    // Record output residency.
+    for (const std::string& out : node.outputs) {
+      FieldState& f = fields[out];
+      f.version = id;
+      f.bytes = sizes.at(node.iterates) * static_cast<std::int64_t>(sizeof(Real));
+      f.host_fraction = host_frac;
+      if (asg.side == DeviceSide::Split) {
+        // Each side holds only its own range; make_available moves the
+        // remote portion on demand.
+        f.split = true;
+        f.complete_on_host = false;
+        f.complete_on_accel = false;
+        f.ready_host = host_finish;
+        f.ready_accel = accel_finish;
+      } else {
+        f.split = false;
+        f.complete_on_host = asg.side == DeviceSide::Host;
+        f.complete_on_accel = asg.side == DeviceSide::Accel;
+        f.ready_host = host_finish;
+        f.ready_accel = accel_finish;
+      }
+    }
+
+    // Halo-exchange barrier (the red sync marks of Figure 4).
+    if (graph.has_halo_sync_after(id) && opts.halo_neighbors > 0) {
+      // The exchanged fields must be on the host (MPI runs there), the
+      // wire time is neighbor messages, then results go back down.
+      Real t = finish;
+      std::int64_t halo = opts.halo_bytes_per_sync;
+      for (const std::string& out : node.outputs) {
+        auto it = fields.find(out);
+        if (it != fields.end())
+          t = std::max(t, make_available(it->second, DeviceSide::Host));
+      }
+      const std::int64_t per_neighbor =
+          std::max<std::int64_t>(1, halo / opts.halo_neighbors);
+      Real wire = 0;
+      for (int k = 0; k < opts.halo_neighbors; ++k)
+        wire += opts.platform.network.message_time(per_neighbor);
+      t += wire;
+      result.comm_seconds += wire;
+      // Updated halo values go back to the accelerator copy.
+      const Real up = opts.platform.link.time(halo);
+      link_free = std::max(link_free, t) + up;
+      result.link_busy += up;
+      result.link_bytes += halo;
+      barrier = std::max(barrier, link_free);
+      host_free = std::max(host_free, t);
+    }
+  }
+
+  result.makespan = std::max({host_free, accel_free, barrier});
+  return result;
+}
+
+std::string render_gantt(const DataflowGraph& graph, const SimResult& result,
+                         int width) {
+  MPAS_CHECK(width > 20);
+  std::string out;
+  if (result.trace.empty() || result.makespan <= 0) {
+    return "(no trace recorded — set SimOptions::record_trace)\n";
+  }
+  const Real scale = width / result.makespan;
+  for (DeviceSide side : {DeviceSide::Host, DeviceSide::Accel}) {
+    std::string lane(static_cast<std::size_t>(width), '.');
+    for (const TraceEntry& t : result.trace) {
+      if (t.side != side) continue;
+      auto clamp_col = [&](Real x) {
+        return std::min<int>(width - 1, std::max(0, static_cast<int>(x * scale)));
+      };
+      const int a = clamp_col(t.start);
+      const int b = clamp_col(t.finish);
+      const std::string& label = graph.node(t.node).label;
+      for (int i = a; i <= b; ++i)
+        lane[static_cast<std::size_t>(i)] =
+            label[label.size() > 1 && (i - a) % 2 == 1 ? 1 : 0];
+    }
+    out += (side == DeviceSide::Host ? "host  |" : "accel |");
+    out += lane;
+    out += "|\n";
+  }
+  out += "        0";
+  out += std::string(static_cast<std::size_t>(width - 10), ' ');
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3gs\n", result.makespan);
+  out += buf;
+  return out;
+}
+
+}  // namespace mpas::core

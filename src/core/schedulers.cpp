@@ -1,0 +1,142 @@
+// Schedule builders: single-device baselines, the kernel-level hybrid
+// design (Figure 2) and the pattern-driven hybrid design (Figure 4(b)).
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "core/schedule.hpp"
+#include "util/error.hpp"
+
+namespace mpas::core {
+
+Schedule make_single_device_schedule(const DataflowGraph& graph,
+                                     DeviceSide side, std::string name) {
+  MPAS_CHECK(side != DeviceSide::Split);
+  Schedule s;
+  s.name = std::move(name);
+  s.assignments.assign(static_cast<std::size_t>(graph.num_nodes()),
+                       Assignment{side, side == DeviceSide::Host ? 1.0 : 0.0});
+  return s;
+}
+
+Schedule make_serial_baseline_schedule(const DataflowGraph& graph) {
+  Schedule s = make_single_device_schedule(graph, DeviceSide::Host,
+                                           "cpu-serial-original");
+  s.host_variant = VariantChoice::Irregular;
+  return s;
+}
+
+Schedule make_kernel_level_schedule(const DataflowGraph& graph,
+                                    const MeshSizes& sizes,
+                                    const SimOptions& opts) {
+  // Collect the kernels present, in program order.
+  std::vector<KernelGroup> kernels;
+  for (const auto& node : graph.nodes())
+    if (std::find(kernels.begin(), kernels.end(), node.kernel) ==
+        kernels.end())
+      kernels.push_back(node.kernel);
+  const int k = static_cast<int>(kernels.size());
+  MPAS_CHECK_MSG(k <= 16, "too many kernels for exhaustive search");
+
+  // Exhaustively try every kernel->device assignment and keep the best
+  // simulated makespan. This gives the kernel-level design the benefit of
+  // a perfect placement oracle — the pattern-driven design must win on
+  // granularity alone.
+  Schedule best;
+  Real best_makespan = -1;
+  for (std::uint32_t mask = 0; mask < (1u << k); ++mask) {
+    Schedule cand;
+    cand.name = "kernel-level";
+    cand.assignments.resize(static_cast<std::size_t>(graph.num_nodes()));
+    for (const auto& node : graph.nodes()) {
+      const int ki = static_cast<int>(
+          std::find(kernels.begin(), kernels.end(), node.kernel) -
+          kernels.begin());
+      const bool on_accel = (mask >> ki) & 1u;
+      cand.assignments[static_cast<std::size_t>(node.id)] =
+          Assignment{on_accel ? DeviceSide::Accel : DeviceSide::Host,
+                     on_accel ? 0.0 : 1.0};
+    }
+    const Real makespan = simulate_schedule(graph, cand, sizes, opts).makespan;
+    if (best_makespan < 0 || makespan < best_makespan) {
+      best_makespan = makespan;
+      best = std::move(cand);
+    }
+  }
+  return best;
+}
+
+Schedule make_pattern_level_schedule(const DataflowGraph& graph,
+                                     const MeshSizes& sizes,
+                                     const SimOptions& opts) {
+  // Greedy earliest-finish-time list scheduling at pattern granularity,
+  // with range splitting of splittable nodes to equalize device finish
+  // times (the "adjustable part"). Transfer costs are ignored while making
+  // the greedy choice (they are small once mesh data is resident) but are
+  // fully charged by the final simulation.
+  Schedule s;
+  s.name = "pattern-driven";
+  s.assignments.resize(static_cast<std::size_t>(graph.num_nodes()));
+
+  Real host_free = 0, accel_free = 0;
+  std::vector<Real> node_finish(static_cast<std::size_t>(graph.num_nodes()), 0);
+
+  for (int id : graph.topological_order()) {
+    const PatternNode& node = graph.node(id);
+    const std::int64_t n = sizes.at(node.iterates);
+    Real ready = 0;
+    for (int p : graph.predecessors(id))
+      ready = std::max(ready, node_finish[static_cast<std::size_t>(p)]);
+
+    const Real t_host = node_time(node, DeviceSide::Host, n, s, opts);
+    const Real t_accel = node_time(node, DeviceSide::Accel, n, s, opts);
+
+    const Real finish_host = std::max(host_free, ready) + t_host;
+    const Real finish_accel = std::max(accel_free, ready) + t_accel;
+
+    // Split option: choose alpha so both sides finish together. Device
+    // time is close to linear in entities above the region overhead, so
+    // solve on the linear part and clamp.
+    Real finish_split = 1e300;
+    Real alpha = 0.5;
+    if (node.splittable && n > 1) {
+      const Real sh = std::max(host_free, ready);
+      const Real sa = std::max(accel_free, ready);
+      // sh + alpha*t_host == sa + (1-alpha)*t_accel
+      alpha = (sa - sh + t_accel) / (t_host + t_accel);
+      alpha = std::clamp(alpha, 0.0, 1.0);
+      if (alpha > 0.02 && alpha < 0.98) {
+        const auto nh = static_cast<std::int64_t>(
+            std::llround(static_cast<double>(n) * alpha));
+        const Real th = node_time(node, DeviceSide::Host, nh, s, opts);
+        const Real ta = node_time(node, DeviceSide::Accel, n - nh, s, opts);
+        finish_split = std::max(sh + th, sa + ta);
+      }
+    }
+
+    if (finish_split <= finish_host && finish_split <= finish_accel) {
+      s.assignments[static_cast<std::size_t>(id)] =
+          Assignment{DeviceSide::Split, alpha};
+      const auto nh = static_cast<std::int64_t>(
+          std::llround(static_cast<double>(n) * alpha));
+      host_free = std::max(host_free, ready) +
+                  node_time(node, DeviceSide::Host, nh, s, opts);
+      accel_free = std::max(accel_free, ready) +
+                   node_time(node, DeviceSide::Accel, n - nh, s, opts);
+      node_finish[static_cast<std::size_t>(id)] = finish_split;
+    } else if (finish_host <= finish_accel) {
+      s.assignments[static_cast<std::size_t>(id)] =
+          Assignment{DeviceSide::Host, 1.0};
+      host_free = finish_host;
+      node_finish[static_cast<std::size_t>(id)] = finish_host;
+    } else {
+      s.assignments[static_cast<std::size_t>(id)] =
+          Assignment{DeviceSide::Accel, 0.0};
+      accel_free = finish_accel;
+      node_finish[static_cast<std::size_t>(id)] = finish_accel;
+    }
+  }
+  return s;
+}
+
+}  // namespace mpas::core

@@ -1,0 +1,110 @@
+#include "exec/offload.hpp"
+
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace mpas::exec {
+
+OffloadRuntime::OffloadRuntime(machine::TransferLink link,
+                               TransferPolicy policy,
+                               std::size_t device_memory_bytes)
+    : link_(link), policy_(policy), device_memory_bytes_(device_memory_bytes) {}
+
+BufferId OffloadRuntime::register_buffer(std::string name, std::size_t bytes,
+                                         BufferKind kind) {
+  MPAS_CHECK_MSG(total_buffer_bytes() + bytes <= device_memory_bytes_,
+                 "device memory exhausted registering '"
+                     << name << "' (" << bytes << " B on top of "
+                     << total_buffer_bytes() << " B, capacity "
+                     << device_memory_bytes_ << " B)");
+  buffers_.push_back(Buffer{std::move(name), bytes, kind, false, true});
+  return static_cast<BufferId>(buffers_.size() - 1);
+}
+
+Real OffloadRuntime::transfer(Buffer& b, bool to_device) {
+  const Real t = link_.time(static_cast<std::int64_t>(b.bytes));
+  stats_.transfers += 1;
+  stats_.modeled_seconds += t;
+  if (to_device) {
+    stats_.bytes_to_device += b.bytes;
+    b.valid_on_device = true;
+  } else {
+    stats_.bytes_to_host += b.bytes;
+    b.valid_on_host = true;
+  }
+  return t;
+}
+
+Real OffloadRuntime::initial_upload() {
+  Real total = 0;
+  for (auto& b : buffers_) {
+    if (policy_ == TransferPolicy::ResidentMesh) {
+      total += transfer(b, /*to_device=*/true);
+    }
+    // OnDemand uploads nothing up front.
+  }
+  return total;
+}
+
+Real OffloadRuntime::ensure_on_device(BufferId id) {
+  Buffer& b = buffers_.at(static_cast<std::size_t>(id));
+  if (b.valid_on_device) return 0;
+  return transfer(b, /*to_device=*/true);
+}
+
+Real OffloadRuntime::ensure_on_host(BufferId id) {
+  Buffer& b = buffers_.at(static_cast<std::size_t>(id));
+  if (b.valid_on_host) return 0;
+  return transfer(b, /*to_device=*/false);
+}
+
+void OffloadRuntime::mark_written_on_device(BufferId id) {
+  Buffer& b = buffers_.at(static_cast<std::size_t>(id));
+  MPAS_CHECK_MSG(b.kind == BufferKind::ComputeData,
+                 "mesh buffer '" << b.name << "' written during stepping");
+  b.valid_on_device = true;
+  b.valid_on_host = false;
+}
+
+void OffloadRuntime::mark_written_on_host(BufferId id) {
+  Buffer& b = buffers_.at(static_cast<std::size_t>(id));
+  MPAS_CHECK_MSG(b.kind == BufferKind::ComputeData,
+                 "mesh buffer '" << b.name << "' written during stepping");
+  b.valid_on_host = true;
+  // Under OnDemand the device copy is re-uploaded before the next device
+  // read; under ResidentMesh compute buffers behave the same way.
+  b.valid_on_device = false;
+}
+
+void OffloadRuntime::end_offload_region() {
+  if (policy_ != TransferPolicy::OnDemand) return;
+  for (auto& b : buffers_) {
+    // `#pragma offload out(...)`: device-written compute buffers are copied
+    // back when the region closes; then nothing persists on the device.
+    if (!b.valid_on_host) transfer(b, /*to_device=*/false);
+    b.valid_on_device = false;
+  }
+}
+
+std::size_t OffloadRuntime::total_buffer_bytes() const {
+  return std::accumulate(buffers_.begin(), buffers_.end(), std::size_t{0},
+                         [](std::size_t s, const Buffer& b) { return s + b.bytes; });
+}
+
+std::size_t OffloadRuntime::mesh_buffer_bytes() const {
+  std::size_t s = 0;
+  for (const auto& b : buffers_)
+    if (b.kind == BufferKind::MeshData) s += b.bytes;
+  return s;
+}
+
+std::size_t OffloadRuntime::buffer_bytes(BufferId id) const {
+  return buffers_.at(static_cast<std::size_t>(id)).bytes;
+}
+
+const std::string& OffloadRuntime::buffer_name(BufferId id) const {
+  return buffers_.at(static_cast<std::size_t>(id)).name;
+}
+
+}  // namespace mpas::exec

@@ -1,0 +1,118 @@
+#include "exec/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mpas::exec {
+
+ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
+  MPAS_CHECK(num_threads >= 0);
+  workers_.reserve(static_cast<std::size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run_task_share(Task& task, int participant_id,
+                                int participants) {
+  try {
+    if (task.schedule == LoopSchedule::Static) {
+      // One contiguous slab per participant, like OpenMP schedule(static).
+      const Index per = (task.n + participants - 1) / participants;
+      const Index begin = std::min<Index>(task.n, participant_id * per);
+      const Index end = std::min<Index>(task.n, begin + per);
+      if (begin < end) (*task.body)(begin, end);
+    } else {
+      for (;;) {
+        const Index begin = task.next.fetch_add(task.chunk);
+        if (begin >= task.n) break;
+        const Index end = std::min<Index>(task.n, begin + task.chunk);
+        (*task.body)(begin, end);
+      }
+    }
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    if (!error_) error_ = std::current_exception();
+  }
+}
+
+void ThreadPool::worker_loop(int worker_id) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    Task* task = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_work_.wait(lock, [&] {
+        return stop_ || (current_ != nullptr && generation_ != seen_generation);
+      });
+      if (stop_) return;
+      task = current_;
+      seen_generation = generation_;
+    }
+    // Caller participates too, hence +1 participants with id num_threads_.
+    run_task_share(*task, worker_id, num_threads_ + 1);
+    if (task->remaining.fetch_sub(1) == 1) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(Index n,
+                              const std::function<void(Index, Index)>& body,
+                              LoopSchedule schedule, Index chunk) {
+  MPAS_CHECK(n >= 0 && chunk > 0);
+  if (n == 0) return;
+  ++regions_;
+
+  if (num_threads_ == 0) {
+    body(0, n);
+    return;
+  }
+
+  Task task;
+  task.body = &body;
+  task.n = n;
+  task.chunk = chunk;
+  task.schedule = schedule;
+  task.remaining.store(num_threads_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    current_ = &task;
+    ++generation_;
+  }
+  cv_work_.notify_all();
+
+  // The calling thread works as participant num_threads_ (the last slab).
+  run_task_share(task, num_threads_, num_threads_ + 1);
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_done_.wait(lock, [&] { return task.remaining.load() == 0; });
+    current_ = nullptr;
+  }
+
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    std::swap(error, error_);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+ThreadPool& host_pool() {
+  static ThreadPool pool(
+      std::max(0, static_cast<int>(std::thread::hardware_concurrency()) - 1));
+  return pool;
+}
+
+}  // namespace mpas::exec

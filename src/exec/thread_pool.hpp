@@ -1,0 +1,79 @@
+// A minimal task pool with a parallel_for front end, in the spirit of an
+// OpenMP `parallel for` with static or dynamic scheduling.
+//
+// Design notes (following the OpenMP-examples idioms the paper relies on):
+//  * One pool is created per "device" and reused across kernels — mirroring
+//    the paper's Section IV.B observation that opening a fresh parallel
+//    region per pattern is too expensive; we amortize thread startup the
+//    same way by keeping workers alive.
+//  * parallel_for blocks until the whole range is done (implicit barrier).
+//  * Exceptions thrown by the body are captured and rethrown on the caller.
+//  * With 0 workers the pool degrades to inline execution on the caller —
+//    used for the "serial baseline" runs and on single-core build machines.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace mpas::exec {
+
+enum class LoopSchedule { Static, Dynamic };
+
+class ThreadPool {
+ public:
+  /// `num_threads == 0` means run everything inline on the calling thread.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int num_threads() const { return num_threads_; }
+
+  /// Apply `body(begin, end)` over [0, n) split into chunks. Static
+  /// scheduling hands each worker one contiguous slab; dynamic scheduling
+  /// lets workers grab `chunk`-sized pieces from a shared counter.
+  void parallel_for(Index n, const std::function<void(Index, Index)>& body,
+                    LoopSchedule schedule = LoopSchedule::Static,
+                    Index chunk = 1024);
+
+  /// Total number of parallel regions opened so far (the machine model
+  /// charges a synchronization overhead per region, as in Section IV.B).
+  [[nodiscard]] std::uint64_t regions_opened() const { return regions_; }
+
+ private:
+  struct Task {
+    const std::function<void(Index, Index)>* body = nullptr;
+    Index n = 0;
+    Index chunk = 0;
+    LoopSchedule schedule = LoopSchedule::Static;
+    std::atomic<Index> next{0};
+    std::atomic<int> remaining{0};
+  };
+
+  void worker_loop(int worker_id);
+  void run_task_share(Task& task, int participant_id, int participants);
+
+  int num_threads_;
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  Task* current_ = nullptr;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  std::uint64_t regions_ = 0;
+  std::exception_ptr error_;
+  std::mutex error_mutex_;
+};
+
+/// Shared host pool sized to the hardware (never more than needed).
+ThreadPool& host_pool();
+
+}  // namespace mpas::exec

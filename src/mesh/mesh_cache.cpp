@@ -1,0 +1,71 @@
+#include "mesh/mesh_cache.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <mutex>
+
+#include "mesh/mesh_io.hpp"
+#include "mesh/trimesh.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace mpas::mesh {
+
+VoronoiMesh build_icosahedral_voronoi_mesh(int level, Real sphere_radius,
+                                           int scvt_iterations) {
+  TriMesh tri = make_icosahedral_grid(level);
+  if (scvt_iterations > 0) scvt_relax(tri, scvt_iterations);
+  VoronoiMesh m = build_voronoi_mesh(tri, sphere_radius);
+  m.subdivision_level = level;
+  return m;
+}
+
+namespace {
+
+std::filesystem::path cache_dir() {
+  if (const char* env = std::getenv("MPAS_MESH_CACHE")) return env;
+  return "mesh_cache";
+}
+
+std::filesystem::path cache_path(int level) {
+  return cache_dir() / ("icos_level" + std::to_string(level) + ".mpasmesh");
+}
+
+}  // namespace
+
+std::shared_ptr<const VoronoiMesh> get_global_mesh(int level) {
+  static std::mutex mutex;
+  static std::map<int, std::shared_ptr<const VoronoiMesh>> memo;
+
+  std::lock_guard<std::mutex> lock(mutex);
+  if (auto it = memo.find(level); it != memo.end()) return it->second;
+
+  const auto path = cache_path(level);
+  std::shared_ptr<VoronoiMesh> mesh;
+  if (std::filesystem::exists(path)) {
+    WallTimer t;
+    mesh = std::make_shared<VoronoiMesh>(load_mesh(path.string()));
+    MPAS_LOG_INFO << "loaded level-" << level << " mesh ("
+                  << mesh->num_cells << " cells) from cache in "
+                  << t.seconds() << " s";
+  } else {
+    WallTimer t;
+    mesh = std::make_shared<VoronoiMesh>(build_icosahedral_voronoi_mesh(level));
+    MPAS_LOG_INFO << "built level-" << level << " mesh (" << mesh->num_cells
+                  << " cells) in " << t.seconds() << " s";
+    std::error_code ec;
+    std::filesystem::create_directories(cache_dir(), ec);
+    if (!ec) {
+      try {
+        save_mesh(*mesh, path.string());
+      } catch (const std::exception& e) {
+        MPAS_LOG_WARN << "mesh cache write failed: " << e.what();
+      }
+    }
+  }
+  memo.emplace(level, mesh);
+  return memo.at(level);
+}
+
+}  // namespace mpas::mesh

@@ -1,0 +1,182 @@
+#include "mesh/mesh_io.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace mpas::mesh {
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'P', 'A', 'S', 'M', 'S', 'H', '1'};
+constexpr std::uint32_t kVersion = 4;
+
+template <class T>
+void write_pod(std::ostream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <class T>
+T read_pod(std::istream& is) {
+  T value;
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  MPAS_CHECK_MSG(is.good(), "unexpected end of mesh file");
+  return value;
+}
+
+template <class Vec>
+void write_vector(std::ostream& os, const Vec& v) {
+  const std::uint64_t n = v.size();
+  write_pod(os, n);
+  if (n)
+    os.write(reinterpret_cast<const char*>(v.data()),
+             static_cast<std::streamsize>(n * sizeof(typename Vec::value_type)));
+}
+
+template <class Vec>
+void read_vector(std::istream& is, Vec& v) {
+  const auto n = read_pod<std::uint64_t>(is);
+  v.resize(n);
+  if (n) {
+    is.read(reinterpret_cast<char*>(v.data()),
+            static_cast<std::streamsize>(n * sizeof(typename Vec::value_type)));
+    MPAS_CHECK_MSG(is.good(), "unexpected end of mesh file");
+  }
+}
+
+template <class T>
+void write_array2d(std::ostream& os, const Array2D<T>& a) {
+  write_pod(os, static_cast<std::int64_t>(a.rows()));
+  write_pod(os, static_cast<std::int64_t>(a.cols()));
+  if (a.size())
+    os.write(reinterpret_cast<const char*>(a.data()),
+             static_cast<std::streamsize>(a.size() * sizeof(T)));
+}
+
+template <class T>
+void read_array2d(std::istream& is, Array2D<T>& a) {
+  const auto rows = read_pod<std::int64_t>(is);
+  const auto cols = read_pod<std::int64_t>(is);
+  a.resize(static_cast<Index>(rows), static_cast<Index>(cols));
+  if (a.size()) {
+    is.read(reinterpret_cast<char*>(a.data()),
+            static_cast<std::streamsize>(a.size() * sizeof(T)));
+    MPAS_CHECK_MSG(is.good(), "unexpected end of mesh file");
+  }
+}
+
+}  // namespace
+
+void save_mesh(const VoronoiMesh& m, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  MPAS_CHECK_MSG(os.good(), "cannot open '" << path << "' for writing");
+  os.write(kMagic, sizeof(kMagic));
+  write_pod(os, kVersion);
+  write_pod(os, m.num_cells);
+  write_pod(os, m.num_edges);
+  write_pod(os, m.num_vertices);
+  write_pod(os, m.sphere_radius);
+  write_pod(os, static_cast<std::int32_t>(m.subdivision_level));
+
+  write_vector(os, m.x_cell);
+  write_vector(os, m.x_edge);
+  write_vector(os, m.x_vertex);
+  write_vector(os, m.n_edges_on_cell);
+  write_array2d(os, m.edges_on_cell);
+  write_array2d(os, m.cells_on_cell);
+  write_array2d(os, m.vertices_on_cell);
+  write_array2d(os, m.edge_sign_on_cell);
+  write_array2d(os, m.cells_on_edge);
+  write_array2d(os, m.vertices_on_edge);
+  write_vector(os, m.n_edges_on_edge);
+  write_array2d(os, m.edges_on_edge);
+  write_array2d(os, m.weights_on_edge);
+  write_array2d(os, m.cells_on_vertex);
+  write_array2d(os, m.edges_on_vertex);
+  write_array2d(os, m.edge_sign_on_vertex);
+  write_array2d(os, m.kite_areas_on_vertex);
+  write_array2d(os, m.kite_areas_on_cell);
+  write_vector(os, m.dc_edge);
+  write_vector(os, m.dv_edge);
+  write_vector(os, m.area_cell);
+  write_vector(os, m.area_triangle);
+  write_vector(os, m.f_cell);
+  write_vector(os, m.f_edge);
+  write_vector(os, m.f_vertex);
+  write_vector(os, m.lat_cell);
+  write_vector(os, m.lon_cell);
+  write_vector(os, m.lat_edge);
+  write_vector(os, m.lon_edge);
+  write_vector(os, m.lat_vertex);
+  write_vector(os, m.lon_vertex);
+  write_vector(os, m.boundary_edge);
+  write_vector(os, m.edge_normal);
+  write_vector(os, m.edge_tangent);
+  write_vector(os, m.global_cell_id);
+  write_vector(os, m.global_edge_id);
+  write_vector(os, m.global_vertex_id);
+  MPAS_CHECK_MSG(os.good(), "write failure on '" << path << "'");
+}
+
+VoronoiMesh load_mesh(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  MPAS_CHECK_MSG(is.good(), "cannot open mesh file '" << path << "'");
+  char magic[sizeof(kMagic)];
+  is.read(magic, sizeof(magic));
+  MPAS_CHECK_MSG(is.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+                 "'" << path << "' is not an MPAS mesh file");
+  const auto version = read_pod<std::uint32_t>(is);
+  MPAS_CHECK_MSG(version == kVersion,
+                 "mesh file version " << version << ", expected " << kVersion);
+
+  VoronoiMesh m;
+  m.num_cells = read_pod<Index>(is);
+  m.num_edges = read_pod<Index>(is);
+  m.num_vertices = read_pod<Index>(is);
+  m.sphere_radius = read_pod<Real>(is);
+  m.subdivision_level = read_pod<std::int32_t>(is);
+
+  read_vector(is, m.x_cell);
+  read_vector(is, m.x_edge);
+  read_vector(is, m.x_vertex);
+  read_vector(is, m.n_edges_on_cell);
+  read_array2d(is, m.edges_on_cell);
+  read_array2d(is, m.cells_on_cell);
+  read_array2d(is, m.vertices_on_cell);
+  read_array2d(is, m.edge_sign_on_cell);
+  read_array2d(is, m.cells_on_edge);
+  read_array2d(is, m.vertices_on_edge);
+  read_vector(is, m.n_edges_on_edge);
+  read_array2d(is, m.edges_on_edge);
+  read_array2d(is, m.weights_on_edge);
+  read_array2d(is, m.cells_on_vertex);
+  read_array2d(is, m.edges_on_vertex);
+  read_array2d(is, m.edge_sign_on_vertex);
+  read_array2d(is, m.kite_areas_on_vertex);
+  read_array2d(is, m.kite_areas_on_cell);
+  read_vector(is, m.dc_edge);
+  read_vector(is, m.dv_edge);
+  read_vector(is, m.area_cell);
+  read_vector(is, m.area_triangle);
+  read_vector(is, m.f_cell);
+  read_vector(is, m.f_edge);
+  read_vector(is, m.f_vertex);
+  read_vector(is, m.lat_cell);
+  read_vector(is, m.lon_cell);
+  read_vector(is, m.lat_edge);
+  read_vector(is, m.lon_edge);
+  read_vector(is, m.lat_vertex);
+  read_vector(is, m.lon_vertex);
+  read_vector(is, m.boundary_edge);
+  read_vector(is, m.edge_normal);
+  read_vector(is, m.edge_tangent);
+  read_vector(is, m.global_cell_id);
+  read_vector(is, m.global_edge_id);
+  read_vector(is, m.global_vertex_id);
+
+  m.validate(/*strict=*/false);
+  return m;
+}
+
+}  // namespace mpas::mesh

@@ -1,0 +1,20 @@
+// Binary serialization of VoronoiMesh. Building the 15-km mesh (2.6M cells)
+// takes tens of seconds, so benches and tests cache generated meshes on disk
+// (see mesh_cache.hpp). The format is a simple versioned dump of all arrays;
+// load() re-validates the mesh.
+#pragma once
+
+#include <string>
+
+#include "mesh/mesh.hpp"
+
+namespace mpas::mesh {
+
+/// Serialize `m` to `path`. Throws mpas::Error on I/O failure.
+void save_mesh(const VoronoiMesh& m, const std::string& path);
+
+/// Deserialize a mesh previously written by save_mesh. Throws on missing
+/// file, magic/version mismatch, or corrupted payload.
+VoronoiMesh load_mesh(const std::string& path);
+
+}  // namespace mpas::mesh

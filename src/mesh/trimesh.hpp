@@ -1,0 +1,69 @@
+// Spherical triangular grids: the Delaunay side of the SCVT dual pair.
+//
+// The paper's quasi-uniform SCVT meshes have exactly 10*4^k + 2 generators
+// (40962, 163842, 655362, 2621442 for k = 6..9), i.e. they are icosahedral-
+// class meshes. We therefore build the Delaunay triangulation by recursive
+// midpoint subdivision of the icosahedron, optionally followed by Lloyd
+// iterations that move each generator to the centroid of its Voronoi region
+// (the defining property of a *centroidal* Voronoi tessellation).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "util/types.hpp"
+#include "util/vec3.hpp"
+
+namespace mpas::mesh {
+
+/// A triangulation of the unit sphere. `points` are the Voronoi generators
+/// (future cell centers); each triangle is a future Voronoi-mesh vertex.
+struct TriMesh {
+  std::vector<Vec3> points;
+  std::vector<std::array<Index, 3>> triangles;  // CCW seen from outside
+
+  [[nodiscard]] Index num_points() const {
+    return static_cast<Index>(points.size());
+  }
+  [[nodiscard]] Index num_triangles() const {
+    return static_cast<Index>(triangles.size());
+  }
+};
+
+/// The regular icosahedron inscribed in the unit sphere (12 points,
+/// 20 triangles), oriented with two antipodal points on the z axis.
+TriMesh make_icosahedron();
+
+/// One 4-to-1 midpoint subdivision step: every triangle splits into four,
+/// new points are arc midpoints projected back to the sphere.
+TriMesh subdivide(const TriMesh& mesh);
+
+/// `level` subdivision steps applied to the icosahedron:
+/// 10*4^level + 2 points, 20*4^level triangles.
+TriMesh make_icosahedral_grid(int level);
+
+/// Lloyd (SCVT) relaxation: iteratively moves each generator to the
+/// area-weighted centroid of its Voronoi region (computed from the current
+/// dual triangulation's circumcenters) and re-projects to the sphere.
+/// Topology is kept fixed, which is valid for the near-uniform icosahedral
+/// starting point. Returns the max generator displacement of the last sweep.
+Real scvt_relax(TriMesh& mesh, int iterations);
+
+/// Expected sizes for a level-k icosahedral grid.
+constexpr Index icosahedral_cell_count(int level) {
+  Index n = 10;
+  for (int i = 0; i < level; ++i) n *= 4;
+  return n + 2;
+}
+constexpr Index icosahedral_vertex_count(int level) {
+  Index n = 20;
+  for (int i = 0; i < level; ++i) n *= 4;
+  return n;
+}
+constexpr Index icosahedral_edge_count(int level) {
+  Index n = 30;
+  for (int i = 0; i < level; ++i) n *= 4;
+  return n;
+}
+
+}  // namespace mpas::mesh

@@ -1,0 +1,106 @@
+// Rank-local mesh views with multi-layer halos, and the exchange plans that
+// keep halo copies coherent.
+//
+// Entity ordering inside a LocalMesh makes every kernel's iteration range a
+// prefix:
+//   cells:    owned (L0) | halo layer 1 | halo layer 2 | ...
+//   edges:    owned | inner-compute | compute | ghost
+//             owned:          this rank updates the prognostic u here;
+//             inner-compute:  both cells within L0+L1 — the pv_edge (APVM)
+//                             pattern is computable here;
+//             compute:        both cells local — h_edge / v_tangent /
+//                             momentum-gather patterns are computable;
+//             ghost:          one adjacent cell is off-rank; values arrive
+//                             only by exchange.
+//   vertices: compute (all three cells local) | ghost
+//
+// The redundant computation on halo layer 1 (the paper: "Redundant
+// computations might be introduced to increase the concurrency") trades
+// one halo exchange of every diagnostic for recomputing diagnostics where
+// the inputs are locally available; only provis/state and pv_edge must be
+// exchanged (the two "Exchange halo" marks per substep in Figure 4).
+#pragma once
+
+#include <unordered_map>
+
+#include "partition/partitioner.hpp"
+
+namespace mpas::partition {
+
+struct LocalMesh {
+  int rank = 0;
+  mesh::VoronoiMesh mesh;  // connectivity remapped to local indices;
+                           // references to off-rank entities = kInvalidIndex
+
+  Index num_owned_cells = 0;
+  Index num_compute_cells = 0;    // L0 + L1
+  Index num_owned_edges = 0;
+  Index num_inner_edges = 0;      // prefix where pv_edge is computable
+  Index num_compute_edges = 0;    // prefix where both cells are local
+  Index num_compute_vertices = 0;
+
+  std::vector<int> cell_layer;    // [local cells] 0 = owned
+
+  // Global -> local lookups (for exchange-plan construction).
+  std::unordered_map<GlobalIndex, Index> cell_local;
+  std::unordered_map<GlobalIndex, Index> edge_local;
+};
+
+/// Build rank `rank`'s local mesh with `halo_layers` cell layers (>= 2
+/// required by the kernel ranges above).
+LocalMesh build_local_mesh(const mesh::VoronoiMesh& global,
+                           const Partition& part, int rank,
+                           int halo_layers = 2);
+
+/// One rank's halo-exchange plan: per peer, index-aligned send/recv lists
+/// of local indices (both sides sorted by global id, so send[i] on the
+/// owner matches recv[i] here).
+struct ExchangePlan {
+  struct Peer {
+    int rank = -1;
+    std::vector<Index> send_cells, recv_cells;
+    std::vector<Index> send_edges, recv_edges;
+  };
+  std::vector<Peer> peers;
+
+  [[nodiscard]] std::int64_t recv_cell_count() const;
+  [[nodiscard]] std::int64_t recv_edge_count() const;
+  /// Bytes received per exchanged Real-valued field on the given location.
+  [[nodiscard]] std::int64_t halo_bytes(MeshLocation loc) const;
+  [[nodiscard]] int num_neighbors() const {
+    return static_cast<int>(peers.size());
+  }
+};
+
+/// Build all ranks' plans at once (requires all local meshes).
+std::vector<ExchangePlan> build_exchange_plans(
+    const mesh::VoronoiMesh& global, const Partition& part,
+    const std::vector<LocalMesh>& locals);
+
+/// Lightweight per-rank halo statistics (counts only, no local mesh
+/// materialization) — what the scaling benches feed the timing simulator.
+struct HaloStats {
+  Index owned_cells = 0;
+  Index compute_cells = 0;   // owned + layer 1
+  Index halo_cells = 0;      // all halo layers
+  Index owned_edges = 0;
+  Index halo_edges = 0;      // local non-owned edges
+  int neighbors = 0;
+
+  /// Bytes moved per halo sync exchanging one cell field + one edge field.
+  [[nodiscard]] std::int64_t sync_bytes() const {
+    return static_cast<std::int64_t>(halo_cells + halo_edges) *
+           static_cast<std::int64_t>(sizeof(Real));
+  }
+};
+
+HaloStats compute_halo_stats(const mesh::VoronoiMesh& global,
+                             const Partition& part, int rank,
+                             int halo_layers = 2);
+
+/// The rank with the most work (max owned cells), whose stats bound the
+/// per-step time in a bulk-synchronous run.
+HaloStats worst_rank_halo_stats(const mesh::VoronoiMesh& global,
+                                const Partition& part, int halo_layers = 2);
+
+}  // namespace mpas::partition

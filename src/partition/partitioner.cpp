@@ -1,0 +1,127 @@
+#include "partition/partitioner.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace mpas::partition {
+
+int Partition::owner_of_edge(const mesh::VoronoiMesh& m, Index e) const {
+  const Index c0 = m.cells_on_edge(e, 0);
+  const Index c1 = m.cells_on_edge(e, 1);
+  return owner_of_cell[std::min(c0, c1)];
+}
+
+int Partition::owner_of_vertex(const mesh::VoronoiMesh& m, Index v) const {
+  Index lowest = m.cells_on_vertex(v, 0);
+  for (int j = 1; j < mesh::VoronoiMesh::kVertexDegree; ++j)
+    lowest = std::min(lowest, m.cells_on_vertex(v, j));
+  return owner_of_cell[lowest];
+}
+
+namespace {
+
+/// Split `ids` (cell indices) into `parts` groups by recursive bisection
+/// along the widest Cartesian extent, assigning part ids [first, first+parts).
+void rcb_recurse(const mesh::VoronoiMesh& mesh, std::vector<Index>& ids,
+                 int first, int parts, std::vector<int>& owner) {
+  if (parts == 1) {
+    for (Index c : ids) owner[static_cast<std::size_t>(c)] = first;
+    return;
+  }
+  // Widest coordinate axis of this subset.
+  Vec3 lo{1e30, 1e30, 1e30}, hi{-1e30, -1e30, -1e30};
+  for (Index c : ids) {
+    const Vec3& p = mesh.x_cell[c];
+    lo = {std::min(lo.x, p.x), std::min(lo.y, p.y), std::min(lo.z, p.z)};
+    hi = {std::max(hi.x, p.x), std::max(hi.y, p.y), std::max(hi.z, p.z)};
+  }
+  const Vec3 span = hi - lo;
+  int axis = 0;
+  if (span.y > span.x && span.y >= span.z) axis = 1;
+  else if (span.z > span.x && span.z > span.y) axis = 2;
+
+  auto coord = [&](Index c) {
+    const Vec3& p = mesh.x_cell[c];
+    return axis == 0 ? p.x : axis == 1 ? p.y : p.z;
+  };
+
+  // Weighted split point: left gets floor(parts/2)/parts of the cells so
+  // non-power-of-two part counts stay balanced.
+  const int left_parts = parts / 2;
+  const std::size_t left_cells =
+      ids.size() * static_cast<std::size_t>(left_parts) /
+      static_cast<std::size_t>(parts);
+  std::nth_element(ids.begin(), ids.begin() + static_cast<std::ptrdiff_t>(left_cells),
+                   ids.end(), [&](Index a, Index b) {
+                     const Real ca = coord(a), cb = coord(b);
+                     return ca < cb || (ca == cb && a < b);
+                   });
+  std::vector<Index> left(ids.begin(),
+                          ids.begin() + static_cast<std::ptrdiff_t>(left_cells));
+  std::vector<Index> right(ids.begin() + static_cast<std::ptrdiff_t>(left_cells),
+                           ids.end());
+  rcb_recurse(mesh, left, first, left_parts, owner);
+  rcb_recurse(mesh, right, first + left_parts, parts - left_parts, owner);
+}
+
+}  // namespace
+
+Partition partition_cells_rcb(const mesh::VoronoiMesh& mesh, int num_parts) {
+  MPAS_CHECK_MSG(num_parts >= 1 && num_parts <= mesh.num_cells,
+                 "invalid part count " << num_parts);
+  Partition part;
+  part.num_parts = num_parts;
+  part.owner_of_cell.assign(static_cast<std::size_t>(mesh.num_cells), -1);
+
+  std::vector<Index> all(static_cast<std::size_t>(mesh.num_cells));
+  std::iota(all.begin(), all.end(), 0);
+  rcb_recurse(mesh, all, 0, num_parts, part.owner_of_cell);
+
+  part.cells_of.assign(static_cast<std::size_t>(num_parts), {});
+  for (Index c = 0; c < mesh.num_cells; ++c) {
+    const int o = part.owner_of_cell[static_cast<std::size_t>(c)];
+    MPAS_CHECK(o >= 0 && o < num_parts);
+    part.cells_of[static_cast<std::size_t>(o)].push_back(c);
+  }
+  return part;
+}
+
+PartitionQuality evaluate_partition(const mesh::VoronoiMesh& mesh,
+                                    const Partition& part) {
+  PartitionQuality q;
+  q.min_cells = mesh.num_cells;
+  q.max_cells = 0;
+  for (const auto& cells : part.cells_of) {
+    q.min_cells = std::min<Index>(q.min_cells, static_cast<Index>(cells.size()));
+    q.max_cells = std::max<Index>(q.max_cells, static_cast<Index>(cells.size()));
+  }
+  const Real mean =
+      static_cast<Real>(mesh.num_cells) / static_cast<Real>(part.num_parts);
+  q.imbalance = q.max_cells / mean - 1.0;
+
+  std::vector<std::set<int>> neighbors(
+      static_cast<std::size_t>(part.num_parts));
+  for (Index e = 0; e < mesh.num_edges; ++e) {
+    const int a = part.owner_of_cell[static_cast<std::size_t>(
+        mesh.cells_on_edge(e, 0))];
+    const int b = part.owner_of_cell[static_cast<std::size_t>(
+        mesh.cells_on_edge(e, 1))];
+    if (a != b) {
+      ++q.cut_edges;
+      neighbors[static_cast<std::size_t>(a)].insert(b);
+      neighbors[static_cast<std::size_t>(b)].insert(a);
+    }
+  }
+  Real total = 0;
+  for (const auto& n : neighbors) {
+    total += static_cast<Real>(n.size());
+    q.max_neighbors = std::max(q.max_neighbors, static_cast<int>(n.size()));
+  }
+  q.avg_neighbors = part.num_parts > 0 ? total / part.num_parts : 0;
+  return q;
+}
+
+}  // namespace mpas::partition

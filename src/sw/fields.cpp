@@ -1,0 +1,81 @@
+#include "sw/fields.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mpas::sw {
+
+namespace {
+
+constexpr FieldInfo kFieldTable[kNumFields] = {
+    {FieldId::H, "h", MeshLocation::Cell},
+    {FieldId::U, "u", MeshLocation::Edge},
+    {FieldId::Bottom, "b", MeshLocation::Cell},
+    {FieldId::HProvis, "provis_h", MeshLocation::Cell},
+    {FieldId::UProvis, "provis_u", MeshLocation::Edge},
+    {FieldId::HNew, "h_new", MeshLocation::Cell},
+    {FieldId::UNew, "u_new", MeshLocation::Edge},
+    {FieldId::TendH, "tend_h", MeshLocation::Cell},
+    {FieldId::TendU, "tend_u", MeshLocation::Edge},
+    {FieldId::HEdge, "h_edge", MeshLocation::Edge},
+    {FieldId::Ke, "ke", MeshLocation::Cell},
+    {FieldId::Divergence, "divergence", MeshLocation::Cell},
+    {FieldId::Vorticity, "vorticity", MeshLocation::Vertex},
+    {FieldId::VTangent, "v", MeshLocation::Edge},
+    {FieldId::HVertex, "h_vertex", MeshLocation::Vertex},
+    {FieldId::PvVertex, "pv_vertex", MeshLocation::Vertex},
+    {FieldId::PvEdge, "pv_edge", MeshLocation::Edge},
+    {FieldId::PvCell, "pv_cell", MeshLocation::Cell},
+    {FieldId::D2H, "d2fdx2_cell", MeshLocation::Cell},
+    {FieldId::TracerQ, "tracer_q", MeshLocation::Cell},
+    {FieldId::TracerQProvis, "provis_tracer_q", MeshLocation::Cell},
+    {FieldId::TracerQNew, "tracer_q_new", MeshLocation::Cell},
+    {FieldId::TendTracerQ, "tend_tracer_q", MeshLocation::Cell},
+    {FieldId::TracerRatio, "tracer_ratio", MeshLocation::Cell},
+    {FieldId::TracerEdge, "tracer_edge", MeshLocation::Edge},
+    {FieldId::ReconX, "uReconstructX", MeshLocation::Cell},
+    {FieldId::ReconY, "uReconstructY", MeshLocation::Cell},
+    {FieldId::ReconZ, "uReconstructZ", MeshLocation::Cell},
+    {FieldId::ReconZonal, "uReconstructZonal", MeshLocation::Cell},
+    {FieldId::ReconMeridional, "uReconstructMeridional", MeshLocation::Cell},
+};
+
+}  // namespace
+
+const FieldInfo& field_info(FieldId id) {
+  const int i = static_cast<int>(id);
+  MPAS_CHECK(i >= 0 && i < kNumFields);
+  MPAS_CHECK(kFieldTable[i].id == id);  // table order must match the enum
+  return kFieldTable[i];
+}
+
+FieldStore::FieldStore(const mesh::VoronoiMesh& mesh) : mesh_(mesh) {
+  for (int i = 0; i < kNumFields; ++i) {
+    const auto& info = field_info(static_cast<FieldId>(i));
+    data_[i].assign(static_cast<std::size_t>(size_of(info.location)), 0.0);
+  }
+}
+
+Index FieldStore::size_of(MeshLocation loc) const {
+  switch (loc) {
+    case MeshLocation::Cell: return mesh_.num_cells;
+    case MeshLocation::Edge: return mesh_.num_edges;
+    case MeshLocation::Vertex: return mesh_.num_vertices;
+    case MeshLocation::None: return 1;
+  }
+  return 0;
+}
+
+std::size_t FieldStore::total_bytes() const {
+  std::size_t s = 0;
+  for (const auto& v : data_) s += v.size() * sizeof(Real);
+  return s;
+}
+
+void FieldStore::fill(FieldId id, Real value) {
+  auto span = get(id);
+  std::fill(span.begin(), span.end(), value);
+}
+
+}  // namespace mpas::sw

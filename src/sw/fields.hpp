@@ -1,0 +1,103 @@
+// The discrete variables of the MPAS shallow-water model (Table I of the
+// paper) and a typed store holding their data on one mesh.
+//
+// Every variable lives on one of the three point types of the C-staggered
+// Voronoi mesh (Figure 1): thickness-like quantities on cells (mass
+// points), normal velocities on edges (velocity points), vorticity-related
+// quantities on vertices (vorticity points).
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "mesh/mesh.hpp"
+#include "util/aligned_vector.hpp"
+#include "util/types.hpp"
+
+namespace mpas::sw {
+
+enum class FieldId : int {
+  // prognostic state
+  H = 0,      // fluid thickness, cells
+  U,          // normal velocity, edges
+  Bottom,     // bottom topography b, cells (static)
+  // Runge-Kutta working state
+  HProvis,    // provisional thickness for the current substep, cells
+  UProvis,    // provisional velocity, edges
+  HNew,       // accumulated next-step thickness, cells
+  UNew,       // accumulated next-step velocity, edges
+  TendH,      // thickness tendency, cells
+  TendU,      // velocity tendency, edges
+  // diagnostics (compute_solve_diagnostics)
+  HEdge,      // thickness at edges
+  Ke,         // kinetic energy, cells
+  Divergence, // velocity divergence, cells
+  Vorticity,  // relative vorticity, vertices
+  VTangent,   // tangential velocity, edges
+  HVertex,    // thickness at vertices
+  PvVertex,   // potential vorticity, vertices
+  PvEdge,     // potential vorticity at edges (APVM-corrected)
+  PvCell,     // potential vorticity at cells
+  // optional del^2 dissipation scratch (the paper's d2fdx2 variables)
+  D2H,        // discrete Laplacian of thickness, cells
+  // optional passive tracer (flux-form, conservative) — demonstrates the
+  // paper's claim that the data-flow diagram "is easy to revise to
+  // incorporate with future model development"
+  TracerQ,       // tracer mass per area Q = h*q, cells (prognostic)
+  TracerQProvis, // provisional Q, cells
+  TracerQNew,    // accumulated next-step Q, cells
+  TendTracerQ,   // tendency of Q, cells
+  TracerRatio,   // mixing ratio q = Q/h, cells (diagnostic)
+  TracerEdge,    // mixing ratio averaged to edges
+  // velocity reconstruction at cell centers (mpas_reconstruct)
+  ReconX,
+  ReconY,
+  ReconZ,
+  ReconZonal,
+  ReconMeridional,
+  Count,
+};
+
+inline constexpr int kNumFields = static_cast<int>(FieldId::Count);
+
+struct FieldInfo {
+  FieldId id;
+  const char* name;        // MPAS-style variable name used in Table I
+  MeshLocation location;
+};
+
+/// Static metadata for every field (name matches the paper's Table I).
+const FieldInfo& field_info(FieldId id);
+
+/// Data for all model fields on one mesh. Fields are 64-byte aligned flat
+/// arrays indexed by local entity id.
+class FieldStore {
+ public:
+  explicit FieldStore(const mesh::VoronoiMesh& mesh);
+
+  [[nodiscard]] std::span<Real> get(FieldId id) {
+    return {data_[static_cast<int>(id)].data(),
+            data_[static_cast<int>(id)].size()};
+  }
+  [[nodiscard]] std::span<const Real> get(FieldId id) const {
+    return {data_[static_cast<int>(id)].data(),
+            data_[static_cast<int>(id)].size()};
+  }
+
+  [[nodiscard]] Index size_of(MeshLocation loc) const;
+  [[nodiscard]] const mesh::VoronoiMesh& mesh() const { return mesh_; }
+
+  /// Bytes of one field / of all fields (offload accounting).
+  [[nodiscard]] std::size_t field_bytes(FieldId id) const {
+    return data_[static_cast<int>(id)].size() * sizeof(Real);
+  }
+  [[nodiscard]] std::size_t total_bytes() const;
+
+  void fill(FieldId id, Real value);
+
+ private:
+  const mesh::VoronoiMesh& mesh_;
+  AlignedVector<Real> data_[kNumFields];
+};
+
+}  // namespace mpas::sw

@@ -1,0 +1,70 @@
+#include "sw/invariants.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mpas::sw {
+
+Real Invariants::mass_drift(const Invariants& initial) const {
+  return std::abs(mass - initial.mass) / std::abs(initial.mass);
+}
+
+Real Invariants::energy_drift(const Invariants& initial) const {
+  return std::abs(total_energy - initial.total_energy) /
+         std::abs(initial.total_energy);
+}
+
+Real Invariants::enstrophy_drift(const Invariants& initial) const {
+  return std::abs(potential_enstrophy - initial.potential_enstrophy) /
+         std::abs(initial.potential_enstrophy);
+}
+
+Invariants compute_invariants(const mesh::VoronoiMesh& m,
+                              const FieldStore& fields) {
+  const auto h = fields.get(FieldId::H);
+  const auto u = fields.get(FieldId::U);
+  const auto b = fields.get(FieldId::Bottom);
+  const Real g = constants::kGravity;
+
+  Invariants inv;
+  inv.h_min = h[0];
+  inv.h_max = h[0];
+
+  for (Index c = 0; c < m.num_cells; ++c) {
+    inv.mass += m.area_cell[c] * h[c];
+    inv.potential_energy += m.area_cell[c] * g * h[c] * (0.5 * h[c] + b[c]);
+    inv.h_min = std::min(inv.h_min, h[c]);
+    inv.h_max = std::max(inv.h_max, h[c]);
+  }
+
+  // Kinetic energy in the edge-based form consistent with the discrete ke:
+  // sum over edges of 0.25*dc*dv*u^2*h_edge (each edge quad's energy).
+  for (Index e = 0; e < m.num_edges; ++e) {
+    const Real h_edge =
+        0.5 * (h[m.cells_on_edge(e, 0)] + h[m.cells_on_edge(e, 1)]);
+    inv.kinetic_energy += 0.5 * m.dc_edge[e] * m.dv_edge[e] * 0.5 * u[e] *
+                          u[e] * h_edge;
+  }
+  inv.total_energy = inv.kinetic_energy + inv.potential_energy;
+
+  // Potential enstrophy: q = (f + zeta)/h_v at vertices.
+  for (Index v = 0; v < m.num_vertices; ++v) {
+    Real circulation = 0;
+    Real h_vertex = 0;
+    for (int j = 0; j < mesh::VoronoiMesh::kVertexDegree; ++j) {
+      const Index e = m.edges_on_vertex(v, j);
+      circulation += m.edge_sign_on_vertex(v, j) * m.dc_edge[e] * u[e];
+      h_vertex += m.kite_areas_on_vertex(v, j) * h[m.cells_on_vertex(v, j)];
+    }
+    const Real zeta = circulation / m.area_triangle[v];
+    h_vertex /= m.area_triangle[v];
+    MPAS_CHECK(h_vertex > 0);
+    const Real q = (m.f_vertex[v] + zeta) / h_vertex;
+    inv.potential_enstrophy += 0.5 * m.area_triangle[v] * h_vertex * q * q;
+  }
+  return inv;
+}
+
+}  // namespace mpas::sw

@@ -1,0 +1,31 @@
+// Conserved quantities of the shallow-water system on the discrete mesh:
+// total mass (conserved to rounding by the flux-form continuity equation),
+// total energy and potential enstrophy (conserved to time-truncation error
+// by the TRiSK spatial discretization). Used to validate long integrations.
+#pragma once
+
+#include "sw/fields.hpp"
+
+namespace mpas::sw {
+
+struct Invariants {
+  Real mass = 0;                 // integral of h
+  Real kinetic_energy = 0;       // integral of h * K
+  Real potential_energy = 0;     // integral of g h (h/2 + b)
+  Real total_energy = 0;
+  Real potential_enstrophy = 0;  // integral of h_v * q^2 / 2
+  Real h_min = 0, h_max = 0;
+
+  /// Relative drift of each conserved quantity against `initial`.
+  [[nodiscard]] Real mass_drift(const Invariants& initial) const;
+  [[nodiscard]] Real energy_drift(const Invariants& initial) const;
+  [[nodiscard]] Real enstrophy_drift(const Invariants& initial) const;
+};
+
+/// Compute invariants from the current prognostic state (H, U, Bottom).
+/// Does not require diagnostics to be up to date: everything needed is
+/// derived locally from H and U.
+Invariants compute_invariants(const mesh::VoronoiMesh& mesh,
+                              const FieldStore& fields);
+
+}  // namespace mpas::sw

@@ -1,0 +1,173 @@
+// mpas_reconstruct: rebuild the 3-D velocity vector at cell centers from
+// edge-normal components (Perot's formula — first-order exact for uniform
+// fields), then rotate to zonal/meridional components. Also the per-entity
+// cost signatures for the machine model.
+#include "sw/kernels.hpp"
+
+namespace mpas::sw {
+
+void reconstruct_vector(const SwContext& ctx, FieldId u_in, Index begin,
+                        Index end, LoopVariant variant) {
+  const auto& m = ctx.mesh;
+  const auto u = ctx.fields.get(u_in);
+  auto rx = ctx.fields.get(FieldId::ReconX);
+  auto ry = ctx.fields.get(FieldId::ReconY);
+  auto rz = ctx.fields.get(FieldId::ReconZ);
+
+  if (variant == LoopVariant::Irregular) {
+    // Edge-order scatter form of the same sum.
+    for (Index c = 0; c < m.num_cells; ++c) rx[c] = ry[c] = rz[c] = 0;
+    for (Index e = 0; e < m.num_edges; ++e) {
+      const Real flux = u[e] * m.dv_edge[e] * m.sphere_radius;
+      for (int k = 0; k < 2; ++k) {
+        const Index c = m.cells_on_edge(e, k);
+        const Real sign = k == 0 ? 1.0 : -1.0;  // outward from cell k
+        const Vec3 arm = m.x_edge[e] - m.x_cell[c];
+        rx[c] += sign * flux * arm.x;
+        ry[c] += sign * flux * arm.y;
+        rz[c] += sign * flux * arm.z;
+      }
+    }
+    for (Index c = 0; c < m.num_cells; ++c) {
+      rx[c] /= m.area_cell[c];
+      ry[c] /= m.area_cell[c];
+      rz[c] /= m.area_cell[c];
+    }
+    return;
+  }
+
+  // Gather form (Refactored and BranchFree coincide: the sign already
+  // comes from the label matrix).
+  for (Index c = begin; c < end; ++c) {
+    Vec3 acc{0, 0, 0};
+    for (Index j = 0; j < m.n_edges_on_cell[c]; ++j) {
+      const Index e = m.edges_on_cell(c, j);
+      const Real flux = m.edge_sign_on_cell(c, j) * u[e] * m.dv_edge[e] *
+                        m.sphere_radius;
+      acc += (m.x_edge[e] - m.x_cell[c]) * flux;
+    }
+    rx[c] = acc.x / m.area_cell[c];
+    ry[c] = acc.y / m.area_cell[c];
+    rz[c] = acc.z / m.area_cell[c];
+  }
+}
+
+void reconstruct_horizontal(const SwContext& ctx, Index begin, Index end) {
+  const auto& m = ctx.mesh;
+  const auto rx = ctx.fields.get(FieldId::ReconX);
+  const auto ry = ctx.fields.get(FieldId::ReconY);
+  const auto rz = ctx.fields.get(FieldId::ReconZ);
+  auto zonal = ctx.fields.get(FieldId::ReconZonal);
+  auto meridional = ctx.fields.get(FieldId::ReconMeridional);
+  for (Index c = begin; c < end; ++c) {
+    const Vec3 vec{rx[c], ry[c], rz[c]};
+    zonal[c] = vec.dot(sphere::east_at(m.x_cell[c]));
+    meridional[c] = vec.dot(sphere::north_at(m.x_cell[c]));
+  }
+}
+
+// ---- cost signatures --------------------------------------------------------
+// Per-entity flops and bytes, counted from the loop bodies with mean degree
+// 6 (cells) and 10 (edgesOnEdge). "Gathered" bytes are reads through a
+// connectivity indirection; "streamed" bytes are the entity's own rows
+// (connectivity + metric arrays read contiguously in entity order).
+namespace cost {
+
+using machine::KernelCost;
+
+KernelCost h_edge() {
+  return {.flops = 3,
+          .bytes_streamed = 16,   // cells_on_edge row
+          .bytes_gathered = 16,   // h at both cells
+          .bytes_written = 8};
+}
+
+KernelCost ke(LoopVariant v) {
+  KernelCost c{.flops = 6 * 5 + 1,
+               .bytes_streamed = 6 * 4 + 16,  // edgesOnCell row, area
+               .bytes_gathered = 6 * 24,      // u, dc, dv per edge
+               .bytes_written = 8};
+  if (v == LoopVariant::Irregular) c.scatter_writes = true;
+  return c;
+}
+
+KernelCost vorticity(LoopVariant v) {
+  KernelCost c{.flops = 3 * 3 + 1,
+               .bytes_streamed = 3 * 12 + 16,  // edgesOnVertex + signs, area
+               .bytes_gathered = 3 * 16,       // u, dc
+               .bytes_written = 8};
+  if (v == LoopVariant::Irregular) c.scatter_writes = true;
+  return c;
+}
+
+KernelCost divergence(LoopVariant v) {
+  KernelCost c{.flops = 6 * 3 + 1,
+               .bytes_streamed = 6 * 12 + 16,
+               .bytes_gathered = 6 * 16,  // u, dv
+               .bytes_written = 8};
+  if (v == LoopVariant::Irregular) c.scatter_writes = true;
+  return c;
+}
+
+KernelCost v_tangent() {
+  return {.flops = 10 * 2,
+          .bytes_streamed = 10 * 12 + 8,  // edgesOnEdge ids + weights
+          .bytes_gathered = 10 * 8,       // u at edgesOnEdge
+          .bytes_written = 8};
+}
+
+KernelCost h_pv_vertex() {
+  return {.flops = 3 * 2 + 4,
+          .bytes_streamed = 3 * 12 + 24,  // cellsOnVertex + kites, f, area
+          .bytes_gathered = 3 * 8 + 8,    // h at cells, vorticity
+          .bytes_written = 16};
+}
+
+KernelCost pv_cell() {
+  return {.flops = 6 * 2 + 1,
+          .bytes_streamed = 6 * 12 + 16,
+          .bytes_gathered = 6 * 8,
+          .bytes_written = 8};
+}
+
+KernelCost pv_edge() {
+  return {.flops = 14,
+          .bytes_streamed = 16 + 16 + 24,  // endpoint ids, dv/dc, own u,v
+          .bytes_gathered = 2 * 8 + 2 * 8, // pv_vertex, pv_cell
+          .bytes_written = 8};
+}
+
+KernelCost tend_h(LoopVariant v) {
+  KernelCost c{.flops = 6 * 4 + 1,
+               .bytes_streamed = 6 * 12 + 16,
+               .bytes_gathered = 6 * 24,  // u, h_edge, dv
+               .bytes_written = 8};
+  if (v == LoopVariant::Irregular) c.scatter_writes = true;
+  return c;
+}
+
+KernelCost tend_u() {
+  return {.flops = 10 * 6 + 10,
+          .bytes_streamed = 10 * 12 + 48,  // eoe ids + weights, own rows
+          .bytes_gathered = 10 * 24 + 4 * 8,  // u,h_edge,pv_edge at eoe;
+                                              // h,b,ke at the 2 cells
+          .bytes_written = 8};
+}
+
+KernelCost local_axpy() {
+  return {.flops = 2, .bytes_streamed = 16, .bytes_gathered = 0,
+          .bytes_written = 8};
+}
+
+KernelCost reconstruct(LoopVariant v) {
+  KernelCost c{.flops = 6 * 10 + 5,
+               .bytes_streamed = 6 * 12 + 48,
+               .bytes_gathered = 6 * 40,  // u, dv, xEdge
+               .bytes_written = 24};
+  if (v == LoopVariant::Irregular) c.scatter_writes = true;
+  return c;
+}
+
+}  // namespace cost
+
+}  // namespace mpas::sw

@@ -1,0 +1,138 @@
+// Passive-tracer kernels (optional model extension; see kernels.hpp).
+#include <cmath>
+
+#include "sw/kernels.hpp"
+#include "util/error.hpp"
+
+namespace mpas::sw {
+
+void tracer_ratio(const SwContext& ctx, FieldId q_mass_in, FieldId h_in,
+                  Index begin, Index end) {
+  const auto q_mass = ctx.fields.get(q_mass_in);
+  const auto h = ctx.fields.get(h_in);
+  auto ratio = ctx.fields.get(FieldId::TracerRatio);
+  for (Index c = begin; c < end; ++c) ratio[c] = q_mass[c] / h[c];
+}
+
+void tracer_edge_value(const SwContext& ctx, Index begin, Index end) {
+  const auto& m = ctx.mesh;
+  const auto ratio = ctx.fields.get(FieldId::TracerRatio);
+  auto q_edge = ctx.fields.get(FieldId::TracerEdge);
+  for (Index e = begin; e < end; ++e)
+    q_edge[e] =
+        0.5 * (ratio[m.cells_on_edge(e, 0)] + ratio[m.cells_on_edge(e, 1)]);
+}
+
+void tend_tracer(const SwContext& ctx, FieldId u_in, Index begin, Index end,
+                 LoopVariant variant) {
+  const auto& m = ctx.mesh;
+  const auto u = ctx.fields.get(u_in);
+  const auto h_edge = ctx.fields.get(FieldId::HEdge);
+  const auto q_edge = ctx.fields.get(FieldId::TracerEdge);
+  auto tend = ctx.fields.get(FieldId::TendTracerQ);
+
+  if (variant == LoopVariant::Irregular) {
+    for (Index c = 0; c < m.num_cells; ++c) tend[c] = 0;
+    for (Index e = 0; e < m.num_edges; ++e) {
+      const Real flux = u[e] * h_edge[e] * q_edge[e] * m.dv_edge[e];
+      tend[m.cells_on_edge(e, 0)] -= flux;
+      tend[m.cells_on_edge(e, 1)] += flux;
+    }
+    for (Index c = 0; c < m.num_cells; ++c) tend[c] /= m.area_cell[c];
+    return;
+  }
+
+  if (variant == LoopVariant::Refactored) {
+    for (Index c = begin; c < end; ++c) {
+      Real acc = 0;
+      for (Index j = 0; j < m.n_edges_on_cell[c]; ++j) {
+        const Index e = m.edges_on_cell(c, j);
+        const Real flux = u[e] * h_edge[e] * q_edge[e] * m.dv_edge[e];
+        if (m.cells_on_edge(e, 0) == c)
+          acc -= flux;
+        else
+          acc += flux;
+      }
+      tend[c] = acc / m.area_cell[c];
+    }
+    return;
+  }
+
+  for (Index c = begin; c < end; ++c) {
+    Real acc = 0;
+    for (Index j = 0; j < m.n_edges_on_cell[c]; ++j) {
+      const Index e = m.edges_on_cell(c, j);
+      acc -= m.edge_sign_on_cell(c, j) * u[e] * h_edge[e] * q_edge[e] *
+             m.dv_edge[e];
+    }
+    tend[c] = acc / m.area_cell[c];
+  }
+}
+
+namespace {
+
+void axpy_cells(const SwContext& ctx, FieldId x, FieldId t, FieldId y,
+                Real coeff, Index begin, Index end) {
+  const auto xs = ctx.fields.get(x);
+  const auto ts = ctx.fields.get(t);
+  auto ys = ctx.fields.get(y);
+  for (Index c = begin; c < end; ++c) ys[c] = xs[c] + coeff * ts[c];
+}
+
+void copy_cells(const SwContext& ctx, FieldId x, FieldId y, Index begin,
+                Index end) {
+  const auto xs = ctx.fields.get(x);
+  auto ys = ctx.fields.get(y);
+  for (Index c = begin; c < end; ++c) ys[c] = xs[c];
+}
+
+}  // namespace
+
+void next_substep_tracer(const SwContext& ctx, Index begin, Index end) {
+  axpy_cells(ctx, FieldId::TracerQ, FieldId::TendTracerQ,
+             FieldId::TracerQProvis, ctx.rk_substep_coeff, begin, end);
+}
+
+void seed_provis_tracer(const SwContext& ctx, Index begin, Index end) {
+  copy_cells(ctx, FieldId::TracerQ, FieldId::TracerQProvis, begin, end);
+}
+
+void init_accum_tracer(const SwContext& ctx, Index begin, Index end) {
+  copy_cells(ctx, FieldId::TracerQ, FieldId::TracerQNew, begin, end);
+}
+
+void accumulate_tracer(const SwContext& ctx, Index begin, Index end) {
+  const auto t = ctx.fields.get(FieldId::TendTracerQ);
+  auto y = ctx.fields.get(FieldId::TracerQNew);
+  for (Index c = begin; c < end; ++c) y[c] += ctx.rk_accum_coeff * t[c];
+}
+
+void commit_tracer(const SwContext& ctx, Index begin, Index end) {
+  copy_cells(ctx, FieldId::TracerQNew, FieldId::TracerQ, begin, end);
+}
+
+void apply_cosine_bell_tracer(const mesh::VoronoiMesh& mesh,
+                              FieldStore& fields, Real center_lon,
+                              Real center_lat, Real radius) {
+  MPAS_CHECK(radius > 0);
+  const Vec3 center = sphere::from_lon_lat(center_lon, center_lat);
+  const auto h = fields.get(FieldId::H);
+  auto q_mass = fields.get(FieldId::TracerQ);
+  for (Index c = 0; c < mesh.num_cells; ++c) {
+    const Real r = sphere::arc_length(center, mesh.x_cell[c]);
+    const Real q =
+        r < radius ? 0.5 * (1.0 + std::cos(constants::kPi * r / radius)) : 0.0;
+    q_mass[c] = h[c] * q;
+  }
+}
+
+Real total_tracer_mass(const mesh::VoronoiMesh& mesh,
+                       const FieldStore& fields) {
+  const auto q_mass = fields.get(FieldId::TracerQ);
+  Real total = 0;
+  for (Index c = 0; c < mesh.num_cells; ++c)
+    total += mesh.area_cell[c] * q_mass[c];
+  return total;
+}
+
+}  // namespace mpas::sw

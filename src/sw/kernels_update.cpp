@@ -1,0 +1,72 @@
+// The local (pattern X) kernels: Runge-Kutta substep and accumulation
+// updates. These are the embarrassingly parallel computations of Section
+// III.A — no neighbour access at all.
+#include "sw/kernels.hpp"
+
+namespace mpas::sw {
+
+namespace {
+
+void axpy(std::span<const Real> x, std::span<const Real> t, std::span<Real> y,
+          Real coeff, Index begin, Index end) {
+  for (Index i = begin; i < end; ++i) y[i] = x[i] + coeff * t[i];
+}
+
+void accumulate(std::span<const Real> t, std::span<Real> y, Real coeff,
+                Index begin, Index end) {
+  for (Index i = begin; i < end; ++i) y[i] += coeff * t[i];
+}
+
+void copy(std::span<const Real> x, std::span<Real> y, Index begin, Index end) {
+  for (Index i = begin; i < end; ++i) y[i] = x[i];
+}
+
+}  // namespace
+
+void next_substep_h(const SwContext& ctx, Index begin, Index end) {
+  axpy(ctx.fields.get(FieldId::H), ctx.fields.get(FieldId::TendH),
+       ctx.fields.get(FieldId::HProvis), ctx.rk_substep_coeff, begin, end);
+}
+
+void next_substep_u(const SwContext& ctx, Index begin, Index end) {
+  axpy(ctx.fields.get(FieldId::U), ctx.fields.get(FieldId::TendU),
+       ctx.fields.get(FieldId::UProvis), ctx.rk_substep_coeff, begin, end);
+}
+
+void seed_provis_h(const SwContext& ctx, Index begin, Index end) {
+  copy(ctx.fields.get(FieldId::H), ctx.fields.get(FieldId::HProvis), begin,
+       end);
+}
+
+void seed_provis_u(const SwContext& ctx, Index begin, Index end) {
+  copy(ctx.fields.get(FieldId::U), ctx.fields.get(FieldId::UProvis), begin,
+       end);
+}
+
+void init_accum_h(const SwContext& ctx, Index begin, Index end) {
+  copy(ctx.fields.get(FieldId::H), ctx.fields.get(FieldId::HNew), begin, end);
+}
+
+void init_accum_u(const SwContext& ctx, Index begin, Index end) {
+  copy(ctx.fields.get(FieldId::U), ctx.fields.get(FieldId::UNew), begin, end);
+}
+
+void accumulate_h(const SwContext& ctx, Index begin, Index end) {
+  accumulate(ctx.fields.get(FieldId::TendH), ctx.fields.get(FieldId::HNew),
+             ctx.rk_accum_coeff, begin, end);
+}
+
+void accumulate_u(const SwContext& ctx, Index begin, Index end) {
+  accumulate(ctx.fields.get(FieldId::TendU), ctx.fields.get(FieldId::UNew),
+             ctx.rk_accum_coeff, begin, end);
+}
+
+void commit_h(const SwContext& ctx, Index begin, Index end) {
+  copy(ctx.fields.get(FieldId::HNew), ctx.fields.get(FieldId::H), begin, end);
+}
+
+void commit_u(const SwContext& ctx, Index begin, Index end) {
+  copy(ctx.fields.get(FieldId::UNew), ctx.fields.get(FieldId::U), begin, end);
+}
+
+}  // namespace mpas::sw

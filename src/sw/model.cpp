@@ -1,0 +1,541 @@
+#include "sw/model.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mpas::sw {
+
+namespace {
+
+const char* fname(FieldId id) { return field_info(id).name; }
+
+FieldId field_by_name(const std::string& name) {
+  for (int i = 0; i < kNumFields; ++i) {
+    const auto& info = field_info(static_cast<FieldId>(i));
+    if (name == info.name) return info.id;
+  }
+  MPAS_FAIL("unknown field name '" << name << "'");
+}
+
+LoopVariant to_loop_variant(core::VariantChoice v) {
+  return static_cast<LoopVariant>(static_cast<int>(v));
+}
+
+/// Node factory bound to one graph, keeping labels/kinds/costs in one place.
+class NodeBuilder {
+ public:
+  NodeBuilder(core::DataflowGraph& graph, SwContext* ctx)
+      : graph_(graph), ctx_(ctx) {}
+
+  int add(std::string label, core::PatternKind kind, core::KernelGroup kernel,
+          MeshLocation iterates, std::vector<FieldId> inputs,
+          std::vector<FieldId> outputs, machine::KernelCost gather,
+          std::function<void(const SwContext&, Index, Index, LoopVariant)> fn,
+          machine::KernelCost scatter = {}, bool has_scatter = false,
+          bool splittable = true) {
+    core::PatternNode node;
+    node.label = std::move(label);
+    node.kind = kind;
+    node.kernel = kernel;
+    node.iterates = iterates;
+    for (FieldId f : inputs) node.inputs.emplace_back(fname(f));
+    for (FieldId f : outputs) node.outputs.emplace_back(fname(f));
+    node.cost_gather = gather;
+    node.cost_scatter = has_scatter ? scatter : gather;
+    node.has_scatter_variant = has_scatter;
+    node.splittable = splittable;
+    if (ctx_ != nullptr && fn) {
+      SwContext* ctx = ctx_;
+      node.body = [ctx, fn](const core::RunArgs& args) {
+        fn(*ctx, args.begin, args.end, to_loop_variant(args.variant));
+      };
+    }
+    return graph_.add_node(std::move(node));
+  }
+
+ private:
+  core::DataflowGraph& graph_;
+  SwContext* ctx_;
+};
+
+using core::KernelGroup;
+using core::PatternKind;
+
+/// The shared diagnostics block (compute_solve_diagnostics), reading the
+/// given thickness/velocity fields. Returns the id of the pv_edge node
+/// (G1), whose output needs a halo exchange: the APVM stencil reaches one
+/// layer past what the provisional-state exchange covers, so MPAS — and
+/// the paper's Figure 4 — exchange pv_edge as the second halo sync of each
+/// substep.
+int add_diagnostics_nodes(NodeBuilder& b, FieldId h_in, FieldId u_in,
+                          bool with_tracer) {
+  b.add("C1", PatternKind::C, KernelGroup::ComputeSolveDiagnostics,
+        MeshLocation::Edge, {h_in}, {FieldId::HEdge}, cost::h_edge(),
+        [h_in](const SwContext& c, Index s, Index e, LoopVariant) {
+          diag_h_edge(c, h_in, s, e);
+        });
+  b.add("A2", PatternKind::A, KernelGroup::ComputeSolveDiagnostics,
+        MeshLocation::Cell, {u_in}, {FieldId::Ke},
+        cost::ke(LoopVariant::BranchFree),
+        [u_in](const SwContext& c, Index s, Index e, LoopVariant v) {
+          diag_ke(c, u_in, s, e, v);
+        },
+        cost::ke(LoopVariant::Irregular), true);
+  b.add("D1", PatternKind::D, KernelGroup::ComputeSolveDiagnostics,
+        MeshLocation::Vertex, {u_in}, {FieldId::Vorticity},
+        cost::vorticity(LoopVariant::BranchFree),
+        [u_in](const SwContext& c, Index s, Index e, LoopVariant v) {
+          diag_vorticity(c, u_in, s, e, v);
+        },
+        cost::vorticity(LoopVariant::Irregular), true);
+  b.add("A3", PatternKind::A, KernelGroup::ComputeSolveDiagnostics,
+        MeshLocation::Cell, {u_in}, {FieldId::Divergence},
+        cost::divergence(LoopVariant::BranchFree),
+        [u_in](const SwContext& c, Index s, Index e, LoopVariant v) {
+          diag_divergence(c, u_in, s, e, v);
+        },
+        cost::divergence(LoopVariant::Irregular), true);
+  b.add("F2", PatternKind::F, KernelGroup::ComputeSolveDiagnostics,
+        MeshLocation::Edge, {u_in}, {FieldId::VTangent}, cost::v_tangent(),
+        [u_in](const SwContext& c, Index s, Index e, LoopVariant) {
+          diag_v_tangent(c, u_in, s, e);
+        });
+  b.add("E1", PatternKind::E, KernelGroup::ComputeSolveDiagnostics,
+        MeshLocation::Vertex, {h_in, FieldId::Vorticity},
+        {FieldId::HVertex, FieldId::PvVertex}, cost::h_pv_vertex(),
+        [h_in](const SwContext& c, Index s, Index e, LoopVariant) {
+          diag_h_pv_vertex(c, h_in, s, e);
+        });
+  b.add("H1", PatternKind::H, KernelGroup::ComputeSolveDiagnostics,
+        MeshLocation::Cell, {FieldId::PvVertex}, {FieldId::PvCell},
+        cost::pv_cell(),
+        [](const SwContext& c, Index s, Index e, LoopVariant) {
+          diag_pv_cell(c, s, e);
+        });
+  const int g1 =
+      b.add("G1", PatternKind::G, KernelGroup::ComputeSolveDiagnostics,
+            MeshLocation::Edge,
+            {u_in, FieldId::VTangent, FieldId::PvVertex, FieldId::PvCell},
+            {FieldId::PvEdge}, cost::pv_edge(),
+            [u_in](const SwContext& c, Index s, Index e, LoopVariant) {
+              diag_pv_edge(c, u_in, s, e);
+            });
+  if (with_tracer) {
+    // Future-model-development demo: the tracer's diagnostics are two more
+    // pattern nodes; the dependency analysis and the schedulers absorb
+    // them without any other change.
+    const FieldId q_in = h_in == FieldId::H ? FieldId::TracerQ
+                                            : FieldId::TracerQProvis;
+    b.add("X8", PatternKind::Local, KernelGroup::ComputeSolveDiagnostics,
+          MeshLocation::Cell, {q_in, h_in}, {FieldId::TracerRatio},
+          cost::local_axpy(),
+          [q_in, h_in](const SwContext& c, Index s, Index e, LoopVariant) {
+            tracer_ratio(c, q_in, h_in, s, e);
+          });
+    b.add("C3", PatternKind::C, KernelGroup::ComputeSolveDiagnostics,
+          MeshLocation::Edge, {FieldId::TracerRatio}, {FieldId::TracerEdge},
+          cost::h_edge(),
+          [](const SwContext& c, Index s, Index e, LoopVariant) {
+            tracer_edge_value(c, s, e);
+          });
+  }
+  return g1;
+}
+
+/// compute_tend (+ optional del^2) + enforce_boundary_edge, reading the
+/// provisional state.
+void add_tend_nodes(NodeBuilder& b, bool with_diffusion, bool with_tracer) {
+  b.add("A1", PatternKind::A, KernelGroup::ComputeTend, MeshLocation::Cell,
+        {FieldId::UProvis, FieldId::HEdge}, {FieldId::TendH},
+        cost::tend_h(LoopVariant::BranchFree),
+        [](const SwContext& c, Index s, Index e, LoopVariant v) {
+          tend_thickness(c, FieldId::UProvis, s, e, v);
+        },
+        cost::tend_h(LoopVariant::Irregular), true);
+  b.add("F1", PatternKind::F, KernelGroup::ComputeTend, MeshLocation::Edge,
+        {FieldId::HProvis, FieldId::UProvis, FieldId::Bottom, FieldId::Ke,
+         FieldId::HEdge, FieldId::PvEdge},
+        {FieldId::TendU}, cost::tend_u(),
+        [](const SwContext& c, Index s, Index e, LoopVariant) {
+          tend_momentum(c, FieldId::HProvis, FieldId::UProvis, s, e);
+        });
+  if (with_diffusion) {
+    b.add("B1", PatternKind::B, KernelGroup::ComputeTend, MeshLocation::Cell,
+          {FieldId::HProvis}, {FieldId::D2H}, cost::pv_cell(),
+          [](const SwContext& c, Index s, Index e, LoopVariant) {
+            tend_h_laplacian(c, FieldId::HProvis, s, e);
+          });
+    b.add("X7", PatternKind::Local, KernelGroup::ComputeTend,
+          MeshLocation::Cell, {FieldId::TendH, FieldId::D2H},
+          {FieldId::TendH}, cost::local_axpy(),
+          [](const SwContext& c, Index s, Index e, LoopVariant) {
+            tend_h_add_del2(c, s, e);
+          });
+    b.add("C2", PatternKind::C, KernelGroup::ComputeTend, MeshLocation::Edge,
+          {FieldId::Divergence, FieldId::Vorticity, FieldId::TendU},
+          {FieldId::TendU}, cost::pv_edge(),
+          [](const SwContext& c, Index s, Index e, LoopVariant) {
+            tend_u_add_del2(c, s, e);
+          });
+  }
+  if (with_tracer) {
+    b.add("A5", PatternKind::A, KernelGroup::ComputeTend, MeshLocation::Cell,
+          {FieldId::UProvis, FieldId::HEdge, FieldId::TracerEdge},
+          {FieldId::TendTracerQ}, cost::tend_h(LoopVariant::BranchFree),
+          [](const SwContext& c, Index s, Index e, LoopVariant v) {
+            tend_tracer(c, FieldId::UProvis, s, e, v);
+          },
+          cost::tend_h(LoopVariant::Irregular), true);
+  }
+  b.add("X1", PatternKind::Local, KernelGroup::EnforceBoundaryEdge,
+        MeshLocation::Edge, {FieldId::TendU}, {FieldId::TendU},
+        cost::local_axpy(),
+        [](const SwContext& c, Index s, Index e, LoopVariant) {
+          enforce_boundary_edge(c, s, e);
+        });
+}
+
+}  // namespace
+
+std::vector<FieldId> halo_fields_early() {
+  return {FieldId::HProvis, FieldId::UProvis, FieldId::PvEdge,
+          FieldId::TracerQProvis};
+}
+
+std::vector<FieldId> halo_fields_final() {
+  return {FieldId::H, FieldId::U, FieldId::PvEdge, FieldId::TracerQ};
+}
+
+SwGraphs build_sw_graphs(SwContext* ctx, bool with_diffusion,
+                         bool with_tracer) {
+  SwGraphs g;
+
+  // ---- setup: seed provis and the accumulators --------------------------
+  {
+    NodeBuilder b(g.setup, ctx);
+    b.add("X0a", PatternKind::Local, KernelGroup::StepSetup,
+          MeshLocation::Cell, {FieldId::H}, {FieldId::HProvis},
+          cost::local_axpy(),
+          [](const SwContext& c, Index s, Index e, LoopVariant) {
+            seed_provis_h(c, s, e);
+          });
+    b.add("X0b", PatternKind::Local, KernelGroup::StepSetup,
+          MeshLocation::Edge, {FieldId::U}, {FieldId::UProvis},
+          cost::local_axpy(),
+          [](const SwContext& c, Index s, Index e, LoopVariant) {
+            seed_provis_u(c, s, e);
+          });
+    b.add("X0c", PatternKind::Local, KernelGroup::StepSetup,
+          MeshLocation::Cell, {FieldId::H}, {FieldId::HNew},
+          cost::local_axpy(),
+          [](const SwContext& c, Index s, Index e, LoopVariant) {
+            init_accum_h(c, s, e);
+          });
+    b.add("X0d", PatternKind::Local, KernelGroup::StepSetup,
+          MeshLocation::Edge, {FieldId::U}, {FieldId::UNew},
+          cost::local_axpy(),
+          [](const SwContext& c, Index s, Index e, LoopVariant) {
+            init_accum_u(c, s, e);
+          });
+    if (with_tracer) {
+      b.add("X0e", PatternKind::Local, KernelGroup::StepSetup,
+            MeshLocation::Cell, {FieldId::TracerQ}, {FieldId::TracerQProvis},
+            cost::local_axpy(),
+            [](const SwContext& c, Index s, Index e, LoopVariant) {
+              seed_provis_tracer(c, s, e);
+            });
+      b.add("X0f", PatternKind::Local, KernelGroup::StepSetup,
+            MeshLocation::Cell, {FieldId::TracerQ}, {FieldId::TracerQNew},
+            cost::local_axpy(),
+            [](const SwContext& c, Index s, Index e, LoopVariant) {
+              init_accum_tracer(c, s, e);
+            });
+    }
+    g.setup.finalize();
+  }
+
+  // ---- early substep (RK_step < 4) ---------------------------------------
+  {
+    NodeBuilder b(g.early, ctx);
+    add_tend_nodes(b, with_diffusion, with_tracer);
+    const int x2 = b.add(
+        "X2", PatternKind::Local, KernelGroup::ComputeNextSubstepState,
+        MeshLocation::Cell, {FieldId::H, FieldId::TendH}, {FieldId::HProvis},
+        cost::local_axpy(),
+        [](const SwContext& c, Index s, Index e, LoopVariant) {
+          next_substep_h(c, s, e);
+        });
+    const int x3 = b.add(
+        "X3", PatternKind::Local, KernelGroup::ComputeNextSubstepState,
+        MeshLocation::Edge, {FieldId::U, FieldId::TendU}, {FieldId::UProvis},
+        cost::local_axpy(),
+        [](const SwContext& c, Index s, Index e, LoopVariant) {
+          next_substep_u(c, s, e);
+        });
+    if (with_tracer) {
+      const int x9 = b.add(
+          "X9", PatternKind::Local, KernelGroup::ComputeNextSubstepState,
+          MeshLocation::Cell, {FieldId::TracerQ, FieldId::TendTracerQ},
+          {FieldId::TracerQProvis}, cost::local_axpy(),
+          [](const SwContext& c, Index s, Index e, LoopVariant) {
+            next_substep_tracer(c, s, e);
+          });
+      g.early.add_halo_sync_after(x9);
+    }
+    const int g1 = add_diagnostics_nodes(b, FieldId::HProvis,
+                                         FieldId::UProvis, with_tracer);
+    g.early.add_halo_sync_after(g1);
+    b.add("X4", PatternKind::Local, KernelGroup::AccumulativeUpdate,
+          MeshLocation::Cell, {FieldId::TendH, FieldId::HNew},
+          {FieldId::HNew}, cost::local_axpy(),
+          [](const SwContext& c, Index s, Index e, LoopVariant) {
+            accumulate_h(c, s, e);
+          });
+    b.add("X5", PatternKind::Local, KernelGroup::AccumulativeUpdate,
+          MeshLocation::Edge, {FieldId::TendU, FieldId::UNew},
+          {FieldId::UNew}, cost::local_axpy(),
+          [](const SwContext& c, Index s, Index e, LoopVariant) {
+            accumulate_u(c, s, e);
+          });
+    if (with_tracer) {
+      b.add("X12", PatternKind::Local, KernelGroup::AccumulativeUpdate,
+            MeshLocation::Cell, {FieldId::TendTracerQ, FieldId::TracerQNew},
+            {FieldId::TracerQNew}, cost::local_axpy(),
+            [](const SwContext& c, Index s, Index e, LoopVariant) {
+              accumulate_tracer(c, s, e);
+            });
+    }
+    g.early.add_halo_sync_after(x2);
+    g.early.add_halo_sync_after(x3);
+    g.early.finalize();
+  }
+
+  // ---- final substep (RK_step == 4) ---------------------------------------
+  {
+    NodeBuilder b(g.final, ctx);
+    add_tend_nodes(b, with_diffusion, with_tracer);
+    b.add("X4", PatternKind::Local, KernelGroup::AccumulativeUpdate,
+          MeshLocation::Cell, {FieldId::TendH, FieldId::HNew},
+          {FieldId::HNew}, cost::local_axpy(),
+          [](const SwContext& c, Index s, Index e, LoopVariant) {
+            accumulate_h(c, s, e);
+          });
+    b.add("X5", PatternKind::Local, KernelGroup::AccumulativeUpdate,
+          MeshLocation::Edge, {FieldId::TendU, FieldId::UNew},
+          {FieldId::UNew}, cost::local_axpy(),
+          [](const SwContext& c, Index s, Index e, LoopVariant) {
+            accumulate_u(c, s, e);
+          });
+    const int commit_h_id = b.add(
+        "X2", PatternKind::Local, KernelGroup::AccumulativeUpdate,
+        MeshLocation::Cell, {FieldId::HNew}, {FieldId::H}, cost::local_axpy(),
+        [](const SwContext& c, Index s, Index e, LoopVariant) {
+          commit_h(c, s, e);
+        });
+    const int commit_u_id = b.add(
+        "X3", PatternKind::Local, KernelGroup::AccumulativeUpdate,
+        MeshLocation::Edge, {FieldId::UNew}, {FieldId::U}, cost::local_axpy(),
+        [](const SwContext& c, Index s, Index e, LoopVariant) {
+          commit_u(c, s, e);
+        });
+    if (with_tracer) {
+      b.add("X12", PatternKind::Local, KernelGroup::AccumulativeUpdate,
+            MeshLocation::Cell, {FieldId::TendTracerQ, FieldId::TracerQNew},
+            {FieldId::TracerQNew}, cost::local_axpy(),
+            [](const SwContext& c, Index s, Index e, LoopVariant) {
+              accumulate_tracer(c, s, e);
+            });
+      const int commit_q = b.add(
+          "X13", PatternKind::Local, KernelGroup::AccumulativeUpdate,
+          MeshLocation::Cell, {FieldId::TracerQNew}, {FieldId::TracerQ},
+          cost::local_axpy(),
+          [](const SwContext& c, Index s, Index e, LoopVariant) {
+            commit_tracer(c, s, e);
+          });
+      g.final.add_halo_sync_after(commit_q);
+    }
+    const int g1 = add_diagnostics_nodes(b, FieldId::H, FieldId::U,
+                                         with_tracer);
+    g.final.add_halo_sync_after(g1);
+    b.add("A4", PatternKind::A, KernelGroup::MpasReconstruct,
+          MeshLocation::Cell, {FieldId::U},
+          {FieldId::ReconX, FieldId::ReconY, FieldId::ReconZ},
+          cost::reconstruct(LoopVariant::BranchFree),
+          [](const SwContext& c, Index s, Index e, LoopVariant v) {
+            reconstruct_vector(c, FieldId::U, s, e, v);
+          },
+          cost::reconstruct(LoopVariant::Irregular), true);
+    b.add("X6", PatternKind::Local, KernelGroup::MpasReconstruct,
+          MeshLocation::Cell,
+          {FieldId::ReconX, FieldId::ReconY, FieldId::ReconZ},
+          {FieldId::ReconZonal, FieldId::ReconMeridional}, cost::local_axpy(),
+          [](const SwContext& c, Index s, Index e, LoopVariant) {
+            reconstruct_horizontal(c, s, e);
+          });
+    g.final.add_halo_sync_after(commit_h_id);
+    g.final.add_halo_sync_after(commit_u_id);
+    g.final.finalize();
+  }
+  return g;
+}
+
+SwModel::SwModel(const mesh::VoronoiMesh& mesh, SwParams params)
+    : mesh_(mesh), params_(params), fields_(mesh) {
+  ctx_ = std::make_unique<SwContext>(
+      SwContext{mesh_, fields_, params_, 0, 0});
+  const bool with_diffusion =
+      params_.nu_del2_h != 0 || params_.nu_del2_u != 0;
+  graphs_ = build_sw_graphs(ctx_.get(), with_diffusion, params_.with_tracer);
+  sched_setup_ = core::make_single_device_schedule(
+      graphs_.setup, core::DeviceSide::Host, "default");
+  sched_early_ = core::make_single_device_schedule(
+      graphs_.early, core::DeviceSide::Host, "default");
+  sched_final_ = core::make_single_device_schedule(
+      graphs_.final, core::DeviceSide::Host, "default");
+}
+
+void SwModel::set_schedules(core::Schedule setup, core::Schedule early,
+                            core::Schedule final) {
+  MPAS_CHECK(setup.assignments.size() ==
+             static_cast<std::size_t>(graphs_.setup.num_nodes()));
+  MPAS_CHECK(early.assignments.size() ==
+             static_cast<std::size_t>(graphs_.early.num_nodes()));
+  MPAS_CHECK(final.assignments.size() ==
+             static_cast<std::size_t>(graphs_.final.num_nodes()));
+  sched_setup_ = std::move(setup);
+  sched_early_ = std::move(early);
+  sched_final_ = std::move(final);
+}
+
+void SwModel::execute_graph(const core::DataflowGraph& graph,
+                            const core::Schedule& schedule,
+                            const std::vector<FieldId>& halo_fields) {
+  // Run one node completely. `inner_parallel` chunks the node's iteration
+  // range over the pool; it must be off in node-parallel mode (the pool's
+  // parallel_for is not reentrant) and for irregular whole-array variants.
+  auto run_node = [&](int id, bool inner_parallel) {
+    const core::PatternNode& node = graph.node(id);
+    MPAS_CHECK_MSG(node.body, "node " << node.label << " has no body");
+    const core::Assignment& asg =
+        schedule.assignments[static_cast<std::size_t>(id)];
+    const Index n = fields_.size_of(node.iterates);
+
+    auto run_range = [&](Index begin, Index end, core::VariantChoice v) {
+      if (begin >= end) return;
+      const bool irregular = v == core::VariantChoice::Irregular;
+      if (inner_parallel && pool_ != nullptr && !irregular &&
+          end - begin > 1024) {
+        pool_->parallel_for(end - begin, [&](Index b, Index e) {
+          node.body({begin + b, begin + e, v});
+        });
+      } else {
+        node.body({begin, end, v});
+      }
+    };
+
+    switch (asg.side) {
+      case core::DeviceSide::Host:
+        run_range(0, n, schedule.host_variant);
+        break;
+      case core::DeviceSide::Accel:
+        run_range(0, n, schedule.accel_variant);
+        break;
+      case core::DeviceSide::Split: {
+        const Index nh = static_cast<Index>(
+            std::llround(static_cast<double>(n) * asg.host_fraction));
+        run_range(0, nh, schedule.host_variant);
+        run_range(nh, n, schedule.accel_variant);
+        break;
+      }
+    }
+  };
+
+  // Exchange only the fields this sync point refreshes that the node
+  // actually produced (X2 -> provis_h / h, X3 -> provis_u / u, G1 ->
+  // pv_edge).
+  auto sync_node = [&](int id) {
+    if (!graph.has_halo_sync_after(id) || !halo_exchange_) return;
+    std::vector<FieldId> produced;
+    for (const std::string& out : graph.node(id).outputs) {
+      const FieldId f = field_by_name(out);
+      for (FieldId want : halo_fields)
+        if (f == want) produced.push_back(f);
+    }
+    if (!produced.empty()) halo_exchange_(produced);
+  };
+
+  if (node_parallel_ && pool_ != nullptr) {
+    // Level-synchronous execution: nodes of one dependency level share no
+    // read/write hazards (every hazard is an edge, and an edge separates
+    // levels), so they may run concurrently, each single-threaded.
+    const std::vector<int> level = graph.levels();
+    const int max_level =
+        *std::max_element(level.begin(), level.end());
+    for (int l = 0; l <= max_level; ++l) {
+      std::vector<int> batch;
+      for (int id = 0; id < graph.num_nodes(); ++id)
+        if (level[static_cast<std::size_t>(id)] == l) batch.push_back(id);
+      pool_->parallel_for(
+          static_cast<Index>(batch.size()),
+          [&](Index b, Index e) {
+            for (Index i = b; i < e; ++i)
+              run_node(batch[static_cast<std::size_t>(i)],
+                       /*inner_parallel=*/false);
+          },
+          exec::LoopSchedule::Dynamic, 1);
+      for (int id : batch) sync_node(id);
+    }
+    return;
+  }
+
+  for (int id : graph.topological_order()) {
+    run_node(id, /*inner_parallel=*/true);
+    sync_node(id);
+  }
+}
+
+void SwModel::initialize() {
+  // Initial diagnostics + reconstruction on (H, U), matching
+  // ReferenceIntegrator::initialize() bit for bit: the loop variant follows
+  // the configured host schedule (irregular for the serial baseline,
+  // branch-free otherwise).
+  SwContext& c = *ctx_;
+  const LoopVariant v = to_loop_variant(sched_final_.host_variant);
+  diag_h_edge(c, FieldId::H, 0, mesh_.num_edges);
+  diag_ke(c, FieldId::U, 0, mesh_.num_cells, v);
+  diag_vorticity(c, FieldId::U, 0, mesh_.num_vertices, v);
+  diag_divergence(c, FieldId::U, 0, mesh_.num_cells, v);
+  diag_v_tangent(c, FieldId::U, 0, mesh_.num_edges);
+  diag_h_pv_vertex(c, FieldId::H, 0, mesh_.num_vertices);
+  diag_pv_cell(c, 0, mesh_.num_cells);
+  diag_pv_edge(c, FieldId::U, 0, mesh_.num_edges);
+  if (params_.with_tracer) {
+    tracer_ratio(c, FieldId::TracerQ, FieldId::H, 0, mesh_.num_cells);
+    tracer_edge_value(c, 0, mesh_.num_edges);
+  }
+  reconstruct_vector(c, FieldId::U, 0, mesh_.num_cells, v);
+  reconstruct_horizontal(c, 0, mesh_.num_cells);
+  if (halo_exchange_) halo_exchange_({FieldId::H, FieldId::U});
+}
+
+void SwModel::step() {
+  SwContext& c = *ctx_;
+  const Real dt = params_.dt;
+  execute_graph(graphs_.setup, sched_setup_, {});
+  static constexpr Real kA[3] = {0.5, 0.5, 1.0};
+  static constexpr Real kB[4] = {1.0 / 6, 1.0 / 3, 1.0 / 3, 1.0 / 6};
+  for (int stage = 0; stage < 3; ++stage) {
+    c.rk_substep_coeff = kA[stage] * dt;
+    c.rk_accum_coeff = kB[stage] * dt;
+    execute_graph(graphs_.early, sched_early_, halo_fields_early());
+  }
+  c.rk_accum_coeff = kB[3] * dt;
+  execute_graph(graphs_.final, sched_final_, halo_fields_final());
+}
+
+void SwModel::run(int steps) {
+  for (int i = 0; i < steps; ++i) step();
+}
+
+}  // namespace mpas::sw

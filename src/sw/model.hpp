@@ -1,0 +1,106 @@
+// SwModel: the pattern-driven shallow-water model. It expresses one RK-4
+// step as three data-flow graphs (Figure 4 of the paper):
+//
+//   setup graph  — start-of-step copies (accumulator init, provis seed);
+//   early graph  — one RK substep with RK_step < 4 (the left diagram of
+//                  Figure 4(a)): compute_tend, enforce_boundary_edge,
+//                  compute_next_substep_state, halo exchange,
+//                  compute_solve_diagnostics, accumulative_update;
+//   final graph  — the RK_step == 4 branch: compute_tend, enforce,
+//                  accumulative_update, commit, halo exchange,
+//                  compute_solve_diagnostics, mpas_reconstruct.
+//
+// The same graphs serve two purposes:
+//   * functionally, SwModel executes their nodes (in any dependency-
+//     respecting order, with any host/accelerator range split) and must
+//     reproduce the reference integrator bit for bit;
+//   * structurally, the benches hand them to core::simulate_schedule to
+//     obtain the modeled per-step times of Figures 6-9.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/dataflow.hpp"
+#include "core/schedule.hpp"
+#include "exec/thread_pool.hpp"
+#include "sw/kernels.hpp"
+
+namespace mpas::sw {
+
+/// Structure-only graph construction (no functional bodies): what the
+/// benches use. `ctx` may be null in that case. With a non-null ctx every
+/// node gets a body bound to that context.
+struct SwGraphs {
+  core::DataflowGraph setup{"rk4-step-setup"};
+  core::DataflowGraph early{"rk4-substep (RK_step < 4)"};
+  core::DataflowGraph final{"rk4-substep (RK_step == 4)"};
+};
+
+/// Build the three graphs. `with_diffusion` inserts the optional del^2
+/// nodes (the paper's d2fdx2 path). If `ctx` is non-null, functional
+/// bodies are attached (ctx must outlive the graphs).
+SwGraphs build_sw_graphs(SwContext* ctx, bool with_diffusion,
+                         bool with_tracer = false);
+
+/// Fields exchanged at each halo sync (for the comm layer).
+std::vector<FieldId> halo_fields_early();  // provis_h, provis_u
+std::vector<FieldId> halo_fields_final();  // h, u
+
+/// Hook invoked at halo sync points. Receives the fields whose halos must
+/// be refreshed before dependent nodes run. Null = single rank, no-op.
+using HaloExchangeFn = std::function<void(const std::vector<FieldId>&)>;
+
+class SwModel {
+ public:
+  SwModel(const mesh::VoronoiMesh& mesh, SwParams params);
+
+  /// Optional: execute with explicit hybrid schedules (defaults: every
+  /// node on the host with branch-free loops).
+  void set_schedules(core::Schedule setup, core::Schedule early,
+                     core::Schedule final);
+
+  /// Optional thread pool for data-parallel node execution.
+  void set_pool(exec::ThreadPool* pool) { pool_ = pool; }
+
+  /// Node-parallel mode: execute mutually independent patterns of the same
+  /// dependency level concurrently on the pool (each node single-threaded)
+  /// instead of parallelizing within one node at a time — the "inherent
+  /// parallelism" of the data-flow diagram. Requires a pool. Results stay
+  /// bitwise identical: same-level nodes share no read/write hazards by
+  /// construction of the dependency edges.
+  void set_node_parallel(bool enabled) { node_parallel_ = enabled; }
+
+  /// Optional halo exchange hook (multi-rank runs).
+  void set_halo_exchange(HaloExchangeFn fn) { halo_exchange_ = std::move(fn); }
+
+  /// Compute initial diagnostics + reconstruction for the current H/U.
+  void initialize();
+
+  /// One full RK-4 step through the data-flow graphs.
+  void step();
+  void run(int steps);
+
+  [[nodiscard]] FieldStore& fields() { return fields_; }
+  [[nodiscard]] const FieldStore& fields() const { return fields_; }
+  [[nodiscard]] const SwParams& params() const { return params_; }
+  [[nodiscard]] const SwGraphs& graphs() const { return graphs_; }
+  [[nodiscard]] const mesh::VoronoiMesh& mesh() const { return mesh_; }
+
+ private:
+  void execute_graph(const core::DataflowGraph& graph,
+                     const core::Schedule& schedule,
+                     const std::vector<FieldId>& halo_fields);
+
+  const mesh::VoronoiMesh& mesh_;
+  SwParams params_;
+  FieldStore fields_;
+  std::unique_ptr<SwContext> ctx_;  // stable address for the node bodies
+  SwGraphs graphs_;
+  core::Schedule sched_setup_, sched_early_, sched_final_;
+  exec::ThreadPool* pool_ = nullptr;
+  bool node_parallel_ = false;
+  HaloExchangeFn halo_exchange_;
+};
+
+}  // namespace mpas::sw

@@ -1,0 +1,121 @@
+#include "sw/profiler.hpp"
+
+#include "sw/model.hpp"
+
+namespace mpas::sw {
+
+StepProfiler::StepProfiler(const mesh::VoronoiMesh& mesh, SwParams params,
+                           LoopVariant variant)
+    : mesh_(mesh), params_(params), variant_(variant), fields_(mesh) {}
+
+void StepProfiler::compute_solve_diagnostics(FieldId h_in, FieldId u_in) {
+  ScopedTimer t(stats_, "compute_solve_diagnostics");
+  SwContext ctx{mesh_, fields_, params_, 0, 0};
+  diag_h_edge(ctx, h_in, 0, mesh_.num_edges);
+  diag_ke(ctx, u_in, 0, mesh_.num_cells, variant_);
+  diag_vorticity(ctx, u_in, 0, mesh_.num_vertices, variant_);
+  diag_divergence(ctx, u_in, 0, mesh_.num_cells, variant_);
+  diag_v_tangent(ctx, u_in, 0, mesh_.num_edges);
+  diag_h_pv_vertex(ctx, h_in, 0, mesh_.num_vertices);
+  diag_pv_cell(ctx, 0, mesh_.num_cells);
+  diag_pv_edge(ctx, u_in, 0, mesh_.num_edges);
+}
+
+void StepProfiler::run(int steps) {
+  SwContext ctx{mesh_, fields_, params_, 0, 0};
+  const Real dt = params_.dt;
+  static constexpr Real kA[3] = {0.5, 0.5, 1.0};
+  static constexpr Real kB[4] = {1.0 / 6, 1.0 / 3, 1.0 / 3, 1.0 / 6};
+
+  compute_solve_diagnostics(FieldId::H, FieldId::U);
+
+  for (int step = 0; step < steps; ++step) {
+    {
+      ScopedTimer t(stats_, "step_setup");
+      seed_provis_h(ctx, 0, mesh_.num_cells);
+      seed_provis_u(ctx, 0, mesh_.num_edges);
+      init_accum_h(ctx, 0, mesh_.num_cells);
+      init_accum_u(ctx, 0, mesh_.num_edges);
+    }
+    for (int stage = 0; stage < 4; ++stage) {
+      {
+        ScopedTimer t(stats_, "compute_tend");
+        tend_thickness(ctx, FieldId::UProvis, 0, mesh_.num_cells, variant_);
+        tend_momentum(ctx, FieldId::HProvis, FieldId::UProvis, 0,
+                      mesh_.num_edges);
+      }
+      {
+        ScopedTimer t(stats_, "enforce_boundary_edge");
+        enforce_boundary_edge(ctx, 0, mesh_.num_edges);
+      }
+      ctx.rk_accum_coeff = kB[stage] * dt;
+      if (stage < 3) {
+        ctx.rk_substep_coeff = kA[stage] * dt;
+        {
+          ScopedTimer t(stats_, "compute_next_substep_state");
+          next_substep_h(ctx, 0, mesh_.num_cells);
+          next_substep_u(ctx, 0, mesh_.num_edges);
+        }
+        compute_solve_diagnostics(FieldId::HProvis, FieldId::UProvis);
+        {
+          ScopedTimer t(stats_, "accumulative_update");
+          accumulate_h(ctx, 0, mesh_.num_cells);
+          accumulate_u(ctx, 0, mesh_.num_edges);
+        }
+      } else {
+        {
+          ScopedTimer t(stats_, "accumulative_update");
+          accumulate_h(ctx, 0, mesh_.num_cells);
+          accumulate_u(ctx, 0, mesh_.num_edges);
+          commit_h(ctx, 0, mesh_.num_cells);
+          commit_u(ctx, 0, mesh_.num_edges);
+        }
+        compute_solve_diagnostics(FieldId::H, FieldId::U);
+        {
+          ScopedTimer t(stats_, "mpas_reconstruct");
+          reconstruct_vector(ctx, FieldId::U, 0, mesh_.num_cells, variant_);
+          reconstruct_horizontal(ctx, 0, mesh_.num_cells);
+        }
+      }
+    }
+  }
+}
+
+std::vector<StepProfiler::Share> StepProfiler::shares() const {
+  Real total = 0;
+  for (const auto& [name, e] : stats_.entries()) total += e.total;
+  std::vector<Share> out;
+  for (const auto& [name, e] : stats_.entries())
+    out.push_back({name, e.total, total > 0 ? e.total / total : 0});
+  return out;
+}
+
+std::map<std::string, Real> predicted_kernel_shares(
+    const machine::DeviceSpec& device, machine::OptLevel opt,
+    std::int64_t cells) {
+  const SwGraphs graphs = build_sw_graphs(nullptr, false);
+  const core::MeshSizes sizes = core::MeshSizes::icosahedral(cells);
+  const core::VariantChoice variant = opt <= machine::OptLevel::OpenMP
+                                          ? core::VariantChoice::Irregular
+                                          : core::VariantChoice::BranchFree;
+
+  std::map<std::string, Real> seconds;
+  auto add_graph = [&](const core::DataflowGraph& g, int repeats) {
+    for (const auto& node : g.nodes()) {
+      const Real t = machine::kernel_time(device, node.cost(variant),
+                                          sizes.at(node.iterates), opt);
+      seconds[to_string(node.kernel)] += repeats * t;
+    }
+  };
+  add_graph(graphs.setup, 1);
+  add_graph(graphs.early, 3);
+  add_graph(graphs.final, 1);
+
+  Real total = 0;
+  for (const auto& [k, v] : seconds) total += v;
+  std::map<std::string, Real> shares;
+  for (const auto& [k, v] : seconds) shares[k] = v / total;
+  return shares;
+}
+
+}  // namespace mpas::sw

@@ -1,0 +1,57 @@
+// Measured per-kernel profiling of the real integrator, and the comparison
+// of measured time *shares* against the machine model's predicted shares.
+//
+// Absolute times on the build machine mean little (different hardware from
+// Table II), but the per-kernel *fractions* of a step are a property of the
+// algorithm's operation mix — if the model's cost signatures are right, the
+// predicted shares must match the measured ones. This is the validation
+// loop behind the "building performance models" future-work item.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sw/reference.hpp"
+#include "util/timer.hpp"
+
+namespace mpas::sw {
+
+/// Wall-time profile of `steps` steps of the reference integrator, broken
+/// down by kernel function of Algorithm 1.
+class StepProfiler {
+ public:
+  StepProfiler(const mesh::VoronoiMesh& mesh, SwParams params,
+               LoopVariant variant);
+
+  /// Run `steps` full RK-4 steps with per-kernel timing.
+  void run(int steps);
+
+  [[nodiscard]] const TimingStats& stats() const { return stats_; }
+
+  struct Share {
+    std::string kernel;
+    Real measured_seconds = 0;
+    Real measured_share = 0;   // fraction of the step spent here
+  };
+  [[nodiscard]] std::vector<Share> shares() const;
+
+  [[nodiscard]] FieldStore& fields() { return fields_; }
+
+ private:
+  void compute_solve_diagnostics(FieldId h_in, FieldId u_in);
+
+  const mesh::VoronoiMesh& mesh_;
+  SwParams params_;
+  LoopVariant variant_;
+  FieldStore fields_;
+  TimingStats stats_;
+};
+
+/// Model-side prediction: per-kernel share of one step on the given device
+/// at the given optimization level, from the pattern cost signatures.
+std::map<std::string, Real> predicted_kernel_shares(
+    const machine::DeviceSpec& device, machine::OptLevel opt,
+    std::int64_t cells);
+
+}  // namespace mpas::sw

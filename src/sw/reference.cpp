@@ -1,0 +1,100 @@
+#include "sw/reference.hpp"
+
+namespace mpas::sw {
+
+ReferenceIntegrator::ReferenceIntegrator(const mesh::VoronoiMesh& mesh,
+                                         SwParams params, LoopVariant variant)
+    : mesh_(mesh), params_(params), variant_(variant), fields_(mesh) {}
+
+void ReferenceIntegrator::compute_solve_diagnostics(FieldId h_in,
+                                                    FieldId u_in) {
+  SwContext ctx{mesh_, fields_, params_, 0, 0};
+  diag_h_edge(ctx, h_in, 0, mesh_.num_edges);
+  diag_ke(ctx, u_in, 0, mesh_.num_cells, variant_);
+  diag_vorticity(ctx, u_in, 0, mesh_.num_vertices, variant_);
+  diag_divergence(ctx, u_in, 0, mesh_.num_cells, variant_);
+  diag_v_tangent(ctx, u_in, 0, mesh_.num_edges);
+  diag_h_pv_vertex(ctx, h_in, 0, mesh_.num_vertices);
+  diag_pv_cell(ctx, 0, mesh_.num_cells);
+  diag_pv_edge(ctx, u_in, 0, mesh_.num_edges);
+  if (params_.with_tracer) {
+    const FieldId q_in =
+        h_in == FieldId::H ? FieldId::TracerQ : FieldId::TracerQProvis;
+    tracer_ratio(ctx, q_in, h_in, 0, mesh_.num_cells);
+    tracer_edge_value(ctx, 0, mesh_.num_edges);
+  }
+}
+
+void ReferenceIntegrator::compute_tend(FieldId h_in, FieldId u_in) {
+  SwContext ctx{mesh_, fields_, params_, 0, 0};
+  tend_thickness(ctx, u_in, 0, mesh_.num_cells, variant_);
+  tend_momentum(ctx, h_in, u_in, 0, mesh_.num_edges);
+  if (params_.nu_del2_h != 0) {
+    tend_h_laplacian(ctx, h_in, 0, mesh_.num_cells);
+    tend_h_add_del2(ctx, 0, mesh_.num_cells);
+  }
+  if (params_.nu_del2_u != 0) tend_u_add_del2(ctx, 0, mesh_.num_edges);
+  if (params_.with_tracer)
+    tend_tracer(ctx, u_in, 0, mesh_.num_cells, variant_);
+}
+
+void ReferenceIntegrator::mpas_reconstruct(FieldId u_in) {
+  SwContext ctx{mesh_, fields_, params_, 0, 0};
+  reconstruct_vector(ctx, u_in, 0, mesh_.num_cells, variant_);
+  reconstruct_horizontal(ctx, 0, mesh_.num_cells);
+}
+
+void ReferenceIntegrator::initialize() {
+  compute_solve_diagnostics(FieldId::H, FieldId::U);
+  mpas_reconstruct(FieldId::U);
+}
+
+void ReferenceIntegrator::step() {
+  SwContext ctx{mesh_, fields_, params_, 0, 0};
+  const Real dt = params_.dt;
+
+  init_accum_h(ctx, 0, mesh_.num_cells);
+  init_accum_u(ctx, 0, mesh_.num_edges);
+  if (params_.with_tracer) {
+    seed_provis_tracer(ctx, 0, mesh_.num_cells);
+    init_accum_tracer(ctx, 0, mesh_.num_cells);
+  }
+
+  for (int stage = 0; stage < Rk4::stages; ++stage) {
+    const FieldId h_in = stage == 0 ? FieldId::H : FieldId::HProvis;
+    const FieldId u_in = stage == 0 ? FieldId::U : FieldId::UProvis;
+
+    compute_tend(h_in, u_in);
+    enforce_boundary_edge(ctx, 0, mesh_.num_edges);
+
+    ctx.rk_accum_coeff = Rk4::b[stage] * dt;
+    if (stage < Rk4::stages - 1) {
+      ctx.rk_substep_coeff = Rk4::a[stage] * dt;
+      next_substep_h(ctx, 0, mesh_.num_cells);
+      next_substep_u(ctx, 0, mesh_.num_edges);
+      if (params_.with_tracer) next_substep_tracer(ctx, 0, mesh_.num_cells);
+      compute_solve_diagnostics(FieldId::HProvis, FieldId::UProvis);
+      accumulate_h(ctx, 0, mesh_.num_cells);
+      accumulate_u(ctx, 0, mesh_.num_edges);
+      if (params_.with_tracer) accumulate_tracer(ctx, 0, mesh_.num_cells);
+    } else {
+      accumulate_h(ctx, 0, mesh_.num_cells);
+      accumulate_u(ctx, 0, mesh_.num_edges);
+      commit_h(ctx, 0, mesh_.num_cells);
+      commit_u(ctx, 0, mesh_.num_edges);
+      if (params_.with_tracer) {
+        accumulate_tracer(ctx, 0, mesh_.num_cells);
+        commit_tracer(ctx, 0, mesh_.num_cells);
+      }
+      compute_solve_diagnostics(FieldId::H, FieldId::U);
+      mpas_reconstruct(FieldId::U);
+    }
+  }
+  ++steps_taken_;
+}
+
+void ReferenceIntegrator::run(int steps) {
+  for (int i = 0; i < steps; ++i) step();
+}
+
+}  // namespace mpas::sw

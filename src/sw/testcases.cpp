@@ -1,0 +1,211 @@
+#include "sw/testcases.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mpas::sw {
+
+namespace {
+
+using constants::kEarthRadius;
+using constants::kGravity;
+using constants::kOmega;
+using constants::kPi;
+
+/// Williamson TC2: steady nonlinear zonal geostrophic flow (alpha = 0).
+/// u = u0 cos(lat); g h = g h0 - (a*Omega*u0 + u0^2/2) sin^2(lat).
+class SteadyZonalFlow final : public TestCase {
+ public:
+  SteadyZonalFlow()
+      : u0_(2 * kPi * kEarthRadius / (12.0 * 86400.0)),  // ~38.6 m/s
+        gh0_(2.94e4) {}
+
+  [[nodiscard]] std::string name() const override {
+    return "TC2 steady zonal geostrophic flow";
+  }
+  [[nodiscard]] int williamson_number() const override { return 2; }
+
+  [[nodiscard]] Real thickness(Real, Real lat) const override {
+    const Real s = std::sin(lat);
+    return (gh0_ - (kEarthRadius * kOmega * u0_ + 0.5 * u0_ * u0_) * s * s) /
+           kGravity;
+  }
+  [[nodiscard]] Real zonal_wind(Real, Real lat) const override {
+    return u0_ * std::cos(lat);
+  }
+  [[nodiscard]] bool is_steady_state() const override { return true; }
+  [[nodiscard]] Real max_wave_speed() const override {
+    return u0_ + std::sqrt(gh0_);
+  }
+
+ private:
+  Real u0_;
+  Real gh0_;
+};
+
+/// Williamson TC5: zonal flow over an isolated mountain. Same balanced
+/// flow as TC2 with u0 = 20 m/s and h0 = 5960 m, plus a conical mountain
+/// of height 2000 m and radius pi/9 centered at (3pi/2, pi/6). The fluid
+/// thickness is reduced by the mountain so the initial *total* height
+/// stays balanced.
+class IsolatedMountain final : public TestCase {
+ public:
+  static constexpr Real kU0 = 20.0;
+  static constexpr Real kH0 = 5960.0;
+  static constexpr Real kMountainHeight = 2000.0;
+  static constexpr Real kMountainRadius = kPi / 9.0;
+  static constexpr Real kCenterLon = 3.0 * kPi / 2.0;
+  static constexpr Real kCenterLat = kPi / 6.0;
+
+  [[nodiscard]] std::string name() const override {
+    return "TC5 zonal flow over an isolated mountain";
+  }
+  [[nodiscard]] int williamson_number() const override { return 5; }
+
+  [[nodiscard]] Real bottom(Real lon, Real lat) const override {
+    const Real dlon = lon - kCenterLon;
+    const Real dlat = lat - kCenterLat;
+    const Real r =
+        std::min(kMountainRadius, std::sqrt(dlon * dlon + dlat * dlat));
+    return kMountainHeight * (1.0 - r / kMountainRadius);
+  }
+
+  [[nodiscard]] Real thickness(Real lon, Real lat) const override {
+    const Real s = std::sin(lat);
+    const Real surface =
+        kH0 -
+        (kEarthRadius * kOmega * kU0 + 0.5 * kU0 * kU0) * s * s / kGravity;
+    return surface - bottom(lon, lat);
+  }
+
+  [[nodiscard]] Real zonal_wind(Real, Real lat) const override {
+    return kU0 * std::cos(lat);
+  }
+  [[nodiscard]] Real max_wave_speed() const override {
+    return kU0 + std::sqrt(kGravity * kH0);
+  }
+};
+
+/// Williamson TC6: Rossby-Haurwitz wave with wavenumber R = 4.
+class RossbyHaurwitz final : public TestCase {
+ public:
+  static constexpr Real kW = 7.848e-6;  // omega
+  static constexpr Real kK = 7.848e-6;  // K
+  static constexpr int kR = 4;
+  static constexpr Real kH0 = 8000.0;
+
+  [[nodiscard]] std::string name() const override {
+    return "TC6 Rossby-Haurwitz wave (R=4)";
+  }
+  [[nodiscard]] int williamson_number() const override { return 6; }
+
+  [[nodiscard]] Real thickness(Real lon, Real lat) const override {
+    const Real c = std::cos(lat);
+    const Real c2 = c * c;
+    const Real cR = std::pow(c, kR);
+    const Real c2R = cR * cR;
+    const Real R = kR;
+
+    const Real A = 0.5 * kW * (2 * kOmega + kW) * c2 +
+                   0.25 * kK * kK * c2R *
+                       ((R + 1) * c2 + (2 * R * R - R - 2) -
+                        2 * R * R / c2);
+    const Real B = (2 * (kOmega + kW) * kK) / ((R + 1) * (R + 2)) * cR *
+                   ((R * R + 2 * R + 2) - (R + 1) * (R + 1) * c2);
+    const Real C = 0.25 * kK * kK * c2R * ((R + 1) * c2 - (R + 2));
+
+    const Real a2 = kEarthRadius * kEarthRadius;
+    return kH0 + (a2 / kGravity) *
+                     (A + B * std::cos(R * lon) + C * std::cos(2 * R * lon));
+  }
+
+  [[nodiscard]] Real zonal_wind(Real lon, Real lat) const override {
+    const Real c = std::cos(lat);
+    const Real s = std::sin(lat);
+    const Real R = kR;
+    return kEarthRadius * kW * c +
+           kEarthRadius * kK * std::pow(c, R - 1) *
+               (R * s * s - c * c) * std::cos(R * lon);
+  }
+
+  [[nodiscard]] Real meridional_wind(Real lon, Real lat) const override {
+    const Real c = std::cos(lat);
+    const Real R = kR;
+    return -kEarthRadius * kK * R * std::pow(c, R - 1) * std::sin(lat) *
+           std::sin(R * lon);
+  }
+
+  [[nodiscard]] Real max_wave_speed() const override {
+    return 100.0 + std::sqrt(kGravity * 10500.0);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<TestCase> make_test_case(int williamson_number) {
+  switch (williamson_number) {
+    case 2: return std::make_unique<SteadyZonalFlow>();
+    case 5: return std::make_unique<IsolatedMountain>();
+    case 6: return std::make_unique<RossbyHaurwitz>();
+    default:
+      MPAS_FAIL("unsupported Williamson test case " << williamson_number
+                                                    << " (have 2, 5, 6)");
+  }
+}
+
+void apply_initial_conditions(const TestCase& tc,
+                              const mesh::VoronoiMesh& mesh,
+                              FieldStore& fields) {
+  auto h = fields.get(FieldId::H);
+  auto b = fields.get(FieldId::Bottom);
+  for (Index c = 0; c < mesh.num_cells; ++c) {
+    h[c] = tc.thickness(mesh.lon_cell[c], mesh.lat_cell[c]);
+    b[c] = tc.bottom(mesh.lon_cell[c], mesh.lat_cell[c]);
+    MPAS_CHECK_MSG(h[c] > 0, "non-positive initial thickness at cell " << c);
+  }
+
+  auto u = fields.get(FieldId::U);
+  for (Index e = 0; e < mesh.num_edges; ++e) {
+    const Real lon = mesh.lon_edge[e];
+    const Real lat = mesh.lat_edge[e];
+    const Vec3 wind = sphere::east_at(mesh.x_edge[e]) * tc.zonal_wind(lon, lat) +
+                      sphere::north_at(mesh.x_edge[e]) *
+                          tc.meridional_wind(lon, lat);
+    u[e] = wind.dot(mesh.edge_normal[e]);
+  }
+}
+
+Real suggested_time_step(const TestCase& tc, const mesh::VoronoiMesh& mesh,
+                         Real cfl) {
+  Real dc_min = mesh.dc_edge[0];
+  for (Index e = 0; e < mesh.num_edges; ++e)
+    dc_min = std::min(dc_min, mesh.dc_edge[e]);
+  return cfl * dc_min / tc.max_wave_speed();
+}
+
+ErrorNorms cell_error_norms(const mesh::VoronoiMesh& mesh,
+                            std::span<const Real> field,
+                            std::span<const Real> reference) {
+  MPAS_CHECK(field.size() == reference.size());
+  MPAS_CHECK(static_cast<Index>(field.size()) == mesh.num_cells);
+  Real num1 = 0, den1 = 0, num2 = 0, den2 = 0, numi = 0, deni = 0;
+  for (Index c = 0; c < mesh.num_cells; ++c) {
+    const Real a = mesh.area_cell[c];
+    const Real d = field[c] - reference[c];
+    num1 += a * std::abs(d);
+    den1 += a * std::abs(reference[c]);
+    num2 += a * d * d;
+    den2 += a * reference[c] * reference[c];
+    numi = std::max(numi, std::abs(d));
+    deni = std::max(deni, std::abs(reference[c]));
+  }
+  ErrorNorms n;
+  n.l1 = den1 > 0 ? num1 / den1 : num1;
+  n.l2 = den2 > 0 ? std::sqrt(num2 / den2) : std::sqrt(num2);
+  n.linf = deni > 0 ? numi / deni : numi;
+  return n;
+}
+
+}  // namespace mpas::sw

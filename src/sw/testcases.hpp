@@ -1,0 +1,74 @@
+// Williamson et al. (1992) standard shallow-water test cases on the sphere —
+// the validation suite used by the paper ("There are a number of test cases
+// [22] available ... we choose the fifth test case").
+//
+// Implemented cases:
+//   2 — global steady-state nonlinear zonal geostrophic flow (analytic
+//       solution = initial state; used for convergence/error norms);
+//   5 — zonal flow over an isolated mountain (the paper's Figure 5 case);
+//   6 — Rossby-Haurwitz wave, wavenumber 4 (vorticity-dominated stress
+//       test).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sw/fields.hpp"
+
+namespace mpas::sw {
+
+class TestCase {
+ public:
+  virtual ~TestCase() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual int williamson_number() const = 0;
+
+  /// Initial fluid thickness h (NOT total height; total = h + b).
+  [[nodiscard]] virtual Real thickness(Real lon, Real lat) const = 0;
+  /// Bottom topography b.
+  [[nodiscard]] virtual Real bottom(Real /*lon*/, Real /*lat*/) const {
+    return 0;
+  }
+  /// Initial wind components.
+  [[nodiscard]] virtual Real zonal_wind(Real lon, Real lat) const = 0;
+  [[nodiscard]] virtual Real meridional_wind(Real /*lon*/, Real /*lat*/) const {
+    return 0;
+  }
+
+  /// True when the initial state is an exact steady solution, so the
+  /// initial fields double as the analytic solution at any time.
+  [[nodiscard]] virtual bool is_steady_state() const { return false; }
+
+  /// Maximum gravity-wave speed estimate, for CFL-based step sizing.
+  [[nodiscard]] virtual Real max_wave_speed() const = 0;
+};
+
+std::unique_ptr<TestCase> make_test_case(int williamson_number);
+
+/// Fill H, U, Bottom in `fields` from the test case: thickness sampled at
+/// cell centers, bottom at cell centers, velocity projected onto edge
+/// normals at edge midpoints.
+void apply_initial_conditions(const TestCase& tc,
+                              const mesh::VoronoiMesh& mesh,
+                              FieldStore& fields);
+
+/// A conservative RK-4 step size for this case and mesh:
+/// cfl * (min cell spacing) / (u_max + sqrt(g h_max)).
+Real suggested_time_step(const TestCase& tc, const mesh::VoronoiMesh& mesh,
+                         Real cfl = 0.5);
+
+// ---- error norms ------------------------------------------------------------
+struct ErrorNorms {
+  Real l1 = 0;
+  Real l2 = 0;
+  Real linf = 0;
+};
+
+/// Area-weighted relative error norms of `field` against `reference`
+/// (both defined on cells of `mesh`), as in Williamson et al. Section 8.
+ErrorNorms cell_error_norms(const mesh::VoronoiMesh& mesh,
+                            std::span<const Real> field,
+                            std::span<const Real> reference);
+
+}  // namespace mpas::sw

@@ -1,0 +1,67 @@
+// Fixed-stride 2-D array, the layout MPAS uses for ragged connectivity
+// (e.g. edgesOnCell(nCells, maxEdges) where rows hold 5..maxEdges valid
+// entries, padded with kInvalidIndex). Row-major with the *short* dimension
+// innermost, matching the Fortran arrays of the original model transposed to
+// C order so that a row (one cell's neighbours) is contiguous.
+#pragma once
+
+#include <span>
+
+#include "util/aligned_vector.hpp"
+#include "util/error.hpp"
+#include "util/types.hpp"
+
+namespace mpas {
+
+template <class T>
+class Array2D {
+ public:
+  Array2D() = default;
+  Array2D(Index rows, Index cols, T fill = T{})
+      : rows_(rows), cols_(cols), data_(static_cast<std::size_t>(rows) * cols, fill) {
+    MPAS_CHECK(rows >= 0 && cols >= 0);
+  }
+
+  void resize(Index rows, Index cols, T fill = T{}) {
+    MPAS_CHECK(rows >= 0 && cols >= 0);
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(static_cast<std::size_t>(rows) * cols, fill);
+  }
+
+  [[nodiscard]] Index rows() const { return rows_; }
+  [[nodiscard]] Index cols() const { return cols_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  T& operator()(Index r, Index c) {
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+  const T& operator()(Index r, Index c) const {
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+
+  /// Contiguous view of one row (all `cols()` slots, including padding).
+  [[nodiscard]] std::span<T> row(Index r) {
+    return {data_.data() + static_cast<std::size_t>(r) * cols_,
+            static_cast<std::size_t>(cols_)};
+  }
+  [[nodiscard]] std::span<const T> row(Index r) const {
+    return {data_.data() + static_cast<std::size_t>(r) * cols_,
+            static_cast<std::size_t>(cols_)};
+  }
+
+  [[nodiscard]] T* data() { return data_.data(); }
+  [[nodiscard]] const T* data() const { return data_.data(); }
+
+  friend bool operator==(const Array2D& a, const Array2D& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  Index rows_ = 0;
+  Index cols_ = 0;
+  AlignedVector<T> data_;
+};
+
+}  // namespace mpas

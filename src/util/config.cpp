@@ -1,0 +1,78 @@
+#include "util/config.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace mpas {
+
+Config Config::from_args(int argc, const char* const* argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    const auto eq = token.find('=');
+    if (eq == std::string::npos) {
+      MPAS_CHECK_MSG(!token.empty() && token[0] != '-',
+                     "expected key=value argument, got '" << token << "'");
+      cfg.set(token, "true");
+    } else {
+      cfg.set(token.substr(0, eq), token.substr(eq + 1));
+    }
+  }
+  return cfg;
+}
+
+void Config::set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+
+bool Config::has(const std::string& key) const { return values_.count(key) > 0; }
+
+std::string Config::get_string(const std::string& key,
+                               const std::string& fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+long Config::get_int(const std::string& key, long fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(it->second.c_str(), &end, 10);
+  MPAS_CHECK_MSG(end && *end == '\0',
+                 "config key '" << key << "' is not an integer: '"
+                                << it->second << "'");
+  return v;
+}
+
+double Config::get_real(const std::string& key, double fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  MPAS_CHECK_MSG(end && *end == '\0',
+                 "config key '" << key << "' is not a number: '" << it->second
+                                << "'");
+  return v;
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  std::string v = it->second;
+  std::transform(v.begin(), v.end(), v.begin(), ::tolower);
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  MPAS_FAIL("config key '" << key << "' is not a boolean: '" << it->second
+                           << "'");
+}
+
+std::vector<std::string> Config::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, _] : values_) out.push_back(k);
+  return out;
+}
+
+}  // namespace mpas

@@ -1,0 +1,37 @@
+// Key=value configuration, parsed from the command line (`key=value` tokens)
+// so every example and bench binary shares one option mechanism. Typed
+// getters throw mpas::Error on malformed values instead of silently
+// defaulting.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mpas {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse `argv[1..)` tokens of the form `key=value`. A bare token `key`
+  /// is treated as `key=true`. Unrecognised shapes throw.
+  static Config from_args(int argc, const char* const* argv);
+
+  void set(const std::string& key, const std::string& value);
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback) const;
+  [[nodiscard]] long get_int(const std::string& key, long fallback) const;
+  [[nodiscard]] double get_real(const std::string& key, double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  [[nodiscard]] std::vector<std::string> keys() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace mpas

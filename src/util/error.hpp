@@ -1,0 +1,53 @@
+// Error handling helpers. Following the C++ Core Guidelines (E.2, E.14) we
+// throw exceptions derived from std::runtime_error for violated invariants
+// that indicate programming or input errors, and reserve assertions for
+// conditions that are checked in debug builds only.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mpas {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace mpas
+
+/// Always-on invariant check (input validation, mesh consistency, ...).
+#define MPAS_CHECK(expr)                                                     \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::mpas::detail::throw_check_failure(#expr, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define MPAS_CHECK_MSG(expr, msg)                                            \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      std::ostringstream mpas_check_os_;                                     \
+      mpas_check_os_ << msg;                                                 \
+      ::mpas::detail::throw_check_failure(#expr, __FILE__, __LINE__,         \
+                                          mpas_check_os_.str());             \
+    }                                                                        \
+  } while (0)
+
+#define MPAS_FAIL(msg)                                                       \
+  do {                                                                       \
+    std::ostringstream mpas_fail_os_;                                        \
+    mpas_fail_os_ << msg;                                                    \
+    ::mpas::detail::throw_check_failure("failure", __FILE__, __LINE__,       \
+                                        mpas_fail_os_.str());                \
+  } while (0)

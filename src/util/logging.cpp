@@ -1,0 +1,21 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+
+namespace mpas {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(level_)) return;
+  static const char* kNames[] = {"DEBUG", "INFO ", "WARN ", "ERROR"};
+  const int idx = static_cast<int>(level);
+  if (idx < 0 || idx > 3) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::fprintf(stderr, "[%s] %s\n", kNames[idx], message.c_str());
+}
+
+}  // namespace mpas

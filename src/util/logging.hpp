@@ -1,0 +1,50 @@
+// Tiny leveled logger. Not asynchronous on purpose: log volume in this
+// project is low (startup banners, bench progress) and synchronous writes
+// keep ordering deterministic across the simulated ranks.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace mpas {
+
+enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+
+  void write(LogLevel level, const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::Info;
+  std::mutex mutex_;
+};
+
+namespace detail {
+struct LogLine {
+  LogLevel level;
+  std::ostringstream stream;
+
+  explicit LogLine(LogLevel lvl) : level(lvl) {}
+  ~LogLine() { Logger::instance().write(level, stream.str()); }
+
+  template <class T>
+  LogLine& operator<<(const T& value) {
+    stream << value;
+    return *this;
+  }
+};
+}  // namespace detail
+
+}  // namespace mpas
+
+#define MPAS_LOG_DEBUG ::mpas::detail::LogLine(::mpas::LogLevel::Debug)
+#define MPAS_LOG_INFO ::mpas::detail::LogLine(::mpas::LogLevel::Info)
+#define MPAS_LOG_WARN ::mpas::detail::LogLine(::mpas::LogLevel::Warn)
+#define MPAS_LOG_ERROR ::mpas::detail::LogLine(::mpas::LogLevel::Error)

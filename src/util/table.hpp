@@ -1,0 +1,34 @@
+// Aligned ASCII tables and CSV emission for the bench harness, so every
+// figure/table binary prints the same row format the paper reports plus a
+// machine-readable CSV next to it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mpas {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with the given precision.
+  static std::string num(double value, int precision = 4);
+  static std::string fixed(double value, int precision = 3);
+
+  [[nodiscard]] std::string to_ascii() const;
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Write the CSV rendering to `path` (parent directory must exist).
+  void write_csv(const std::string& path) const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mpas

@@ -1,0 +1,47 @@
+#include "util/timer.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace mpas {
+
+void TimingStats::add(const std::string& section, double seconds) {
+  auto [it, inserted] = entries_.try_emplace(section);
+  Entry& e = it->second;
+  if (inserted) {
+    e.min = seconds;
+    e.max = seconds;
+  } else {
+    e.min = std::min(e.min, seconds);
+    e.max = std::max(e.max, seconds);
+  }
+  e.count += 1;
+  e.total += seconds;
+}
+
+const TimingStats::Entry* TimingStats::find(const std::string& section) const {
+  auto it = entries_.find(section);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::string TimingStats::report() const {
+  std::vector<std::pair<std::string, Entry>> rows(entries_.begin(),
+                                                  entries_.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.total > b.second.total;
+  });
+  std::ostringstream os;
+  os << std::left << std::setw(36) << "section" << std::right << std::setw(10)
+     << "count" << std::setw(14) << "total(s)" << std::setw(14) << "mean(s)"
+     << std::setw(14) << "max(s)" << "\n";
+  for (const auto& [name, e] : rows) {
+    os << std::left << std::setw(36) << name << std::right << std::setw(10)
+       << e.count << std::setw(14) << std::scientific << std::setprecision(3)
+       << e.total << std::setw(14) << e.mean() << std::setw(14) << e.max
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace mpas

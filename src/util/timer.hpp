@@ -1,0 +1,73 @@
+// Wall-clock timing plus a named-section statistics accumulator.
+//
+// Real (measured) times are used for the functional runs; the performance
+// figures of the paper are regenerated from the machine model (see
+// src/machine). Keeping both lets EXPERIMENTS.md report measured-vs-modeled.
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mpas {
+
+class WallTimer {
+ public:
+  WallTimer() { reset(); }
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates per-section timing statistics (count / total / min / max).
+class TimingStats {
+ public:
+  void add(const std::string& section, double seconds);
+
+  struct Entry {
+    std::size_t count = 0;
+    double total = 0;
+    double min = 0;
+    double max = 0;
+    [[nodiscard]] double mean() const { return count ? total / count : 0; }
+  };
+
+  [[nodiscard]] const Entry* find(const std::string& section) const;
+  [[nodiscard]] const std::map<std::string, Entry>& entries() const {
+    return entries_;
+  }
+  void clear() { entries_.clear(); }
+
+  /// Render a human-readable report, sections sorted by total time.
+  [[nodiscard]] std::string report() const;
+
+ private:
+  std::map<std::string, Entry> entries_;
+};
+
+/// RAII section timer: adds the elapsed time to a TimingStats on destruction.
+class ScopedTimer {
+ public:
+  ScopedTimer(TimingStats& stats, std::string section)
+      : stats_(stats), section_(std::move(section)) {}
+  ~ScopedTimer() { stats_.add(section_, timer_.seconds()); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  TimingStats& stats_;
+  std::string section_;
+  WallTimer timer_;
+};
+
+}  // namespace mpas

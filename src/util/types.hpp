@@ -1,0 +1,50 @@
+// Fundamental scalar and index types shared by every module.
+//
+// MPAS meshes are indexed with 0-based 32-bit signed indices in this
+// reproduction (the largest mesh, 15-km / 2,621,442 cells, has ~7.9M edges,
+// comfortably inside int32). `Index` is a distinct alias so call sites read
+// as mesh indices rather than raw ints.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <limits>
+
+namespace mpas {
+
+using Real = double;     // the paper runs everything in double precision
+using Index = std::int32_t;
+using GlobalIndex = std::int64_t;
+
+inline constexpr Index kInvalidIndex = -1;
+
+/// Physical constants used by the shallow-water test suite
+/// (Williamson et al. 1992 standard values).
+namespace constants {
+inline constexpr Real kGravity = 9.80616;        // m s^-2
+inline constexpr Real kEarthRadius = 6.37122e6;  // m
+inline constexpr Real kOmega = 7.292e-5;         // rad s^-1 (Earth rotation)
+inline constexpr Real kPi = 3.14159265358979323846;
+}  // namespace constants
+
+/// Where on the C-staggered Voronoi mesh a discrete field lives.
+/// Figure 1 of the paper: mass points (cell centers), velocity points
+/// (edge midpoints), vorticity points (triangle circumcenters).
+enum class MeshLocation : std::uint8_t {
+  Cell = 0,    // mass points
+  Edge = 1,    // velocity points
+  Vertex = 2,  // vorticity points
+  None = 3,    // scalars / bookkeeping values not tied to the mesh
+};
+
+inline const char* to_string(MeshLocation loc) {
+  switch (loc) {
+    case MeshLocation::Cell: return "cell";
+    case MeshLocation::Edge: return "edge";
+    case MeshLocation::Vertex: return "vertex";
+    case MeshLocation::None: return "none";
+  }
+  return "?";
+}
+
+}  // namespace mpas

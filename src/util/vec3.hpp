@@ -1,0 +1,112 @@
+// Minimal 3-vector plus the spherical-geometry primitives the SCVT mesh
+// generator needs: great-circle arcs, spherical triangle areas (L'Huilier),
+// circumcenters projected to the sphere, and lon/lat conversions.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/types.hpp"
+
+namespace mpas {
+
+struct Vec3 {
+  Real x = 0, y = 0, z = 0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(Real x_, Real y_, Real z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vec3 operator*(Real s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(Real s) const { return {x / s, y / s, z / s}; }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+  Vec3& operator+=(const Vec3& o) { x += o.x; y += o.y; z += o.z; return *this; }
+  Vec3& operator-=(const Vec3& o) { x -= o.x; y -= o.y; z -= o.z; return *this; }
+  Vec3& operator*=(Real s) { x *= s; y *= s; z *= s; return *this; }
+
+  [[nodiscard]] Real dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  [[nodiscard]] Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  [[nodiscard]] Real norm2() const { return dot(*this); }
+  [[nodiscard]] Real norm() const { return std::sqrt(norm2()); }
+  [[nodiscard]] Vec3 normalized() const {
+    const Real n = norm();
+    MPAS_CHECK_MSG(n > 0, "cannot normalize zero vector");
+    return *this / n;
+  }
+};
+
+inline constexpr Vec3 operator*(Real s, const Vec3& v) { return v * s; }
+
+namespace sphere {
+
+/// Great-circle (geodesic) distance between two unit vectors, on the unit
+/// sphere. Uses atan2 of cross/dot for accuracy at both small and large arcs.
+inline Real arc_length(const Vec3& a, const Vec3& b) {
+  return std::atan2(a.cross(b).norm(), a.dot(b));
+}
+
+/// Area of the spherical triangle (a,b,c) on the unit sphere via L'Huilier's
+/// theorem. Returns a non-negative area regardless of orientation.
+inline Real triangle_area(const Vec3& a, const Vec3& b, const Vec3& c) {
+  const Real la = arc_length(b, c);
+  const Real lb = arc_length(c, a);
+  const Real lc = arc_length(a, b);
+  const Real s = 0.5 * (la + lb + lc);
+  const Real t = std::tan(0.5 * s) * std::tan(0.5 * (s - la)) *
+                 std::tan(0.5 * (s - lb)) * std::tan(0.5 * (s - lc));
+  return 4.0 * std::atan(std::sqrt(std::max<Real>(t, 0)));
+}
+
+/// Circumcenter of the spherical triangle (a,b,c), i.e. the point equidistant
+/// from all three, projected to the unit sphere. Oriented to lie on the same
+/// hemisphere as the triangle itself.
+inline Vec3 circumcenter(const Vec3& a, const Vec3& b, const Vec3& c) {
+  Vec3 n = (b - a).cross(c - a);
+  const Real len = n.norm();
+  MPAS_CHECK_MSG(len > 0, "degenerate triangle in circumcenter");
+  n = n / len;
+  // Flip so the circumcenter is on the triangle's side of the sphere.
+  if (n.dot(a + b + c) < 0) n = -n;
+  return n;
+}
+
+/// Midpoint of the minor great-circle arc between two unit vectors.
+inline Vec3 arc_midpoint(const Vec3& a, const Vec3& b) {
+  return (a + b).normalized();
+}
+
+inline Real longitude(const Vec3& p) {
+  Real lon = std::atan2(p.y, p.x);
+  if (lon < 0) lon += 2 * constants::kPi;
+  return lon;
+}
+
+inline Real latitude(const Vec3& p) {
+  return std::asin(std::clamp<Real>(p.z / p.norm(), -1.0, 1.0));
+}
+
+inline Vec3 from_lon_lat(Real lon, Real lat) {
+  return {std::cos(lat) * std::cos(lon), std::cos(lat) * std::sin(lon),
+          std::sin(lat)};
+}
+
+/// Local unit east/north tangent vectors at point p (must not be a pole for
+/// east to be well defined; at the poles we pick an arbitrary frame).
+inline Vec3 east_at(const Vec3& p) {
+  Vec3 k{0, 0, 1};
+  Vec3 e = k.cross(p);
+  const Real n = e.norm();
+  if (n < 1e-12) return {1, 0, 0};  // pole: arbitrary but consistent
+  return e / n;
+}
+
+inline Vec3 north_at(const Vec3& p) {
+  return p.normalized().cross(east_at(p));
+}
+
+}  // namespace sphere
+}  // namespace mpas

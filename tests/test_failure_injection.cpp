@@ -1,0 +1,150 @@
+// Failure-injection tests: corrupt inputs and protocol misuse must be
+// rejected loudly (mpas::Error with a descriptive message), never silently
+// accepted. Each case corrupts one invariant and checks the guard that owns
+// it fires.
+#include <gtest/gtest.h>
+
+#include "comm/distributed.hpp"
+#include "core/schedule.hpp"
+#include "mesh/mesh_cache.hpp"
+#include "mesh/trimesh.hpp"
+#include "sw/model.hpp"
+#include "sw/testcases.hpp"
+#include "util/error.hpp"
+
+namespace mpas {
+namespace {
+
+mesh::VoronoiMesh small_mesh() {
+  return mesh::build_icosahedral_voronoi_mesh(2);
+}
+
+TEST(MeshValidation, DetectsBrokenEdgeSign) {
+  mesh::VoronoiMesh m = small_mesh();
+  m.edge_sign_on_cell(5, 1) = -m.edge_sign_on_cell(5, 1);
+  EXPECT_THROW(m.validate(), Error);
+}
+
+TEST(MeshValidation, DetectsBrokenVertexSign) {
+  mesh::VoronoiMesh m = small_mesh();
+  // Flipping one vertex sign breaks curl(grad) == 0.
+  m.edge_sign_on_vertex(3, 2) = -m.edge_sign_on_vertex(3, 2);
+  EXPECT_THROW(m.validate(), Error);
+}
+
+TEST(MeshValidation, DetectsCorruptedConnectivity) {
+  mesh::VoronoiMesh m = small_mesh();
+  m.cells_on_edge(7, 1) = m.cells_on_edge(7, 0);  // degenerate edge
+  EXPECT_THROW(m.validate(), Error);
+}
+
+TEST(MeshValidation, DetectsAreaCorruption) {
+  mesh::VoronoiMesh m = small_mesh();
+  m.area_cell[0] *= 2;  // breaks the sphere-tiling identity
+  EXPECT_THROW(m.validate(), Error);
+}
+
+TEST(MeshValidation, DetectsShuffledVerticesOnCell) {
+  mesh::VoronoiMesh m = small_mesh();
+  std::swap(m.vertices_on_cell(4, 0), m.vertices_on_cell(4, 2));
+  EXPECT_THROW(m.validate(), Error);
+}
+
+TEST(MeshValidation, DetectsCountMismatch) {
+  mesh::VoronoiMesh m = small_mesh();
+  m.num_edges -= 1;  // Euler formula violated
+  EXPECT_THROW(m.validate(), Error);
+}
+
+TEST(MeshGeneration, RejectsAbsurdLevels) {
+  EXPECT_THROW(mesh::make_icosahedral_grid(-1), Error);
+  EXPECT_THROW(mesh::make_icosahedral_grid(40), Error);
+}
+
+TEST(TestCaseInit, RejectsDryState) {
+  // A mountain taller than the fluid column must be rejected at init.
+  class DryCase final : public sw::TestCase {
+   public:
+    std::string name() const override { return "dry"; }
+    int williamson_number() const override { return 99; }
+    Real thickness(Real, Real) const override { return -1; }
+    Real zonal_wind(Real, Real) const override { return 0; }
+    Real max_wave_speed() const override { return 100; }
+  };
+  const auto mesh = mesh::get_global_mesh(2);
+  sw::FieldStore fields(*mesh);
+  EXPECT_THROW(sw::apply_initial_conditions(DryCase{}, *mesh, fields), Error);
+}
+
+TEST(Schedules, WrongAssignmentCountIsRejected) {
+  const auto mesh = mesh::get_global_mesh(2);
+  sw::SwParams p;
+  p.dt = 60;
+  sw::SwModel model(*mesh, p);
+  core::Schedule bad;
+  bad.assignments.resize(3);  // graphs have more nodes
+  EXPECT_THROW(model.set_schedules(bad, bad, bad), Error);
+}
+
+TEST(Schedules, SimulatorRejectsMismatchedSchedule) {
+  sw::SwGraphs graphs = sw::build_sw_graphs(nullptr, false);
+  core::Schedule bad;
+  bad.assignments.resize(1);
+  core::SimOptions opts;
+  opts.platform = machine::paper_platform();
+  EXPECT_THROW(static_cast<void>(core::simulate_schedule(
+                   graphs.early, bad, core::MeshSizes::icosahedral(2562),
+                   opts)),
+               Error);
+}
+
+TEST(Schedules, SplittingUnsplittableNodeIsRejected) {
+  core::DataflowGraph g("guard");
+  core::PatternNode n;
+  n.label = "solid";
+  n.outputs = {"x"};
+  n.cost_gather = {.flops = 1, .bytes_written = 8};
+  n.splittable = false;
+  g.add_node(n);
+  g.finalize();
+  core::Schedule s;
+  s.assignments = {{core::DeviceSide::Split, 0.5}};
+  core::SimOptions opts;
+  opts.platform = machine::paper_platform();
+  EXPECT_THROW(static_cast<void>(core::simulate_schedule(
+                   g, s, core::MeshSizes::icosahedral(2562), opts)),
+               Error);
+}
+
+TEST(Partitioning, RejectsBadPartCounts) {
+  const auto mesh = mesh::get_global_mesh(2);
+  EXPECT_THROW(static_cast<void>(partition::partition_cells_rcb(*mesh, 0)),
+               Error);
+  EXPECT_THROW(static_cast<void>(partition::partition_cells_rcb(
+                   *mesh, mesh->num_cells + 1)),
+               Error);
+}
+
+TEST(Distributed, RejectsOutOfRangeRank) {
+  const auto mesh = mesh::get_global_mesh(2);
+  const auto part = partition::partition_cells_rcb(*mesh, 2);
+  EXPECT_THROW(static_cast<void>(partition::build_local_mesh(*mesh, part, 5)),
+               Error);
+}
+
+TEST(Timing, NegativeEntityCountRejected) {
+  EXPECT_THROW(static_cast<void>(machine::kernel_time(
+                   machine::xeon_phi_5110p(), {.flops = 1}, -1,
+                   machine::OptLevel::Full)),
+               Error);
+}
+
+TEST(Gantt, NoTraceProducesPlaceholder) {
+  sw::SwGraphs graphs = sw::build_sw_graphs(nullptr, false);
+  core::SimResult empty;
+  const std::string out = core::render_gantt(graphs.early, empty);
+  EXPECT_NE(out.find("no trace"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mpas

@@ -1,0 +1,144 @@
+// Tests for the machine (roofline) model: preset sanity, monotonicity of
+// the optimization ladder, and the qualitative relations the paper's
+// figures depend on.
+#include <gtest/gtest.h>
+
+#include "machine/machine_model.hpp"
+
+namespace mpas::machine {
+namespace {
+
+KernelCost gather_kernel() {
+  // A representative stencil pattern: heavy indirect reads.
+  return {.flops = 40,
+          .bytes_streamed = 80,
+          .bytes_gathered = 160,
+          .bytes_written = 8};
+}
+
+KernelCost scatter_kernel() {
+  KernelCost c = gather_kernel();
+  c.scatter_writes = true;
+  return c;
+}
+
+TEST(DeviceSpec, PeakFlopsMatchTableII) {
+  EXPECT_NEAR(xeon_e5_2680v2().peak_gflops(), 224.0, 1.0);
+  EXPECT_NEAR(xeon_phi_5110p().peak_gflops(), 1010.8, 3.0);
+}
+
+TEST(DeviceSpec, PhiReservesOneCoreForOffloadDaemon) {
+  const DeviceSpec phi = xeon_phi_5110p();
+  EXPECT_EQ(phi.compute_cores(), 59);
+  EXPECT_EQ(xeon_e5_2680v2().compute_cores(), 10);
+}
+
+TEST(KernelTime, ZeroEntitiesCostsNothing) {
+  EXPECT_EQ(kernel_time(xeon_phi_5110p(), gather_kernel(), 0,
+                        OptLevel::Full),
+            0.0);
+}
+
+TEST(KernelTime, ScalesLinearlyWithEntities) {
+  const DeviceSpec d = xeon_e5_2680v2();
+  const Real t1 = kernel_time(d, gather_kernel(), 1 << 20, OptLevel::Full);
+  const Real t2 = kernel_time(d, gather_kernel(), 1 << 21, OptLevel::Full);
+  // Linear up to the fixed region overhead.
+  EXPECT_NEAR(t2 / t1, 2.0, 0.05);
+}
+
+TEST(KernelTime, OptimizationLadderIsMonotone) {
+  // Each Figure 6 stage must be at least as fast as the previous one, on
+  // both devices, for scatter kernels (the ones the ladder is about).
+  for (const DeviceSpec& d : {xeon_e5_2680v2(), xeon_phi_5110p()}) {
+    Real prev = kernel_time(d, scatter_kernel(), 1 << 22,
+                            OptLevel::SerialBaseline);
+    // OpenMP parallelizes the irregular variant (atomics) — may or may not
+    // beat serial on the CPU, but from Refactored on it must be monotone.
+    Real openmp = kernel_time(d, scatter_kernel(), 1 << 22, OptLevel::OpenMP);
+    EXPECT_LT(openmp, prev) << d.name;
+    prev = openmp;
+    for (OptLevel opt : {OptLevel::Refactored, OptLevel::Simd,
+                         OptLevel::Streaming, OptLevel::Full}) {
+      const Real t = kernel_time(d, gather_kernel(), 1 << 22, opt);
+      EXPECT_LE(t, prev * 1.0001) << d.name << " at " << to_string(opt);
+      prev = t;
+    }
+  }
+}
+
+TEST(KernelTime, RefactoringBeatsAtomicsByALot) {
+  // The heart of Figure 6: on the Phi, the refactored gather loop is much
+  // faster than the atomic scatter loop at full threading.
+  const DeviceSpec phi = xeon_phi_5110p();
+  const Real atomic = kernel_time(phi, scatter_kernel(), 1 << 22,
+                                  OptLevel::OpenMP);
+  const Real gathered = kernel_time(phi, gather_kernel(), 1 << 22,
+                                    OptLevel::Refactored);
+  EXPECT_GT(atomic / gathered, 2.0);
+}
+
+TEST(KernelTime, PhiSerialCoreIsMuchSlowerThanXeonCore) {
+  // In-order 1.05 GHz core vs out-of-order 2.8 GHz core on irregular code:
+  // the factor that reconciles Figure 6 (~100x on-device speedup) with
+  // Figure 7 (~8.35x total vs a Xeon core).
+  const Real phi = kernel_time(xeon_phi_5110p(), gather_kernel(), 1 << 20,
+                               OptLevel::SerialBaseline);
+  const Real xeon = kernel_time(xeon_e5_2680v2(), gather_kernel(), 1 << 20,
+                                OptLevel::SerialBaseline);
+  EXPECT_GT(phi / xeon, 8.0);
+  EXPECT_LT(phi / xeon, 40.0);
+}
+
+TEST(KernelTime, FullPhiAndFullHostAreComparable) {
+  // The hybrid design pays off precisely because neither side dominates:
+  // per Figure 7, the fully-optimized Phi and the 10-core host contribute
+  // comparable throughput on the gather-heavy patterns.
+  const Real phi = kernel_time(xeon_phi_5110p(), gather_kernel(), 1 << 22,
+                               OptLevel::Full);
+  const Real host = kernel_time(xeon_e5_2680v2(), gather_kernel(), 1 << 22,
+                                OptLevel::Full);
+  EXPECT_GT(phi / host, 0.6);
+  EXPECT_LT(phi / host, 1.5);
+}
+
+TEST(KernelTime, MoreThreadsNeverSlower) {
+  const DeviceSpec phi = xeon_phi_5110p();
+  Real prev = 1e30;
+  for (int threads : {1, 4, 16, 60, 120, 236}) {
+    const Real t = kernel_time(phi, gather_kernel(), 1 << 22,
+                               OptLevel::Refactored, threads);
+    EXPECT_LE(t, prev * 1.0001) << threads;
+    prev = t;
+  }
+}
+
+TEST(TransferLink, TimeHasLatencyPlusBandwidthShape) {
+  const TransferLink link;
+  const Real small = link.time(8);
+  const Real large = link.time(1 << 30);
+  EXPECT_GT(small, 0);
+  EXPECT_NEAR(large, (1 << 30) / (link.bandwidth_gbs * 1e9), small * 2);
+  // 5.3 GB (the paper's 15-km working set) should take seconds, not ms.
+  const Real full = link.time(5'300'000'000LL);
+  EXPECT_GT(full, 0.5);
+  EXPECT_LT(full, 2.0);
+}
+
+TEST(Network, MessageTimeMonotoneInSize) {
+  const Network net;
+  EXPECT_LT(net.message_time(1024), net.message_time(1024 * 1024));
+  EXPECT_GT(net.message_time(0), 0);  // latency floor
+}
+
+TEST(OptLevelNames, MatchFigureSixLabels) {
+  EXPECT_STREQ(to_string(OptLevel::SerialBaseline), "Baseline");
+  EXPECT_STREQ(to_string(OptLevel::OpenMP), "OpenMP");
+  EXPECT_STREQ(to_string(OptLevel::Refactored), "Refactoring");
+  EXPECT_STREQ(to_string(OptLevel::Simd), "SIMD");
+  EXPECT_STREQ(to_string(OptLevel::Streaming), "Streaming");
+  EXPECT_STREQ(to_string(OptLevel::Full), "Others");
+}
+
+}  // namespace
+}  // namespace mpas::machine

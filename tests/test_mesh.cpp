@@ -1,0 +1,206 @@
+// Tests for the Voronoi (dual) mesh construction: connectivity conventions,
+// geometric identities, and the mimetic sign structure.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "mesh/mesh.hpp"
+#include "mesh/mesh_cache.hpp"
+#include "mesh/mesh_quality.hpp"
+#include "mesh/trimesh.hpp"
+#include "util/error.hpp"
+
+namespace mpas::mesh {
+namespace {
+
+class SmallMesh : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    mesh_ = new VoronoiMesh(build_icosahedral_voronoi_mesh(3));
+  }
+  static void TearDownTestSuite() {
+    delete mesh_;
+    mesh_ = nullptr;
+  }
+  static const VoronoiMesh& mesh() { return *mesh_; }
+
+ private:
+  static VoronoiMesh* mesh_;
+};
+
+VoronoiMesh* SmallMesh::mesh_ = nullptr;
+
+TEST_F(SmallMesh, ValidatePasses) { mesh().validate(); }
+
+TEST_F(SmallMesh, SizesSatisfyIcosahedralFormulas) {
+  EXPECT_EQ(mesh().num_cells, icosahedral_cell_count(3));
+  EXPECT_EQ(mesh().num_vertices, icosahedral_vertex_count(3));
+  EXPECT_EQ(mesh().num_edges, icosahedral_edge_count(3));
+}
+
+TEST_F(SmallMesh, EdgeNormalPointsFromCell0ToCell1) {
+  const auto& m = mesh();
+  for (Index e = 0; e < m.num_edges; ++e) {
+    const Vec3 d =
+        m.x_cell[m.cells_on_edge(e, 1)] - m.x_cell[m.cells_on_edge(e, 0)];
+    EXPECT_GT(d.dot(m.edge_normal[e]), 0) << "edge " << e;
+    // Normal and tangent are unit and orthogonal, tangent = r x n.
+    EXPECT_NEAR(m.edge_normal[e].norm(), 1.0, 1e-12);
+    EXPECT_NEAR(m.edge_tangent[e].norm(), 1.0, 1e-12);
+    EXPECT_NEAR(m.edge_normal[e].dot(m.edge_tangent[e]), 0.0, 1e-12);
+    const Vec3 r_hat = m.x_edge[e].normalized();
+    const Vec3 t_expected = r_hat.cross(m.edge_normal[e]);
+    EXPECT_NEAR((t_expected - m.edge_tangent[e]).norm(), 0.0, 1e-12);
+  }
+}
+
+TEST_F(SmallMesh, CellsOnCellMatchesEdgesOnCell) {
+  const auto& m = mesh();
+  for (Index c = 0; c < m.num_cells; ++c) {
+    for (Index j = 0; j < m.n_edges_on_cell[c]; ++j) {
+      const Index e = m.edges_on_cell(c, j);
+      const Index other = m.cells_on_cell(c, j);
+      EXPECT_TRUE((m.cells_on_edge(e, 0) == c && m.cells_on_edge(e, 1) == other) ||
+                  (m.cells_on_edge(e, 1) == c && m.cells_on_edge(e, 0) == other));
+    }
+  }
+}
+
+TEST_F(SmallMesh, CellNeighborhoodsAreCounterclockwise) {
+  const auto& m = mesh();
+  for (Index c = 0; c < m.num_cells; ++c) {
+    const Index deg = m.n_edges_on_cell[c];
+    // Cross product of consecutive neighbour directions points outward.
+    for (Index j = 0; j < deg; ++j) {
+      const Vec3 a = m.x_cell[m.cells_on_cell(c, j)] - m.x_cell[c];
+      const Vec3 b = m.x_cell[m.cells_on_cell(c, (j + 1) % deg)] - m.x_cell[c];
+      EXPECT_GT(a.cross(b).dot(m.x_cell[c]), 0)
+          << "cell " << c << " neighbours not CCW at slot " << j;
+    }
+  }
+}
+
+TEST_F(SmallMesh, VertexCellsAreCounterclockwise) {
+  const auto& m = mesh();
+  for (Index v = 0; v < m.num_vertices; ++v) {
+    for (int j = 0; j < 3; ++j) {
+      const Vec3 a = m.x_cell[m.cells_on_vertex(v, j)] - m.x_vertex[v];
+      const Vec3 b =
+          m.x_cell[m.cells_on_vertex(v, (j + 1) % 3)] - m.x_vertex[v];
+      EXPECT_GT(a.cross(b).dot(m.x_vertex[v]), 0);
+    }
+  }
+}
+
+TEST_F(SmallMesh, EveryEdgeAppearsOnExactlyTwoCells) {
+  const auto& m = mesh();
+  std::vector<int> count(m.num_edges, 0);
+  for (Index c = 0; c < m.num_cells; ++c)
+    for (Index j = 0; j < m.n_edges_on_cell[c]; ++j)
+      count[m.edges_on_cell(c, j)] += 1;
+  for (Index e = 0; e < m.num_edges; ++e) EXPECT_EQ(count[e], 2);
+}
+
+TEST_F(SmallMesh, KiteAreasSumToCellAndTriangleAreas) {
+  const auto& m = mesh();
+  // areaTriangle(v) == sum of its kites is exact by construction.
+  for (Index v = 0; v < m.num_vertices; ++v) {
+    Real sum = 0;
+    for (int j = 0; j < 3; ++j) sum += m.kite_areas_on_vertex(v, j);
+    EXPECT_NEAR(sum / m.area_triangle[v], 1.0, 1e-14);
+  }
+  // areaCell(c) == sum of kites gathered from its vertices.
+  std::vector<Real> acc(m.num_cells, 0.0);
+  for (Index v = 0; v < m.num_vertices; ++v)
+    for (int j = 0; j < 3; ++j)
+      acc[m.cells_on_vertex(v, j)] += m.kite_areas_on_vertex(v, j);
+  for (Index c = 0; c < m.num_cells; ++c)
+    EXPECT_NEAR(acc[c] / m.area_cell[c], 1.0, 1e-14);
+}
+
+TEST_F(SmallMesh, AreasTileTheSphere) {
+  const auto& m = mesh();
+  const Real sphere =
+      4 * constants::kPi * m.sphere_radius * m.sphere_radius;
+  const Real cells = std::accumulate(m.area_cell.begin(), m.area_cell.end(), 0.0);
+  const Real tris =
+      std::accumulate(m.area_triangle.begin(), m.area_triangle.end(), 0.0);
+  EXPECT_NEAR(cells / sphere, 1.0, 1e-12);
+  EXPECT_NEAR(tris / sphere, 1.0, 1e-12);
+}
+
+TEST_F(SmallMesh, DivergenceOfConstantFieldIsZero) {
+  // Gauss: for any closed cell, sum of outward edge-length-weighted unit
+  // normals of a *constant* vector field integrates to ~0. Discretely:
+  // div(V) with u_e = V . n_e must vanish to truncation error.
+  const auto& m = mesh();
+  const Vec3 V{0.3, -1.1, 0.7};
+  Real max_div = 0;
+  for (Index c = 0; c < m.num_cells; ++c) {
+    Real div = 0;
+    for (Index j = 0; j < m.n_edges_on_cell[c]; ++j) {
+      const Index e = m.edges_on_cell(c, j);
+      const Real u = V.dot(m.edge_normal[e]);
+      div += m.edge_sign_on_cell(c, j) * u * m.dv_edge[e];
+    }
+    max_div = std::max(max_div, std::abs(div / m.area_cell[c]));
+  }
+  // A constant Cartesian field restricted to the sphere has surface
+  // divergence -2 V.r/R; compare against that bound instead of zero.
+  EXPECT_LT(max_div, 2.5 * V.norm() / m.sphere_radius * 1.2);
+}
+
+TEST_F(SmallMesh, CoriolisParameterMatchesLatitude) {
+  const auto& m = mesh();
+  for (Index c = 0; c < m.num_cells; ++c)
+    EXPECT_NEAR(m.f_cell[c], 2 * constants::kOmega * std::sin(m.lat_cell[c]),
+                1e-18);
+}
+
+TEST_F(SmallMesh, MeshDataBytesIsSubstantial) {
+  EXPECT_GT(mesh().mesh_data_bytes(), 100000u);
+}
+
+TEST(MeshQuality, IcosahedralGridIsQuasiUniform) {
+  const VoronoiMesh m = build_icosahedral_voronoi_mesh(4);
+  const MeshQuality q = compute_quality(m);
+  EXPECT_EQ(q.pentagon_cells, 12);
+  EXPECT_EQ(q.hexagon_cells, m.num_cells - 12);
+  EXPECT_LT(q.dc_max / q.dc_min, 2.0);
+  EXPECT_LT(q.area_max / q.area_min, 2.0);
+  EXPECT_FALSE(q.summary().empty());
+}
+
+TEST(MeshQuality, ResolutionHalvesPerLevel) {
+  const VoronoiMesh m3 = build_icosahedral_voronoi_mesh(3);
+  const VoronoiMesh m4 = build_icosahedral_voronoi_mesh(4);
+  const Real r3 = compute_quality(m3).resolution_km;
+  const Real r4 = compute_quality(m4).resolution_km;
+  EXPECT_NEAR(r3 / r4, 2.0, 0.05);
+}
+
+TEST(MeshCache, ReturnsSameInstanceAndRightLevel) {
+  auto a = get_global_mesh(2);
+  auto b = get_global_mesh(2);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(a->subdivision_level, 2);
+  EXPECT_EQ(a->num_cells, icosahedral_cell_count(2));
+}
+
+TEST(ResolutionLabels, MatchPaperTableIII) {
+  EXPECT_EQ(resolution_label_for_level(6), "120-km");
+  EXPECT_EQ(resolution_label_for_level(7), "60-km");
+  EXPECT_EQ(resolution_label_for_level(8), "30-km");
+  EXPECT_EQ(resolution_label_for_level(9), "15-km");
+}
+
+TEST(ScvtMesh, RelaxedMeshStillValidates) {
+  const VoronoiMesh m = build_icosahedral_voronoi_mesh(3, constants::kEarthRadius,
+                                                       /*scvt_iterations=*/3);
+  m.validate();
+}
+
+}  // namespace
+}  // namespace mpas::mesh

@@ -1,0 +1,80 @@
+// Round-trip and corruption tests for the binary mesh format.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "mesh/mesh_cache.hpp"
+#include "mesh/mesh_io.hpp"
+#include "util/error.hpp"
+
+namespace mpas::mesh {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(MeshIo, RoundTripPreservesEverything) {
+  const VoronoiMesh m = build_icosahedral_voronoi_mesh(3);
+  const std::string path = temp_path("mpas_roundtrip.mpasmesh");
+  save_mesh(m, path);
+  const VoronoiMesh r = load_mesh(path);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(r.num_cells, m.num_cells);
+  EXPECT_EQ(r.num_edges, m.num_edges);
+  EXPECT_EQ(r.num_vertices, m.num_vertices);
+  EXPECT_EQ(r.subdivision_level, m.subdivision_level);
+  EXPECT_EQ(r.sphere_radius, m.sphere_radius);
+  EXPECT_EQ(r.edges_on_cell, m.edges_on_cell);
+  EXPECT_EQ(r.cells_on_edge, m.cells_on_edge);
+  EXPECT_EQ(r.weights_on_edge, m.weights_on_edge);
+  EXPECT_EQ(r.kite_areas_on_vertex, m.kite_areas_on_vertex);
+  ASSERT_EQ(r.area_cell.size(), m.area_cell.size());
+  for (std::size_t i = 0; i < m.area_cell.size(); ++i)
+    EXPECT_EQ(r.area_cell[i], m.area_cell[i]);
+  ASSERT_EQ(r.x_cell.size(), m.x_cell.size());
+  for (std::size_t i = 0; i < m.x_cell.size(); ++i) {
+    EXPECT_EQ(r.x_cell[i].x, m.x_cell[i].x);
+    EXPECT_EQ(r.x_cell[i].z, m.x_cell[i].z);
+  }
+  r.validate();
+}
+
+TEST(MeshIo, MissingFileThrows) {
+  EXPECT_THROW(load_mesh("/nonexistent/dir/mesh.mpasmesh"), Error);
+}
+
+TEST(MeshIo, BadMagicThrows) {
+  const std::string path = temp_path("mpas_badmagic.mpasmesh");
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << "NOTAMESHFILE.................................";
+  }
+  EXPECT_THROW(load_mesh(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(MeshIo, TruncatedFileThrows) {
+  const VoronoiMesh m = build_icosahedral_voronoi_mesh(2);
+  const std::string full = temp_path("mpas_full.mpasmesh");
+  save_mesh(m, full);
+  // Truncate to the first half.
+  std::ifstream in(full, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  const std::string cut = temp_path("mpas_cut.mpasmesh");
+  {
+    std::ofstream os(cut, std::ios::binary);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  EXPECT_THROW(load_mesh(cut), Error);
+  std::remove(full.c_str());
+  std::remove(cut.c_str());
+}
+
+}  // namespace
+}  // namespace mpas::mesh

@@ -1,0 +1,151 @@
+// Parameterized property tests over a sweep of mesh refinement levels:
+// every structural and mimetic invariant must hold at every size.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <random>
+
+#include "mesh/mesh_cache.hpp"
+#include "mesh/trimesh.hpp"
+
+namespace mpas::mesh {
+namespace {
+
+class MeshLevel : public ::testing::TestWithParam<int> {
+ protected:
+  std::shared_ptr<const VoronoiMesh> mesh() {
+    return get_global_mesh(GetParam());
+  }
+};
+
+TEST_P(MeshLevel, EulerFormulaHolds) {
+  const auto m = mesh();
+  EXPECT_EQ(m->num_cells + m->num_vertices - m->num_edges, 2);
+}
+
+TEST_P(MeshLevel, CountsMatchClosedForms) {
+  const auto m = mesh();
+  EXPECT_EQ(m->num_cells, icosahedral_cell_count(GetParam()));
+  EXPECT_EQ(m->num_edges, icosahedral_edge_count(GetParam()));
+  EXPECT_EQ(m->num_vertices, icosahedral_vertex_count(GetParam()));
+}
+
+TEST_P(MeshLevel, ExactlyTwelvePentagons) {
+  const auto m = mesh();
+  Index pentagons = 0;
+  for (Index c = 0; c < m->num_cells; ++c)
+    if (m->n_edges_on_cell[c] == 5) ++pentagons;
+  EXPECT_EQ(pentagons, 12);
+}
+
+TEST_P(MeshLevel, AreasTileSphereToRounding) {
+  const auto m = mesh();
+  const Real sphere = 4 * constants::kPi * m->sphere_radius * m->sphere_radius;
+  const Real cells =
+      std::accumulate(m->area_cell.begin(), m->area_cell.end(), 0.0);
+  const Real tris =
+      std::accumulate(m->area_triangle.begin(), m->area_triangle.end(), 0.0);
+  EXPECT_NEAR(cells / sphere, 1.0, 1e-11);
+  EXPECT_NEAR(tris / sphere, 1.0, 1e-11);
+}
+
+TEST_P(MeshLevel, CurlGradIsIdenticallyZero) {
+  const auto m = mesh();
+  std::mt19937_64 rng(GetParam());
+  std::uniform_real_distribution<Real> dist(-1, 1);
+  std::vector<Real> psi(static_cast<std::size_t>(m->num_cells));
+  for (auto& p : psi) p = dist(rng);
+  Real worst = 0;
+  for (Index v = 0; v < m->num_vertices; ++v) {
+    Real circ = 0;
+    for (int j = 0; j < VoronoiMesh::kVertexDegree; ++j) {
+      const Index e = m->edges_on_vertex(v, j);
+      circ += m->edge_sign_on_vertex(v, j) *
+              (psi[static_cast<std::size_t>(m->cells_on_edge(e, 1))] -
+               psi[static_cast<std::size_t>(m->cells_on_edge(e, 0))]);
+    }
+    worst = std::max(worst, std::abs(circ));
+  }
+  EXPECT_LT(worst, 1e-12);
+}
+
+TEST_P(MeshLevel, TriskWeightsAntisymmetricEverywhere) {
+  const auto m = mesh();
+  Real worst = 0;
+  for (Index e = 0; e < m->num_edges; ++e)
+    for (Index j = 0; j < m->n_edges_on_edge[e]; ++j) {
+      const Index ep = m->edges_on_edge(e, j);
+      const Real fwd = m->weights_on_edge(e, j) * m->dc_edge[e] / m->dv_edge[ep];
+      for (Index k = 0; k < m->n_edges_on_edge[ep]; ++k)
+        if (m->edges_on_edge(ep, k) == e)
+          worst = std::max(
+              worst, std::abs(fwd + m->weights_on_edge(ep, k) *
+                                        m->dc_edge[ep] / m->dv_edge[e]));
+    }
+  EXPECT_LT(worst, 1e-13);
+}
+
+TEST_P(MeshLevel, GaussDivergenceTheoremOnEveryCellPair) {
+  // For any edge field u, sum over ALL cells of the signed boundary flux
+  // telescopes to zero exactly (each edge contributes twice with opposite
+  // signs).
+  const auto m = mesh();
+  std::mt19937_64 rng(7 * GetParam());
+  std::uniform_real_distribution<Real> dist(-1, 1);
+  std::vector<Real> u(static_cast<std::size_t>(m->num_edges));
+  for (auto& x : u) x = dist(rng);
+  Real total = 0, scale = 0;
+  for (Index c = 0; c < m->num_cells; ++c)
+    for (Index j = 0; j < m->n_edges_on_cell[c]; ++j) {
+      const Index e = m->edges_on_cell(c, j);
+      const Real f = m->edge_sign_on_cell(c, j) *
+                     u[static_cast<std::size_t>(e)] * m->dv_edge[e];
+      total += f;
+      scale += std::abs(f);
+    }
+  EXPECT_LT(std::abs(total), 1e-12 * scale);
+}
+
+TEST_P(MeshLevel, EdgeMidpointsLieBetweenCells) {
+  const auto m = mesh();
+  for (Index e = 0; e < m->num_edges; ++e) {
+    const Real d0 = sphere::arc_length(m->x_edge[e],
+                                       m->x_cell[m->cells_on_edge(e, 0)]);
+    const Real d1 = sphere::arc_length(m->x_edge[e],
+                                       m->x_cell[m->cells_on_edge(e, 1)]);
+    // Arc midpoint: equidistant, and each half is dc/2.
+    EXPECT_NEAR(d0, d1, 1e-12);
+    EXPECT_NEAR((d0 + d1) * m->sphere_radius, m->dc_edge[e],
+                1e-9 * m->dc_edge[e]);
+  }
+}
+
+TEST_P(MeshLevel, KiteAreasPositiveAndConsistentBothWays) {
+  const auto m = mesh();
+  for (Index c = 0; c < m->num_cells; ++c) {
+    Real sum = 0;
+    for (Index j = 0; j < m->n_edges_on_cell[c]; ++j) {
+      EXPECT_GT(m->kite_areas_on_cell(c, j), 0);
+      sum += m->kite_areas_on_cell(c, j);
+      // The cell-side copy equals the vertex-side original.
+      const Index v = m->vertices_on_cell(c, j);
+      bool found = false;
+      for (int k = 0; k < VoronoiMesh::kVertexDegree; ++k)
+        if (m->cells_on_vertex(v, k) == c) {
+          EXPECT_EQ(m->kite_areas_on_cell(c, j),
+                    m->kite_areas_on_vertex(v, k));
+          found = true;
+        }
+      EXPECT_TRUE(found);
+    }
+    EXPECT_NEAR(sum / m->area_cell[c], 1.0, 1e-13);
+  }
+}
+
+TEST_P(MeshLevel, ValidatePasses) { mesh()->validate(); }
+
+INSTANTIATE_TEST_SUITE_P(Levels, MeshLevel, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace mpas::mesh

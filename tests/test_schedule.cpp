@@ -1,0 +1,249 @@
+// Tests for schedule simulation and the two hybrid schedulers, on both toy
+// graphs and the real shallow-water graphs.
+#include <gtest/gtest.h>
+
+#include "core/schedule.hpp"
+#include "sw/model.hpp"
+
+namespace mpas::core {
+namespace {
+
+PatternNode heavy_node(std::string label, std::vector<std::string> in,
+                       std::vector<std::string> out,
+                       MeshLocation loc = MeshLocation::Cell,
+                       bool splittable = true) {
+  PatternNode n;
+  n.label = std::move(label);
+  n.kind = PatternKind::A;
+  n.kernel = KernelGroup::ComputeSolveDiagnostics;
+  n.iterates = loc;
+  n.inputs = std::move(in);
+  n.outputs = std::move(out);
+  n.cost_gather = {.flops = 30, .bytes_streamed = 60, .bytes_gathered = 140,
+                   .bytes_written = 8};
+  n.splittable = splittable;
+  return n;
+}
+
+SimOptions default_opts() {
+  SimOptions o;
+  o.platform = machine::paper_platform();
+  return o;
+}
+
+TEST(ScheduleSim, SingleDeviceMakespanIsSumOfNodeTimes) {
+  DataflowGraph g("chain");
+  g.add_node(heavy_node("a", {"u"}, {"p"}));
+  g.add_node(heavy_node("b", {"p"}, {"q"}));
+  g.finalize();
+  const auto sizes = MeshSizes::icosahedral(40962);
+  const auto opts = default_opts();
+  const Schedule s = make_single_device_schedule(g, DeviceSide::Host, "host");
+  const SimResult r = simulate_schedule(g, s, sizes, opts);
+  const Real expect =
+      node_time(g.node(0), DeviceSide::Host, sizes.cells, s, opts) +
+      node_time(g.node(1), DeviceSide::Host, sizes.cells, s, opts);
+  EXPECT_NEAR(r.makespan, expect, 1e-12);
+  EXPECT_NEAR(r.host_busy, expect, 1e-12);
+  EXPECT_EQ(r.accel_busy, 0.0);
+  EXPECT_EQ(r.link_bytes, 0);
+}
+
+TEST(ScheduleSim, IndependentNodesOverlapAcrossDevices) {
+  DataflowGraph g("par");
+  g.add_node(heavy_node("a", {"u"}, {"p"}));
+  g.add_node(heavy_node("b", {"u"}, {"q"}));
+  g.finalize();
+  const auto sizes = MeshSizes::icosahedral(163842);
+  const auto opts = default_opts();
+  Schedule s;
+  s.name = "hybrid";
+  s.assignments = {{DeviceSide::Host, 1.0}, {DeviceSide::Accel, 0.0}};
+  const SimResult r = simulate_schedule(g, s, sizes, opts);
+  // Makespan is the max of the two, not the sum.
+  EXPECT_NEAR(r.makespan, std::max(r.host_busy, r.accel_busy), 1e-12);
+  EXPECT_GT(r.host_busy, 0);
+  EXPECT_GT(r.accel_busy, 0);
+}
+
+TEST(ScheduleSim, CrossDeviceDependencyPaysTransfer) {
+  DataflowGraph g("xfer");
+  g.add_node(heavy_node("a", {"u"}, {"p"}));
+  g.add_node(heavy_node("b", {"p"}, {"q"}));
+  g.finalize();
+  const auto sizes = MeshSizes::icosahedral(40962);
+  const auto opts = default_opts();
+  Schedule s;
+  s.name = "cross";
+  s.assignments = {{DeviceSide::Host, 1.0}, {DeviceSide::Accel, 0.0}};
+  const SimResult r = simulate_schedule(g, s, sizes, opts);
+  EXPECT_EQ(r.link_bytes, sizes.cells * 8);  // field p crosses once
+  EXPECT_GT(r.link_busy, 0);
+  EXPECT_GE(r.makespan, r.host_busy + r.accel_busy);  // serialized chain
+}
+
+TEST(ScheduleSim, TransferHappensOncePerVersion) {
+  DataflowGraph g("reuse");
+  g.add_node(heavy_node("a", {"u"}, {"p"}));
+  g.add_node(heavy_node("b", {"p"}, {"q"}));
+  g.add_node(heavy_node("c", {"p"}, {"r"}));
+  g.finalize();
+  const auto sizes = MeshSizes::icosahedral(40962);
+  Schedule s;
+  s.name = "reuse";
+  s.assignments = {{DeviceSide::Host, 1.0},
+                   {DeviceSide::Accel, 0.0},
+                   {DeviceSide::Accel, 0.0}};
+  const SimResult r = simulate_schedule(g, s, sizes, default_opts());
+  EXPECT_EQ(r.link_bytes, sizes.cells * 8);  // p uploaded once, reused by c
+}
+
+TEST(ScheduleSim, SplitNodeMovesOnlyRemoteFractions) {
+  DataflowGraph g("split");
+  g.add_node(heavy_node("a", {"u"}, {"p"}));
+  g.add_node(heavy_node("b", {"p"}, {"q"}));
+  g.finalize();
+  const auto sizes = MeshSizes::icosahedral(40962);
+  Schedule s;
+  s.name = "split";
+  s.assignments = {{DeviceSide::Split, 0.25}, {DeviceSide::Host, 1.0}};
+  const SimResult r = simulate_schedule(g, s, sizes, default_opts());
+  // Host consumer needs the accelerator's 75% of p.
+  EXPECT_NEAR(static_cast<double>(r.link_bytes),
+              0.75 * static_cast<double>(sizes.cells) * 8, 8.0);
+}
+
+TEST(ScheduleSim, HaloSyncAddsCommAndBarriers) {
+  DataflowGraph g("halo");
+  const int a = g.add_node(heavy_node("a", {"u"}, {"p"}));
+  g.add_node(heavy_node("b", {"p"}, {"q"}));
+  g.add_halo_sync_after(a);
+  g.finalize();
+  const auto sizes = MeshSizes::icosahedral(40962);
+  auto opts = default_opts();
+  const Schedule s = make_single_device_schedule(g, DeviceSide::Host, "host");
+  const Real quiet = simulate_schedule(g, s, sizes, opts).makespan;
+  opts.halo_bytes_per_sync = 2 * 1024 * 1024;
+  opts.halo_neighbors = 6;
+  const SimResult r = simulate_schedule(g, s, sizes, opts);
+  EXPECT_GT(r.comm_seconds, 0);
+  EXPECT_GT(r.makespan, quiet);
+}
+
+TEST(Schedulers, KernelLevelNeverWorseThanBestSingleDevice) {
+  sw::SwGraphs graphs = sw::build_sw_graphs(nullptr, false);
+  const auto sizes = MeshSizes::icosahedral(655362);
+  const auto opts = default_opts();
+  const auto& g = graphs.early;
+
+  const Real host = simulate_schedule(
+      g, make_single_device_schedule(g, DeviceSide::Host, "h"), sizes, opts)
+                        .makespan;
+  const Real accel = simulate_schedule(
+      g, make_single_device_schedule(g, DeviceSide::Accel, "a"), sizes, opts)
+                         .makespan;
+  const Schedule kl = make_kernel_level_schedule(g, sizes, opts);
+  const Real hybrid = simulate_schedule(g, kl, sizes, opts).makespan;
+  EXPECT_LE(hybrid, std::min(host, accel) * 1.0001);
+}
+
+TEST(Schedulers, PatternLevelBeatsKernelLevel) {
+  // The paper's headline structural claim (Fig. 7): finer granularity plus
+  // the adjustable split gives better load balance than kernel-level.
+  sw::SwGraphs graphs = sw::build_sw_graphs(nullptr, false);
+  const auto sizes = MeshSizes::icosahedral(655362);
+  const auto opts = default_opts();
+  for (const auto* g : {&graphs.early, &graphs.final}) {
+    const Real kl =
+        simulate_schedule(*g, make_kernel_level_schedule(*g, sizes, opts),
+                          sizes, opts)
+            .makespan;
+    const Real pl =
+        simulate_schedule(*g, make_pattern_level_schedule(*g, sizes, opts),
+                          sizes, opts)
+            .makespan;
+    EXPECT_LT(pl, kl) << g->name();
+  }
+}
+
+TEST(Schedulers, PatternLevelImprovesBalance) {
+  sw::SwGraphs graphs = sw::build_sw_graphs(nullptr, false);
+  const auto sizes = MeshSizes::icosahedral(655362);
+  const auto opts = default_opts();
+  const auto& g = graphs.early;
+  const SimResult kl = simulate_schedule(
+      g, make_kernel_level_schedule(g, sizes, opts), sizes, opts);
+  const SimResult pl = simulate_schedule(
+      g, make_pattern_level_schedule(g, sizes, opts), sizes, opts);
+  EXPECT_GT(pl.balance(), kl.balance());
+}
+
+TEST(Schedulers, SerialBaselineUsesIrregularLoops) {
+  sw::SwGraphs graphs = sw::build_sw_graphs(nullptr, false);
+  const Schedule s = make_serial_baseline_schedule(graphs.early);
+  EXPECT_EQ(s.host_variant, VariantChoice::Irregular);
+  for (const auto& a : s.assignments) EXPECT_EQ(a.side, DeviceSide::Host);
+}
+
+TEST(SwGraphs, StructureMatchesAlgorithmOne) {
+  sw::SwGraphs graphs = sw::build_sw_graphs(nullptr, false);
+  EXPECT_EQ(graphs.setup.num_nodes(), 4);
+  // early: A1 F1 X1 X2 X3 + 8 diagnostics + X4 X5 = 15
+  EXPECT_EQ(graphs.early.num_nodes(), 15);
+  // final: A1 F1 X1 X4 X5 X2 X3 + 8 diagnostics + A4 X6 = 17
+  EXPECT_EQ(graphs.final.num_nodes(), 17);
+  // Diffusion adds B1, X7, C2 to both stepping graphs.
+  sw::SwGraphs with_diff = sw::build_sw_graphs(nullptr, true);
+  EXPECT_EQ(with_diff.early.num_nodes(), 18);
+  EXPECT_EQ(with_diff.final.num_nodes(), 20);
+}
+
+TEST(SwGraphs, EveryPatternKindAppears) {
+  sw::SwGraphs graphs = sw::build_sw_graphs(nullptr, true);
+  bool seen[9] = {};
+  for (const auto* g : {&graphs.early, &graphs.final})
+    for (const auto& n : g->nodes())
+      seen[static_cast<int>(n.kind)] = true;
+  for (int k = 0; k < 9; ++k)
+    EXPECT_TRUE(seen[k]) << "pattern kind " << k << " missing";
+}
+
+TEST(SwGraphs, HaloSyncsAreOnProvisAndState) {
+  sw::SwGraphs graphs = sw::build_sw_graphs(nullptr, false);
+  int early_syncs = 0, final_syncs = 0;
+  for (const auto& n : graphs.early.nodes())
+    if (graphs.early.has_halo_sync_after(n.id)) ++early_syncs;
+  for (const auto& n : graphs.final.nodes())
+    if (graphs.final.has_halo_sync_after(n.id)) ++final_syncs;
+  // Two syncs on the provisional/committed state plus one on pv_edge (the
+  // APVM stencil reaches one layer further) per substep.
+  EXPECT_EQ(early_syncs, 3);
+  EXPECT_EQ(final_syncs, 3);
+}
+
+TEST(SwGraphs, MomentumTendencyDependsOnDiagnosticsViaWar) {
+  // In one substep the diagnostics REwrite fields the tendencies read:
+  // C1 (h_edge) must wait for A1 and F1 (WAR) — this is exactly why the
+  // diagram of Fig. 4 orders the kernels the way it does.
+  sw::SwGraphs graphs = sw::build_sw_graphs(nullptr, false);
+  const auto& g = graphs.early;
+  int a1 = -1, f1 = -1, c1 = -1;
+  for (const auto& n : g.nodes()) {
+    if (n.label == "A1") a1 = n.id;
+    if (n.label == "F1") f1 = n.id;
+    if (n.label == "C1") c1 = n.id;
+  }
+  ASSERT_GE(a1, 0);
+  ASSERT_GE(f1, 0);
+  ASSERT_GE(c1, 0);
+  bool c1_after_a1 = false, c1_after_f1 = false;
+  for (int p : g.predecessors(c1)) {
+    c1_after_a1 |= (p == a1);
+    c1_after_f1 |= (p == f1);
+  }
+  EXPECT_TRUE(c1_after_a1);
+  EXPECT_TRUE(c1_after_f1);
+}
+
+}  // namespace
+}  // namespace mpas::core

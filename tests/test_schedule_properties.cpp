@@ -1,0 +1,146 @@
+// Parameterized properties of the timing simulator and the schedulers over
+// a sweep of mesh sizes — the structural claims behind Figures 6-9 must
+// hold at every scale, not just the sizes the paper reports.
+#include <gtest/gtest.h>
+
+#include "core/schedule.hpp"
+#include "sw/model.hpp"
+
+namespace mpas::core {
+namespace {
+
+class ScheduleAtSize : public ::testing::TestWithParam<std::int64_t> {
+ protected:
+  ScheduleAtSize()
+      : graphs(sw::build_sw_graphs(nullptr, false)),
+        sizes(MeshSizes::icosahedral(GetParam())) {
+    opts.platform = machine::paper_platform();
+  }
+  sw::SwGraphs graphs;
+  MeshSizes sizes;
+  SimOptions opts;
+};
+
+TEST_P(ScheduleAtSize, MakespanAtLeastCriticalPathAndBusyBound) {
+  const auto& g = graphs.early;
+  const Schedule pl = make_pattern_level_schedule(g, sizes, opts);
+  const SimResult r = simulate_schedule(g, pl, sizes, opts);
+
+  // Lower bound 1: no device can be busy longer than the makespan.
+  EXPECT_LE(r.host_busy, r.makespan * (1 + 1e-12));
+  EXPECT_LE(r.accel_busy, r.makespan * (1 + 1e-12));
+
+  // Lower bound 2: total work / 2 devices (ignoring speed asymmetry this
+  // is loose but must hold).
+  EXPECT_GE(r.makespan, (r.host_busy + r.accel_busy) / 2 - 1e-12);
+}
+
+TEST_P(ScheduleAtSize, PatternLevelNeverWorseThanKernelLevel) {
+  for (const auto* g : {&graphs.early, &graphs.final}) {
+    const Real kl =
+        simulate_schedule(*g, make_kernel_level_schedule(*g, sizes, opts),
+                          sizes, opts)
+            .makespan;
+    const Real pl =
+        simulate_schedule(*g, make_pattern_level_schedule(*g, sizes, opts),
+                          sizes, opts)
+            .makespan;
+    EXPECT_LE(pl, kl * 1.0001) << g->name();
+  }
+}
+
+TEST_P(ScheduleAtSize, KernelLevelNeverWorseThanSingleDevice) {
+  const auto& g = graphs.early;
+  const Real host =
+      simulate_schedule(g, make_single_device_schedule(g, DeviceSide::Host, "h"),
+                        sizes, opts)
+          .makespan;
+  const Real accel =
+      simulate_schedule(
+          g, make_single_device_schedule(g, DeviceSide::Accel, "a"), sizes,
+          opts)
+          .makespan;
+  const Real kl =
+      simulate_schedule(g, make_kernel_level_schedule(g, sizes, opts), sizes,
+                        opts)
+          .makespan;
+  EXPECT_LE(kl, std::min(host, accel) * 1.0001);
+}
+
+TEST_P(ScheduleAtSize, SplitsRespectSplittability) {
+  const Schedule pl = make_pattern_level_schedule(graphs.early, sizes, opts);
+  for (const auto& node : graphs.early.nodes()) {
+    const Assignment& a = pl.assignments[static_cast<std::size_t>(node.id)];
+    if (a.side == DeviceSide::Split) {
+      EXPECT_TRUE(node.splittable);
+      EXPECT_GT(a.host_fraction, 0.0);
+      EXPECT_LT(a.host_fraction, 1.0);
+    }
+  }
+}
+
+TEST_P(ScheduleAtSize, HaloSyncsOnlySlowThingsDown) {
+  const auto& g = graphs.early;
+  const Schedule pl = make_pattern_level_schedule(g, sizes, opts);
+  const Real quiet = simulate_schedule(g, pl, sizes, opts).makespan;
+  SimOptions noisy = opts;
+  noisy.halo_bytes_per_sync = 1 << 20;
+  noisy.halo_neighbors = 6;
+  const SimResult r = simulate_schedule(g, pl, sizes, noisy);
+  EXPECT_GE(r.makespan, quiet);
+  EXPECT_GT(r.comm_seconds, 0);
+}
+
+TEST_P(ScheduleAtSize, OptimizationLevelsMonotoneOnAccel) {
+  const auto& g = graphs.early;
+  const Schedule accel =
+      make_single_device_schedule(g, DeviceSide::Accel, "a");
+  Real prev = 1e300;
+  for (auto opt :
+       {machine::OptLevel::OpenMP, machine::OptLevel::Refactored,
+        machine::OptLevel::Simd, machine::OptLevel::Streaming,
+        machine::OptLevel::Full}) {
+    SimOptions o = opts;
+    o.accel_opt = opt;
+    Schedule s = accel;
+    s.accel_variant = opt <= machine::OptLevel::OpenMP
+                          ? VariantChoice::Irregular
+                          : VariantChoice::BranchFree;
+    const Real t = simulate_schedule(g, s, sizes, o).makespan;
+    EXPECT_LE(t, prev * 1.0001) << machine::to_string(opt);
+    prev = t;
+  }
+}
+
+TEST_P(ScheduleAtSize, SerialBaselineSlowestOfAll) {
+  const auto& g = graphs.early;
+  SimOptions serial_opts = opts;
+  serial_opts.host_opt = machine::OptLevel::SerialBaseline;
+  const Real serial =
+      simulate_schedule(g, make_serial_baseline_schedule(g), sizes,
+                        serial_opts)
+          .makespan;
+  const Real pl =
+      simulate_schedule(g, make_pattern_level_schedule(g, sizes, opts), sizes,
+                        opts)
+          .makespan;
+  EXPECT_GT(serial, pl);
+}
+
+INSTANTIATE_TEST_SUITE_P(MeshSizesSweep, ScheduleAtSize,
+                         ::testing::Values(2562, 10242, 40962, 163842, 655362,
+                                           2621442));
+
+TEST(MeshSizesHelper, IcosahedralRelations) {
+  const auto s = MeshSizes::icosahedral(40962);
+  EXPECT_EQ(s.cells, 40962);
+  EXPECT_EQ(s.edges, 122880);
+  EXPECT_EQ(s.vertices, 81920);
+  EXPECT_EQ(s.at(MeshLocation::Cell), 40962);
+  EXPECT_EQ(s.at(MeshLocation::Edge), 122880);
+  EXPECT_EQ(s.at(MeshLocation::Vertex), 81920);
+  EXPECT_EQ(s.at(MeshLocation::None), 1);
+}
+
+}  // namespace
+}  // namespace mpas::core

@@ -1,0 +1,168 @@
+// Cross-checks the encoded Table I (the data-flow graphs' variable wiring)
+// against the field registry and the pattern taxonomy: every node's pattern
+// kind must match the mesh locations of its output and stencil inputs, and
+// the kernel grouping must match Algorithm 1.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "sw/model.hpp"
+
+namespace mpas::sw {
+namespace {
+
+using core::KernelGroup;
+using core::PatternKind;
+
+MeshLocation location_of(const std::string& field_name) {
+  for (int i = 0; i < kNumFields; ++i) {
+    const auto& info = field_info(static_cast<FieldId>(i));
+    if (field_name == info.name) return info.location;
+  }
+  ADD_FAILURE() << "unknown field " << field_name;
+  return MeshLocation::None;
+}
+
+/// Expected output location per pattern kind (Figure 3 taxonomy).
+MeshLocation expected_output(PatternKind k, MeshLocation fallback) {
+  switch (k) {
+    case PatternKind::A:
+    case PatternKind::B:
+    case PatternKind::H: return MeshLocation::Cell;
+    case PatternKind::C:
+    case PatternKind::F:
+    case PatternKind::G: return MeshLocation::Edge;
+    case PatternKind::D:
+    case PatternKind::E: return MeshLocation::Vertex;
+    case PatternKind::Local: return fallback;  // local ops keep their space
+  }
+  return fallback;
+}
+
+class Table1 : public ::testing::Test {
+ protected:
+  Table1() : graphs(build_sw_graphs(nullptr, true)) {}
+  SwGraphs graphs;
+
+  void for_each_node(const std::function<void(const core::DataflowGraph&,
+                                              const core::PatternNode&)>& fn) {
+    for (const auto* g : {&graphs.setup, &graphs.early, &graphs.final})
+      for (const auto& n : g->nodes()) fn(*g, n);
+  }
+};
+
+TEST_F(Table1, EveryFieldNameResolves) {
+  for_each_node([&](const core::DataflowGraph&, const core::PatternNode& n) {
+    for (const auto& f : n.inputs) location_of(f);
+    for (const auto& f : n.outputs) location_of(f);
+  });
+}
+
+TEST_F(Table1, OutputLocationMatchesPatternKind) {
+  for_each_node([&](const core::DataflowGraph&, const core::PatternNode& n) {
+    for (const auto& out : n.outputs)
+      EXPECT_EQ(location_of(out), expected_output(n.kind, n.iterates))
+          << n.label << " output " << out;
+    EXPECT_EQ(n.iterates, expected_output(n.kind, n.iterates)) << n.label;
+  });
+}
+
+TEST_F(Table1, LocalPatternsTouchOnlyTheirOwnSpace) {
+  // An X node may read/write only fields on its iteration space (that is
+  // what makes it embarrassingly parallel).
+  for_each_node([&](const core::DataflowGraph&, const core::PatternNode& n) {
+    if (n.kind != PatternKind::Local) return;
+    for (const auto& f : n.inputs)
+      EXPECT_EQ(location_of(f), n.iterates) << n.label << " reads " << f;
+    for (const auto& f : n.outputs)
+      EXPECT_EQ(location_of(f), n.iterates) << n.label << " writes " << f;
+  });
+}
+
+TEST_F(Table1, StencilPatternsReadAtLeastOneOtherSpace) {
+  for_each_node([&](const core::DataflowGraph&, const core::PatternNode& n) {
+    if (n.kind == PatternKind::Local || n.kind == PatternKind::B ||
+        n.kind == PatternKind::F)
+      return;  // B and F gather within their own space via connectivity
+    bool crosses = false;
+    for (const auto& f : n.inputs)
+      crosses |= location_of(f) != n.iterates;
+    EXPECT_TRUE(crosses) << n.label << " claims kind "
+                         << core::to_string(n.kind)
+                         << " but reads only its own space";
+  });
+}
+
+TEST_F(Table1, KernelGroupingMatchesAlgorithmOne) {
+  // Table I rows per kernel (with diffusion enabled).
+  std::map<KernelGroup, std::set<std::string>> by_kernel;
+  for (const auto& n : graphs.early.nodes())
+    by_kernel[n.kernel].insert(n.label);
+
+  EXPECT_EQ(by_kernel[KernelGroup::ComputeTend],
+            (std::set<std::string>{"A1", "F1", "B1", "X7", "C2"}));
+  EXPECT_EQ(by_kernel[KernelGroup::EnforceBoundaryEdge],
+            (std::set<std::string>{"X1"}));
+  EXPECT_EQ(by_kernel[KernelGroup::ComputeNextSubstepState],
+            (std::set<std::string>{"X2", "X3"}));
+  EXPECT_EQ(by_kernel[KernelGroup::ComputeSolveDiagnostics],
+            (std::set<std::string>{"C1", "A2", "D1", "A3", "F2", "E1", "H1",
+                                   "G1"}));
+  EXPECT_EQ(by_kernel[KernelGroup::AccumulativeUpdate],
+            (std::set<std::string>{"X4", "X5"}));
+
+  // mpas_reconstruct appears only in the final-substep branch.
+  bool recon_in_early = false, recon_in_final = false;
+  for (const auto& n : graphs.early.nodes())
+    recon_in_early |= n.kernel == KernelGroup::MpasReconstruct;
+  for (const auto& n : graphs.final.nodes())
+    recon_in_final |= n.kernel == KernelGroup::MpasReconstruct;
+  EXPECT_FALSE(recon_in_early);
+  EXPECT_TRUE(recon_in_final);
+}
+
+TEST_F(Table1, ScatterVariantsExistExactlyWhereTheOriginalCodeScatters) {
+  // The reducible patterns (the ones Algorithm 2 scatters into) carry an
+  // irregular cost signature; pure-gather patterns do not.
+  const std::set<std::string> scatterers{"A1", "A2", "A3", "D1", "A4"};
+  for_each_node([&](const core::DataflowGraph&, const core::PatternNode& n) {
+    EXPECT_EQ(n.has_scatter_variant, scatterers.count(n.label) > 0)
+        << n.label;
+    if (n.has_scatter_variant) {
+      EXPECT_TRUE(n.cost_scatter.scatter_writes) << n.label;
+    }
+    EXPECT_FALSE(n.cost_gather.scatter_writes) << n.label;
+  });
+}
+
+TEST_F(Table1, EveryInputIsProducedOrIncomingState) {
+  // Within a substep graph, every input is either written by an earlier
+  // node or is part of the model state carried between substeps.
+  const std::set<std::string> carried{
+      "h",  "u",  "b",  "provis_h", "provis_u", "h_new", "u_new",
+      "h_edge", "ke", "divergence", "vorticity", "v", "h_vertex",
+      "pv_vertex", "pv_edge", "pv_cell", "tend_h", "tend_u", "d2fdx2_cell"};
+  for (const auto* g : {&graphs.early, &graphs.final}) {
+    std::set<std::string> written;
+    for (const auto& n : g->nodes()) {
+      for (const auto& in : n.inputs)
+        EXPECT_TRUE(written.count(in) || carried.count(in))
+            << g->name() << " node " << n.label << " input " << in;
+      for (const auto& out : n.outputs) written.insert(out);
+    }
+  }
+}
+
+TEST_F(Table1, CostsArePositiveAndScatterAtLeastGather) {
+  for_each_node([&](const core::DataflowGraph&, const core::PatternNode& n) {
+    EXPECT_GT(n.cost_gather.flops, 0) << n.label;
+    EXPECT_GT(n.cost_gather.bytes_written, 0) << n.label;
+    if (n.has_scatter_variant) {
+      EXPECT_GE(n.cost_scatter.bytes_written, n.cost_gather.bytes_written);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace mpas::sw

@@ -1,0 +1,169 @@
+// Tests for the passive-tracer extension — and, through it, for the
+// paper's claim that the data-flow diagram "is easy to revise to
+// incorporate with future model development": the tracer is new pattern
+// nodes in the same graphs, and every execution mode absorbs it unchanged.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "comm/distributed.hpp"
+#include "mesh/mesh_cache.hpp"
+#include "sw/model.hpp"
+#include "sw/reference.hpp"
+#include "sw/testcases.hpp"
+
+namespace mpas::sw {
+namespace {
+
+constexpr Real kBellLon = constants::kPi / 2;
+constexpr Real kBellLat = 0.0;
+constexpr Real kBellRadius = constants::kPi / 4;
+
+SwParams tracer_params(const mesh::VoronoiMesh& mesh, int tc_number) {
+  const auto tc = make_test_case(tc_number);
+  SwParams p;
+  p.dt = suggested_time_step(*tc, mesh, 0.4);
+  p.with_tracer = true;
+  return p;
+}
+
+void init(ReferenceIntegrator& integ, int tc_number) {
+  const auto tc = make_test_case(tc_number);
+  apply_initial_conditions(*tc, integ.fields().mesh(), integ.fields());
+  apply_cosine_bell_tracer(integ.fields().mesh(), integ.fields(), kBellLon,
+                           kBellLat, kBellRadius);
+  integ.initialize();
+}
+
+TEST(Tracer, MassConservedToRounding) {
+  const auto mesh = mesh::get_global_mesh(3);
+  ReferenceIntegrator integ(*mesh, tracer_params(*mesh, 2),
+                            LoopVariant::BranchFree);
+  init(integ, 2);
+  const Real before = total_tracer_mass(*mesh, integ.fields());
+  integ.run(60);
+  const Real after = total_tracer_mass(*mesh, integ.fields());
+  EXPECT_GT(before, 0);
+  EXPECT_LT(std::abs(after - before) / before, 1e-12);
+}
+
+TEST(Tracer, BellIsAdvectedEastwardByZonalFlow) {
+  // TC2's balanced zonal flow advects the bell eastward; track the tracer
+  // center of mass longitude.
+  const auto mesh = mesh::get_global_mesh(3);
+  ReferenceIntegrator integ(*mesh, tracer_params(*mesh, 2),
+                            LoopVariant::BranchFree);
+  init(integ, 2);
+
+  auto center_lon = [&] {
+    const auto q = integ.fields().get(FieldId::TracerQ);
+    Real x = 0, y = 0;
+    for (Index c = 0; c < mesh->num_cells; ++c) {
+      x += mesh->area_cell[c] * q[c] * std::cos(mesh->lon_cell[c]);
+      y += mesh->area_cell[c] * q[c] * std::sin(mesh->lon_cell[c]);
+    }
+    return std::atan2(y, x);
+  };
+
+  const Real lon0 = center_lon();
+  const Real hours = 24;
+  const int steps =
+      static_cast<int>(hours * 3600 / integ.params().dt) + 1;
+  integ.run(steps);
+  Real dlon = center_lon() - lon0;
+  if (dlon < 0) dlon += 2 * constants::kPi;
+  // TC2 equatorial wind u0 ~ 38.6 m/s -> ~0.52 rad/day eastward.
+  const Real expected = 38.6 * hours * 3600 / constants::kEarthRadius;
+  EXPECT_NEAR(dlon, expected, 0.25 * expected);
+}
+
+TEST(Tracer, DoesNotPerturbTheDynamics) {
+  // The tracer is passive: h and u trajectories are bitwise unchanged.
+  const auto mesh = mesh::get_global_mesh(3);
+  SwParams with = tracer_params(*mesh, 6);
+  SwParams without = with;
+  without.with_tracer = false;
+
+  ReferenceIntegrator a(*mesh, with, LoopVariant::BranchFree);
+  init(a, 6);
+  a.run(10);
+  ReferenceIntegrator b(*mesh, without, LoopVariant::BranchFree);
+  const auto tc = make_test_case(6);
+  apply_initial_conditions(*tc, *mesh, b.fields());
+  b.initialize();
+  b.run(10);
+
+  const auto ha = a.fields().get(FieldId::H);
+  const auto hb = b.fields().get(FieldId::H);
+  for (Index c = 0; c < mesh->num_cells; ++c) ASSERT_EQ(ha[c], hb[c]);
+}
+
+TEST(Tracer, GraphsGrowByTheTracerNodes) {
+  const SwGraphs plain = build_sw_graphs(nullptr, false, false);
+  const SwGraphs traced = build_sw_graphs(nullptr, false, true);
+  EXPECT_EQ(traced.setup.num_nodes(), plain.setup.num_nodes() + 2);
+  // early: +A5 (tend) +X9 (next) +X8 +C3 (diag) +X12 (accum) = +5
+  EXPECT_EQ(traced.early.num_nodes(), plain.early.num_nodes() + 5);
+  // final: +A5 +X12 +X13 (commit) +X8 +C3 = +5
+  EXPECT_EQ(traced.final.num_nodes(), plain.final.num_nodes() + 5);
+
+  // The schedulers absorb the new nodes without modification.
+  core::SimOptions opts;
+  opts.platform = machine::paper_platform();
+  const auto sizes = core::MeshSizes::icosahedral(655362);
+  const auto pl =
+      core::make_pattern_level_schedule(traced.early, sizes, opts);
+  const auto r = core::simulate_schedule(traced.early, pl, sizes, opts);
+  EXPECT_GT(r.makespan, 0);
+  EXPECT_GT(r.balance(), 0.5);
+}
+
+TEST(Tracer, ModelMatchesReferenceBitwise) {
+  const auto mesh = mesh::get_global_mesh(3);
+  const SwParams p = tracer_params(*mesh, 5);
+
+  ReferenceIntegrator ref(*mesh, p, LoopVariant::BranchFree);
+  init(ref, 5);
+  ref.run(8);
+
+  SwModel model(*mesh, p);
+  const auto tc = make_test_case(5);
+  apply_initial_conditions(*tc, *mesh, model.fields());
+  apply_cosine_bell_tracer(*mesh, model.fields(), kBellLon, kBellLat,
+                           kBellRadius);
+  model.initialize();
+  model.run(8);
+
+  const auto qa = model.fields().get(FieldId::TracerQ);
+  const auto qb = ref.fields().get(FieldId::TracerQ);
+  for (Index c = 0; c < mesh->num_cells; ++c) ASSERT_EQ(qa[c], qb[c]);
+  const auto ha = model.fields().get(FieldId::H);
+  const auto hb = ref.fields().get(FieldId::H);
+  for (Index c = 0; c < mesh->num_cells; ++c) ASSERT_EQ(ha[c], hb[c]);
+}
+
+TEST(Tracer, DistributedMatchesSerialBitwise) {
+  const auto mesh = mesh::get_global_mesh(3);
+  const SwParams p = tracer_params(*mesh, 2);
+
+  ReferenceIntegrator serial(*mesh, p, LoopVariant::BranchFree);
+  init(serial, 2);
+  serial.run(4);
+
+  comm::DistributedSw dist(*mesh, 4, p);
+  const auto tc = make_test_case(2);
+  dist.apply_test_case(*tc);
+  for (int r = 0; r < 4; ++r)
+    apply_cosine_bell_tracer(dist.local_mesh(r).mesh, dist.fields(r),
+                             kBellLon, kBellLat, kBellRadius);
+  dist.initialize();
+  dist.run(4);
+
+  const auto q = dist.gather_global(FieldId::TracerQ);
+  const auto q_ref = serial.fields().get(FieldId::TracerQ);
+  for (Index c = 0; c < mesh->num_cells; ++c)
+    ASSERT_EQ(q[static_cast<std::size_t>(c)], q_ref[c]) << "cell " << c;
+}
+
+}  // namespace
+}  // namespace mpas::sw

@@ -1,0 +1,117 @@
+// Tests for the icosahedral triangulation (Delaunay side of the SCVT dual).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "mesh/trimesh.hpp"
+#include "util/error.hpp"
+
+namespace mpas::mesh {
+namespace {
+
+// Each undirected edge of a closed 2-manifold triangulation must appear in
+// exactly two triangles, with opposite directed orientations.
+void expect_manifold(const TriMesh& m) {
+  std::map<std::pair<Index, Index>, int> undirected;
+  std::set<std::pair<Index, Index>> directed;
+  for (const auto& t : m.triangles) {
+    for (int k = 0; k < 3; ++k) {
+      const Index a = t[k], b = t[(k + 1) % 3];
+      ASSERT_NE(a, b);
+      undirected[std::minmax(a, b)] += 1;
+      // Consistent orientation: each directed edge appears exactly once.
+      ASSERT_TRUE(directed.emplace(a, b).second)
+          << "duplicated directed edge " << a << "->" << b;
+    }
+  }
+  for (const auto& [edge, count] : undirected)
+    ASSERT_EQ(count, 2) << "edge " << edge.first << "-" << edge.second;
+}
+
+TEST(Icosahedron, HasTwelveVerticesTwentyFaces) {
+  const TriMesh m = make_icosahedron();
+  EXPECT_EQ(m.num_points(), 12);
+  EXPECT_EQ(m.num_triangles(), 20);
+  expect_manifold(m);
+}
+
+TEST(Icosahedron, AllPointsOnUnitSphere) {
+  const TriMesh m = make_icosahedron();
+  for (const auto& p : m.points) EXPECT_NEAR(p.norm(), 1.0, 1e-14);
+}
+
+TEST(Icosahedron, TrianglesAreCounterclockwise) {
+  const TriMesh m = make_icosahedron();
+  for (const auto& t : m.triangles) {
+    const Vec3& a = m.points[t[0]];
+    const Vec3& b = m.points[t[1]];
+    const Vec3& c = m.points[t[2]];
+    EXPECT_GT((b - a).cross(c - a).dot(a + b + c), 0);
+  }
+}
+
+TEST(Icosahedron, EveryVertexHasDegreeFive) {
+  const TriMesh m = make_icosahedron();
+  std::vector<int> degree(12, 0);
+  for (const auto& t : m.triangles)
+    for (int k = 0; k < 3; ++k) degree[t[k]] += 1;
+  for (int d : degree) EXPECT_EQ(d, 5);
+}
+
+TEST(Subdivide, CountsFollowTenFourPowKPlusTwo) {
+  TriMesh m = make_icosahedron();
+  for (int level = 1; level <= 4; ++level) {
+    m = subdivide(m);
+    EXPECT_EQ(m.num_points(), icosahedral_cell_count(level));
+    EXPECT_EQ(m.num_triangles(), icosahedral_vertex_count(level));
+  }
+}
+
+TEST(Subdivide, PreservesManifoldAndOrientation) {
+  const TriMesh m = make_icosahedral_grid(3);
+  expect_manifold(m);
+  for (const auto& t : m.triangles) {
+    const Vec3& a = m.points[t[0]];
+    const Vec3& b = m.points[t[1]];
+    const Vec3& c = m.points[t[2]];
+    EXPECT_GT((b - a).cross(c - a).dot(a + b + c), 0);
+  }
+  for (const auto& p : m.points) EXPECT_NEAR(p.norm(), 1.0, 1e-14);
+}
+
+TEST(Subdivide, PaperMeshSizesMatchTableIII) {
+  // Table III of the paper: the four evaluation meshes.
+  EXPECT_EQ(icosahedral_cell_count(6), 40962);
+  EXPECT_EQ(icosahedral_cell_count(7), 163842);
+  EXPECT_EQ(icosahedral_cell_count(8), 655362);
+  EXPECT_EQ(icosahedral_cell_count(9), 2621442);
+}
+
+TEST(ScvtRelax, ReducesGeneratorMovement) {
+  TriMesh m = make_icosahedral_grid(3);
+  // Perturb points slightly off the centroidal configuration.
+  for (std::size_t i = 0; i < m.points.size(); ++i) {
+    Vec3& p = m.points[i];
+    const Vec3 e = sphere::east_at(p);
+    p = (p + e * (1e-3 * (static_cast<int>(i % 7) - 3))).normalized();
+  }
+  const Real move1 = scvt_relax(m, 1);
+  const Real move5 = scvt_relax(m, 5);
+  EXPECT_GT(move1, 0);
+  EXPECT_LT(move5, move1);  // Lloyd iteration converges
+  for (const auto& p : m.points) EXPECT_NEAR(p.norm(), 1.0, 1e-14);
+}
+
+TEST(ScvtRelax, KeepsIcosahedralGridNearlyFixed) {
+  // The subdivided icosahedron is already close to centroidal: one Lloyd
+  // sweep should move generators by only a small fraction of the spacing.
+  TriMesh m = make_icosahedral_grid(4);
+  // Grid spacing: the icosahedron edge arc (~1.107 rad) halves per level.
+  const Real spacing = 1.1071487 / 16.0;
+  const Real move = scvt_relax(m, 1);
+  EXPECT_LT(move, 0.2 * spacing);
+}
+
+}  // namespace
+}  // namespace mpas::mesh
