@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_loop_refactoring.dir/ablation_loop_refactoring.cpp.o"
+  "CMakeFiles/ablation_loop_refactoring.dir/ablation_loop_refactoring.cpp.o.d"
+  "ablation_loop_refactoring"
+  "ablation_loop_refactoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_loop_refactoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_parallel_regions.dir/ablation_parallel_regions.cpp.o"
+  "CMakeFiles/ablation_parallel_regions.dir/ablation_parallel_regions.cpp.o.d"
+  "ablation_parallel_regions"
+  "ablation_parallel_regions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_parallel_regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

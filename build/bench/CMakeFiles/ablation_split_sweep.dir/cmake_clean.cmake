@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_split_sweep.dir/ablation_split_sweep.cpp.o"
+  "CMakeFiles/ablation_split_sweep.dir/ablation_split_sweep.cpp.o.d"
+  "ablation_split_sweep"
+  "ablation_split_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_split_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_transfer_policy.dir/ablation_transfer_policy.cpp.o"
+  "CMakeFiles/ablation_transfer_policy.dir/ablation_transfer_policy.cpp.o.d"
+  "ablation_transfer_policy"
+  "ablation_transfer_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_transfer_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

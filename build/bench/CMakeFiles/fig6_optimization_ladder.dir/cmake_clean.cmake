@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_optimization_ladder.dir/fig6_optimization_ladder.cpp.o"
+  "CMakeFiles/fig6_optimization_ladder.dir/fig6_optimization_ladder.cpp.o.d"
+  "fig6_optimization_ladder"
+  "fig6_optimization_ladder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_optimization_ladder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_costs.dir/pattern_costs.cpp.o"
+  "CMakeFiles/pattern_costs.dir/pattern_costs.cpp.o.d"
+  "pattern_costs"
+  "pattern_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_patterns.dir/table1_patterns.cpp.o"
+  "CMakeFiles/table1_patterns.dir/table1_patterns.cpp.o.d"
+  "table1_patterns"
+  "table1_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

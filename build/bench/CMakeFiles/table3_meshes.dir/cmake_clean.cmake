@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_meshes.dir/table3_meshes.cpp.o"
+  "CMakeFiles/table3_meshes.dir/table3_meshes.cpp.o.d"
+  "table3_meshes"
+  "table3_meshes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_meshes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataflow_export.dir/dataflow_export.cpp.o"
+  "CMakeFiles/dataflow_export.dir/dataflow_export.cpp.o.d"
+  "dataflow_export"
+  "dataflow_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataflow_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/mountain_wave.cpp" "examples/CMakeFiles/mountain_wave.dir/mountain_wave.cpp.o" "gcc" "examples/CMakeFiles/mountain_wave.dir/mountain_wave.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sw/CMakeFiles/mpas_sw.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mpas_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/mpas_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/mpas_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/mpas_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mpas_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/mpas_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/mpas_machine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

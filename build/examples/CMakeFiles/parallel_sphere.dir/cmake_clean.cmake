@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_sphere.dir/parallel_sphere.cpp.o"
+  "CMakeFiles/parallel_sphere.dir/parallel_sphere.cpp.o.d"
+  "parallel_sphere"
+  "parallel_sphere.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_sphere.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_codegen.dir/pattern_codegen.cpp.o"
+  "CMakeFiles/pattern_codegen.dir/pattern_codegen.cpp.o.d"
+  "pattern_codegen"
+  "pattern_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rossby_haurwitz.dir/rossby_haurwitz.cpp.o"
+  "CMakeFiles/rossby_haurwitz.dir/rossby_haurwitz.cpp.o.d"
+  "rossby_haurwitz"
+  "rossby_haurwitz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rossby_haurwitz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rossby_haurwitz.
+# This may be replaced when dependencies are built.

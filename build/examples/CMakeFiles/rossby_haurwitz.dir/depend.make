@@ -1,0 +1,2 @@
+# Empty dependencies file for rossby_haurwitz.
+# This may be replaced when dependencies are built.

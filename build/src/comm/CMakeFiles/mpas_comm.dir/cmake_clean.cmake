@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpas_comm.dir/distributed.cpp.o"
+  "CMakeFiles/mpas_comm.dir/distributed.cpp.o.d"
+  "CMakeFiles/mpas_comm.dir/simworld.cpp.o"
+  "CMakeFiles/mpas_comm.dir/simworld.cpp.o.d"
+  "libmpas_comm.a"
+  "libmpas_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpas_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/codegen.cpp" "src/core/CMakeFiles/mpas_core.dir/codegen.cpp.o" "gcc" "src/core/CMakeFiles/mpas_core.dir/codegen.cpp.o.d"
+  "/root/repo/src/core/dataflow.cpp" "src/core/CMakeFiles/mpas_core.dir/dataflow.cpp.o" "gcc" "src/core/CMakeFiles/mpas_core.dir/dataflow.cpp.o.d"
+  "/root/repo/src/core/schedule_sim.cpp" "src/core/CMakeFiles/mpas_core.dir/schedule_sim.cpp.o" "gcc" "src/core/CMakeFiles/mpas_core.dir/schedule_sim.cpp.o.d"
+  "/root/repo/src/core/schedulers.cpp" "src/core/CMakeFiles/mpas_core.dir/schedulers.cpp.o" "gcc" "src/core/CMakeFiles/mpas_core.dir/schedulers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mpas_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/mpas_machine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

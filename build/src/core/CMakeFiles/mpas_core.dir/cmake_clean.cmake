@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpas_core.dir/codegen.cpp.o"
+  "CMakeFiles/mpas_core.dir/codegen.cpp.o.d"
+  "CMakeFiles/mpas_core.dir/dataflow.cpp.o"
+  "CMakeFiles/mpas_core.dir/dataflow.cpp.o.d"
+  "CMakeFiles/mpas_core.dir/schedule_sim.cpp.o"
+  "CMakeFiles/mpas_core.dir/schedule_sim.cpp.o.d"
+  "CMakeFiles/mpas_core.dir/schedulers.cpp.o"
+  "CMakeFiles/mpas_core.dir/schedulers.cpp.o.d"
+  "libmpas_core.a"
+  "libmpas_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpas_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

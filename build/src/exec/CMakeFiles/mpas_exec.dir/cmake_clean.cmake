@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpas_exec.dir/offload.cpp.o"
+  "CMakeFiles/mpas_exec.dir/offload.cpp.o.d"
+  "CMakeFiles/mpas_exec.dir/thread_pool.cpp.o"
+  "CMakeFiles/mpas_exec.dir/thread_pool.cpp.o.d"
+  "libmpas_exec.a"
+  "libmpas_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpas_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

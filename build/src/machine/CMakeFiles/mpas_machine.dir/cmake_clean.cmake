@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpas_machine.dir/machine_model.cpp.o"
+  "CMakeFiles/mpas_machine.dir/machine_model.cpp.o.d"
+  "libmpas_machine.a"
+  "libmpas_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpas_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mpas_machine.
+# This may be replaced when dependencies are built.

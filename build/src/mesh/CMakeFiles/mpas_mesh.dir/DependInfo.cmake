@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mesh/mesh_builder.cpp" "src/mesh/CMakeFiles/mpas_mesh.dir/mesh_builder.cpp.o" "gcc" "src/mesh/CMakeFiles/mpas_mesh.dir/mesh_builder.cpp.o.d"
+  "/root/repo/src/mesh/mesh_cache.cpp" "src/mesh/CMakeFiles/mpas_mesh.dir/mesh_cache.cpp.o" "gcc" "src/mesh/CMakeFiles/mpas_mesh.dir/mesh_cache.cpp.o.d"
+  "/root/repo/src/mesh/mesh_checks.cpp" "src/mesh/CMakeFiles/mpas_mesh.dir/mesh_checks.cpp.o" "gcc" "src/mesh/CMakeFiles/mpas_mesh.dir/mesh_checks.cpp.o.d"
+  "/root/repo/src/mesh/mesh_io.cpp" "src/mesh/CMakeFiles/mpas_mesh.dir/mesh_io.cpp.o" "gcc" "src/mesh/CMakeFiles/mpas_mesh.dir/mesh_io.cpp.o.d"
+  "/root/repo/src/mesh/mesh_quality.cpp" "src/mesh/CMakeFiles/mpas_mesh.dir/mesh_quality.cpp.o" "gcc" "src/mesh/CMakeFiles/mpas_mesh.dir/mesh_quality.cpp.o.d"
+  "/root/repo/src/mesh/trimesh.cpp" "src/mesh/CMakeFiles/mpas_mesh.dir/trimesh.cpp.o" "gcc" "src/mesh/CMakeFiles/mpas_mesh.dir/trimesh.cpp.o.d"
+  "/root/repo/src/mesh/trisk.cpp" "src/mesh/CMakeFiles/mpas_mesh.dir/trisk.cpp.o" "gcc" "src/mesh/CMakeFiles/mpas_mesh.dir/trisk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mpas_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

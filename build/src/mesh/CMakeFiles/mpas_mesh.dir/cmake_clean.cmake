@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpas_mesh.dir/mesh_builder.cpp.o"
+  "CMakeFiles/mpas_mesh.dir/mesh_builder.cpp.o.d"
+  "CMakeFiles/mpas_mesh.dir/mesh_cache.cpp.o"
+  "CMakeFiles/mpas_mesh.dir/mesh_cache.cpp.o.d"
+  "CMakeFiles/mpas_mesh.dir/mesh_checks.cpp.o"
+  "CMakeFiles/mpas_mesh.dir/mesh_checks.cpp.o.d"
+  "CMakeFiles/mpas_mesh.dir/mesh_io.cpp.o"
+  "CMakeFiles/mpas_mesh.dir/mesh_io.cpp.o.d"
+  "CMakeFiles/mpas_mesh.dir/mesh_quality.cpp.o"
+  "CMakeFiles/mpas_mesh.dir/mesh_quality.cpp.o.d"
+  "CMakeFiles/mpas_mesh.dir/trimesh.cpp.o"
+  "CMakeFiles/mpas_mesh.dir/trimesh.cpp.o.d"
+  "CMakeFiles/mpas_mesh.dir/trisk.cpp.o"
+  "CMakeFiles/mpas_mesh.dir/trisk.cpp.o.d"
+  "libmpas_mesh.a"
+  "libmpas_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpas_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmpas_mesh.a"
+)

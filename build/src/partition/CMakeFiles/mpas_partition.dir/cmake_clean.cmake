@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpas_partition.dir/halo.cpp.o"
+  "CMakeFiles/mpas_partition.dir/halo.cpp.o.d"
+  "CMakeFiles/mpas_partition.dir/partitioner.cpp.o"
+  "CMakeFiles/mpas_partition.dir/partitioner.cpp.o.d"
+  "libmpas_partition.a"
+  "libmpas_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpas_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sw/fields.cpp" "src/sw/CMakeFiles/mpas_sw.dir/fields.cpp.o" "gcc" "src/sw/CMakeFiles/mpas_sw.dir/fields.cpp.o.d"
+  "/root/repo/src/sw/invariants.cpp" "src/sw/CMakeFiles/mpas_sw.dir/invariants.cpp.o" "gcc" "src/sw/CMakeFiles/mpas_sw.dir/invariants.cpp.o.d"
+  "/root/repo/src/sw/kernels_diagnostics.cpp" "src/sw/CMakeFiles/mpas_sw.dir/kernels_diagnostics.cpp.o" "gcc" "src/sw/CMakeFiles/mpas_sw.dir/kernels_diagnostics.cpp.o.d"
+  "/root/repo/src/sw/kernels_reconstruct.cpp" "src/sw/CMakeFiles/mpas_sw.dir/kernels_reconstruct.cpp.o" "gcc" "src/sw/CMakeFiles/mpas_sw.dir/kernels_reconstruct.cpp.o.d"
+  "/root/repo/src/sw/kernels_tend.cpp" "src/sw/CMakeFiles/mpas_sw.dir/kernels_tend.cpp.o" "gcc" "src/sw/CMakeFiles/mpas_sw.dir/kernels_tend.cpp.o.d"
+  "/root/repo/src/sw/kernels_tracer.cpp" "src/sw/CMakeFiles/mpas_sw.dir/kernels_tracer.cpp.o" "gcc" "src/sw/CMakeFiles/mpas_sw.dir/kernels_tracer.cpp.o.d"
+  "/root/repo/src/sw/kernels_update.cpp" "src/sw/CMakeFiles/mpas_sw.dir/kernels_update.cpp.o" "gcc" "src/sw/CMakeFiles/mpas_sw.dir/kernels_update.cpp.o.d"
+  "/root/repo/src/sw/model.cpp" "src/sw/CMakeFiles/mpas_sw.dir/model.cpp.o" "gcc" "src/sw/CMakeFiles/mpas_sw.dir/model.cpp.o.d"
+  "/root/repo/src/sw/output.cpp" "src/sw/CMakeFiles/mpas_sw.dir/output.cpp.o" "gcc" "src/sw/CMakeFiles/mpas_sw.dir/output.cpp.o.d"
+  "/root/repo/src/sw/profiler.cpp" "src/sw/CMakeFiles/mpas_sw.dir/profiler.cpp.o" "gcc" "src/sw/CMakeFiles/mpas_sw.dir/profiler.cpp.o.d"
+  "/root/repo/src/sw/reference.cpp" "src/sw/CMakeFiles/mpas_sw.dir/reference.cpp.o" "gcc" "src/sw/CMakeFiles/mpas_sw.dir/reference.cpp.o.d"
+  "/root/repo/src/sw/testcases.cpp" "src/sw/CMakeFiles/mpas_sw.dir/testcases.cpp.o" "gcc" "src/sw/CMakeFiles/mpas_sw.dir/testcases.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mesh/CMakeFiles/mpas_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/mpas_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/mpas_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mpas_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mpas_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

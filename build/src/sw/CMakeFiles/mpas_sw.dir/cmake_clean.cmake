@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpas_sw.dir/fields.cpp.o"
+  "CMakeFiles/mpas_sw.dir/fields.cpp.o.d"
+  "CMakeFiles/mpas_sw.dir/invariants.cpp.o"
+  "CMakeFiles/mpas_sw.dir/invariants.cpp.o.d"
+  "CMakeFiles/mpas_sw.dir/kernels_diagnostics.cpp.o"
+  "CMakeFiles/mpas_sw.dir/kernels_diagnostics.cpp.o.d"
+  "CMakeFiles/mpas_sw.dir/kernels_reconstruct.cpp.o"
+  "CMakeFiles/mpas_sw.dir/kernels_reconstruct.cpp.o.d"
+  "CMakeFiles/mpas_sw.dir/kernels_tend.cpp.o"
+  "CMakeFiles/mpas_sw.dir/kernels_tend.cpp.o.d"
+  "CMakeFiles/mpas_sw.dir/kernels_tracer.cpp.o"
+  "CMakeFiles/mpas_sw.dir/kernels_tracer.cpp.o.d"
+  "CMakeFiles/mpas_sw.dir/kernels_update.cpp.o"
+  "CMakeFiles/mpas_sw.dir/kernels_update.cpp.o.d"
+  "CMakeFiles/mpas_sw.dir/model.cpp.o"
+  "CMakeFiles/mpas_sw.dir/model.cpp.o.d"
+  "CMakeFiles/mpas_sw.dir/output.cpp.o"
+  "CMakeFiles/mpas_sw.dir/output.cpp.o.d"
+  "CMakeFiles/mpas_sw.dir/profiler.cpp.o"
+  "CMakeFiles/mpas_sw.dir/profiler.cpp.o.d"
+  "CMakeFiles/mpas_sw.dir/reference.cpp.o"
+  "CMakeFiles/mpas_sw.dir/reference.cpp.o.d"
+  "CMakeFiles/mpas_sw.dir/testcases.cpp.o"
+  "CMakeFiles/mpas_sw.dir/testcases.cpp.o.d"
+  "libmpas_sw.a"
+  "libmpas_sw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpas_sw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mpas_sw.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpas_util.dir/config.cpp.o"
+  "CMakeFiles/mpas_util.dir/config.cpp.o.d"
+  "CMakeFiles/mpas_util.dir/logging.cpp.o"
+  "CMakeFiles/mpas_util.dir/logging.cpp.o.d"
+  "CMakeFiles/mpas_util.dir/table.cpp.o"
+  "CMakeFiles/mpas_util.dir/table.cpp.o.d"
+  "CMakeFiles/mpas_util.dir/timer.cpp.o"
+  "CMakeFiles/mpas_util.dir/timer.cpp.o.d"
+  "libmpas_util.a"
+  "libmpas_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpas_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_hybrid_model.cpp" "tests/CMakeFiles/test_hybrid_model.dir/test_hybrid_model.cpp.o" "gcc" "tests/CMakeFiles/test_hybrid_model.dir/test_hybrid_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sw/CMakeFiles/mpas_sw.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/mpas_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/mpas_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mpas_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/mpas_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mpas_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

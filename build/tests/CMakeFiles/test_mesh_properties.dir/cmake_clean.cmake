@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mesh_properties.dir/test_mesh_properties.cpp.o"
+  "CMakeFiles/test_mesh_properties.dir/test_mesh_properties.cpp.o.d"
+  "test_mesh_properties"
+  "test_mesh_properties.pdb"
+  "test_mesh_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mesh_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_operator_convergence.dir/test_operator_convergence.cpp.o"
+  "CMakeFiles/test_operator_convergence.dir/test_operator_convergence.cpp.o.d"
+  "test_operator_convergence"
+  "test_operator_convergence.pdb"
+  "test_operator_convergence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_operator_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

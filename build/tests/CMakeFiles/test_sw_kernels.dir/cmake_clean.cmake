@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sw_kernels.dir/test_sw_kernels.cpp.o"
+  "CMakeFiles/test_sw_kernels.dir/test_sw_kernels.cpp.o.d"
+  "test_sw_kernels"
+  "test_sw_kernels.pdb"
+  "test_sw_kernels[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sw_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

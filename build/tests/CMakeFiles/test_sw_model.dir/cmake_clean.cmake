@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sw_model.dir/test_sw_model.cpp.o"
+  "CMakeFiles/test_sw_model.dir/test_sw_model.cpp.o.d"
+  "test_sw_model"
+  "test_sw_model.pdb"
+  "test_sw_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sw_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

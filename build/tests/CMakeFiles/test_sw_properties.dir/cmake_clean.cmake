@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sw_properties.dir/test_sw_properties.cpp.o"
+  "CMakeFiles/test_sw_properties.dir/test_sw_properties.cpp.o.d"
+  "test_sw_properties"
+  "test_sw_properties.pdb"
+  "test_sw_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sw_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_table1_consistency.dir/test_table1_consistency.cpp.o"
+  "CMakeFiles/test_table1_consistency.dir/test_table1_consistency.cpp.o.d"
+  "test_table1_consistency"
+  "test_table1_consistency.pdb"
+  "test_table1_consistency[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_table1_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trimesh.dir/test_trimesh.cpp.o"
+  "CMakeFiles/test_trimesh.dir/test_trimesh.cpp.o.d"
+  "test_trimesh"
+  "test_trimesh.pdb"
+  "test_trimesh[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trimesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trisk.dir/test_trisk.cpp.o"
+  "CMakeFiles/test_trisk.dir/test_trisk.cpp.o.d"
+  "test_trisk"
+  "test_trisk.pdb"
+  "test_trisk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trisk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_trimesh[1]_include.cmake")
+include("/root/repo/build/tests/test_mesh[1]_include.cmake")
+include("/root/repo/build/tests/test_trisk[1]_include.cmake")
+include("/root/repo/build/tests/test_mesh_io[1]_include.cmake")
+include("/root/repo/build/tests/test_machine[1]_include.cmake")
+include("/root/repo/build/tests/test_exec[1]_include.cmake")
+include("/root/repo/build/tests/test_sw_kernels[1]_include.cmake")
+include("/root/repo/build/tests/test_sw_model[1]_include.cmake")
+include("/root/repo/build/tests/test_dataflow[1]_include.cmake")
+include("/root/repo/build/tests/test_schedule[1]_include.cmake")
+include("/root/repo/build/tests/test_hybrid_model[1]_include.cmake")
+include("/root/repo/build/tests/test_partition[1]_include.cmake")
+include("/root/repo/build/tests/test_distributed[1]_include.cmake")
+include("/root/repo/build/tests/test_mesh_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_operator_convergence[1]_include.cmake")
+include("/root/repo/build/tests/test_sw_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_schedule_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_table1_consistency[1]_include.cmake")
+include("/root/repo/build/tests/test_codegen[1]_include.cmake")
+include("/root/repo/build/tests/test_failure_injection[1]_include.cmake")
+include("/root/repo/build/tests/test_output[1]_include.cmake")
+include("/root/repo/build/tests/test_tracer[1]_include.cmake")
