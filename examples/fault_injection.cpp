@@ -1,0 +1,97 @@
+// Fault injection end to end: runs the distributed integrator twice under
+// an identical seeded fault schedule — drops, corruption, reordering,
+// silent data corruption, a rank stall — once with recovery enabled and
+// once fault-free, then proves the recovered run landed bitwise on the
+// fault-free trajectory and prints the incident report.
+//
+// Run:  ./fault_injection [level=3] [ranks=4] [steps=10] [seed=42]
+//       [probability=0]   (> 0 switches to probabilistic stress mode)
+#include <cmath>
+#include <cstdio>
+
+#include "comm/distributed.hpp"
+#include "mesh/mesh_cache.hpp"
+#include "resilience/fault.hpp"
+#include "util/config.hpp"
+
+using namespace mpas;
+
+int main(int argc, char** argv) {
+  const Config cfg = Config::from_args(argc, argv);
+  const int level = static_cast<int>(cfg.get_int("level", 3));
+  const int ranks = static_cast<int>(cfg.get_int("ranks", 4));
+  const int steps = static_cast<int>(cfg.get_int("steps", 10));
+  const auto seed = static_cast<std::uint64_t>(cfg.get_int("seed", 42));
+  const Real prob = cfg.get_real("probability", 0);
+
+  const auto mesh = mesh::get_global_mesh(level);
+  const auto tc = sw::make_test_case(5);
+  sw::SwParams params;
+  params.dt = sw::suggested_time_step(*tc, *mesh, 0.4);
+
+  // The fault schedule. Counted specs fire at exact event indices, so the
+  // whole run — injection, detection, recovery — is reproducible.
+  resilience::FaultInjector injector(seed);
+  const auto arm = [&](resilience::FaultKind kind, std::uint64_t at_event) {
+    resilience::FaultSpec spec;
+    spec.kind = kind;
+    if (prob > 0) {
+      spec.probability = prob;
+    } else {
+      spec.at_event = at_event;
+    }
+    if (kind == resilience::FaultKind::StateCorrupt) {
+      spec.rank = 1;
+      spec.step = prob > 0 ? -1 : 4;
+    }
+    if (kind == resilience::FaultKind::RankStall) {
+      spec.rank = 2;
+      spec.step = prob > 0 ? -1 : 2;
+    }
+    injector.add(spec);
+  };
+  arm(resilience::FaultKind::MsgDrop, 7);
+  arm(resilience::FaultKind::MsgCorrupt, 23);
+  arm(resilience::FaultKind::MsgDelay, 41);
+  arm(resilience::FaultKind::StateCorrupt, 0);
+  arm(resilience::FaultKind::RankStall, 0);
+
+  std::printf("mesh %s (%d cells), %d ranks, %d steps, %s faults\n\n",
+              mesh->resolution_label().c_str(), mesh->num_cells, ranks, steps,
+              prob > 0 ? "probabilistic" : "counted");
+
+  // Fault-free reference.
+  comm::DistributedSw clean(*mesh, ranks, params);
+  clean.apply_test_case(*tc);
+  clean.initialize();
+  clean.run(steps);
+
+  // Faulty run with the full resilience stack. Recovery is bounded, so an
+  // aggressive probabilistic schedule can legitimately exhaust it — report
+  // the escalation instead of letting the exception abort the demo.
+  comm::ResilienceOptions opts;
+  opts.injector = &injector;
+  opts.checkpoint_interval = 3;
+  comm::DistributedSw faulty(*mesh, ranks, params);
+  faulty.enable_resilience(opts);
+  faulty.apply_test_case(*tc);
+  faulty.initialize();
+  try {
+    faulty.run(steps);
+  } catch (const Error& e) {
+    std::printf("unrecoverable fault, run escalated:\n  %s\n%s\n", e.what(),
+                faulty.resilience_stats().to_string().c_str());
+    return 2;
+  }
+
+  std::printf("%s\n", faulty.resilience_stats().to_string().c_str());
+
+  const auto h = faulty.gather_global(sw::FieldId::H);
+  const auto h_ref = clean.gather_global(sw::FieldId::H);
+  Real max_diff = 0;
+  for (std::size_t c = 0; c < h.size(); ++c)
+    max_diff = std::max(max_diff, std::abs(h[c] - h_ref[c]));
+  std::printf("max |recovered - fault-free| thickness: %.3e m %s\n", max_diff,
+              max_diff == 0 ? "(bitwise identical)" : "** DIVERGED **");
+  return max_diff == 0 ? 0 : 1;
+}

@@ -1,13 +1,76 @@
 #include "comm/distributed.hpp"
 
+#include <cmath>
+#include <cstring>
 #include <mutex>
+#include <sstream>
 #include <thread>
 
+#include "resilience/channel.hpp"
+#include "resilience/checkpoint.hpp"
+#include "sw/invariants.hpp"
 #include "util/error.hpp"
 
 namespace mpas::comm {
 
 using sw::FieldId;
+
+namespace {
+
+/// SimWorld as a resilience transport (the channel keeps no comm
+/// dependency; this adapter is the only glue).
+class SimWorldTransport final : public resilience::Transport {
+ public:
+  explicit SimWorldTransport(SimWorld& world) : world_(world) {}
+  void send(int from, int to, int tag, std::vector<Real> payload) override {
+    world_.send(from, to, tag, std::move(payload));
+  }
+  std::optional<std::vector<Real>> try_recv(int to, int from,
+                                            int tag) override {
+    return world_.try_recv(to, from, tag);
+  }
+
+ private:
+  SimWorld& world_;
+};
+
+void flip_state_bit(std::span<Real> data, std::uint64_t word,
+                    std::uint32_t bit) {
+  if (data.empty()) return;
+  Real& target = data[word % data.size()];
+  std::uint64_t raw;
+  std::memcpy(&raw, &target, sizeof(raw));
+  raw ^= std::uint64_t{1} << bit;
+  std::memcpy(&target, &raw, sizeof(raw));
+}
+
+}  // namespace
+
+/// The per-integrator resilience engine: the sequenced channel over the
+/// message fabric, the rolling checkpoint, the health-check baseline, and
+/// the incident counters reported through ResilienceStats.
+struct DistributedSw::Resilience {
+  ResilienceOptions options;
+  SimWorldTransport transport;
+  resilience::ResilientChannel channel;
+  resilience::Checkpoint checkpoint;
+
+  bool baseline_set = false;
+  Real baseline_mass = 0;
+  Real baseline_energy = 0;
+
+  std::uint64_t health_checks = 0;
+  std::uint64_t poisoned_detected = 0;
+  std::uint64_t rollbacks = 0;
+  std::uint64_t steps_replayed = 0;
+  std::uint64_t stalls = 0;
+  Real modeled_seconds_lost = 0;
+
+  Resilience(SimWorld& world, const ResilienceOptions& opts)
+      : options(opts),
+        transport(world),
+        channel(transport, opts.retry, opts.recover) {}
+};
 
 DistributedSw::DistributedSw(const mesh::VoronoiMesh& global_mesh,
                              int num_ranks, sw::SwParams params,
@@ -33,6 +96,8 @@ DistributedSw::DistributedSw(const mesh::VoronoiMesh& global_mesh,
         locals_[static_cast<std::size_t>(r)].mesh));
 }
 
+DistributedSw::~DistributedSw() = default;  // Resilience is complete here
+
 void DistributedSw::apply_test_case(const sw::TestCase& tc) {
   // Initial conditions are analytic, so every rank fills *all* local
   // entities (halo included) directly — the values match the owners'
@@ -56,7 +121,10 @@ void DistributedSw::exchange(FieldId field) {
       std::vector<Real> buf;
       buf.reserve(send.size());
       for (Index i : send) buf.push_back(data[static_cast<std::size_t>(i)]);
-      world_.send(r, peer.rank, tag, std::move(buf));
+      if (resilience_)
+        resilience_->channel.send(r, peer.rank, tag, std::move(buf));
+      else
+        world_.send(r, peer.rank, tag, std::move(buf));
     }
   }
   // Phase 2: drain every receive.
@@ -67,13 +135,22 @@ void DistributedSw::exchange(FieldId field) {
       const auto& recv =
           loc == MeshLocation::Cell ? peer.recv_cells : peer.recv_edges;
       if (recv.empty()) continue;
-      const std::vector<Real> buf = world_.recv(r, peer.rank, tag);
+      const std::vector<Real> buf =
+          resilience_
+              ? resilience_->channel.recv(r, peer.rank, tag, recv.size())
+              : world_.recv(r, peer.rank, tag);
       MPAS_CHECK(buf.size() == recv.size());
       for (std::size_t i = 0; i < recv.size(); ++i)
         data[static_cast<std::size_t>(recv[i])] = buf[i];
     }
   }
-  MPAS_CHECK_MSG(!world_.has_pending(), "unmatched halo messages");
+  if (resilience_) {
+    // Late duplicates from retransmissions may legitimately linger; only
+    // live messages left behind are a protocol bug.
+    drain_stale_messages();
+  } else {
+    MPAS_CHECK_MSG(!world_.has_pending(), "unmatched halo messages");
+  }
 }
 
 void DistributedSw::compute_diagnostics(int rank, FieldId h_in, FieldId u_in) {
@@ -205,7 +282,182 @@ void DistributedSw::step() {
 }
 
 void DistributedSw::run(int steps) {
+  if (resilience_) {
+    run_resilient(steps);
+    return;
+  }
   for (int i = 0; i < steps; ++i) step();
+  step_index_ += steps;
+}
+
+void DistributedSw::enable_resilience(const ResilienceOptions& options) {
+  MPAS_CHECK_MSG(!resilience_, "resilience already enabled");
+  MPAS_CHECK_MSG(!world_.has_pending(),
+                 "enable_resilience with halo traffic in flight");
+  MPAS_CHECK_MSG(options.checkpoint_interval >= 1,
+                 "checkpoint_interval must be >= 1, got "
+                     << options.checkpoint_interval);
+  MPAS_CHECK_MSG(options.max_rollbacks >= 1, "max_rollbacks must be >= 1");
+  resilience_ = std::make_unique<Resilience>(world_, options);
+  world_.set_fault_injector(options.injector);
+}
+
+void DistributedSw::run_resilient(int steps) {
+  Resilience& rs = *resilience_;
+  if (!rs.baseline_set) {
+    // Conserved-integral baseline for the drift detector, taken on the
+    // initial (trusted) state.
+    sw::StateHealth health;
+    for (int r = 0; r < num_ranks(); ++r) {
+      const auto& lm = locals_[static_cast<std::size_t>(r)];
+      health += sw::compute_state_health(
+          lm.mesh, *stores_[static_cast<std::size_t>(r)], lm.num_owned_cells,
+          lm.num_owned_edges);
+    }
+    MPAS_CHECK_MSG(health.finite && health.h_min > 0,
+                   "initial state is already unhealthy");
+    rs.baseline_mass = health.mass;
+    rs.baseline_energy = health.energy;
+    rs.baseline_set = true;
+  }
+
+  const std::int64_t target = step_index_ + steps;
+  int rollbacks_in_row = 0;
+  while (step_index_ < target) {
+    if (!rs.checkpoint.valid() ||
+        (step_index_ % rs.options.checkpoint_interval == 0 &&
+         rs.checkpoint.step() != step_index_))
+      take_checkpoint();
+    step();
+    apply_step_faults(step_index_);
+    step_index_ += 1;
+    std::string reason;
+    if (state_healthy(&reason)) {
+      rollbacks_in_row = 0;
+      continue;
+    }
+    rs.poisoned_detected += 1;
+    MPAS_CHECK_MSG(rs.options.recover, "state poisoned after step "
+                                           << (step_index_ - 1) << ": "
+                                           << reason
+                                           << " (recovery disabled)");
+    rollbacks_in_row += 1;
+    MPAS_CHECK_MSG(rollbacks_in_row <= rs.options.max_rollbacks,
+                   "state still poisoned after "
+                       << rs.options.max_rollbacks << " rollbacks: "
+                       << reason);
+    rollback();
+  }
+}
+
+void DistributedSw::take_checkpoint() {
+  Resilience& rs = *resilience_;
+  rs.checkpoint.begin(step_index_);
+  for (int r = 0; r < num_ranks(); ++r) {
+    const sw::FieldStore& store = *stores_[static_cast<std::size_t>(r)];
+    for (int f = 0; f < sw::kNumFields; ++f)
+      rs.checkpoint.save(r, f, store.get(static_cast<FieldId>(f)));
+  }
+}
+
+void DistributedSw::rollback() {
+  Resilience& rs = *resilience_;
+  MPAS_CHECK_MSG(rs.checkpoint.valid(), "rollback without a checkpoint");
+  for (int r = 0; r < num_ranks(); ++r) {
+    sw::FieldStore& store = *stores_[static_cast<std::size_t>(r)];
+    for (int f = 0; f < sw::kNumFields; ++f)
+      rs.checkpoint.restore(r, f, store.get(static_cast<FieldId>(f)));
+  }
+  rs.rollbacks += 1;
+  rs.steps_replayed +=
+      static_cast<std::uint64_t>(step_index_ - rs.checkpoint.step());
+  step_index_ = rs.checkpoint.step();
+}
+
+void DistributedSw::apply_step_faults(std::int64_t step) {
+  Resilience& rs = *resilience_;
+  if (rs.options.injector == nullptr) return;
+  for (int r = 0; r < num_ranks(); ++r) {
+    for (const auto& fault : rs.options.injector->on_step(r, step)) {
+      if (fault.kind == resilience::FaultKind::RankStall) {
+        rs.stalls += 1;
+        rs.modeled_seconds_lost += fault.stall_seconds;
+      } else if (fault.kind == resilience::FaultKind::StateCorrupt) {
+        // Silent data corruption in resident state. `tag` selects the
+        // field (mirroring the exchange tags); default is H. The flip is
+        // confined to the owned prefix so the health check that follows
+        // this step sees it — a halo flip would survive one health check
+        // and could be captured into the next checkpoint, turning rollback
+        // into replay-of-the-poison.
+        const FieldId field =
+            fault.tag >= 0 && fault.tag < sw::kNumFields
+                ? static_cast<FieldId>(fault.tag)
+                : FieldId::H;
+        const auto& lm = locals_[static_cast<std::size_t>(r)];
+        const auto owned = static_cast<std::size_t>(
+            sw::field_info(field).location == MeshLocation::Cell
+                ? lm.num_owned_cells
+                : lm.num_owned_edges);
+        auto data = stores_[static_cast<std::size_t>(r)]->get(field);
+        flip_state_bit(data.first(std::min(owned, data.size())), fault.word,
+                       fault.bit);
+      }
+    }
+  }
+}
+
+bool DistributedSw::state_healthy(std::string* reason) {
+  Resilience& rs = *resilience_;
+  rs.health_checks += 1;
+  sw::StateHealth health;
+  for (int r = 0; r < num_ranks(); ++r) {
+    const auto& lm = locals_[static_cast<std::size_t>(r)];
+    health += sw::compute_state_health(
+        lm.mesh, *stores_[static_cast<std::size_t>(r)], lm.num_owned_cells,
+        lm.num_owned_edges);
+  }
+  std::ostringstream why;
+  if (!health.finite) {
+    why << "non-finite prognostic state";
+  } else if (health.h_min <= 0) {
+    why << "non-positive thickness " << health.h_min;
+  } else {
+    const Real mass_drift =
+        std::abs(health.mass - rs.baseline_mass) / std::abs(rs.baseline_mass);
+    const Real energy_drift = std::abs(health.energy - rs.baseline_energy) /
+                              std::abs(rs.baseline_energy);
+    if (mass_drift > rs.options.mass_drift_tol)
+      why << "mass drift " << mass_drift << " exceeds "
+          << rs.options.mass_drift_tol;
+    else if (energy_drift > rs.options.energy_drift_tol)
+      why << "energy drift " << energy_drift << " exceeds "
+          << rs.options.energy_drift_tol;
+  }
+  const std::string text = why.str();
+  if (text.empty()) return true;
+  if (reason != nullptr) *reason = text;
+  return false;
+}
+
+void DistributedSw::drain_stale_messages() {
+  for (const auto& q : world_.pending())
+    resilience_->channel.drain_stale(q.to, q.from, q.tag);
+}
+
+resilience::ResilienceStats DistributedSw::resilience_stats() const {
+  MPAS_CHECK_MSG(resilience_, "resilience not enabled");
+  const Resilience& rs = *resilience_;
+  resilience::ResilienceStats stats;
+  if (rs.options.injector != nullptr)
+    stats.injected = rs.options.injector->stats();
+  stats.channel = rs.channel.stats();
+  stats.health_checks = rs.health_checks;
+  stats.poisoned_states_detected = rs.poisoned_detected;
+  stats.rollbacks = rs.rollbacks;
+  stats.steps_replayed = rs.steps_replayed;
+  stats.stalls = rs.stalls;
+  stats.modeled_seconds_lost = rs.modeled_seconds_lost;
+  return stats;
 }
 
 void DistributedSw::exchange_rank(int rank, FieldId field) {
@@ -223,13 +475,19 @@ void DistributedSw::exchange_rank(int rank, FieldId field) {
     std::vector<Real> buf;
     buf.reserve(send.size());
     for (Index i : send) buf.push_back(data[static_cast<std::size_t>(i)]);
-    world_.send(rank, peer.rank, tag, std::move(buf));
+    if (resilience_)
+      resilience_->channel.send(rank, peer.rank, tag, std::move(buf));
+    else
+      world_.send(rank, peer.rank, tag, std::move(buf));
   }
   for (const auto& peer : plan.peers) {
     const auto& recv =
         loc == MeshLocation::Cell ? peer.recv_cells : peer.recv_edges;
     if (recv.empty()) continue;
-    const std::vector<Real> buf = world_.recv_blocking(rank, peer.rank, tag);
+    const std::vector<Real> buf =
+        resilience_
+            ? resilience_->channel.recv(rank, peer.rank, tag, recv.size())
+            : world_.recv_blocking(rank, peer.rank, tag);
     MPAS_CHECK(buf.size() == recv.size());
     for (std::size_t i = 0; i < recv.size(); ++i)
       data[static_cast<std::size_t>(recv[i])] = buf[i];
@@ -316,7 +574,13 @@ void DistributedSw::run_threaded(int steps) {
   }
   for (auto& t : threads) t.join();
   if (error) std::rethrow_exception(error);
-  MPAS_CHECK_MSG(!world_.has_pending(), "unmatched halo messages");
+  if (resilience_) {
+    drain_stale_messages();
+    step_index_ += steps;
+  } else {
+    MPAS_CHECK_MSG(!world_.has_pending(), "unmatched halo messages");
+    step_index_ += steps;
+  }
 }
 
 std::vector<Real> DistributedSw::gather_global(FieldId field) const {

@@ -6,14 +6,33 @@
 // because every kernel gathers the same inputs in the same order.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <string>
 
 #include "comm/simworld.hpp"
 #include "partition/halo.hpp"
+#include "resilience/fault.hpp"
+#include "resilience/stats.hpp"
 #include "sw/kernels.hpp"
 #include "sw/testcases.hpp"
 
 namespace mpas::comm {
+
+/// Configuration of the resilience layer around the distributed
+/// integrator. With an injector attached, the named faults are actually
+/// produced; without one the detection/recovery machinery still runs
+/// (envelopes, health checks, checkpoints) so the overhead path is
+/// testable fault-free.
+struct ResilienceOptions {
+  resilience::FaultInjector* injector = nullptr;  // non-owning, optional
+  bool recover = true;           // off: first detection raises mpas::Error
+  resilience::RetryPolicy retry;
+  int checkpoint_interval = 5;   // steps between in-memory checkpoints
+  int max_rollbacks = 8;         // per-incident escalation bound
+  Real mass_drift_tol = 1e-9;    // mass is conserved to rounding
+  Real energy_drift_tol = 1e-4;  // energy only to time-truncation error
+};
 
 class DistributedSw {
  public:
@@ -21,6 +40,7 @@ class DistributedSw {
                 sw::SwParams params,
                 sw::LoopVariant variant = sw::LoopVariant::BranchFree,
                 int halo_layers = 2);
+  ~DistributedSw();  // out of line: Resilience is incomplete here
 
   void apply_test_case(const sw::TestCase& tc);
   void initialize();
@@ -49,12 +69,39 @@ class DistributedSw {
   /// validation against a serial run.
   [[nodiscard]] std::vector<Real> gather_global(sw::FieldId field) const;
 
+  /// Turn on the resilience layer: halo payloads travel in sequenced,
+  /// checksummed envelopes with bounded retransmission; `run` additionally
+  /// checkpoints every rank's full field state every `checkpoint_interval`
+  /// steps, health-checks the state after every step, and rolls back and
+  /// replays when the state is poisoned. Call before any exchange traffic
+  /// (i.e. before initialize()). `run_threaded` gets the message-level
+  /// detection/recovery; checkpoint/rollback is lockstep-only.
+  void enable_resilience(const ResilienceOptions& options);
+
+  [[nodiscard]] bool resilience_enabled() const {
+    return resilience_ != nullptr;
+  }
+  [[nodiscard]] resilience::ResilienceStats resilience_stats() const;
+
+  /// Steps completed (and kept — rolled-back steps do not count) by the
+  /// resilient run() driver.
+  [[nodiscard]] std::int64_t step_index() const { return step_index_; }
+
  private:
+  struct Resilience;  // channel + checkpoint + counters (distributed.cpp)
+
   void exchange(sw::FieldId field);
   void exchange_rank(int rank, sw::FieldId field);  // threaded-mode variant
   void step_rank(int rank);                         // one rank's full step
   void compute_diagnostics(int rank, sw::FieldId h_in, sw::FieldId u_in);
   void compute_tend(int rank, sw::FieldId h_in, sw::FieldId u_in);
+
+  void run_resilient(int steps);
+  void take_checkpoint();
+  void rollback();
+  void apply_step_faults(std::int64_t step);
+  [[nodiscard]] bool state_healthy(std::string* reason);
+  void drain_stale_messages();
 
   const mesh::VoronoiMesh& global_;
   sw::SwParams params_;
@@ -64,6 +111,8 @@ class DistributedSw {
   std::vector<partition::ExchangePlan> plans_;
   std::vector<std::unique_ptr<sw::FieldStore>> stores_;
   SimWorld world_;
+  std::unique_ptr<Resilience> resilience_;
+  std::int64_t step_index_ = 0;
 };
 
 }  // namespace mpas::comm

@@ -1,35 +1,96 @@
 #include "comm/simworld.hpp"
 
 #include <chrono>
+#include <cstring>
+#include <sstream>
 #include <tuple>
 
 #include "util/error.hpp"
 
 namespace mpas::comm {
 
+namespace {
+
+void flip_bit(std::vector<Real>& payload, std::uint64_t word,
+              std::uint32_t bit) {
+  if (payload.empty()) return;
+  Real& target = payload[word % payload.size()];
+  std::uint64_t raw;
+  std::memcpy(&raw, &target, sizeof(raw));
+  raw ^= std::uint64_t{1} << bit;
+  std::memcpy(&target, &raw, sizeof(raw));
+}
+
+}  // namespace
+
 SimWorld::SimWorld(int num_ranks) : num_ranks_(num_ranks) {
   MPAS_CHECK(num_ranks >= 1);
+}
+
+void SimWorld::set_fault_injector(resilience::FaultInjector* injector) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  injector_ = injector;
+}
+
+void SimWorld::enqueue_locked(const Key& key, std::vector<Real> payload) {
+  stats_.messages += 1;
+  stats_.bytes += payload.size() * sizeof(Real);
+  queues_[key].push_back(std::move(payload));
+}
+
+void SimWorld::flush_delayed_locked(const Key& key) {
+  const auto it = delayed_.find(key);
+  if (it == delayed_.end()) return;
+  for (auto& payload : it->second) enqueue_locked(key, std::move(payload));
+  delayed_.erase(it);
 }
 
 void SimWorld::send(int from, int to, int tag, std::vector<Real> payload) {
   MPAS_CHECK(from >= 0 && from < num_ranks_);
   MPAS_CHECK(to >= 0 && to < num_ranks_);
   MPAS_CHECK_MSG(from != to, "self-send (rank " << from << ")");
+  const Key key{from, to, tag};
+  bool drop = false, delay = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    stats_.messages += 1;
-    stats_.bytes += payload.size() * sizeof(Real);
-    queues_[Key{from, to, tag}].push_back(std::move(payload));
+    if (injector_ != nullptr) {
+      for (const auto& fault : injector_->on_message(from, to, tag)) {
+        switch (fault.kind) {
+          case resilience::FaultKind::MsgDrop: drop = true; break;
+          case resilience::FaultKind::MsgDelay: delay = true; break;
+          case resilience::FaultKind::MsgCorrupt:
+            flip_bit(payload, fault.word, fault.bit);
+            break;
+          default: break;
+        }
+      }
+    }
+    // Any earlier delayed message on this stream is delivered first — it
+    // was slow, not lost, and arrives behind the traffic that overtook it.
+    flush_delayed_locked(key);
+    if (drop) return;  // vanished on the wire, silently
+    if (delay) {
+      delayed_[key].push_back(std::move(payload));
+    } else {
+      enqueue_locked(key, std::move(payload));
+    }
   }
   cv_.notify_all();
 }
 
 std::vector<Real> SimWorld::recv(int to, int from, int tag) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = queues_.find(Key{from, to, tag});
-  MPAS_CHECK_MSG(it != queues_.end() && !it->second.empty(),
+  auto payload = try_recv(to, from, tag);
+  MPAS_CHECK_MSG(payload.has_value(),
                  "recv with no matching message: " << from << " -> " << to
                                                    << " tag " << tag);
+  return std::move(*payload);
+}
+
+std::optional<std::vector<Real>> SimWorld::try_recv(int to, int from,
+                                                    int tag) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = queues_.find(Key{from, to, tag});
+  if (it == queues_.end() || it->second.empty()) return std::nullopt;
   std::vector<Real> payload = std::move(it->second.front());
   it->second.pop_front();
   if (it->second.empty()) queues_.erase(it);
@@ -38,6 +99,7 @@ std::vector<Real> SimWorld::recv(int to, int from, int tag) {
 
 std::vector<Real> SimWorld::recv_blocking(int to, int from, int tag,
                                           int timeout_ms) {
+  const auto started = std::chrono::steady_clock::now();
   std::unique_lock<std::mutex> lock(mutex_);
   const Key key{from, to, tag};
   const bool arrived = cv_.wait_for(
@@ -45,8 +107,26 @@ std::vector<Real> SimWorld::recv_blocking(int to, int from, int tag,
         auto it = queues_.find(key);
         return it != queues_.end() && !it->second.empty();
       });
-  MPAS_CHECK_MSG(arrived, "recv_blocking timed out: " << from << " -> " << to
-                                                      << " tag " << tag);
+  if (!arrived) {
+    const auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - started);
+    std::ostringstream os;
+    os << "recv_blocking timed out waiting for " << from << " -> " << to
+       << " tag " << tag << " after " << waited.count()
+       << " ms (likely deadlock); pending queues: ";
+    if (queues_.empty()) {
+      os << "none";
+    } else {
+      bool first = true;
+      for (const auto& [k, q] : queues_) {
+        if (!first) os << ", ";
+        first = false;
+        os << k.from << " -> " << k.to << " tag " << k.tag << " x"
+           << q.size();
+      }
+    }
+    MPAS_FAIL(os.str());
+  }
   auto it = queues_.find(key);
   std::vector<Real> payload = std::move(it->second.front());
   it->second.pop_front();
@@ -57,6 +137,28 @@ std::vector<Real> SimWorld::recv_blocking(int to, int from, int tag,
 bool SimWorld::has_pending() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return !queues_.empty();
+}
+
+std::vector<SimWorld::PendingQueue> SimWorld::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<PendingQueue> out;
+  out.reserve(queues_.size());
+  for (const auto& [key, queue] : queues_)
+    out.push_back({key.from, key.to, key.tag, queue.size()});
+  return out;
+}
+
+std::string SimWorld::pending_summary() const {
+  const auto queues = pending();
+  if (queues.empty()) return "none";
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& q : queues) {
+    if (!first) os << ", ";
+    first = false;
+    os << q.from << " -> " << q.to << " tag " << q.tag << " x" << q.depth;
+  }
+  return os.str();
 }
 
 SimWorld::Stats SimWorld::stats() const {

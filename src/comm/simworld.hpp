@@ -5,6 +5,12 @@
 // destination, tag) in FIFO order — the same structure an MPI halo exchange
 // has, so exchange volume and message counts are measured for real; only
 // the wire time is modeled (machine::Network).
+//
+// A resilience::FaultInjector can be hooked into the fabric; `send` then
+// consults it per message and may drop the payload, flip a bit in flight,
+// or defer delivery past later traffic on the same stream (reordering).
+// Detection and recovery live one layer up (resilience::ResilientChannel /
+// comm::DistributedSw) — the fabric itself fails silently, like real wires.
 #pragma once
 
 #include <condition_variable>
@@ -12,8 +18,11 @@
 #include <deque>
 #include <map>
 #include <mutex>
+#include <optional>
+#include <string>
 #include <vector>
 
+#include "resilience/fault.hpp"
 #include "util/types.hpp"
 
 namespace mpas::comm {
@@ -25,21 +34,39 @@ class SimWorld {
   [[nodiscard]] int num_ranks() const { return num_ranks_; }
 
   /// Non-blocking, thread-safe post (MPI_Isend-like: the payload is the
-  /// message, ownership transfers).
+  /// message, ownership transfers). Subject to injected faults.
   void send(int from, int to, int tag, std::vector<Real> payload);
 
   /// FIFO-matched receive. Throws if no matching message has been posted —
   /// the lockstep driver always posts all sends of a phase first.
   std::vector<Real> recv(int to, int from, int tag);
 
+  /// Non-throwing FIFO-matched receive: nullopt if nothing is queued.
+  std::optional<std::vector<Real>> try_recv(int to, int from, int tag);
+
   /// Blocking FIFO-matched receive (MPI_Recv-like) for the threaded
   /// driver: waits until a matching message arrives. Throws after
-  /// `timeout_ms` (deadlock guard).
+  /// `timeout_ms` (deadlock guard) with the endpoint, the wait duration,
+  /// and a summary of every pending queue.
   std::vector<Real> recv_blocking(int to, int from, int tag,
                                   int timeout_ms = 30000);
 
   /// True if any message is still queued (catches protocol bugs in tests).
+  /// Messages held back by an injected delay fault are in flight on a slow
+  /// wire, not queued, and are not counted.
   [[nodiscard]] bool has_pending() const;
+
+  /// Snapshot of every non-empty queue (for diagnostics and for the
+  /// resilience layer's end-of-run stale drain).
+  struct PendingQueue {
+    int from = -1, to = -1, tag = -1;
+    std::size_t depth = 0;
+  };
+  [[nodiscard]] std::vector<PendingQueue> pending() const;
+  [[nodiscard]] std::string pending_summary() const;
+
+  /// Hook fault injection into the fabric (non-owning; nullptr detaches).
+  void set_fault_injector(resilience::FaultInjector* injector);
 
   struct Stats {
     std::uint64_t messages = 0;
@@ -55,10 +82,18 @@ class SimWorld {
       return std::tie(from, to, tag) < std::tie(o.from, o.to, o.tag);
     }
   };
+
+  void enqueue_locked(const Key& key, std::vector<Real> payload);
+  void flush_delayed_locked(const Key& key);
+
   int num_ranks_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::map<Key, std::deque<std::vector<Real>>> queues_;
+  // Messages held back by a delay fault; delivered ahead of the next send
+  // on the same stream (i.e. after any traffic posted in between).
+  std::map<Key, std::deque<std::vector<Real>>> delayed_;
+  resilience::FaultInjector* injector_ = nullptr;
   Stats stats_;
 };
 

@@ -22,10 +22,42 @@ BufferId OffloadRuntime::register_buffer(std::string name, std::size_t bytes,
   return static_cast<BufferId>(buffers_.size() - 1);
 }
 
-Real OffloadRuntime::transfer(Buffer& b, bool to_device) {
-  const Real t = link_.time(static_cast<std::int64_t>(b.bytes));
+void OffloadRuntime::set_resilience(resilience::FaultInjector* injector,
+                                    resilience::RetryPolicy retry,
+                                    bool recover) {
+  MPAS_CHECK_MSG(retry.max_attempts >= 1, "max_attempts must be >= 1");
+  injector_ = injector;
+  retry_ = retry;
+  recover_ = recover;
+}
+
+Real OffloadRuntime::transfer(BufferId id, bool to_device) {
+  Buffer& b = buffers_.at(static_cast<std::size_t>(id));
+  Real total = 0;
+  for (int attempt = 1;; ++attempt) {
+    // Every attempt, failed or not, occupies the link for the full wire
+    // time (a failed DMA is detected at completion, not at launch).
+    const Real t = link_.time(static_cast<std::int64_t>(b.bytes));
+    stats_.modeled_seconds += t;
+    total += t;
+    const char* fault = nullptr;
+    if (injector_ != nullptr) {
+      for (const auto& spec : injector_->on_transfer(id)) {
+        fault = spec.kind == resilience::FaultKind::TransferCorrupt
+                    ? "failed its integrity check"
+                    : "aborted";
+      }
+    }
+    if (fault == nullptr) break;
+    stats_.transfer_faults += 1;
+    MPAS_CHECK_MSG(recover_, "transfer of '" << b.name << "' " << fault
+                                             << " (recovery disabled)");
+    MPAS_CHECK_MSG(attempt < retry_.max_attempts,
+                   "transfer of '" << b.name << "' " << fault << " on all "
+                                   << retry_.max_attempts << " attempts");
+    stats_.transfer_retries += 1;
+  }
   stats_.transfers += 1;
-  stats_.modeled_seconds += t;
   if (to_device) {
     stats_.bytes_to_device += b.bytes;
     b.valid_on_device = true;
@@ -33,14 +65,14 @@ Real OffloadRuntime::transfer(Buffer& b, bool to_device) {
     stats_.bytes_to_host += b.bytes;
     b.valid_on_host = true;
   }
-  return t;
+  return total;
 }
 
 Real OffloadRuntime::initial_upload() {
   Real total = 0;
-  for (auto& b : buffers_) {
+  for (std::size_t i = 0; i < buffers_.size(); ++i) {
     if (policy_ == TransferPolicy::ResidentMesh) {
-      total += transfer(b, /*to_device=*/true);
+      total += transfer(static_cast<BufferId>(i), /*to_device=*/true);
     }
     // OnDemand uploads nothing up front.
   }
@@ -48,15 +80,15 @@ Real OffloadRuntime::initial_upload() {
 }
 
 Real OffloadRuntime::ensure_on_device(BufferId id) {
-  Buffer& b = buffers_.at(static_cast<std::size_t>(id));
+  const Buffer& b = buffers_.at(static_cast<std::size_t>(id));
   if (b.valid_on_device) return 0;
-  return transfer(b, /*to_device=*/true);
+  return transfer(id, /*to_device=*/true);
 }
 
 Real OffloadRuntime::ensure_on_host(BufferId id) {
-  Buffer& b = buffers_.at(static_cast<std::size_t>(id));
+  const Buffer& b = buffers_.at(static_cast<std::size_t>(id));
   if (b.valid_on_host) return 0;
-  return transfer(b, /*to_device=*/false);
+  return transfer(id, /*to_device=*/false);
 }
 
 void OffloadRuntime::mark_written_on_device(BufferId id) {
@@ -79,11 +111,12 @@ void OffloadRuntime::mark_written_on_host(BufferId id) {
 
 void OffloadRuntime::end_offload_region() {
   if (policy_ != TransferPolicy::OnDemand) return;
-  for (auto& b : buffers_) {
+  for (std::size_t i = 0; i < buffers_.size(); ++i) {
     // `#pragma offload out(...)`: device-written compute buffers are copied
     // back when the region closes; then nothing persists on the device.
-    if (!b.valid_on_host) transfer(b, /*to_device=*/false);
-    b.valid_on_device = false;
+    if (!buffers_[i].valid_on_host)
+      transfer(static_cast<BufferId>(i), /*to_device=*/false);
+    buffers_[i].valid_on_device = false;
   }
 }
 

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "machine/machine_model.hpp"
+#include "resilience/fault.hpp"
 #include "util/types.hpp"
 
 namespace mpas::exec {
@@ -62,10 +63,23 @@ class OffloadRuntime {
   /// ResidentMesh it is a no-op — device allocations persist.
   void end_offload_region();
 
+  /// Hook fault injection into the transfer link (non-owning; nullptr
+  /// detaches). Every transfer attempt is one injector event; a fired
+  /// TransferFail/TransferCorrupt costs the attempt's wire time and is
+  /// retried up to `retry.max_attempts` total attempts, then escalates
+  /// with mpas::Error. With `recover` off the first fault escalates —
+  /// the link detects, it never silently delivers garbage.
+  void set_resilience(resilience::FaultInjector* injector,
+                      resilience::RetryPolicy retry, bool recover = true);
+
   struct Stats {
+    // Byte/transfer counts are for *successful* deliveries only; the
+    // modeled time additionally charges every failed attempt.
     std::uint64_t bytes_to_device = 0;
     std::uint64_t bytes_to_host = 0;
     std::uint64_t transfers = 0;
+    std::uint64_t transfer_faults = 0;   // injected & detected on this link
+    std::uint64_t transfer_retries = 0;  // re-attempts after a fault
     Real modeled_seconds = 0;
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
@@ -86,12 +100,15 @@ class OffloadRuntime {
     bool valid_on_host = true;
   };
 
-  Real transfer(Buffer& b, bool to_device);
+  Real transfer(BufferId id, bool to_device);
 
   machine::TransferLink link_;
   TransferPolicy policy_;
   std::size_t device_memory_bytes_;
   std::vector<Buffer> buffers_;
+  resilience::FaultInjector* injector_ = nullptr;
+  resilience::RetryPolicy retry_;
+  bool recover_ = true;
   Stats stats_;
 };
 

@@ -1,0 +1,146 @@
+#include "resilience/channel.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "resilience/envelope.hpp"
+#include "util/error.hpp"
+
+namespace mpas::resilience {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+Clock::duration from_ms(Real ms) {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<Real, std::milli>(ms));
+}
+}  // namespace
+
+ResilientChannel::ResilientChannel(Transport& transport, RetryPolicy policy,
+                                   bool recover, machine::Network network)
+    : transport_(transport),
+      policy_(policy),
+      recover_(recover),
+      network_(network) {
+  MPAS_CHECK_MSG(policy.max_attempts >= 1, "max_attempts must be >= 1");
+}
+
+void ResilientChannel::send(int from, int to, int tag,
+                            std::vector<Real> payload) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stream& stream = streams_[Key{from, to, tag}];
+  const std::uint64_t seq = stream.next_send_seq++;
+  stream.retained = payload;  // keep a copy for retransmission
+  stream.retained_seq = seq;
+  stats_.sent += 1;
+  // Posting happens under the channel lock so a receiver never observes
+  // "retained but not yet posted" as a false drop.
+  transport_.send(from, to, tag, seal(seq, std::move(payload)));
+}
+
+void ResilientChannel::retransmit_locked(const Key& key, Stream& stream) {
+  // The bulk-synchronous exchange structure guarantees at most one
+  // outstanding message per stream, so the newest retained copy is the one
+  // the receiver is missing; anything else is a protocol bug.
+  MPAS_CHECK_MSG(stream.retained_seq == stream.next_recv_seq,
+                 "retransmit copy superseded on " << key.from << " -> "
+                                                  << key.to << " tag "
+                                                  << key.tag);
+  stats_.retransmits += 1;
+  transport_.send(key.from, key.to, key.tag,
+                  seal(stream.retained_seq, stream.retained));
+}
+
+std::vector<Real> ResilientChannel::recv(int to, int from, int tag,
+                                         std::size_t expected_count) {
+  const Key key{from, to, tag};
+  const auto deadline = Clock::now() + from_ms(policy_.total_timeout_ms);
+  auto patience = Clock::now() + from_ms(policy_.resend_wait_ms);
+  int attempts = 1;
+
+  // Shared detection outcome: escalate (no recovery / attempts exhausted)
+  // or charge the lost wire time and retransmit.
+  const auto handle_fault = [&](Stream& stream, const char* what) {
+    stats_.modeled_seconds_lost += network_.message_time(
+        static_cast<std::int64_t>((stream.retained.size() + kEnvelopeWords) *
+                                  sizeof(Real)));
+    MPAS_CHECK_MSG(recover_, "halo message " << what << ": " << from << " -> "
+                                             << to << " tag " << tag
+                                             << " seq " << stream.next_recv_seq
+                                             << " (recovery disabled)");
+    attempts += 1;
+    MPAS_CHECK_MSG(attempts <= policy_.max_attempts,
+                   "halo message " << what << " persists after "
+                                   << policy_.max_attempts << " attempts: "
+                                   << from << " -> " << to << " tag " << tag);
+    retransmit_locked(key, stream);
+    patience = Clock::now() + from_ms(policy_.resend_wait_ms);
+  };
+
+  for (;;) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    Stream& stream = streams_[key];
+    if (auto raw = transport_.try_recv(to, from, tag)) {
+      auto opened = open(std::move(*raw));
+      if (!opened) {
+        stats_.detected_corruptions += 1;
+        handle_fault(stream, "corrupted");
+        continue;
+      }
+      if (opened->seq < stream.next_recv_seq) {
+        // A delayed original or superseded retransmit arriving late.
+        stats_.stale_discarded += 1;
+        continue;
+      }
+      MPAS_CHECK_MSG(opened->seq == stream.next_recv_seq,
+                     "sequence gap on " << from << " -> " << to << " tag "
+                                        << tag << ": got seq " << opened->seq
+                                        << ", expected "
+                                        << stream.next_recv_seq);
+      MPAS_CHECK_MSG(opened->payload.size() == expected_count,
+                     "halo payload size mismatch on "
+                         << from << " -> " << to << " tag " << tag << ": got "
+                         << opened->payload.size() << ", expected "
+                         << expected_count);
+      stream.next_recv_seq += 1;
+      stats_.delivered += 1;
+      return std::move(opened->payload);
+    }
+
+    // Nothing queued: either the message was dropped, or (threaded mode)
+    // the sender simply has not posted it yet. The stream's send counter is
+    // the proof: the sender only advances it when it posts.
+    const bool sender_posted = stream.next_send_seq > stream.next_recv_seq;
+    if (sender_posted && Clock::now() >= patience) {
+      stats_.detected_drops += 1;
+      handle_fault(stream, "dropped");
+      continue;
+    }
+    lock.unlock();
+    MPAS_CHECK_MSG(Clock::now() < deadline,
+                   "resilient recv timed out after "
+                       << policy_.total_timeout_ms << " ms: " << from << " -> "
+                       << to << " tag " << tag);
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+}
+
+void ResilientChannel::drain_stale(int to, int from, int tag) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stream& stream = streams_[Key{from, to, tag}];
+  while (auto raw = transport_.try_recv(to, from, tag)) {
+    auto opened = open(std::move(*raw));
+    MPAS_CHECK_MSG(!opened || opened->seq < stream.next_recv_seq,
+                   "live halo message left behind: " << from << " -> " << to
+                                                     << " tag " << tag);
+    stats_.stale_discarded += 1;
+  }
+}
+
+ChannelStats ResilientChannel::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace mpas::resilience

@@ -1,0 +1,99 @@
+// ResilientChannel: sequenced, checksummed, retrying point-to-point streams
+// over any message transport.
+//
+// The channel seals every payload in an envelope (seq + checksum), keeps a
+// retransmit copy of the newest message per (from, to, tag) stream, and on
+// the receive side detects drops (no message where one was retained),
+// corruption (envelope fails to open) and reordering (stale seq), then
+// recovers by re-posting the retained copy — bounded by RetryPolicy, after
+// which it escalates with mpas::Error. With `recover` off, the first
+// detection escalates immediately: detection is never optional, silent
+// divergence is the one forbidden outcome.
+//
+// The transport is an interface so the channel does not depend on the comm
+// library (comm::SimWorld adapts to it); retransmit re-enters the transport
+// and therefore re-runs any fault injection hooked into it, which is what
+// lets a `repeat`-spec kill the retry too and prove the escalation path.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "machine/machine_model.hpp"
+#include "resilience/fault.hpp"
+#include "util/types.hpp"
+
+namespace mpas::resilience {
+
+/// Minimal message fabric the channel runs over. `try_recv` must be
+/// non-blocking (nullopt = nothing queued); thread safety is the
+/// implementation's responsibility.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  virtual void send(int from, int to, int tag, std::vector<Real> payload) = 0;
+  virtual std::optional<std::vector<Real>> try_recv(int to, int from,
+                                                    int tag) = 0;
+};
+
+struct ChannelStats {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t detected_drops = 0;
+  std::uint64_t detected_corruptions = 0;
+  std::uint64_t stale_discarded = 0;  // late duplicates (delay faults)
+  std::uint64_t retransmits = 0;
+  Real modeled_seconds_lost = 0;  // wire time of the failed deliveries
+};
+
+class ResilientChannel {
+ public:
+  ResilientChannel(Transport& transport, RetryPolicy policy, bool recover,
+                   machine::Network network = {});
+
+  /// Seal + post one message on the (from, to, tag) stream and retain a
+  /// retransmit copy.
+  void send(int from, int to, int tag, std::vector<Real> payload);
+
+  /// Receive the next in-sequence message on the stream, recovering from
+  /// drops/corruption per the retry policy. `expected_count` guards the
+  /// payload length (halo exchange lists are index-aligned).
+  std::vector<Real> recv(int to, int from, int tag,
+                         std::size_t expected_count);
+
+  /// Drain and discard late duplicates sitting in `keys`' queues; throws if
+  /// a live (in-sequence) message is found — that is a protocol bug, not a
+  /// stale leftover.
+  void drain_stale(int to, int from, int tag);
+
+  [[nodiscard]] ChannelStats stats() const;
+
+ private:
+  struct Key {
+    int from, to, tag;
+    bool operator<(const Key& o) const {
+      return std::tie(from, to, tag) < std::tie(o.from, o.to, o.tag);
+    }
+  };
+  struct Stream {
+    std::uint64_t next_send_seq = 0;
+    std::uint64_t next_recv_seq = 0;
+    std::uint64_t retained_seq = 0;
+    std::vector<Real> retained;  // newest payload, for retransmission
+  };
+
+  void retransmit_locked(const Key& key, Stream& stream);
+
+  Transport& transport_;
+  RetryPolicy policy_;
+  bool recover_;
+  machine::Network network_;
+  mutable std::mutex mutex_;
+  std::map<Key, Stream> streams_;
+  ChannelStats stats_;
+};
+
+}  // namespace mpas::resilience

@@ -1,0 +1,44 @@
+#include "resilience/checkpoint.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mpas::resilience {
+
+void Checkpoint::begin(std::int64_t step) {
+  MPAS_CHECK_MSG(step >= 0, "checkpoint step must be >= 0, got " << step);
+  slots_.clear();
+  step_ = step;
+  valid_ = true;
+}
+
+void Checkpoint::save(int rank, int slot, std::span<const Real> data) {
+  MPAS_CHECK_MSG(valid_, "checkpoint save before begin()");
+  slots_[{rank, slot}].assign(data.begin(), data.end());
+}
+
+void Checkpoint::restore(int rank, int slot, std::span<Real> out) const {
+  MPAS_CHECK_MSG(valid_, "checkpoint restore before begin()");
+  const auto it = slots_.find({rank, slot});
+  MPAS_CHECK_MSG(it != slots_.end(),
+                 "no checkpoint data for rank " << rank << " slot " << slot);
+  MPAS_CHECK_MSG(it->second.size() == out.size(),
+                 "checkpoint size mismatch for rank "
+                     << rank << " slot " << slot << ": saved "
+                     << it->second.size() << ", restoring " << out.size());
+  std::copy(it->second.begin(), it->second.end(), out.begin());
+}
+
+std::int64_t Checkpoint::step() const {
+  MPAS_CHECK_MSG(valid_, "checkpoint step() before begin()");
+  return step_;
+}
+
+std::size_t Checkpoint::bytes() const {
+  std::size_t total = 0;
+  for (const auto& [key, data] : slots_) total += data.size() * sizeof(Real);
+  return total;
+}
+
+}  // namespace mpas::resilience

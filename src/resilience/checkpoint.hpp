@@ -1,0 +1,45 @@
+// In-memory checkpoint of per-rank field state for rollback-and-replay.
+//
+// The distributed integrator snapshots every rank's full FieldStore (all
+// fields, halos included) every K steps. When the step-level health check
+// classifies the state as poisoned, the run restores the snapshot bitwise
+// and replays the lost steps — deterministic kernels plus the resilient
+// channel make the replay land on exactly the fault-free trajectory.
+//
+// The store is deliberately dumb: (rank, slot) -> flat Real vector, where a
+// slot is whatever the caller indexes by (the integrator uses FieldId).
+// That keeps the resilience library free of sw/partition dependencies.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace mpas::resilience {
+
+class Checkpoint {
+ public:
+  /// Start a new snapshot at `step`, discarding any previous one.
+  void begin(std::int64_t step);
+
+  /// Record one (rank, slot) array into the current snapshot.
+  void save(int rank, int slot, std::span<const Real> data);
+
+  /// Copy a saved array back. Size must match what was saved.
+  void restore(int rank, int slot, std::span<Real> out) const;
+
+  [[nodiscard]] bool valid() const { return valid_; }
+  [[nodiscard]] std::int64_t step() const;
+  [[nodiscard]] std::size_t bytes() const;
+
+ private:
+  bool valid_ = false;
+  std::int64_t step_ = -1;
+  std::map<std::pair<int, int>, std::vector<Real>> slots_;
+};
+
+}  // namespace mpas::resilience

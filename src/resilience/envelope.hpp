@@ -1,0 +1,44 @@
+// Message envelope: the detection layer of the resilient halo exchange.
+//
+// A bare `std::vector<Real>` payload gives the receiver no way to tell a
+// dropped, reordered, or bit-flipped message from a healthy one — the seed
+// runtime would silently compute on garbage. The envelope prepends three
+// header words (bit-cast std::uint64_t stored in Real slots, so the fabric
+// still moves one flat Real buffer):
+//
+//   [0] magic (high 32 bits) | payload word count (low 32 bits)
+//   [1] per-stream sequence number
+//   [2] FNV-1a 64 checksum over the payload bytes, seeded with the seq
+//
+// `open` returns nullopt on ANY damage — truncation, bad magic, count
+// mismatch, checksum mismatch — so corruption of header or payload alike is
+// detected, never classified. Sequencing (duplicate/stale detection) is the
+// channel's job; the envelope only carries the number.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace mpas::resilience {
+
+inline constexpr std::size_t kEnvelopeWords = 3;
+
+/// Wrap `payload` in an envelope carrying `seq`.
+std::vector<Real> seal(std::uint64_t seq, std::vector<Real> payload);
+
+struct Opened {
+  std::uint64_t seq = 0;
+  std::vector<Real> payload;
+};
+
+/// Unwrap and verify. nullopt = the message is damaged (in any way).
+std::optional<Opened> open(std::vector<Real> raw);
+
+/// FNV-1a 64 over the payload bytes, seeded with the sequence number (so a
+/// replayed payload under the wrong seq does not checksum clean).
+std::uint64_t checksum(std::uint64_t seq, const Real* data, std::size_t n);
+
+}  // namespace mpas::resilience

@@ -1,0 +1,137 @@
+// Deterministic fault injection for the distributed + offload runtime.
+//
+// Real MPAS-scale runs (Tianhe-2-class nodes, paper Section V) live with
+// flaky interconnects and offload links; this reproduction makes that
+// failure path first-class instead of assumed away. A FaultInjector holds a
+// schedule of FaultSpecs; every potential fault site (a SimWorld message
+// send, an OffloadRuntime transfer, a rank's time step) asks the injector
+// whether a fault fires there. Two modes per spec:
+//
+//   * counted:       fire on the `at_event`-th event matching the site
+//                    filter, then on the next `repeat - 1` matching events
+//                    (deterministic — the basis of the bitwise-recovery and
+//                    exact-stats tests);
+//   * probabilistic: fire with probability p per matching event, drawn from
+//                    the spec's own seeded PRNG stream (deterministic for a
+//                    fixed seed and event order — stress-test mode).
+//
+// The injector is thread-safe (the threaded driver sends from one thread
+// per rank) and never calls back into the runtimes, so it can be queried
+// under their locks without ordering hazards.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace mpas::resilience {
+
+enum class FaultKind : std::uint8_t {
+  MsgDrop = 0,      // message vanishes on the wire
+  MsgCorrupt,       // one payload bit flips in flight
+  MsgDelay,         // delivery deferred past later traffic (reordering)
+  RankStall,        // a rank loses time in a step (OS jitter / slow node)
+  TransferFail,     // host<->device transfer aborts and must be retried
+  TransferCorrupt,  // transfer completes but fails its integrity check
+  StateCorrupt,     // silent data corruption: a bit flips in resident state
+  Count,
+};
+
+inline constexpr int kNumFaultKinds = static_cast<int>(FaultKind::Count);
+
+const char* to_string(FaultKind kind);
+
+/// One scheduled fault. Site filters default to wildcards (-1 = any); the
+/// fields that apply depend on `kind` (message faults use from/to/tag,
+/// transfer faults use buffer, step faults use rank/step).
+struct FaultSpec {
+  FaultKind kind = FaultKind::MsgDrop;
+
+  // Message-site filter (MsgDrop / MsgCorrupt / MsgDelay).
+  int from = -1, to = -1, tag = -1;
+  // Transfer-site filter (TransferFail / TransferCorrupt).
+  int buffer = -1;
+  // Step-site filter (RankStall / StateCorrupt).
+  int rank = -1;
+  std::int64_t step = -1;
+
+  // Counted mode: fire on the `at_event`-th matching event (0-based), then
+  // keep firing for `repeat` consecutive matching events in total.
+  std::uint64_t at_event = 0;
+  int repeat = 1;
+
+  // Probabilistic mode: if > 0, fire per matching event with this
+  // probability instead of counting (at_event/repeat are ignored).
+  Real probability = 0;
+
+  // Corruption detail: which payload word (modulo length) and bit to flip.
+  std::uint64_t word = 0;
+  std::uint32_t bit = 62;  // an exponent bit: loud, detectable damage
+
+  // Modeled time a RankStall costs.
+  Real stall_seconds = 1e-3;
+};
+
+/// Counts of faults actually injected, per kind.
+struct InjectorStats {
+  std::array<std::uint64_t, kNumFaultKinds> injected{};
+
+  [[nodiscard]] std::uint64_t of(FaultKind kind) const {
+    return injected[static_cast<int>(kind)];
+  }
+  [[nodiscard]] std::uint64_t total() const;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Arm a fault. Throws on malformed specs (repeat < 1, probability
+  /// outside [0, 1], bit >= 64) — schedules are inputs and are validated
+  /// like any other input.
+  void add(const FaultSpec& spec);
+
+  /// Site queries. Each call is one *event*; every armed spec whose filter
+  /// matches advances its event counter (or draws from its PRNG stream) and
+  /// is returned if it fires. Never returns the same counted firing twice.
+  std::vector<FaultSpec> on_message(int from, int to, int tag);
+  std::vector<FaultSpec> on_transfer(int buffer);
+  std::vector<FaultSpec> on_step(int rank, std::int64_t step);
+
+  [[nodiscard]] InjectorStats stats() const;
+  [[nodiscard]] std::size_t num_armed() const;
+  /// True once every counted spec has fired its full repeat budget.
+  [[nodiscard]] bool exhausted() const;
+
+  /// Rewind all counters and PRNG streams to the armed state, so an
+  /// identical run reproduces the identical fault sequence.
+  void reset();
+
+ private:
+  struct Armed {
+    FaultSpec spec;
+    std::uint64_t seen = 0;       // matching events observed so far
+    int fired = 0;                // counted firings consumed
+    std::uint64_t rng_state = 0;  // per-spec PRNG stream (probabilistic mode)
+  };
+
+  bool fires(Armed& arm);  // one matching event: advance + decide
+
+  mutable std::mutex mutex_;
+  std::uint64_t seed_;
+  std::vector<Armed> armed_;
+  InjectorStats stats_;
+};
+
+/// Bounded-retry policy shared by the message channel and the offload link.
+struct RetryPolicy {
+  int max_attempts = 4;        // delivery attempts per message/transfer
+  Real resend_wait_ms = 1.0;   // threaded mode: patience before declaring a
+                               // posted-but-missing message dropped
+  Real total_timeout_ms = 30000;  // hard deadline per receive
+};
+
+}  // namespace mpas::resilience

@@ -1,0 +1,36 @@
+#include "resilience/stats.hpp"
+
+namespace mpas::resilience {
+
+Table ResilienceStats::to_table() const {
+  Table t({"event", "count"});
+  const auto row = [&t](const char* name, std::uint64_t n) {
+    t.add_row({name, std::to_string(n)});
+  };
+  for (int k = 0; k < kNumFaultKinds; ++k) {
+    const auto kind = static_cast<FaultKind>(k);
+    if (injected.of(kind) > 0)
+      t.add_row({std::string("injected ") + resilience::to_string(kind),
+                 std::to_string(injected.of(kind))});
+  }
+  row("messages sent", channel.sent);
+  row("messages delivered", channel.delivered);
+  row("detected drops", channel.detected_drops);
+  row("detected corruptions", channel.detected_corruptions);
+  row("stale duplicates discarded", channel.stale_discarded);
+  row("retransmits", channel.retransmits);
+  row("transfer faults detected", transfer_faults_detected);
+  row("transfer retries", transfer_retries);
+  row("health checks", health_checks);
+  row("poisoned states detected", poisoned_states_detected);
+  row("rollbacks", rollbacks);
+  row("steps replayed", steps_replayed);
+  row("rank stalls", stalls);
+  t.add_row({"modeled seconds lost",
+             Table::num(modeled_seconds_lost + channel.modeled_seconds_lost)});
+  return t;
+}
+
+std::string ResilienceStats::to_string() const { return to_table().to_ascii(); }
+
+}  // namespace mpas::resilience

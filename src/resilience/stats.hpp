@@ -1,0 +1,37 @@
+// Aggregate resilience report: what was injected, what was detected, what
+// it cost to recover — rendered through the same Table machinery the bench
+// harness uses, so fault-injection runs report like any other experiment.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "resilience/channel.hpp"
+#include "resilience/fault.hpp"
+#include "util/table.hpp"
+
+namespace mpas::resilience {
+
+struct ResilienceStats {
+  InjectorStats injected;  // faults the schedule actually fired
+  ChannelStats channel;    // message-level detection + recovery
+
+  // Offload-link recovery.
+  std::uint64_t transfer_faults_detected = 0;
+  std::uint64_t transfer_retries = 0;
+
+  // Step-level detection + rollback.
+  std::uint64_t health_checks = 0;
+  std::uint64_t poisoned_states_detected = 0;
+  std::uint64_t rollbacks = 0;
+  std::uint64_t steps_replayed = 0;
+  std::uint64_t stalls = 0;
+
+  // Modeled wall time the faults cost (lost wire time, stalls, replay).
+  Real modeled_seconds_lost = 0;
+
+  [[nodiscard]] Table to_table() const;
+  [[nodiscard]] std::string to_string() const;  // aligned ASCII rendering
+};
+
+}  // namespace mpas::resilience

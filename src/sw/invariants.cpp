@@ -67,4 +67,34 @@ Invariants compute_invariants(const mesh::VoronoiMesh& m,
   return inv;
 }
 
+StateHealth compute_state_health(const mesh::VoronoiMesh& m,
+                                 const FieldStore& fields, Index num_cells,
+                                 Index num_edges) {
+  MPAS_CHECK(num_cells >= 1 && num_cells <= m.num_cells);
+  MPAS_CHECK(num_edges >= 0 && num_edges <= m.num_edges);
+  const auto h = fields.get(FieldId::H);
+  const auto u = fields.get(FieldId::U);
+  const auto b = fields.get(FieldId::Bottom);
+  const Real g = constants::kGravity;
+
+  StateHealth out;
+  out.h_min = h[0];
+  for (Index c = 0; c < num_cells; ++c) {
+    out.finite = out.finite && std::isfinite(h[c]);
+    out.mass += m.area_cell[c] * h[c];
+    out.energy += m.area_cell[c] * g * h[c] * (0.5 * h[c] + b[c]);
+    out.h_min = std::min(out.h_min, h[c]);
+  }
+  for (Index e = 0; e < num_edges; ++e) {
+    out.finite = out.finite && std::isfinite(u[e]);
+    const Real h_edge =
+        0.5 * (h[m.cells_on_edge(e, 0)] + h[m.cells_on_edge(e, 1)]);
+    out.energy +=
+        0.5 * m.dc_edge[e] * m.dv_edge[e] * 0.5 * u[e] * u[e] * h_edge;
+  }
+  out.finite = out.finite && std::isfinite(out.mass) &&
+               std::isfinite(out.energy);
+  return out;
+}
+
 }  // namespace mpas::sw

@@ -4,6 +4,8 @@
 // by the TRiSK spatial discretization). Used to validate long integrations.
 #pragma once
 
+#include <limits>
+
 #include "sw/fields.hpp"
 
 namespace mpas::sw {
@@ -27,5 +29,34 @@ struct Invariants {
 /// derived locally from H and U.
 Invariants compute_invariants(const mesh::VoronoiMesh& mesh,
                               const FieldStore& fields);
+
+/// Cheap step-level health signature of a (partial) prognostic state, used
+/// by the resilience layer to classify a state as poisoned: a finite-field
+/// scan of H and U plus the conserved integrals that make silent data
+/// corruption loud (mass is conserved to rounding, so any bit flip in H
+/// moves it far outside a tight drift tolerance; energy catches flips in
+/// U). Never throws on garbage input — NaNs and negative thickness are
+/// reported, not asserted, because this runs on possibly-poisoned state.
+struct StateHealth {
+  bool finite = true;  // every scanned H and U value is finite
+  Real mass = 0;       // integral of h over the scanned cells
+  Real energy = 0;     // PE over scanned cells + KE over scanned edges
+  Real h_min = std::numeric_limits<Real>::infinity();  // identity for min
+
+  StateHealth& operator+=(const StateHealth& o) {
+    finite = finite && o.finite;
+    mass += o.mass;
+    energy += o.energy;
+    h_min = h_min < o.h_min ? h_min : o.h_min;
+    return *this;
+  }
+};
+
+/// Scan the prefix [0, num_cells) x [0, num_edges) — a rank passes its
+/// owned counts so halo copies are not double-counted; a serial caller
+/// passes the full mesh extents.
+StateHealth compute_state_health(const mesh::VoronoiMesh& mesh,
+                                 const FieldStore& fields, Index num_cells,
+                                 Index num_edges);
 
 }  // namespace mpas::sw

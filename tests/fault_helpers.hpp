@@ -1,0 +1,78 @@
+// Shared fixtures for the fault-injection and resilience suites: a small
+// mesh, standard run parameters, the fault-free distributed reference a
+// recovery run must match bitwise, and element-wise bitwise comparison.
+// test_failure_injection.cpp (input/protocol guards) and
+// test_resilience.cpp (runtime faults) both build on these.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "comm/distributed.hpp"
+#include "mesh/mesh_cache.hpp"
+#include "sw/testcases.hpp"
+
+namespace mpas::testing {
+
+inline mesh::VoronoiMesh small_mesh() {
+  return mesh::build_icosahedral_voronoi_mesh(2);
+}
+
+/// Stable CFL-safe parameters for a given case and mesh.
+inline sw::SwParams standard_params(const sw::TestCase& tc,
+                                    const mesh::VoronoiMesh& mesh) {
+  sw::SwParams p;
+  p.dt = sw::suggested_time_step(tc, mesh, 0.4);
+  return p;
+}
+
+/// A fully initialized distributed integrator, ready to run.
+inline std::unique_ptr<comm::DistributedSw> make_distributed(
+    const mesh::VoronoiMesh& mesh, int ranks, const sw::TestCase& tc,
+    const sw::SwParams& params,
+    const comm::ResilienceOptions* resilience = nullptr) {
+  auto d = std::make_unique<comm::DistributedSw>(mesh, ranks, params);
+  if (resilience != nullptr) d->enable_resilience(*resilience);
+  d->apply_test_case(tc);
+  d->initialize();
+  return d;
+}
+
+/// Owned-cell/edge global fields after a fault-free distributed run — the
+/// ground truth every recovery test compares against, bitwise.
+struct GlobalState {
+  std::vector<Real> h;
+  std::vector<Real> u;
+};
+
+inline GlobalState gather_state(const comm::DistributedSw& d) {
+  return {d.gather_global(sw::FieldId::H), d.gather_global(sw::FieldId::U)};
+}
+
+inline GlobalState fault_free_run(const mesh::VoronoiMesh& mesh, int ranks,
+                                  const sw::TestCase& tc,
+                                  const sw::SwParams& params, int steps) {
+  auto d = make_distributed(mesh, ranks, tc, params);
+  d->run(steps);
+  return gather_state(*d);
+}
+
+/// Bitwise equality, element by element (EXPECT so every divergence is
+/// reported, not just the first).
+inline void expect_bitwise_equal(const std::vector<Real>& got,
+                                 const std::vector<Real>& want,
+                                 const char* what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (std::size_t i = 0; i < got.size(); ++i)
+    EXPECT_EQ(got[i], want[i]) << what << " diverges at index " << i;
+}
+
+inline void expect_bitwise_equal(const GlobalState& got,
+                                 const GlobalState& want) {
+  expect_bitwise_equal(got.h, want.h, "H");
+  expect_bitwise_equal(got.u, want.u, "U");
+}
+
+}  // namespace mpas::testing

@@ -172,6 +172,46 @@ TEST(SimWorld, BlockingRecvTimesOut) {
   EXPECT_THROW(static_cast<void>(w.recv_blocking(1, 0, 3, 50)), Error);
 }
 
+TEST(SimWorld, BlockingRecvTimeoutNamesEndpointWaitAndQueues) {
+  // The timeout is the deadlock diagnostic: it must say who was waiting
+  // for whom, for how long, and what *is* queued — enough to debug a hung
+  // exchange from the message alone.
+  SimWorld w(3);
+  w.send(2, 1, 9, {1.0});  // unrelated traffic, must show up in the summary
+  try {
+    static_cast<void>(w.recv_blocking(1, 0, 3, 50));
+    FAIL() << "expected timeout";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("0 -> 1 tag 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("ms"), std::string::npos) << what;
+    EXPECT_NE(what.find("pending queues"), std::string::npos) << what;
+    EXPECT_NE(what.find("2 -> 1 tag 9 x1"), std::string::npos) << what;
+  }
+}
+
+TEST(SimWorld, BlockingRecvTimeoutReportsEmptyQueues) {
+  SimWorld w(2);
+  try {
+    static_cast<void>(w.recv_blocking(1, 0, 3, 50));
+    FAIL() << "expected timeout";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("pending queues: none"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SimWorld, PendingSummaryListsQueues) {
+  SimWorld w(3);
+  EXPECT_EQ(w.pending_summary(), "none");
+  w.send(0, 1, 2, {1.0});
+  w.send(0, 1, 2, {2.0});
+  EXPECT_EQ(w.pending_summary(), "0 -> 1 tag 2 x2");
+  EXPECT_EQ(w.pending().size(), 1u);
+  EXPECT_EQ(w.pending()[0].depth, 2u);
+}
+
 TEST(DistributedSw, CommVolumeScalesWithRanksNotSteps) {
   const auto mesh = mesh::get_global_mesh(3);
   const auto tc = sw::make_test_case(2);

@@ -123,6 +123,120 @@ TEST_F(OffloadTest, DeviceMemoryCapacityIsEnforced) {
                Error);
 }
 
+TEST_F(OffloadTest, OversubscriptionLeavesRuntimeUsable) {
+  OffloadRuntime small(machine::TransferLink{}, TransferPolicy::ResidentMesh,
+                       1024);
+  const BufferId ok = small.register_buffer("fits", 1000,
+                                            BufferKind::ComputeData);
+  EXPECT_THROW(small.register_buffer("too-big", 100, BufferKind::ComputeData),
+               Error);
+  // The rejected registration must not leak into the accounting.
+  EXPECT_EQ(small.total_buffer_bytes(), 1000u);
+  EXPECT_GT(small.initial_upload(), 0.0);
+  EXPECT_EQ(small.ensure_on_device(ok), 0.0);
+}
+
+TEST_F(OffloadTest, EndOffloadRegionInvalidatesEverythingUnderOnDemand) {
+  OffloadRuntime od(machine::TransferLink{}, TransferPolicy::OnDemand,
+                    std::size_t{1} << 30);
+  const BufferId mesh = od.register_buffer("mesh", 1000, BufferKind::MeshData);
+  const BufferId state = od.register_buffer("h", 500, BufferKind::ComputeData);
+  EXPECT_GT(od.ensure_on_device(mesh), 0.0);
+  EXPECT_GT(od.ensure_on_device(state), 0.0);
+  od.mark_written_on_device(state);
+  od.end_offload_region();
+  // The region's `out` copy-back downloaded the device-written state...
+  EXPECT_EQ(od.stats().bytes_to_host, 500u);
+  EXPECT_EQ(od.ensure_on_host(state), 0.0);
+  // ...and nothing persisted on the device, mesh included.
+  EXPECT_GT(od.ensure_on_device(mesh), 0.0);
+  EXPECT_GT(od.ensure_on_device(state), 0.0);
+}
+
+TEST_F(OffloadTest, EndOffloadRegionIsANoopUnderResidentMesh) {
+  rt.initial_upload();
+  const auto before = rt.stats();
+  rt.end_offload_region();
+  EXPECT_EQ(rt.stats().transfers, before.transfers);
+  EXPECT_EQ(rt.ensure_on_device(mesh_buf), 0.0);
+  EXPECT_EQ(rt.ensure_on_device(state_buf), 0.0);
+}
+
+TEST_F(OffloadTest, ResetStatsClearsCountersButNotResidency) {
+  rt.initial_upload();
+  ASSERT_GT(rt.stats().transfers, 0u);
+  rt.reset_stats();
+  EXPECT_EQ(rt.stats().transfers, 0u);
+  EXPECT_EQ(rt.stats().bytes_to_device, 0u);
+  EXPECT_EQ(rt.stats().modeled_seconds, 0.0);
+  // Residency is state, not a statistic: buffers are still on the device.
+  EXPECT_EQ(rt.ensure_on_device(mesh_buf), 0.0);
+}
+
+TEST_F(OffloadTest, TransferFaultIsRetriedAndAccounted) {
+  resilience::FaultInjector inj;
+  resilience::FaultSpec fail;
+  fail.kind = resilience::FaultKind::TransferFail;
+  fail.buffer = state_buf;
+  inj.add(fail);
+  rt.set_resilience(&inj, resilience::RetryPolicy{});
+
+  const Real t = rt.initial_upload();
+  EXPECT_GT(t, 0.0);
+  const auto& s = rt.stats();
+  EXPECT_EQ(s.transfer_faults, 1u);
+  EXPECT_EQ(s.transfer_retries, 1u);
+  // Successful-delivery accounting: each buffer counted once...
+  EXPECT_EQ(s.bytes_to_device, 1008000u);
+  EXPECT_EQ(s.transfers, 2u);
+  // ...but the modeled time additionally charges the failed attempt.
+  OffloadRuntime clean(machine::TransferLink{}, TransferPolicy::ResidentMesh,
+                       std::size_t{8} * 1024 * 1024 * 1024);
+  clean.register_buffer("mesh", 1000000, BufferKind::MeshData);
+  clean.register_buffer("h", 8000, BufferKind::ComputeData);
+  clean.initial_upload();
+  EXPECT_GT(s.modeled_seconds, clean.stats().modeled_seconds);
+}
+
+TEST_F(OffloadTest, PersistentTransferFaultEscalates) {
+  resilience::FaultInjector inj;
+  resilience::FaultSpec corrupt;
+  corrupt.kind = resilience::FaultKind::TransferCorrupt;
+  corrupt.buffer = mesh_buf;
+  corrupt.repeat = 100;  // outlives any retry budget
+  inj.add(corrupt);
+  resilience::RetryPolicy retry;
+  retry.max_attempts = 3;
+  rt.set_resilience(&inj, retry);
+  try {
+    rt.initial_upload();
+    FAIL() << "expected escalation";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("'mesh'"), std::string::npos) << what;
+    EXPECT_NE(what.find("on all 3 attempts"), std::string::npos) << what;
+  }
+  EXPECT_EQ(rt.stats().transfer_faults, 3u);
+  EXPECT_EQ(rt.stats().transfer_retries, 2u);
+}
+
+TEST_F(OffloadTest, TransferRecoveryDisabledThrowsOnFirstFault) {
+  resilience::FaultInjector inj;
+  resilience::FaultSpec fail;
+  fail.kind = resilience::FaultKind::TransferFail;
+  inj.add(fail);
+  rt.set_resilience(&inj, resilience::RetryPolicy{}, /*recover=*/false);
+  try {
+    rt.initial_upload();
+    FAIL() << "expected immediate escalation";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("recovery disabled"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_EQ(rt.stats().transfer_retries, 0u);
+}
+
 TEST(OffloadPolicy, OnDemandMovesMoreBytesThanResident) {
   // The Section IV.A claim: keeping mesh data resident cuts transfer volume.
   // Simulate 10 "steps" where the device kernel reads mesh + state and

@@ -6,6 +6,7 @@
 
 #include "comm/distributed.hpp"
 #include "core/schedule.hpp"
+#include "fault_helpers.hpp"
 #include "mesh/mesh_cache.hpp"
 #include "mesh/trimesh.hpp"
 #include "sw/model.hpp"
@@ -15,9 +16,7 @@
 namespace mpas {
 namespace {
 
-mesh::VoronoiMesh small_mesh() {
-  return mesh::build_icosahedral_voronoi_mesh(2);
-}
+using mpas::testing::small_mesh;
 
 TEST(MeshValidation, DetectsBrokenEdgeSign) {
   mesh::VoronoiMesh m = small_mesh();
@@ -130,6 +129,28 @@ TEST(Distributed, RejectsOutOfRangeRank) {
   const auto part = partition::partition_cells_rcb(*mesh, 2);
   EXPECT_THROW(static_cast<void>(partition::build_local_mesh(*mesh, part, 5)),
                Error);
+}
+
+TEST(Resilience, MisconfiguredOptionsAreRejected) {
+  const auto mesh = small_mesh();
+  const auto tc = sw::make_test_case(2);
+  const auto params = testing::standard_params(*tc, mesh);
+  comm::DistributedSw d(mesh, 2, params);
+  comm::ResilienceOptions bad;
+  bad.checkpoint_interval = 0;
+  EXPECT_THROW(d.enable_resilience(bad), Error);
+  bad = {};
+  bad.max_rollbacks = 0;
+  EXPECT_THROW(d.enable_resilience(bad), Error);
+  d.enable_resilience({});
+  EXPECT_THROW(d.enable_resilience({}), Error);  // double enable
+}
+
+TEST(Resilience, StatsQueryWithoutEnableIsRejected) {
+  const auto mesh = small_mesh();
+  const auto tc = sw::make_test_case(2);
+  comm::DistributedSw d(mesh, 2, testing::standard_params(*tc, mesh));
+  EXPECT_THROW(static_cast<void>(d.resilience_stats()), Error);
 }
 
 TEST(Timing, NegativeEntityCountRejected) {
