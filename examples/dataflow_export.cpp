@@ -1,7 +1,8 @@
-// Exports the data-flow diagrams of Figure 4 as Graphviz files and prints
-// the structural analysis the paper's method is built on: pattern census
-// per kernel, dependency levels, independent sets, and the halo sync
-// points. Render with e.g. `dot -Tpdf rk4_early.dot -o rk4_early.pdf`.
+// Exports the data-flow diagrams of Figure 4 as Graphviz *and* JSON files
+// and prints the structural analysis the paper's method is built on:
+// pattern census per kernel, dependency levels, independent sets, and the
+// halo sync points. Each JSON node carries its Table-I pattern class.
+// Render with e.g. `dot -Tpdf rk4_early.dot -o rk4_early.pdf`.
 //
 // Run:  ./dataflow_export [diffusion=false]
 #include <cstdio>
@@ -15,10 +16,13 @@ using namespace mpas;
 
 namespace {
 
-void export_graph(const core::DataflowGraph& g, const std::string& file) {
-  std::ofstream out(file);
-  out << g.to_dot();
-  std::printf("wrote %s (%d nodes)\n", file.c_str(), g.num_nodes());
+void export_graph(const core::DataflowGraph& g, const std::string& stem) {
+  std::ofstream dot(stem + ".dot");
+  dot << g.to_dot();
+  std::ofstream json(stem + ".json");
+  json << g.to_json();
+  std::printf("wrote %s.dot and %s.json (%d nodes)\n", stem.c_str(),
+              stem.c_str(), g.num_nodes());
 }
 
 void analyze(const core::DataflowGraph& g) {
@@ -59,9 +63,9 @@ int main(int argc, char** argv) {
   const bool diffusion = cfg.get_bool("diffusion", false);
 
   const sw::SwGraphs graphs = sw::build_sw_graphs(nullptr, diffusion);
-  export_graph(graphs.setup, "rk4_setup.dot");
-  export_graph(graphs.early, "rk4_early.dot");
-  export_graph(graphs.final, "rk4_final.dot");
+  export_graph(graphs.setup, "rk4_setup");
+  export_graph(graphs.early, "rk4_early");
+  export_graph(graphs.final, "rk4_final");
 
   analyze(graphs.setup);
   analyze(graphs.early);

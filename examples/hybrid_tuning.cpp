@@ -6,10 +6,16 @@
 // "the hybrid algorithm is flexible for any heterogeneous architecture
 // with arbitrary host-to-device ratios".
 //
-// Run:  ./hybrid_tuning [cells=655362] [accel_scale=1.0]
+// With tracing on (MPAS_TRACE=out.json or trace=out.json) the modeled
+// pattern-driven substep is also exported as its own Chrome-trace track
+// (host/accel/pcie/network lanes) — load out.json in ui.perfetto.dev.
+//
+// Run:  ./hybrid_tuning [cells=655362] [accel_scale=1.0] [trace=]
 #include <cstdio>
 
 #include "core/schedule.hpp"
+#include "core/trace_bridge.hpp"
+#include "obs/trace.hpp"
 #include "sw/model.hpp"
 #include "util/config.hpp"
 #include "util/table.hpp"
@@ -48,6 +54,8 @@ int main(int argc, char** argv) {
   const Config cfg = Config::from_args(argc, argv);
   const auto cells = cfg.get_int("cells", 655362);
   const Real accel_scale = cfg.get_real("accel_scale", 1.0);
+  const std::string trace_path = cfg.get_string("trace", "");
+  if (!trace_path.empty()) obs::start_trace_file(trace_path);
 
   const sw::SwGraphs graphs = sw::build_sw_graphs(nullptr, false);
   const auto sizes = core::MeshSizes::icosahedral(cells);
@@ -88,6 +96,14 @@ int main(int argc, char** argv) {
       core::simulate_schedule(g, pattern, sizes, trace_opts);
   std::printf("-- pattern-driven substep timeline --\n%s\n",
               core::render_gantt(g, traced).c_str());
+
+  auto& rec = obs::TraceRecorder::global();
+  if (rec.enabled()) {
+    core::record_modeled_trace(g, traced, rec,
+                               "modeled: pattern-driven substep");
+    std::printf("modeled schedule recorded into trace '%s'\n",
+                obs::trace_file_path().c_str());
+  }
 
   std::printf(
       "Critical path (lower bound with both devices infinitely fast on\n"

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <thread>
 
+#include "obs/trace.hpp"
 #include "resilience/channel.hpp"
 #include "resilience/checkpoint.hpp"
 #include "sw/invariants.hpp"
@@ -110,6 +111,11 @@ void DistributedSw::apply_test_case(const sw::TestCase& tc) {
 void DistributedSw::exchange(FieldId field) {
   const MeshLocation loc = sw::field_info(field).location;
   const int tag = static_cast<int>(field);
+  auto& rec = obs::TraceRecorder::global();
+  obs::TraceSpan span(
+      rec, rec.enabled()
+               ? std::string("halo:") + sw::field_info(field).name
+               : std::string());
   // Phase 1: post every send.
   for (int r = 0; r < num_ranks(); ++r) {
     const auto& plan = plans_[static_cast<std::size_t>(r)];
@@ -204,6 +210,7 @@ void DistributedSw::initialize() {
 }
 
 void DistributedSw::step() {
+  MPAS_TRACE_SCOPE("distributed:step");
   const Real dt = params_.dt;
   static constexpr Real kA[3] = {0.5, 0.5, 1.0};
   static constexpr Real kB[4] = {1.0 / 6, 1.0 / 3, 1.0 / 3, 1.0 / 6};
@@ -337,6 +344,10 @@ void DistributedSw::run_resilient(int steps) {
       continue;
     }
     rs.poisoned_detected += 1;
+    MPAS_TRACE_INSTANT_ARGS(
+        "resilience:poisoned_state",
+        obs::trace_arg("step", static_cast<std::int64_t>(step_index_ - 1)) +
+            "," + obs::trace_arg("reason", reason));
     MPAS_CHECK_MSG(rs.options.recover, "state poisoned after step "
                                            << (step_index_ - 1) << ": "
                                            << reason
@@ -348,6 +359,9 @@ void DistributedSw::run_resilient(int steps) {
                        << reason);
     rollback();
   }
+  // Publish the run's resilience aggregate so a metrics dump after any
+  // resilient run includes it without the caller doing anything.
+  resilience_stats().export_metrics(obs::MetricsRegistry::global());
 }
 
 void DistributedSw::take_checkpoint() {
@@ -363,6 +377,12 @@ void DistributedSw::take_checkpoint() {
 void DistributedSw::rollback() {
   Resilience& rs = *resilience_;
   MPAS_CHECK_MSG(rs.checkpoint.valid(), "rollback without a checkpoint");
+  MPAS_TRACE_INSTANT_ARGS(
+      "resilience:rollback",
+      obs::trace_arg("from_step", static_cast<std::int64_t>(step_index_)) +
+          "," +
+          obs::trace_arg("to_step",
+                         static_cast<std::int64_t>(rs.checkpoint.step())));
   for (int r = 0; r < num_ranks(); ++r) {
     sw::FieldStore& store = *stores_[static_cast<std::size_t>(r)];
     for (int f = 0; f < sw::kNumFields; ++f)
@@ -565,7 +585,15 @@ void DistributedSw::run_threaded(int steps) {
   for (int r = 0; r < num_ranks(); ++r) {
     threads.emplace_back([&, r] {
       try {
-        for (int s = 0; s < steps; ++s) step_rank(r);
+        {
+          auto& rec = obs::TraceRecorder::global();
+          if (rec.enabled())
+            rec.set_thread_name("rank-" + std::to_string(r));
+        }
+        for (int s = 0; s < steps; ++s) {
+          MPAS_TRACE_SCOPE("distributed:step_rank");
+          step_rank(r);
+        }
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (!error) error = std::current_exception();

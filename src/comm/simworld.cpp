@@ -5,6 +5,7 @@
 #include <sstream>
 #include <tuple>
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace mpas::comm {
@@ -25,6 +26,12 @@ void flip_bit(std::vector<Real>& payload, std::uint64_t word,
 
 SimWorld::SimWorld(int num_ranks) : num_ranks_(num_ranks) {
   MPAS_CHECK(num_ranks >= 1);
+  depth_gauge_ = &obs::MetricsRegistry::global().gauge("simworld.queue_depth");
+}
+
+void SimWorld::publish_depth_locked() {
+  depth_gauge_->set(static_cast<double>(in_flight_));
+  MPAS_TRACE_COUNTER("simworld.queue_depth", static_cast<double>(in_flight_));
 }
 
 void SimWorld::set_fault_injector(resilience::FaultInjector* injector) {
@@ -36,6 +43,8 @@ void SimWorld::enqueue_locked(const Key& key, std::vector<Real> payload) {
   stats_.messages += 1;
   stats_.bytes += payload.size() * sizeof(Real);
   queues_[key].push_back(std::move(payload));
+  in_flight_ += 1;
+  publish_depth_locked();
 }
 
 void SimWorld::flush_delayed_locked(const Key& key) {
@@ -94,6 +103,8 @@ std::optional<std::vector<Real>> SimWorld::try_recv(int to, int from,
   std::vector<Real> payload = std::move(it->second.front());
   it->second.pop_front();
   if (it->second.empty()) queues_.erase(it);
+  in_flight_ -= 1;
+  publish_depth_locked();
   return payload;
 }
 
@@ -131,6 +142,8 @@ std::vector<Real> SimWorld::recv_blocking(int to, int from, int tag,
   std::vector<Real> payload = std::move(it->second.front());
   it->second.pop_front();
   if (it->second.empty()) queues_.erase(it);
+  in_flight_ -= 1;
+  publish_depth_locked();
   return payload;
 }
 

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "resilience/fault.hpp"
 #include "util/types.hpp"
 
@@ -85,8 +86,12 @@ class SimWorld {
 
   void enqueue_locked(const Key& key, std::vector<Real> payload);
   void flush_delayed_locked(const Key& key);
+  /// Publish the in-flight message count (gauge + trace counter sample).
+  void publish_depth_locked();
 
   int num_ranks_;
+  std::int64_t in_flight_ = 0;  // total queued messages across all streams
+  obs::Gauge* depth_gauge_ = nullptr;  // resolved once in the constructor
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::map<Key, std::deque<std::vector<Real>>> queues_;

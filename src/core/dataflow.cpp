@@ -5,6 +5,7 @@
 #include <set>
 #include <sstream>
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace mpas::core {
@@ -188,6 +189,49 @@ std::string DataflowGraph::to_dot() const {
          << " [label=\"Exchange halo\", color=red, shape=diamond];\n";
   }
   os << "}\n";
+  return os.str();
+}
+
+std::string DataflowGraph::to_json() const {
+  MPAS_CHECK(finalized_);
+  using obs::json_escape;
+  const std::vector<int> lvl = levels();
+  std::ostringstream os;
+  os << "{\n  \"name\": \"" << json_escape(name_) << "\",\n  \"nodes\": [\n";
+  for (int i = 0; i < num_nodes(); ++i) {
+    const PatternNode& node = nodes_[static_cast<std::size_t>(i)];
+    os << "    {\"id\": " << node.id << ", \"label\": \""
+       << json_escape(node.label) << "\", \"pattern_class\": \""
+       << to_string(node.kind) << "\", \"pattern_description\": \""
+       << json_escape(pattern_description(node.kind)) << "\", \"kernel\": \""
+       << to_string(node.kernel) << "\", \"iterates\": \""
+       << to_string(node.iterates) << "\", \"level\": "
+       << lvl[static_cast<std::size_t>(i)] << ", \"splittable\": "
+       << (node.splittable ? "true" : "false") << ",\n     \"inputs\": [";
+    for (std::size_t k = 0; k < node.inputs.size(); ++k)
+      os << (k ? ", " : "") << '"' << json_escape(node.inputs[k]) << '"';
+    os << "], \"outputs\": [";
+    for (std::size_t k = 0; k < node.outputs.size(); ++k)
+      os << (k ? ", " : "") << '"' << json_escape(node.outputs[k]) << '"';
+    os << "]}" << (i + 1 < num_nodes() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"edges\": [\n";
+  bool first = true;
+  for (int i = 0; i < num_nodes(); ++i) {
+    for (int s : succ_[static_cast<std::size_t>(i)]) {
+      os << (first ? "" : ",\n") << "    {\"from\": " << i
+         << ", \"to\": " << s << "}";
+      first = false;
+    }
+  }
+  os << "\n  ],\n  \"halo_sync_after\": [";
+  first = true;
+  for (int i = 0; i < num_nodes(); ++i) {
+    if (!halo_after_[static_cast<std::size_t>(i)]) continue;
+    os << (first ? "" : ", ") << i;
+    first = false;
+  }
+  os << "]\n}\n";
   return os.str();
 }
 

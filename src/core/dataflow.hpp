@@ -70,6 +70,11 @@ class DataflowGraph {
   /// red edges) — regenerates the structure of Figure 4.
   [[nodiscard]] std::string to_dot() const;
 
+  /// JSON rendering of the diagram: nodes annotated with their Table-I
+  /// pattern class (kind + stencil description), kernel group, iteration
+  /// space, fields, and dependency level; edges and halo syncs explicit.
+  [[nodiscard]] std::string to_json() const;
+
  private:
   std::string name_;
   std::vector<PatternNode> nodes_;

@@ -48,12 +48,19 @@ struct SimOptions {
   bool record_trace = false;
 };
 
-/// One executed slice of a node on one device (trace entry).
+/// One executed slice of modeled work on one timeline (trace entry).
+/// Compute entries run on the Host/Accel lanes; Transfer entries occupy the
+/// PCIe-link lane; HaloComm entries occupy the network lane. Non-compute
+/// kinds carry what moved in `label` (obs/trace_bridge renders each kind on
+/// its own lane so modeled traces overlay measured ones in Perfetto).
 struct TraceEntry {
-  int node = -1;
+  enum class Kind : int { Compute = 0, Transfer = 1, HaloComm = 2 };
+  int node = -1;                       // Compute: node id (else -1)
   DeviceSide side = DeviceSide::Host;  // Host or Accel (never Split)
   Real start = 0;
   Real finish = 0;
+  Kind kind = Kind::Compute;
+  std::string label;  // Transfer/HaloComm: field or sync description
 };
 
 struct SimResult {

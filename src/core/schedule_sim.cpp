@@ -65,9 +65,10 @@ SimResult simulate_schedule(const DataflowGraph& graph,
   std::map<std::string, FieldState> fields;
   std::vector<Real> node_finish(static_cast<std::size_t>(graph.num_nodes()), 0);
 
-  // Transfer helper: move the missing portion of `f` to `side`, returning
-  // the time it becomes available there.
-  auto make_available = [&](FieldState& f, DeviceSide side) -> Real {
+  // Transfer helper: move the missing portion of field `name` to `side`,
+  // returning the time it becomes available there.
+  auto make_available = [&](const std::string& name, FieldState& f,
+                            DeviceSide side) -> Real {
     const bool to_host = side == DeviceSide::Host;
     if (to_host && f.complete_on_host) return f.ready_host;
     if (!to_host && f.complete_on_accel) return f.ready_accel;
@@ -83,6 +84,10 @@ SimResult simulate_schedule(const DataflowGraph& graph,
     link_free = finish;
     result.link_busy += finish - start;
     result.link_bytes += bytes;
+    if (opts.record_trace)
+      result.trace.push_back({-1, side, start, finish,
+                              TraceEntry::Kind::Transfer,
+                              name + (to_host ? " ->host" : " ->accel")});
     // The side is complete once its local portion exists AND the remote
     // portion has arrived.
     if (to_host) {
@@ -116,11 +121,11 @@ SimResult simulate_schedule(const DataflowGraph& graph,
       auto it = fields.find(in);
       if (it == fields.end()) continue;  // incoming value: everywhere at t=0
       if (run_host)
-        ready_host = std::max(ready_host,
-                              make_available(it->second, DeviceSide::Host));
+        ready_host = std::max(
+            ready_host, make_available(in, it->second, DeviceSide::Host));
       if (run_accel)
         ready_accel = std::max(
-            ready_accel, make_available(it->second, DeviceSide::Accel));
+            ready_accel, make_available(in, it->second, DeviceSide::Accel));
     }
 
     // Execute.
@@ -139,7 +144,8 @@ SimResult simulate_schedule(const DataflowGraph& graph,
       host_free = host_finish;
       result.host_busy += t;
       if (opts.record_trace)
-        result.trace.push_back({id, DeviceSide::Host, start, host_finish});
+        result.trace.push_back({id, DeviceSide::Host, start, host_finish,
+                                TraceEntry::Kind::Compute, {}});
     }
     if (host_frac < 1.0) {
       const auto na = static_cast<std::int64_t>(
@@ -150,7 +156,8 @@ SimResult simulate_schedule(const DataflowGraph& graph,
       accel_free = accel_finish;
       result.accel_busy += t;
       if (opts.record_trace)
-        result.trace.push_back({id, DeviceSide::Accel, start, accel_finish});
+        result.trace.push_back({id, DeviceSide::Accel, start, accel_finish,
+                                TraceEntry::Kind::Compute, {}});
     }
     finish = std::max(host_finish, accel_finish);
     node_finish[static_cast<std::size_t>(id)] = finish;
@@ -187,20 +194,29 @@ SimResult simulate_schedule(const DataflowGraph& graph,
       for (const std::string& out : node.outputs) {
         auto it = fields.find(out);
         if (it != fields.end())
-          t = std::max(t, make_available(it->second, DeviceSide::Host));
+          t = std::max(t, make_available(out, it->second, DeviceSide::Host));
       }
       const std::int64_t per_neighbor =
           std::max<std::int64_t>(1, halo / opts.halo_neighbors);
       Real wire = 0;
       for (int k = 0; k < opts.halo_neighbors; ++k)
         wire += opts.platform.network.message_time(per_neighbor);
+      if (opts.record_trace && wire > 0)
+        result.trace.push_back({-1, DeviceSide::Host, t, t + wire,
+                                TraceEntry::Kind::HaloComm,
+                                "halo after " + node.label});
       t += wire;
       result.comm_seconds += wire;
       // Updated halo values go back to the accelerator copy.
       const Real up = opts.platform.link.time(halo);
-      link_free = std::max(link_free, t) + up;
+      const Real up_start = std::max(link_free, t);
+      link_free = up_start + up;
       result.link_busy += up;
       result.link_bytes += halo;
+      if (opts.record_trace && up > 0)
+        result.trace.push_back({-1, DeviceSide::Accel, up_start, link_free,
+                                TraceEntry::Kind::Transfer,
+                                "halo ->accel after " + node.label});
       barrier = std::max(barrier, link_free);
       host_free = std::max(host_free, t);
     }
@@ -221,7 +237,7 @@ std::string render_gantt(const DataflowGraph& graph, const SimResult& result,
   for (DeviceSide side : {DeviceSide::Host, DeviceSide::Accel}) {
     std::string lane(static_cast<std::size_t>(width), '.');
     for (const TraceEntry& t : result.trace) {
-      if (t.side != side) continue;
+      if (t.side != side || t.kind != TraceEntry::Kind::Compute) continue;
       auto clamp_col = [&](Real x) {
         return std::min<int>(width - 1, std::max(0, static_cast<int>(x * scale)));
       };

@@ -1,0 +1,58 @@
+#include "core/trace_bridge.hpp"
+
+namespace mpas::core {
+
+namespace {
+
+// Lane ids inside a modeled track, matching the simulator's timelines.
+constexpr int kLaneHost = 0;
+constexpr int kLaneAccel = 1;
+constexpr int kLanePcie = 2;
+constexpr int kLaneNetwork = 3;
+
+int lane_of(const TraceEntry& entry) {
+  switch (entry.kind) {
+    case TraceEntry::Kind::Transfer: return kLanePcie;
+    case TraceEntry::Kind::HaloComm: return kLaneNetwork;
+    case TraceEntry::Kind::Compute: break;
+  }
+  return entry.side == DeviceSide::Accel ? kLaneAccel : kLaneHost;
+}
+
+}  // namespace
+
+int record_modeled_trace(const DataflowGraph& graph, const SimResult& result,
+                         obs::TraceRecorder& recorder,
+                         const std::string& track_name, double time_scale) {
+  const int track = recorder.allocate_track(track_name);
+  recorder.set_lane_name(track, kLaneHost, "host (modeled)");
+  recorder.set_lane_name(track, kLaneAccel, "accel (modeled)");
+  recorder.set_lane_name(track, kLanePcie, "pcie (modeled)");
+  recorder.set_lane_name(track, kLaneNetwork, "network (modeled)");
+
+  for (const TraceEntry& entry : result.trace) {
+    obs::TraceEvent ev;
+    ev.kind = obs::TraceEvent::Kind::Complete;
+    ev.track = track;
+    ev.lane = lane_of(entry);
+    ev.ts_us = static_cast<double>(entry.start) * time_scale;
+    ev.dur_us = static_cast<double>(entry.finish - entry.start) * time_scale;
+    if (entry.kind == TraceEntry::Kind::Compute) {
+      ev.name = graph.node(entry.node).label;
+      ev.args = obs::trace_arg("node", static_cast<std::int64_t>(entry.node)) +
+                "," + obs::trace_arg("side", to_string(entry.side));
+    } else {
+      ev.name = entry.label;
+      ev.args = obs::trace_arg(
+          "kind", entry.kind == TraceEntry::Kind::Transfer ? "transfer"
+                                                           : "halo");
+    }
+    ev.args += ',';
+    ev.args += obs::trace_arg(
+        "modeled_s", static_cast<double>(entry.finish - entry.start));
+    recorder.record(std::move(ev));
+  }
+  return track;
+}
+
+}  // namespace mpas::core

@@ -1,0 +1,26 @@
+// Bridge from schedule_sim's modeled TraceEntry lanes to the observability
+// layer: a SimResult recorded with SimOptions::record_trace becomes one
+// extra Chrome-trace track (host / accel / pcie / network lanes), so a
+// single exported file overlays the *predicted* schedule against the
+// *measured* spans recorded on track 0.
+#pragma once
+
+#include <string>
+
+#include "core/schedule.hpp"
+#include "obs/trace.hpp"
+
+namespace mpas::core {
+
+/// Append `result.trace` to `recorder` as a freshly allocated track named
+/// `track_name`. Modeled seconds map to trace microseconds times
+/// `time_scale` (default 1e6: one modeled second = one displayed second).
+/// Returns the allocated track id. Compute entries land on the host/accel
+/// lanes and are labeled with the node's graph label; Transfer entries land
+/// on the pcie lane; HaloComm entries on the network lane.
+int record_modeled_trace(const DataflowGraph& graph, const SimResult& result,
+                         obs::TraceRecorder& recorder,
+                         const std::string& track_name,
+                         double time_scale = 1e6);
+
+}  // namespace mpas::core

@@ -2,6 +2,7 @@
 
 #include <numeric>
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace mpas::exec {
@@ -9,7 +10,13 @@ namespace mpas::exec {
 OffloadRuntime::OffloadRuntime(machine::TransferLink link,
                                TransferPolicy policy,
                                std::size_t device_memory_bytes)
-    : link_(link), policy_(policy), device_memory_bytes_(device_memory_bytes) {}
+    : link_(link), policy_(policy), device_memory_bytes_(device_memory_bytes) {
+  auto& metrics = obs::MetricsRegistry::global();
+  metric_bytes_ = &metrics.counter("offload.bytes_transferred");
+  metric_transfers_ = &metrics.counter("offload.transfers");
+  metric_retries_ = &metrics.counter("offload.transfer_retries");
+  metric_transfer_bytes_ = &metrics.histogram("offload.transfer_bytes");
+}
 
 BufferId OffloadRuntime::register_buffer(std::string name, std::size_t bytes,
                                          BufferKind kind) {
@@ -33,6 +40,11 @@ void OffloadRuntime::set_resilience(resilience::FaultInjector* injector,
 
 Real OffloadRuntime::transfer(BufferId id, bool to_device) {
   Buffer& b = buffers_.at(static_cast<std::size_t>(id));
+  // The span measures the bookkeeping call's wall time; the modeled wire
+  // time rides along in args so the trace shows both.
+  auto& rec = obs::TraceRecorder::global();
+  obs::TraceSpan span(rec,
+                      rec.enabled() ? "offload:" + b.name : std::string());
   Real total = 0;
   for (int attempt = 1;; ++attempt) {
     // Every attempt, failed or not, occupies the link for the full wire
@@ -56,6 +68,11 @@ Real OffloadRuntime::transfer(BufferId id, bool to_device) {
                    "transfer of '" << b.name << "' " << fault << " on all "
                                    << retry_.max_attempts << " attempts");
     stats_.transfer_retries += 1;
+    metric_retries_->add(1);
+    MPAS_TRACE_INSTANT_ARGS("offload:retry",
+                            obs::trace_arg("buffer", b.name) + "," +
+                                obs::trace_arg("attempt", static_cast<
+                                                   std::int64_t>(attempt)));
   }
   stats_.transfers += 1;
   if (to_device) {
@@ -65,6 +82,14 @@ Real OffloadRuntime::transfer(BufferId id, bool to_device) {
     stats_.bytes_to_host += b.bytes;
     b.valid_on_host = true;
   }
+  metric_transfers_->add(1);
+  metric_bytes_->add(b.bytes);
+  metric_transfer_bytes_->record(static_cast<double>(b.bytes));
+  if (span.active())
+    span.set_args(
+        obs::trace_arg("bytes", static_cast<std::uint64_t>(b.bytes)) + "," +
+        obs::trace_arg("direction", to_device ? "to_device" : "to_host") +
+        "," + obs::trace_arg("modeled_s", static_cast<double>(total)));
   return total;
 }
 

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "machine/machine_model.hpp"
+#include "obs/metrics.hpp"
 #include "resilience/fault.hpp"
 #include "util/types.hpp"
 
@@ -110,6 +111,13 @@ class OffloadRuntime {
   resilience::RetryPolicy retry_;
   bool recover_ = true;
   Stats stats_;
+
+  // Global metrics, resolved once here so the transfer hot path is an
+  // atomic bump instead of a registry lookup (the SectionHandle idiom).
+  obs::Counter* metric_bytes_ = nullptr;
+  obs::Counter* metric_transfers_ = nullptr;
+  obs::Counter* metric_retries_ = nullptr;
+  obs::Histogram* metric_transfer_bytes_ = nullptr;
 };
 
 }  // namespace mpas::exec

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace mpas::exec {
@@ -46,6 +47,10 @@ void ThreadPool::run_task_share(Task& task, int participant_id,
 }
 
 void ThreadPool::worker_loop(int worker_id) {
+  // Unconditional: lane names must be registered even when the pool starts
+  // before tracing is enabled (one-time cost per worker thread).
+  obs::TraceRecorder::global().set_thread_name("pool-worker-" +
+                                               std::to_string(worker_id));
   std::uint64_t seen_generation = 0;
   for (;;) {
     Task* task = nullptr;
@@ -59,7 +64,10 @@ void ThreadPool::worker_loop(int worker_id) {
       seen_generation = generation_;
     }
     // Caller participates too, hence +1 participants with id num_threads_.
-    run_task_share(*task, worker_id, num_threads_ + 1);
+    {
+      MPAS_TRACE_SCOPE("pool:worker_share");
+      run_task_share(*task, worker_id, num_threads_ + 1);
+    }
     if (task->remaining.fetch_sub(1) == 1) {
       std::lock_guard<std::mutex> lock(mutex_);
       cv_done_.notify_all();
@@ -73,6 +81,12 @@ void ThreadPool::parallel_for(Index n,
   MPAS_CHECK(n >= 0 && chunk > 0);
   if (n == 0) return;
   ++regions_;
+
+  obs::TraceSpan span(obs::TraceRecorder::global(), "pool:parallel_for");
+  if (span.active())
+    span.set_args(obs::trace_arg("n", static_cast<std::int64_t>(n)) + "," +
+                  obs::trace_arg("threads",
+                                 static_cast<std::int64_t>(num_threads_)));
 
   if (num_threads_ == 0) {
     body(0, n);

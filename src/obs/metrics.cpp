@@ -1,0 +1,92 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+
+namespace mpas::obs {
+
+int Histogram::bucket_index(double value) {
+  if (!(value > 0.0)) return 0;  // v <= 0 and NaN collapse to bucket 0
+  const int e = std::ilogb(value);  // floor(log2(value))
+  const int index = e + kZeroOffset + 1;
+  if (index < 1) return 0;
+  if (index > kBuckets - 1) return kBuckets - 1;
+  return index;
+}
+
+double Histogram::bucket_lower_edge(int index) {
+  if (index <= 0) return 0.0;
+  return std::ldexp(1.0, index - 1 - kZeroOffset);
+}
+
+double Histogram::quantile_lower_bound(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  const auto target =
+      static_cast<std::uint64_t>(q * static_cast<double>(n - 1));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += bucket_count(i);
+    if (seen > target) return bucket_lower_edge(i);
+  }
+  return bucket_lower_edge(kBuckets - 1);
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  // Leaked like the trace recorder: offload/pool destructors may publish
+  // metrics during static teardown.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_[name];  // std::map: node stability keeps pointers valid
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return histograms_[name];
+}
+
+bool MetricsRegistry::contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_.count(name) > 0 || gauges_.count(name) > 0 ||
+         histograms_.count(name) > 0;
+}
+
+Table MetricsRegistry::to_table() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Table table({"metric", "kind", "value", "mean", "p50>=", "p99>="});
+  for (const auto& [name, c] : counters_)
+    table.add_row({name, "counter", std::to_string(c.value()), "-", "-", "-"});
+  for (const auto& [name, g] : gauges_)
+    table.add_row({name, "gauge", Table::num(g.value()), "-", "-", "-"});
+  for (const auto& [name, h] : histograms_)
+    table.add_row({name, "histogram", std::to_string(h.count()),
+                   Table::num(h.mean()),
+                   Table::num(h.quantile_lower_bound(0.50)),
+                   Table::num(h.quantile_lower_bound(0.99))});
+  return table;
+}
+
+std::string MetricsRegistry::to_string() const { return to_table().to_ascii(); }
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, g] : gauges_) g.reset();
+  for (auto& [name, h] : histograms_) h.reset();
+}
+
+}  // namespace mpas::obs

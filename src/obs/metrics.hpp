@@ -1,0 +1,137 @@
+// Process-wide metrics: named counters, gauges, and fixed-bucket log-scale
+// histograms, rendered through util/table so a metrics report reads like
+// every other table in the repo.
+//
+// Counters/gauges are registered once (pointer-stable; a hot path resolves
+// its Counter* in a constructor and bumps an atomic per event — no map
+// lookup per call, mirroring TimingStats::SectionHandle). Histograms use 64
+// base-2 buckets so recording is an ilogb + one atomic increment, and two
+// histograms are always mergeable bucket-by-bucket.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/table.hpp"
+
+namespace mpas::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void add(double delta) {
+    // fetch_add on atomic<double> needs C++20 + lock-free support; a CAS
+    // loop is portable and these are low-rate bookkeeping sites.
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0};
+};
+
+/// Log-scale (base-2) histogram with a fixed bucket layout:
+/// bucket i (1 <= i < kBuckets-1) covers [2^(i-1-kZeroOffset), 2^(i-kZeroOffset));
+/// bucket 0 collects v <= 0 and underflow, the last bucket overflow.
+/// With kZeroOffset = 30 the resolvable range is ~[2^-30, 2^32) — nanoseconds
+/// to gigabytes in one layout.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+  static constexpr int kZeroOffset = 30;
+
+  /// Bucket index a value lands in (pure function — tested directly).
+  [[nodiscard]] static int bucket_index(double value);
+  /// Inclusive lower edge of bucket i (bucket 0 reports 0).
+  [[nodiscard]] static double bucket_lower_edge(int index);
+
+  void record(double value) {
+    buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    // Relaxed CAS sum: histograms are statistics, not synchronization.
+    double cur = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(cur, cur + value,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double mean() const {
+    const auto n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+  }
+  [[nodiscard]] std::uint64_t bucket_count(int index) const {
+    return buckets_[index].load(std::memory_order_relaxed);
+  }
+  /// Smallest bucket lower edge q of the data's quantile (0 <= q <= 1).
+  [[nodiscard]] double quantile_lower_bound(double q) const;
+
+  void reset();
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0};
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry the runtime layers publish into.
+  static MetricsRegistry& global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create; returned pointers are stable for the registry's life.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+
+  /// One row per metric: name, kind, value/count, mean, p50/p99 bounds.
+  [[nodiscard]] Table to_table() const;
+  [[nodiscard]] std::string to_string() const;
+
+  /// Zero every metric (registrations survive, pointers stay valid).
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace mpas::obs

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/trace.hpp"
 #include "resilience/envelope.hpp"
 #include "util/error.hpp"
 
@@ -48,6 +49,13 @@ void ResilientChannel::retransmit_locked(const Key& key, Stream& stream) {
                                                   << key.to << " tag "
                                                   << key.tag);
   stats_.retransmits += 1;
+  MPAS_TRACE_INSTANT_ARGS(
+      "resilience:retransmit",
+      obs::trace_arg("from", static_cast<std::int64_t>(key.from)) + "," +
+          obs::trace_arg("to", static_cast<std::int64_t>(key.to)) + "," +
+          obs::trace_arg("tag", static_cast<std::int64_t>(key.tag)) + "," +
+          obs::trace_arg("seq",
+                         static_cast<std::uint64_t>(stream.retained_seq)));
   transport_.send(key.from, key.to, key.tag,
                   seal(stream.retained_seq, stream.retained));
 }
@@ -85,6 +93,7 @@ std::vector<Real> ResilientChannel::recv(int to, int from, int tag,
       auto opened = open(std::move(*raw));
       if (!opened) {
         stats_.detected_corruptions += 1;
+        MPAS_TRACE_INSTANT("resilience:corruption_detected");
         handle_fault(stream, "corrupted");
         continue;
       }
@@ -114,6 +123,7 @@ std::vector<Real> ResilientChannel::recv(int to, int from, int tag,
     const bool sender_posted = stream.next_send_seq > stream.next_recv_seq;
     if (sender_posted && Clock::now() >= patience) {
       stats_.detected_drops += 1;
+      MPAS_TRACE_INSTANT("resilience:drop_detected");
       handle_fault(stream, "dropped");
       continue;
     }

@@ -33,4 +33,31 @@ Table ResilienceStats::to_table() const {
 
 std::string ResilienceStats::to_string() const { return to_table().to_ascii(); }
 
+void ResilienceStats::export_metrics(obs::MetricsRegistry& registry) const {
+  const auto set = [&registry](const char* name, double value) {
+    registry.gauge(name).set(value);
+  };
+  set("resilience.faults_injected", static_cast<double>(injected.total()));
+  set("resilience.messages_sent", static_cast<double>(channel.sent));
+  set("resilience.messages_delivered", static_cast<double>(channel.delivered));
+  set("resilience.detected_drops", static_cast<double>(channel.detected_drops));
+  set("resilience.detected_corruptions",
+      static_cast<double>(channel.detected_corruptions));
+  set("resilience.stale_discarded",
+      static_cast<double>(channel.stale_discarded));
+  set("resilience.retransmits", static_cast<double>(channel.retransmits));
+  set("resilience.transfer_faults_detected",
+      static_cast<double>(transfer_faults_detected));
+  set("resilience.transfer_retries", static_cast<double>(transfer_retries));
+  set("resilience.health_checks", static_cast<double>(health_checks));
+  set("resilience.poisoned_states_detected",
+      static_cast<double>(poisoned_states_detected));
+  set("resilience.rollbacks", static_cast<double>(rollbacks));
+  set("resilience.steps_replayed", static_cast<double>(steps_replayed));
+  set("resilience.stalls", static_cast<double>(stalls));
+  set("resilience.modeled_seconds_lost",
+      static_cast<double>(modeled_seconds_lost +
+                          channel.modeled_seconds_lost));
+}
+
 }  // namespace mpas::resilience

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "resilience/channel.hpp"
 #include "resilience/fault.hpp"
 #include "util/table.hpp"
@@ -32,6 +33,11 @@ struct ResilienceStats {
 
   [[nodiscard]] Table to_table() const;
   [[nodiscard]] std::string to_string() const;  // aligned ASCII rendering
+
+  /// Publish the snapshot into `registry` as "resilience.*" gauges (gauges,
+  /// not counters: this struct is already a point-in-time aggregate, so
+  /// re-publishing overwrites instead of double-counting).
+  void export_metrics(obs::MetricsRegistry& registry) const;
 };
 
 }  // namespace mpas::resilience

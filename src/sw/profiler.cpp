@@ -1,5 +1,6 @@
 #include "sw/profiler.hpp"
 
+#include "obs/trace.hpp"
 #include "sw/model.hpp"
 
 namespace mpas::sw {
@@ -9,7 +10,8 @@ StepProfiler::StepProfiler(const mesh::VoronoiMesh& mesh, SwParams params,
     : mesh_(mesh), params_(params), variant_(variant), fields_(mesh) {}
 
 void StepProfiler::compute_solve_diagnostics(FieldId h_in, FieldId u_in) {
-  ScopedTimer t(stats_, "compute_solve_diagnostics");
+  ScopedTimer t(stats_, h_diagnostics_);
+  MPAS_TRACE_SCOPE("kernel:compute_solve_diagnostics");
   SwContext ctx{mesh_, fields_, params_, 0, 0};
   diag_h_edge(ctx, h_in, 0, mesh_.num_edges);
   diag_ke(ctx, u_in, 0, mesh_.num_cells, variant_);
@@ -30,8 +32,10 @@ void StepProfiler::run(int steps) {
   compute_solve_diagnostics(FieldId::H, FieldId::U);
 
   for (int step = 0; step < steps; ++step) {
+    MPAS_TRACE_SCOPE("profiler:rk4_step");
     {
-      ScopedTimer t(stats_, "step_setup");
+      ScopedTimer t(stats_, h_setup_);
+      MPAS_TRACE_SCOPE("kernel:step_setup");
       seed_provis_h(ctx, 0, mesh_.num_cells);
       seed_provis_u(ctx, 0, mesh_.num_edges);
       init_accum_h(ctx, 0, mesh_.num_cells);
@@ -39,32 +43,37 @@ void StepProfiler::run(int steps) {
     }
     for (int stage = 0; stage < 4; ++stage) {
       {
-        ScopedTimer t(stats_, "compute_tend");
+        ScopedTimer t(stats_, h_tend_);
+        MPAS_TRACE_SCOPE("kernel:compute_tend");
         tend_thickness(ctx, FieldId::UProvis, 0, mesh_.num_cells, variant_);
         tend_momentum(ctx, FieldId::HProvis, FieldId::UProvis, 0,
                       mesh_.num_edges);
       }
       {
-        ScopedTimer t(stats_, "enforce_boundary_edge");
+        ScopedTimer t(stats_, h_boundary_);
+        MPAS_TRACE_SCOPE("kernel:enforce_boundary_edge");
         enforce_boundary_edge(ctx, 0, mesh_.num_edges);
       }
       ctx.rk_accum_coeff = kB[stage] * dt;
       if (stage < 3) {
         ctx.rk_substep_coeff = kA[stage] * dt;
         {
-          ScopedTimer t(stats_, "compute_next_substep_state");
+          ScopedTimer t(stats_, h_substep_);
+          MPAS_TRACE_SCOPE("kernel:compute_next_substep_state");
           next_substep_h(ctx, 0, mesh_.num_cells);
           next_substep_u(ctx, 0, mesh_.num_edges);
         }
         compute_solve_diagnostics(FieldId::HProvis, FieldId::UProvis);
         {
-          ScopedTimer t(stats_, "accumulative_update");
+          ScopedTimer t(stats_, h_accum_);
+          MPAS_TRACE_SCOPE("kernel:accumulative_update");
           accumulate_h(ctx, 0, mesh_.num_cells);
           accumulate_u(ctx, 0, mesh_.num_edges);
         }
       } else {
         {
-          ScopedTimer t(stats_, "accumulative_update");
+          ScopedTimer t(stats_, h_accum_);
+          MPAS_TRACE_SCOPE("kernel:accumulative_update");
           accumulate_h(ctx, 0, mesh_.num_cells);
           accumulate_u(ctx, 0, mesh_.num_edges);
           commit_h(ctx, 0, mesh_.num_cells);
@@ -72,7 +81,8 @@ void StepProfiler::run(int steps) {
         }
         compute_solve_diagnostics(FieldId::H, FieldId::U);
         {
-          ScopedTimer t(stats_, "mpas_reconstruct");
+          ScopedTimer t(stats_, h_reconstruct_);
+          MPAS_TRACE_SCOPE("kernel:mpas_reconstruct");
           reconstruct_vector(ctx, FieldId::U, 0, mesh_.num_cells, variant_);
           reconstruct_horizontal(ctx, 0, mesh_.num_cells);
         }

@@ -46,6 +46,17 @@ class StepProfiler {
   LoopVariant variant_;
   FieldStore fields_;
   TimingStats stats_;
+
+  // Sections resolved once in the constructor so the per-section cost in
+  // run() is two clock reads and an atomic-free locked add — no string
+  // hashing or map lookup inside the step loop.
+  TimingStats::SectionHandle h_diagnostics_ = stats_.handle("compute_solve_diagnostics");
+  TimingStats::SectionHandle h_setup_ = stats_.handle("step_setup");
+  TimingStats::SectionHandle h_tend_ = stats_.handle("compute_tend");
+  TimingStats::SectionHandle h_boundary_ = stats_.handle("enforce_boundary_edge");
+  TimingStats::SectionHandle h_substep_ = stats_.handle("compute_next_substep_state");
+  TimingStats::SectionHandle h_accum_ = stats_.handle("accumulative_update");
+  TimingStats::SectionHandle h_reconstruct_ = stats_.handle("mpas_reconstruct");
 };
 
 /// Model-side prediction: per-kernel share of one step on the given device

@@ -1,11 +1,18 @@
 // Tiny leveled logger. Not asynchronous on purpose: log volume in this
 // project is low (startup banners, bench progress) and synchronous writes
 // keep ordering deterministic across the simulated ranks.
+//
+// The initial level comes from the MPAS_LOG_LEVEL environment variable
+// (debug/info/warn/error/off, or 0-4) at first use. Every line carries the
+// process-monotonic timestamp and the short thread id (util/timer), so log
+// output lines up with Chrome-trace timestamps from src/obs.
 #pragma once
 
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace mpas {
 
@@ -18,10 +25,14 @@ class Logger {
   void set_level(LogLevel level) { level_ = level; }
   [[nodiscard]] LogLevel level() const { return level_; }
 
+  /// Parse "debug" / "info" / "warn" / "error" / "off" (case-insensitive)
+  /// or a numeric level 0-4. nullopt on anything else.
+  static std::optional<LogLevel> parse_level(std::string_view text);
+
   void write(LogLevel level, const std::string& message);
 
  private:
-  Logger() = default;
+  Logger();  // reads MPAS_LOG_LEVEL
   LogLevel level_ = LogLevel::Info;
   std::mutex mutex_;
 };

@@ -1,15 +1,36 @@
 #include "util/timer.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <iomanip>
 #include <sstream>
 
 namespace mpas {
 
-void TimingStats::add(const std::string& section, double seconds) {
-  auto [it, inserted] = entries_.try_emplace(section);
-  Entry& e = it->second;
-  if (inserted) {
+namespace {
+
+std::chrono::steady_clock::time_point process_epoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+}  // namespace
+
+double monotonic_seconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       process_epoch())
+      .count();
+}
+
+int thread_short_id() {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void TimingStats::accumulate_locked(Entry& e, double seconds) {
+  if (e.count == 0) {
     e.min = seconds;
     e.max = seconds;
   } else {
@@ -20,14 +41,49 @@ void TimingStats::add(const std::string& section, double seconds) {
   e.total += seconds;
 }
 
-const TimingStats::Entry* TimingStats::find(const std::string& section) const {
-  auto it = entries_.find(section);
-  return it == entries_.end() ? nullptr : &it->second;
+TimingStats::SectionHandle TimingStats::handle(const std::string& section) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // std::map nodes are address-stable, so the handle survives later inserts.
+  return SectionHandle(&entries_[section]);
+}
+
+void TimingStats::add(const std::string& section, double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  accumulate_locked(entries_[section], seconds);
+}
+
+void TimingStats::add(SectionHandle handle, double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  accumulate_locked(*handle.entry_, seconds);
+}
+
+TimingStats::Entry TimingStats::get(const std::string& section) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(section);
+  return it == entries_.end() ? Entry{} : it->second;
+}
+
+bool TimingStats::contains(const std::string& section) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.count(section) != 0;
+}
+
+std::map<std::string, TimingStats::Entry> TimingStats::entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_;
+}
+
+void TimingStats::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Handles resolved before clear() stay valid: entries are zeroed in
+  // place, never erased.
+  for (auto& [name, e] : entries_) e = Entry{};
 }
 
 std::string TimingStats::report() const {
-  std::vector<std::pair<std::string, Entry>> rows(entries_.begin(),
-                                                  entries_.end());
+  const auto snapshot = entries();
+  std::vector<std::pair<std::string, Entry>> rows(snapshot.begin(),
+                                                  snapshot.end());
   std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
     return a.second.total > b.second.total;
   });

@@ -7,10 +7,21 @@
 
 #include <chrono>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
 namespace mpas {
+
+/// Seconds since the process-wide monotonic epoch (fixed at first use).
+/// The logger and the trace recorder both stamp with this clock, so log
+/// lines and Chrome-trace timestamps line up on one timeline.
+double monotonic_seconds();
+
+/// Small dense id for the calling thread (0 for the first thread that asks,
+/// then 1, 2, ...). Stable for the thread's lifetime; used to correlate log
+/// lines with trace lanes.
+int thread_short_id();
 
 class WallTimer {
  public:
@@ -29,10 +40,11 @@ class WallTimer {
 };
 
 /// Accumulates per-section timing statistics (count / total / min / max).
+/// Thread-safe: add() may be called concurrently from pool workers (the
+/// StepProfiler paths do). Hot paths should pre-resolve a SectionHandle
+/// once and add through it, skipping the per-call name lookup.
 class TimingStats {
  public:
-  void add(const std::string& section, double seconds);
-
   struct Entry {
     std::size_t count = 0;
     double total = 0;
@@ -41,16 +53,44 @@ class TimingStats {
     [[nodiscard]] double mean() const { return count ? total / count : 0; }
   };
 
-  [[nodiscard]] const Entry* find(const std::string& section) const;
-  [[nodiscard]] const std::map<std::string, Entry>& entries() const {
-    return entries_;
-  }
-  void clear() { entries_.clear(); }
+  /// Pre-resolved section: holds a stable pointer to the entry, so add()
+  /// through it costs one lock + four arithmetic ops, no map lookup.
+  class SectionHandle {
+   public:
+    SectionHandle() = default;
+    [[nodiscard]] bool valid() const { return entry_ != nullptr; }
+
+   private:
+    friend class TimingStats;
+    explicit SectionHandle(Entry* entry) : entry_(entry) {}
+    Entry* entry_ = nullptr;
+  };
+
+  /// Resolve (creating if absent) the section once, up front.
+  [[nodiscard]] SectionHandle handle(const std::string& section);
+
+  void add(const std::string& section, double seconds);
+  void add(SectionHandle handle, double seconds);
+
+  /// Snapshot of one section (copy; nullopt-style via found flag avoided —
+  /// returns a default Entry with count 0 when the section is unknown).
+  [[nodiscard]] Entry get(const std::string& section) const;
+
+  /// True if the section has been recorded at least once.
+  [[nodiscard]] bool contains(const std::string& section) const;
+
+  /// Snapshot of every section (copy, so callers iterate race-free).
+  [[nodiscard]] std::map<std::string, Entry> entries() const;
+
+  void clear();
 
   /// Render a human-readable report, sections sorted by total time.
   [[nodiscard]] std::string report() const;
 
  private:
+  void accumulate_locked(Entry& e, double seconds);
+
+  mutable std::mutex mutex_;
   std::map<std::string, Entry> entries_;
 };
 
@@ -59,7 +99,14 @@ class ScopedTimer {
  public:
   ScopedTimer(TimingStats& stats, std::string section)
       : stats_(stats), section_(std::move(section)) {}
-  ~ScopedTimer() { stats_.add(section_, timer_.seconds()); }
+  ScopedTimer(TimingStats& stats, TimingStats::SectionHandle handle)
+      : stats_(stats), handle_(handle) {}
+  ~ScopedTimer() {
+    if (handle_.valid())
+      stats_.add(handle_, timer_.seconds());
+    else
+      stats_.add(section_, timer_.seconds());
+  }
 
   ScopedTimer(const ScopedTimer&) = delete;
   ScopedTimer& operator=(const ScopedTimer&) = delete;
@@ -67,6 +114,7 @@ class ScopedTimer {
  private:
   TimingStats& stats_;
   std::string section_;
+  TimingStats::SectionHandle handle_;
   WallTimer timer_;
 };
 

@@ -4,11 +4,14 @@
 
 #include <cmath>
 #include <cstdint>
+#include <thread>
+#include <vector>
 
 #include "util/aligned_vector.hpp"
 #include "util/array2d.hpp"
 #include "util/config.hpp"
 #include "util/error.hpp"
+#include "util/logging.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 #include "util/types.hpp"
@@ -136,14 +139,60 @@ TEST(TimingStats, AccumulatesMinMeanMax) {
   TimingStats stats;
   stats.add("step", 1.0);
   stats.add("step", 3.0);
-  const auto* e = stats.find("step");
-  ASSERT_NE(e, nullptr);
-  EXPECT_EQ(e->count, 2u);
-  EXPECT_DOUBLE_EQ(e->total, 4.0);
-  EXPECT_DOUBLE_EQ(e->min, 1.0);
-  EXPECT_DOUBLE_EQ(e->max, 3.0);
-  EXPECT_DOUBLE_EQ(e->mean(), 2.0);
-  EXPECT_EQ(stats.find("absent"), nullptr);
+  ASSERT_TRUE(stats.contains("step"));
+  const auto e = stats.get("step");
+  EXPECT_EQ(e.count, 2u);
+  EXPECT_DOUBLE_EQ(e.total, 4.0);
+  EXPECT_DOUBLE_EQ(e.min, 1.0);
+  EXPECT_DOUBLE_EQ(e.max, 3.0);
+  EXPECT_DOUBLE_EQ(e.mean(), 2.0);
+  EXPECT_FALSE(stats.contains("absent"));
+  EXPECT_EQ(stats.get("absent").count, 0u);
+}
+
+TEST(TimingStats, HandleSkipsLookupButHitsSameEntry) {
+  TimingStats stats;
+  const auto h = stats.handle("kernel");
+  ASSERT_TRUE(h.valid());
+  stats.add(h, 2.0);
+  stats.add("kernel", 4.0);
+  const auto e = stats.get("kernel");
+  EXPECT_EQ(e.count, 2u);
+  EXPECT_DOUBLE_EQ(e.total, 6.0);
+  EXPECT_FALSE(TimingStats::SectionHandle().valid());
+}
+
+TEST(TimingStats, ConcurrentAddsDoNotLoseSamples) {
+  TimingStats stats;
+  const auto h = stats.handle("hot");
+  constexpr int kThreads = 4;
+  constexpr int kAdds = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&stats, h] {
+      for (int i = 0; i < kAdds; ++i) {
+        stats.add(h, 1.0);
+        stats.add("named", 0.5);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(stats.get("hot").count, std::size_t{kThreads} * kAdds);
+  EXPECT_DOUBLE_EQ(stats.get("hot").total, double(kThreads) * kAdds);
+  EXPECT_EQ(stats.get("named").count, std::size_t{kThreads} * kAdds);
+}
+
+TEST(Logger, ParsesLevelNamesAndNumbers) {
+  EXPECT_EQ(Logger::parse_level("debug"), LogLevel::Debug);
+  EXPECT_EQ(Logger::parse_level("INFO"), LogLevel::Info);
+  EXPECT_EQ(Logger::parse_level("Warn"), LogLevel::Warn);
+  EXPECT_EQ(Logger::parse_level("error"), LogLevel::Error);
+  EXPECT_EQ(Logger::parse_level("off"), LogLevel::Off);
+  EXPECT_EQ(Logger::parse_level("0"), LogLevel::Debug);
+  EXPECT_EQ(Logger::parse_level("4"), LogLevel::Off);
+  EXPECT_EQ(Logger::parse_level("verbose"), std::nullopt);
+  EXPECT_EQ(Logger::parse_level("7"), std::nullopt);
+  EXPECT_EQ(Logger::parse_level(""), std::nullopt);
 }
 
 TEST(Table, AsciiAndCsvRendering) {
