@@ -1,0 +1,49 @@
+#include "analysis/diagnostics.hpp"
+
+#include <sstream>
+
+namespace mpas::analysis {
+
+const char* to_string(Severity s) {
+  switch (s) {
+    case Severity::Info: return "info";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "?";
+}
+
+void Report::add(Diagnostic d) { diagnostics_.push_back(std::move(d)); }
+
+void Report::merge(const Report& other) {
+  diagnostics_.insert(diagnostics_.end(), other.diagnostics_.begin(),
+                      other.diagnostics_.end());
+}
+
+int Report::count(Severity s) const {
+  int n = 0;
+  for (const Diagnostic& d : diagnostics_)
+    if (d.severity == s) ++n;
+  return n;
+}
+
+int Report::count_code(const std::string& code) const {
+  int n = 0;
+  for (const Diagnostic& d : diagnostics_)
+    if (d.code == code) ++n;
+  return n;
+}
+
+std::string Report::to_string() const {
+  std::ostringstream os;
+  for (const Diagnostic& d : diagnostics_) {
+    os << analysis::to_string(d.severity) << " [" << d.code << "]";
+    if (d.node >= 0) os << " node " << d.node;
+    if (d.other_node >= 0) os << " / node " << d.other_node;
+    if (!d.field.empty()) os << " field '" << d.field << "'";
+    os << ": " << d.message << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace mpas::analysis

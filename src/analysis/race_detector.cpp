@@ -1,0 +1,100 @@
+#include "analysis/race_detector.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/error.hpp"
+
+namespace mpas::analysis {
+
+RaceDetector::TaskId RaceDetector::begin_task(std::string name, int node) {
+  const TaskId id = static_cast<TaskId>(tasks_.size());
+  Task t;
+  t.name = std::move(name);
+  t.node = node;
+  t.saw.assign(static_cast<std::size_t>(id) + 1, 0);
+  t.saw[static_cast<std::size_t>(id)] = 1;  // a task sees itself
+  tasks_.push_back(std::move(t));
+  return id;
+}
+
+void RaceDetector::happens_before(TaskId before, TaskId after) {
+  MPAS_CHECK(before >= 0 && before < static_cast<TaskId>(tasks_.size()));
+  MPAS_CHECK(after >= 0 && after < static_cast<TaskId>(tasks_.size()));
+  const Task& src = tasks_[static_cast<std::size_t>(before)];
+  Task& dst = tasks_[static_cast<std::size_t>(after)];
+  if (dst.saw.size() < src.saw.size()) dst.saw.resize(src.saw.size(), 0);
+  for (std::size_t i = 0; i < src.saw.size(); ++i)
+    if (src.saw[i] != 0) dst.saw[i] = 1;
+}
+
+bool RaceDetector::ordered(TaskId before, TaskId after) const {
+  const Task& dst = tasks_[static_cast<std::size_t>(after)];
+  return static_cast<std::size_t>(before) < dst.saw.size() &&
+         dst.saw[static_cast<std::size_t>(before)] != 0;
+}
+
+RaceDetector::VarState& RaceDetector::var_state(const std::string& var) {
+  for (auto& [name, state] : vars_)
+    if (name == var) return state;
+  vars_.emplace_back(var, VarState{});
+  return vars_.back().second;
+}
+
+void RaceDetector::record_race(const char* kind, TaskId a, TaskId b,
+                               const std::string& var) {
+  const Task& ta = tasks_[static_cast<std::size_t>(a)];
+  const Task& tb = tasks_[static_cast<std::size_t>(b)];
+  std::ostringstream os;
+  os << kind << " race on '" << var << "': " << ta.name << " and " << tb.name
+     << " are unordered by the enforced schedule";
+  report_.add(
+      {Severity::Error, "race", ta.node, tb.node, var, os.str()});
+  MPAS_TRACE_INSTANT_ARGS(
+      "analysis:race",
+      obs::trace_arg("var", var) + "," + obs::trace_arg("kind", kind));
+}
+
+void RaceDetector::on_read(TaskId task, const std::string& var) {
+  MPAS_CHECK(task >= 0 && task < static_cast<TaskId>(tasks_.size()));
+  ++checks_;
+  VarState& state = var_state(var);
+  if (state.last_writer >= 0 && state.last_writer != task &&
+      !ordered(state.last_writer, task))
+    record_race("write/read", state.last_writer, task, var);
+  if (std::find(state.readers.begin(), state.readers.end(), task) ==
+      state.readers.end())
+    state.readers.push_back(task);
+}
+
+void RaceDetector::on_write(TaskId task, const std::string& var) {
+  MPAS_CHECK(task >= 0 && task < static_cast<TaskId>(tasks_.size()));
+  ++checks_;
+  VarState& state = var_state(var);
+  if (state.last_writer >= 0 && state.last_writer != task &&
+      !ordered(state.last_writer, task))
+    record_race("write/write", state.last_writer, task, var);
+  for (TaskId reader : state.readers)
+    if (reader != task && !ordered(reader, task))
+      record_race("read/write", reader, task, var);
+  state.last_writer = task;
+  state.readers.clear();
+}
+
+RaceDetector::TaskId RaceDetector::barrier(const std::vector<TaskId>& tasks,
+                                           std::string name) {
+  const TaskId b = begin_task(std::move(name));
+  for (TaskId t : tasks) happens_before(t, b);
+  return b;
+}
+
+void RaceDetector::publish_metrics() const {
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("analysis.race.checks").add(static_cast<std::uint64_t>(checks_));
+  reg.counter("analysis.race.violations")
+      .add(static_cast<std::uint64_t>(races()));
+}
+
+}  // namespace mpas::analysis

@@ -1,0 +1,75 @@
+// Vector-clock happens-before race detector for the hybrid runtime.
+//
+// Execution is modeled as one-shot tasks (a pattern node running on a pool
+// lane, an offload transfer, a halo exchange, a barrier) connected by
+// explicit happens-before edges — exactly the ordering the executor
+// actually enforces (level barriers, halo syncs, transfer completions),
+// NOT the full data-flow edge set. Each task carries a vector clock (one
+// component per task; tasks are one-shot so a component is a reachability
+// bit); every named variable keeps shadow state: the last writer and the
+// readers since that write. An access that conflicts with an unordered
+// prior access is a race, reported with both task names and the variable —
+// node/field-precise, by construction.
+//
+// Violation counts are published through the global MetricsRegistry
+// ("analysis.race.violations" / ".checks") and each race emits a trace
+// instant, so hybrid runs under MPAS_TRACE show races on the timeline.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+
+namespace mpas::analysis {
+
+class RaceDetector {
+ public:
+  using TaskId = int;
+
+  /// Register a task. `node` optionally ties it to a data-flow node id for
+  /// the diagnostic.
+  TaskId begin_task(std::string name, int node = -1);
+
+  /// Declare that everything `before` did is visible to `after` (a
+  /// dependency edge the executor enforces, a barrier, a join).
+  void happens_before(TaskId before, TaskId after);
+
+  void on_read(TaskId task, const std::string& var);
+  void on_write(TaskId task, const std::string& var);
+
+  /// Convenience: a barrier task every `tasks` member happens-before.
+  /// Returns the barrier's id; order subsequent tasks after it.
+  TaskId barrier(const std::vector<TaskId>& tasks, std::string name);
+
+  [[nodiscard]] int checks() const { return checks_; }
+  [[nodiscard]] int races() const { return report_.errors(); }
+  [[nodiscard]] const Report& report() const { return report_; }
+
+  /// Add this detector's counts to the global MetricsRegistry.
+  void publish_metrics() const;
+
+ private:
+  struct Task {
+    std::string name;
+    int node = -1;
+    std::vector<char> saw;  // saw[i] != 0: task i happens-before this task
+  };
+  struct VarState {
+    TaskId last_writer = -1;
+    std::vector<TaskId> readers;  // since the last write
+  };
+
+  [[nodiscard]] bool ordered(TaskId before, TaskId after) const;
+  void record_race(const char* kind, TaskId a, TaskId b,
+                   const std::string& var);
+
+  std::vector<Task> tasks_;
+  std::vector<std::pair<std::string, VarState>> vars_;
+  Report report_;
+  int checks_ = 0;
+
+  VarState& var_state(const std::string& var);
+};
+
+}  // namespace mpas::analysis

@@ -71,6 +71,40 @@ void DataflowGraph::add_halo_sync_after(int node_id) {
   halo_after_[node_id] = 1;
 }
 
+const PatternNode& DataflowGraph::node(int id) const {
+  MPAS_CHECK_MSG(id >= 0 && id < num_nodes(), "node id out of range");
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+PatternNode& DataflowGraph::mutate_node(int id) {
+  MPAS_CHECK_MSG(id >= 0 && id < num_nodes(), "node id out of range");
+  if (finalized_) {
+    // The caller may change the field sets, which would silently invalidate
+    // every derived edge — drop them and require a re-finalize.
+    succ_.clear();
+    pred_.clear();
+    finalized_ = false;
+  }
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+const std::vector<int>& DataflowGraph::successors(int id) const {
+  MPAS_CHECK_MSG(finalized_, "graph not finalized");
+  MPAS_CHECK_MSG(id >= 0 && id < num_nodes(), "node id out of range");
+  return succ_[static_cast<std::size_t>(id)];
+}
+
+const std::vector<int>& DataflowGraph::predecessors(int id) const {
+  MPAS_CHECK_MSG(finalized_, "graph not finalized");
+  MPAS_CHECK_MSG(id >= 0 && id < num_nodes(), "node id out of range");
+  return pred_[static_cast<std::size_t>(id)];
+}
+
+bool DataflowGraph::has_halo_sync_after(int id) const {
+  MPAS_CHECK_MSG(id >= 0 && id < num_nodes(), "node id out of range");
+  return halo_after_[static_cast<std::size_t>(id)] != 0;
+}
+
 void DataflowGraph::finalize() {
   MPAS_CHECK(!finalized_);
   const int n = num_nodes();
@@ -151,6 +185,7 @@ Real DataflowGraph::critical_path(const std::vector<Real>& node_cost) const {
 
 std::vector<std::vector<int>> DataflowGraph::independent_sets() const {
   const std::vector<int> lvl = levels();
+  if (lvl.empty()) return {};
   const int max_level = *std::max_element(lvl.begin(), lvl.end());
   std::vector<std::vector<int>> sets(static_cast<std::size_t>(max_level) + 1);
   for (int i = 0; i < num_nodes(); ++i) sets[lvl[i]].push_back(i);

@@ -29,24 +29,23 @@ class DataflowGraph {
   void add_halo_sync_after(int node_id);
 
   /// Derive dependency edges from the field def-use chains. Must be called
-  /// once after all nodes are added.
+  /// once after all nodes are added (or again after mutate_node()).
   void finalize();
 
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] int num_nodes() const { return static_cast<int>(nodes_.size()); }
-  [[nodiscard]] const PatternNode& node(int id) const { return nodes_[id]; }
-  [[nodiscard]] PatternNode& node(int id) { return nodes_[id]; }
+  [[nodiscard]] const PatternNode& node(int id) const;
   [[nodiscard]] const std::vector<PatternNode>& nodes() const { return nodes_; }
 
-  [[nodiscard]] const std::vector<int>& successors(int id) const {
-    return succ_[id];
-  }
-  [[nodiscard]] const std::vector<int>& predecessors(int id) const {
-    return pred_[id];
-  }
-  [[nodiscard]] bool has_halo_sync_after(int id) const {
-    return halo_after_[id];
-  }
+  /// Mutable access to a node. Once the graph is finalized this drops the
+  /// derived edges and clears finalized(): the field sets may change under
+  /// the caller, so stale RAW/WAR/WAW edges must never be served. Call
+  /// finalize() again before querying the structure.
+  [[nodiscard]] PatternNode& mutate_node(int id);
+
+  [[nodiscard]] const std::vector<int>& successors(int id) const;
+  [[nodiscard]] const std::vector<int>& predecessors(int id) const;
+  [[nodiscard]] bool has_halo_sync_after(int id) const;
   [[nodiscard]] bool finalized() const { return finalized_; }
 
   /// Node ids in a valid execution order (== insertion order, which is the

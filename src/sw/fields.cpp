@@ -43,6 +43,12 @@ constexpr FieldInfo kFieldTable[kNumFields] = {
 
 }  // namespace
 
+FieldId field_by_name(const std::string& name) {
+  for (const FieldInfo& info : kFieldTable)
+    if (name == info.name) return info.id;
+  MPAS_FAIL("unknown field name '" << name << "'");
+}
+
 const FieldInfo& field_info(FieldId id) {
   const int i = static_cast<int>(id);
   MPAS_CHECK(i >= 0 && i < kNumFields);

@@ -7,6 +7,7 @@
 // quantities on vertices (vorticity points).
 #pragma once
 
+#include <bitset>
 #include <span>
 #include <string>
 
@@ -69,6 +70,27 @@ struct FieldInfo {
 /// Static metadata for every field (name matches the paper's Table I).
 const FieldInfo& field_info(FieldId id);
 
+/// The field by its Table-I name (throws on unknown names).
+FieldId field_by_name(const std::string& name);
+
+/// Opt-in access instrumentation for the MPAS_VERIFY access-set checker
+/// (sw/verify.hpp). While attached to a FieldStore, every get() marks the
+/// field as touched; the replay validator classifies touches into the
+/// read/write bitsets by diffing field contents around one guarded
+/// execution of a pattern body. Single-threaded use only (the replay runs
+/// each body once, serially).
+struct FieldAccessTracker {
+  std::bitset<kNumFields> touched;  // filled by FieldStore::get
+  std::bitset<kNumFields> reads;    // classified by the replay validator
+  std::bitset<kNumFields> writes;
+
+  void clear() {
+    touched.reset();
+    reads.reset();
+    writes.reset();
+  }
+};
+
 /// Data for all model fields on one mesh. Fields are 64-byte aligned flat
 /// arrays indexed by local entity id.
 class FieldStore {
@@ -76,13 +98,20 @@ class FieldStore {
   explicit FieldStore(const mesh::VoronoiMesh& mesh);
 
   [[nodiscard]] std::span<Real> get(FieldId id) {
+    if (tracker_ != nullptr) tracker_->touched.set(static_cast<std::size_t>(id));
     return {data_[static_cast<int>(id)].data(),
             data_[static_cast<int>(id)].size()};
   }
   [[nodiscard]] std::span<const Real> get(FieldId id) const {
+    if (tracker_ != nullptr) tracker_->touched.set(static_cast<std::size_t>(id));
     return {data_[static_cast<int>(id)].data(),
             data_[static_cast<int>(id)].size()};
   }
+
+  /// Attach (or detach, with nullptr) the access tracker. Non-owning; the
+  /// tracker must outlive its attachment and accesses must be serial while
+  /// one is attached.
+  void set_tracker(FieldAccessTracker* tracker) { tracker_ = tracker; }
 
   [[nodiscard]] Index size_of(MeshLocation loc) const;
   [[nodiscard]] const mesh::VoronoiMesh& mesh() const { return mesh_; }
@@ -98,6 +127,7 @@ class FieldStore {
  private:
   const mesh::VoronoiMesh& mesh_;
   AlignedVector<Real> data_[kNumFields];
+  mutable FieldAccessTracker* tracker_ = nullptr;
 };
 
 }  // namespace mpas::sw

@@ -2,21 +2,16 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "sw/verify.hpp"
 #include "util/error.hpp"
+#include "util/logging.hpp"
 
 namespace mpas::sw {
 
 namespace {
 
 const char* fname(FieldId id) { return field_info(id).name; }
-
-FieldId field_by_name(const std::string& name) {
-  for (int i = 0; i < kNumFields; ++i) {
-    const auto& info = field_info(static_cast<FieldId>(i));
-    if (name == info.name) return info.id;
-  }
-  MPAS_FAIL("unknown field name '" << name << "'");
-}
 
 LoopVariant to_loop_variant(core::VariantChoice v) {
   return static_cast<LoopVariant>(static_cast<int>(v));
@@ -393,6 +388,28 @@ SwModel::SwModel(const mesh::VoronoiMesh& mesh, SwParams params)
       graphs_.early, core::DeviceSide::Host, "default");
   sched_final_ = core::make_single_device_schedule(
       graphs_.final, core::DeviceSide::Host, "default");
+
+  // Opt-in declared-vs-actual verification: cross-check every pattern's
+  // access sets, edges, halo syncs, and the node-parallel schedule before
+  // the model is allowed to run.
+  if (verify_mode_enabled()) {
+    const analysis::Report report = verify_sw_graphs(graphs_, ctx_.get());
+    obs::MetricsRegistry::global()
+        .counter("analysis.verify.errors")
+        .add(static_cast<std::uint64_t>(report.errors()));
+    obs::MetricsRegistry::global()
+        .counter("analysis.verify.warnings")
+        .add(static_cast<std::uint64_t>(report.warnings()));
+    if (report.errors() > 0 || report.warnings() > 0)
+      MPAS_LOG_WARN << "MPAS_VERIFY findings:\n" << report.to_string();
+    else
+      MPAS_LOG_INFO << "MPAS_VERIFY: data-flow graphs verified clean ("
+                    << report.diagnostics().size() << " informational)";
+    MPAS_CHECK_MSG(report.clean(),
+                   "MPAS_VERIFY=1: the schedule & data-flow verifier found "
+                       << report.errors() << " error(s):\n"
+                       << report.to_string());
+  }
 }
 
 void SwModel::set_schedules(core::Schedule setup, core::Schedule early,

@@ -134,5 +134,53 @@ TEST(Dataflow, FinalizeIsRequiredAndOnce) {
   EXPECT_THROW(g.add_node(make_node("late", {}, {"y"})), Error);
 }
 
+TEST(Dataflow, QueryBeforeFinalizeThrows) {
+  DataflowGraph g("early-query");
+  const int a = g.add_node(make_node("a", {}, {"x"}));
+  EXPECT_THROW((void)g.successors(a), Error);
+  EXPECT_THROW((void)g.predecessors(a), Error);
+  EXPECT_THROW((void)g.topological_order(), Error);
+  EXPECT_THROW((void)g.levels(), Error);
+}
+
+TEST(Dataflow, NodeAccessIsBoundsChecked) {
+  DataflowGraph g("bounds");
+  g.add_node(make_node("a", {}, {"x"}));
+  g.finalize();
+  EXPECT_THROW((void)g.node(-1), Error);
+  EXPECT_THROW((void)g.node(1), Error);
+  EXPECT_THROW((void)g.successors(7), Error);
+  EXPECT_THROW((void)g.has_halo_sync_after(7), Error);
+}
+
+TEST(Dataflow, EmptyGraphHasEmptyStructure) {
+  DataflowGraph g("empty");
+  g.finalize();
+  EXPECT_TRUE(g.topological_order().empty());
+  EXPECT_TRUE(g.levels().empty());
+  EXPECT_TRUE(g.independent_sets().empty());
+  EXPECT_DOUBLE_EQ(g.critical_path({}), 0.0);
+}
+
+TEST(Dataflow, MutateNodeInvalidatesDerivedEdges) {
+  // Regression: mutating a node's field sets after finalize() used to
+  // leave the derived RAW/WAR/WAW edges stale. mutate_node() must drop
+  // them and require a re-finalize.
+  DataflowGraph g("mutate");
+  const int a = g.add_node(make_node("a", {}, {"x"}));
+  const int b = g.add_node(make_node("b", {"x"}, {"y"}));
+  g.finalize();
+  ASSERT_EQ(g.successors(a), (std::vector<int>{b}));
+
+  g.mutate_node(b).inputs = {"unrelated"};
+  EXPECT_FALSE(g.finalized());
+  EXPECT_THROW((void)g.successors(a), Error);  // stale edges never served
+
+  g.finalize();  // re-derivation is allowed after mutation
+  EXPECT_TRUE(g.finalized());
+  EXPECT_TRUE(g.successors(a).empty());  // edge re-derived from new sets
+  EXPECT_TRUE(g.predecessors(b).empty());
+}
+
 }  // namespace
 }  // namespace mpas::core
