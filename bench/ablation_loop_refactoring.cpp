@@ -1,11 +1,15 @@
 // Ablation (Algorithms 2/3/4): measured wall time of the real reducible
 // kernels in their three loop forms — irregular edge-order scatter,
 // regularity-aware gather with the orientation branch, and branch-free
-// gather through the label matrix. This is a *measured* microbenchmark
-// (google-benchmark) of the actual kernels on this build machine, the
-// functional counterpart of the modeled Figure 6 refactoring step.
-#include <benchmark/benchmark.h>
+// gather through the label matrix. This is a *measured* microbenchmark of
+// the actual kernels on this build machine (driven by the bench_harness
+// repeat-until-stable runner), the functional counterpart of the modeled
+// Figure 6 refactoring step.
+#include <cstdio>
+#include <functional>
+#include <memory>
 
+#include "bench_common.hpp"
 #include "mesh/mesh_cache.hpp"
 #include "sw/kernels.hpp"
 #include "sw/testcases.hpp"
@@ -19,96 +23,94 @@ struct Fixture {
   std::unique_ptr<sw::FieldStore> fields;
   sw::SwParams params;
 
-  static Fixture& instance() {
-    static Fixture f = [] {
-      Fixture f;
-      f.mesh = mesh::get_global_mesh(6);  // the paper's 120-km mesh
-      f.fields = std::make_unique<sw::FieldStore>(*f.mesh);
-      const auto tc = sw::make_test_case(6);
-      sw::apply_initial_conditions(*tc, *f.mesh, *f.fields);
-      f.params.dt = 100;
-      sw::SwContext ctx{*f.mesh, *f.fields, f.params, 0, 0};
-      sw::diag_h_edge(ctx, sw::FieldId::H, 0, f.mesh->num_edges);
-      return f;
-    }();
-    return f;
+  explicit Fixture(int level) {
+    mesh = mesh::get_global_mesh(level);
+    fields = std::make_unique<sw::FieldStore>(*mesh);
+    const auto tc = sw::make_test_case(6);
+    sw::apply_initial_conditions(*tc, *mesh, *fields);
+    params.dt = 100;
+    sw::SwContext c = ctx();
+    sw::diag_h_edge(c, sw::FieldId::H, 0, mesh->num_edges);
   }
 
   sw::SwContext ctx() { return {*mesh, *fields, params, 0, 0}; }
 };
 
-sw::LoopVariant variant_of(const benchmark::State& state) {
-  return static_cast<sw::LoopVariant>(state.range(0));
-}
+}  // namespace
 
-void BM_Divergence(benchmark::State& state) {
-  Fixture& f = Fixture::instance();
-  const sw::LoopVariant v = variant_of(state);
-  for (auto _ : state) {
-    auto ctx = f.ctx();
-    sw::diag_divergence(ctx, sw::FieldId::U, 0, f.mesh->num_cells, v);
-    benchmark::ClobberMemory();
+int main(int argc, char** argv) {
+  const Config cfg =
+      bench::bench_init(argc, argv, "ablation_loop_refactoring");
+  const int level = static_cast<int>(cfg.get_int("level", 6));
+
+  bench_harness::RunnerOptions ropts;  // repeat until the spread settles
+  ropts.warmup = 2;
+  ropts.min_repeats = 5;
+  ropts.max_repeats =
+      static_cast<int>(cfg.get_int("max_repeats", ropts.max_repeats));
+  const bench_harness::BenchRunner runner(ropts);
+
+  Fixture f(level);
+  bench::report().environment().mesh_level = level;
+  std::printf(
+      "== Ablation: loop refactoring, measured kernel times ==\n"
+      "mesh %s (%d cells), repeat-until-stable (<=%d repeats)\n\n",
+      f.mesh->resolution_label().c_str(), f.mesh->num_cells,
+      ropts.max_repeats);
+
+  Table t({"kernel", "loop variant", "median ms", "min ms", "rel IQR",
+           "Mitems/s", "repeats"});
+
+  auto run_case = [&](const std::string& kernel, Index items,
+                      const char* variant,
+                      const std::function<void()>& body) {
+    const auto r = runner.measure(body);
+    const std::string series = kernel + "/" + variant;
+    bench::add_measured(series, r, "s");
+    t.add_row({kernel, variant, Table::fixed(r.stats.median * 1e3, 3),
+               Table::fixed(r.stats.min * 1e3, 3),
+               Table::fixed(r.stats.relative_iqr(), 3),
+               Table::fixed(static_cast<Real>(items) / r.stats.median / 1e6, 1),
+               std::to_string(r.repeats)});
+  };
+
+  for (int v = 0; v < 3; ++v) {
+    const auto variant = static_cast<sw::LoopVariant>(v);
+    const char* vname = to_string(variant);
+    run_case("divergence", f.mesh->num_cells, vname, [&] {
+      auto ctx = f.ctx();
+      sw::diag_divergence(ctx, sw::FieldId::U, 0, f.mesh->num_cells, variant);
+    });
+    run_case("vorticity", f.mesh->num_vertices, vname, [&] {
+      auto ctx = f.ctx();
+      sw::diag_vorticity(ctx, sw::FieldId::U, 0, f.mesh->num_vertices,
+                         variant);
+    });
+    run_case("tend_thickness", f.mesh->num_cells, vname, [&] {
+      auto ctx = f.ctx();
+      sw::tend_thickness(ctx, sw::FieldId::U, 0, f.mesh->num_cells, variant);
+    });
+    run_case("kinetic_energy", f.mesh->num_cells, vname, [&] {
+      auto ctx = f.ctx();
+      sw::diag_ke(ctx, sw::FieldId::U, 0, f.mesh->num_cells, variant);
+    });
   }
-  state.SetItemsProcessed(state.iterations() * f.mesh->num_cells);
-  state.SetLabel(to_string(v));
-}
 
-void BM_Vorticity(benchmark::State& state) {
-  Fixture& f = Fixture::instance();
-  const sw::LoopVariant v = variant_of(state);
-  for (auto _ : state) {
-    auto ctx = f.ctx();
-    sw::diag_vorticity(ctx, sw::FieldId::U, 0, f.mesh->num_vertices, v);
-    benchmark::ClobberMemory();
-  }
-  state.SetItemsProcessed(state.iterations() * f.mesh->num_vertices);
-  state.SetLabel(to_string(v));
-}
-
-void BM_TendThickness(benchmark::State& state) {
-  Fixture& f = Fixture::instance();
-  const sw::LoopVariant v = variant_of(state);
-  for (auto _ : state) {
-    auto ctx = f.ctx();
-    sw::tend_thickness(ctx, sw::FieldId::U, 0, f.mesh->num_cells, v);
-    benchmark::ClobberMemory();
-  }
-  state.SetItemsProcessed(state.iterations() * f.mesh->num_cells);
-  state.SetLabel(to_string(v));
-}
-
-void BM_KineticEnergy(benchmark::State& state) {
-  Fixture& f = Fixture::instance();
-  const sw::LoopVariant v = variant_of(state);
-  for (auto _ : state) {
-    auto ctx = f.ctx();
-    sw::diag_ke(ctx, sw::FieldId::U, 0, f.mesh->num_cells, v);
-    benchmark::ClobberMemory();
-  }
-  state.SetItemsProcessed(state.iterations() * f.mesh->num_cells);
-  state.SetLabel(to_string(v));
-}
-
-void BM_MomentumTendency(benchmark::State& state) {
   // The heaviest pattern (F1); gather-only, included for scale.
-  Fixture& f = Fixture::instance();
-  auto ctx0 = f.ctx();
-  sw::diag_v_tangent(ctx0, sw::FieldId::U, 0, f.mesh->num_edges);
-  for (auto _ : state) {
+  {
+    auto ctx0 = f.ctx();
+    sw::diag_v_tangent(ctx0, sw::FieldId::U, 0, f.mesh->num_edges);
+  }
+  run_case("momentum_tendency", f.mesh->num_edges, "gather", [&] {
     auto ctx = f.ctx();
     sw::tend_momentum(ctx, sw::FieldId::H, sw::FieldId::U, 0,
                       f.mesh->num_edges);
-    benchmark::ClobberMemory();
-  }
-  state.SetItemsProcessed(state.iterations() * f.mesh->num_edges);
+  });
+
+  bench::emit(t, "ablation_loop_refactoring");
+  std::printf(
+      "Reading: refactored/branch-free gather forms must not lose to the\n"
+      "irregular scatter loops; the branch-free form is the one the SIMD\n"
+      "stage of Figure 6 vectorises.\n");
+  return 0;
 }
-
-}  // namespace
-
-BENCHMARK(BM_Divergence)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Vorticity)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_TendThickness)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_KineticEnergy)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_MomentumTendency)->Unit(benchmark::kMillisecond);
-
-BENCHMARK_MAIN();

@@ -37,7 +37,8 @@ RegionCounts count_regions(const sw::SwGraphs& graphs) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::bench_init(argc, argv, "ablation_parallel_regions");
   std::printf(
       "== Ablation: parallel-region granularity (Section IV.B) ==\n\n");
 
@@ -46,6 +47,10 @@ int main() {
   const machine::DeviceSpec phi = machine::xeon_phi_5110p();
   const Real region_cost = phi.region_overhead_us * 1e-6;
 
+  bench::add_info("pattern_regions_per_step", static_cast<Real>(rc.patterns),
+                  "count");
+  bench::add_info("kernel_regions_per_step", static_cast<Real>(rc.kernels),
+                  "count");
   std::printf("pattern nodes per step: %d, kernel functions per step: %d\n",
               rc.patterns, rc.kernels);
   std::printf("Xeon Phi fork/join + barrier cost: %.0f us\n\n",
@@ -61,6 +66,10 @@ int main() {
     const Real compute = with_regions - rc.patterns * region_cost;
     const Real per_pattern = rc.patterns * region_cost;
     const Real per_kernel = rc.kernels * region_cost;
+    bench::add_modeled(std::to_string(cells) + "c_overhead_share_per_pattern",
+                       per_pattern / (compute + per_pattern), "ratio");
+    bench::add_modeled(std::to_string(cells) + "c_overhead_share_per_kernel",
+                       per_kernel / (compute + per_kernel), "ratio");
     t.add_row({std::to_string(cells), Table::num(compute, 4),
                Table::num(per_pattern, 3), Table::num(per_kernel, 3),
                Table::fixed(per_pattern / (compute + per_pattern) * 100, 1) + "%",

@@ -11,8 +11,9 @@
 using namespace mpas;
 
 int main(int argc, char** argv) {
-  const Config cfg = Config::from_args(argc, argv);
+  const Config cfg = bench::bench_init(argc, argv, "ablation_split_sweep");
   const auto cells = cfg.get_int("cells", 655362);
+  bench::add_info("cells", static_cast<Real>(cells), "count");
 
   std::printf(
       "== Ablation: host/device split sweep (the adjustable part) ==\n\n");
@@ -53,6 +54,10 @@ int main(int argc, char** argv) {
 
   const Real scheduler =
       bench::strategy_step_time(graphs, bench::Strategy::PatternLevel, sizes);
+  bench::add_modeled("best_fixed_split_step_time", best_fixed, "s");
+  bench::add_modeled("scheduler_step_time", scheduler, "s");
+  bench::add_modeled("scheduler_vs_best_fixed", scheduler / best_fixed,
+                     "ratio");
   std::printf("best fixed split:       %.4f s/step\n", best_fixed);
   std::printf("load-balancing scheduler: %.4f s/step (%s best fixed)\n",
               scheduler, scheduler <= best_fixed * 1.001 ? "<=" : ">");

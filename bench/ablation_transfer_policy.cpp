@@ -69,7 +69,8 @@ StepTraffic replay(Mode mode, std::size_t mesh_bytes, std::size_t state_bytes,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Config cfg = Config::from_args(argc, argv);
+  const Config cfg =
+      bench::bench_init(argc, argv, "ablation_transfer_policy");
   const int steps = static_cast<int>(cfg.get_int("steps", 100));
 
   std::printf(
@@ -105,6 +106,12 @@ int main(int argc, char** argv) {
     auto mb = [&](std::uint64_t b) {
       return Table::fixed(static_cast<Real>(b) / steps / 1e6, 2);
     };
+    const std::string key = "level" + std::to_string(level);
+    bench::add_modeled(key + "_resident_mb_per_step",
+                       total(resident) / steps / 1e6, "MB");
+    bench::add_modeled(key + "_reduction_vs_naive",
+                       total(naive) / total(resident), "x",
+                       bench::harness::Direction::HigherIsBetter);
     const std::string label = mesh::resolution_label_for_level(level);
     t.add_row({label, "naive per-region", mb(naive.bytes_up),
                mb(naive.bytes_down), Table::num(naive.seconds / steps, 3),

@@ -16,14 +16,14 @@
 #include "sw/reference.hpp"
 #include "sw/testcases.hpp"
 #include "util/config.hpp"
-#include "util/timer.hpp"
 
 using namespace mpas;
 
 int main(int argc, char** argv) {
-  const Config cfg = Config::from_args(argc, argv);
+  const Config cfg = bench::bench_init(argc, argv, "fig5_correctness");
   const int level = static_cast<int>(cfg.get_int("level", 6));
   const Real days = cfg.get_real("days", 1.0);
+  bench::report().environment().mesh_level = level;
 
   const auto mesh = mesh::get_global_mesh(level);
   const auto tc = sw::make_test_case(5);
@@ -37,13 +37,17 @@ int main(int argc, char** argv) {
       mesh->resolution_label().c_str(), mesh->num_cells, params.dt, steps,
       days);
 
+  // Full integrations take minutes, so each trajectory is wall-timed as a
+  // single shot (repeating would also integrate further in time).
+  const bench_harness::BenchRunner runner(
+      bench_harness::RunnerOptions::single_shot());
+
   // (a) original serial code (irregular loops).
   sw::ReferenceIntegrator original(*mesh, params, sw::LoopVariant::Irregular);
   sw::apply_initial_conditions(*tc, *mesh, original.fields());
   original.initialize();
-  WallTimer t_orig;
-  original.run(steps);
-  const double orig_seconds = t_orig.seconds();
+  const auto orig_run = runner.measure([&] { original.run(steps); });
+  const double orig_seconds = orig_run.stats.min;
 
   // (b) pattern-driven hybrid (split schedules, branch-free loops).
   sw::SwModel hybrid(*mesh, params);
@@ -58,9 +62,8 @@ int main(int argc, char** argv) {
       core::make_pattern_level_schedule(graphs.final, sizes, opts));
   sw::apply_initial_conditions(*tc, *mesh, hybrid.fields());
   hybrid.initialize();
-  WallTimer t_hyb;
-  hybrid.run(steps);
-  const double hyb_seconds = t_hyb.seconds();
+  const auto hyb_run = runner.measure([&] { hybrid.run(steps); });
+  const double hyb_seconds = hyb_run.stats.min;
 
   // Compare total height h + b (the field plotted in Figure 5).
   const auto ho = original.fields().get(sw::FieldId::H);
@@ -86,6 +89,10 @@ int main(int argc, char** argv) {
   t.add_row({"original wall time (s)", Table::fixed(orig_seconds, 2)});
   t.add_row({"hybrid wall time (s)", Table::fixed(hyb_seconds, 2)});
   bench::emit(t, "fig5_correctness");
+  bench::add_info("max_abs_height_diff", max_diff, "m");
+  bench::add_info("relative_l2_diff", std::sqrt(l2 / norm), "ratio");
+  bench::add_measured("original_wall_time", orig_run, "s");
+  bench::add_measured("hybrid_wall_time", hyb_run, "s");
 
   const sw::Invariants inv = compute_invariants(*mesh, original.fields());
   std::printf("mass %.8e, total energy %.8e, h in [%.1f, %.1f]\n", inv.mass,

@@ -15,8 +15,9 @@
 using namespace mpas;
 
 int main(int argc, char** argv) {
-  const Config cfg = Config::from_args(argc, argv);
+  const Config cfg = bench::bench_init(argc, argv, "fig6_optimization_ladder");
   const auto cells = cfg.get_int("cells", 655362);
+  bench::add_info("cells", static_cast<Real>(cells), "count");
   std::printf("== Figure 6: optimization ladder on one Xeon Phi (%lld cells) ==\n\n",
               static_cast<long long>(cells));
 
@@ -51,8 +52,11 @@ int main(int argc, char** argv) {
     sched.final.accel_variant = s.variant;
     const Real step = bench::modeled_step_time(graphs, sched, sizes, opts);
     if (s.opt == machine::OptLevel::SerialBaseline) baseline = step;
-    t.add_row({machine::to_string(s.opt), Table::num(step, 4),
-               Table::fixed(baseline / step, 1),
+    const std::string stage = machine::to_string(s.opt);
+    bench::add_modeled(stage + "_step_time", step, "s");
+    bench::add_modeled(stage + "_speedup", baseline / step, "x",
+                       bench::harness::Direction::HigherIsBetter);
+    t.add_row({stage, Table::num(step, 4), Table::fixed(baseline / step, 1),
                Table::fixed(s.paper_speedup, 0)});
   }
   bench::emit(t, "fig6_optimization_ladder");

@@ -31,7 +31,7 @@ std::vector<int> parse_levels(const std::string& csv) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Config cfg = Config::from_args(argc, argv);
+  const Config cfg = bench::bench_init(argc, argv, "fig8_strong_scaling");
   const std::vector<int> levels =
       parse_levels(cfg.get_string("levels", "8,9"));
 
@@ -74,6 +74,12 @@ int main(int argc, char** argv) {
         cpu1 = cpu;
         hyb1 = hyb;
       }
+      const std::string key =
+          "level" + std::to_string(level) + "_p" + std::to_string(p);
+      bench::add_modeled(key + "_cpu_step_time", cpu, "s");
+      bench::add_modeled(key + "_hybrid_step_time", hyb, "s");
+      bench::add_modeled(key + "_hybrid_efficiency", hyb1 / (hyb * p), "ratio",
+                         bench::harness::Direction::HigherIsBetter);
       t.add_row({std::to_string(p), Table::num(cpu, 4), Table::num(hyb, 4),
                  Table::fixed(cpu1 / (cpu * p), 3),
                  Table::fixed(hyb1 / (hyb * p), 3)});

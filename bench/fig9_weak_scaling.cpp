@@ -13,7 +13,7 @@ using namespace mpas;
 using bench::Strategy;
 
 int main(int argc, char** argv) {
-  const Config cfg = Config::from_args(argc, argv);
+  const Config cfg = bench::bench_init(argc, argv, "fig9_weak_scaling");
   const int max_procs = static_cast<int>(cfg.get_int("max_procs", 64));
 
   std::printf(
@@ -49,6 +49,10 @@ int main(int argc, char** argv) {
         bench::make_schedules(graphs, Strategy::PatternLevel, sizes, hopts),
         sizes, hopts);
 
+    std::string key = "p";
+    key += std::to_string(p);
+    bench::add_modeled(key + "_cpu_step_time", cpu, "s");
+    bench::add_modeled(key + "_hybrid_step_time", hyb, "s");
     t.add_row({std::to_string(p), mesh->resolution_label(),
                std::to_string(mesh->num_cells / p), Table::num(cpu, 4),
                Table::num(hyb, 4)});

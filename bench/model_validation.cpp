@@ -14,9 +14,10 @@
 using namespace mpas;
 
 int main(int argc, char** argv) {
-  const Config cfg = Config::from_args(argc, argv);
+  const Config cfg = bench::bench_init(argc, argv, "model_validation");
   const int level = static_cast<int>(cfg.get_int("level", 6));
   const int steps = static_cast<int>(cfg.get_int("steps", 10));
+  bench::report().environment().mesh_level = level;
 
   const auto mesh = mesh::get_global_mesh(level);
   const auto tc = sw::make_test_case(5);
@@ -42,12 +43,18 @@ int main(int argc, char** argv) {
     const auto it = predicted.find(share.kernel);
     const Real model = it == predicted.end() ? 0 : it->second;
     worst = std::max(worst, std::abs(model - share.measured_share));
+    bench::add_info(share.kernel + "_model_share", model, "ratio");
+    bench::report().add_samples(share.kernel + "_measured_seconds",
+                                {share.measured_seconds}, "s",
+                                bench_harness::SeriesKind::Measured,
+                                bench_harness::Direction::LowerIsBetter);
     t.add_row({share.kernel, Table::num(share.measured_seconds, 3),
                Table::fixed(share.measured_share * 100, 1) + "%",
                Table::fixed(model * 100, 1) + "%",
                Table::fixed((model - share.measured_share) * 100, 1) + "pp"});
   }
   bench::emit(t, "model_validation");
+  bench::add_info("worst_share_deviation", worst, "ratio");
   std::printf(
       "largest share deviation: %.1f percentage points. The dominant kernels\n"
       "(compute_solve_diagnostics, compute_tend) must lead in both columns\n"

@@ -12,8 +12,9 @@
 using namespace mpas;
 
 int main(int argc, char** argv) {
-  const Config cfg = Config::from_args(argc, argv);
+  const Config cfg = bench::bench_init(argc, argv, "pattern_costs");
   const auto cells = cfg.get_int("cells", 655362);
+  bench::add_info("cells", static_cast<Real>(cells), "count");
 
   std::printf("== Per-pattern cost model (one early RK substep, %lld cells) ==\n\n",
               static_cast<long long>(cells));
@@ -48,6 +49,9 @@ int main(int argc, char** argv) {
                Table::fixed(accel_ms / host_ms, 2)});
   }
   bench::emit(t, "pattern_costs");
+  bench::add_modeled("host_serialized_total", host_total, "ms");
+  bench::add_modeled("accel_serialized_total", accel_total, "ms");
+  bench::add_info("accel_host_ratio", accel_total / host_total, "ratio");
   std::printf(
       "serialized totals: host %.2f ms, phi %.2f ms — the near-1 ratio is\n"
       "what makes the adjustable split worthwhile (hybrid_tuning shows the\n"

@@ -36,7 +36,8 @@ void emit_graph_rows(Table& t, const core::DataflowGraph& g,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::bench_init(argc, argv, "table1_patterns");
   std::printf("== Table I: patterns and their input/output variables ==\n\n");
 
   std::printf("Figure 3 stencil taxonomy (this reproduction's lettering):\n");
@@ -54,10 +55,16 @@ int main() {
   emit_graph_rows(t, graphs.early, "RK_step<4", seen);
   emit_graph_rows(t, graphs.final, "RK_step==4", seen);
   bench::emit(t, "table1_patterns");
+  bench::add_info("distinct_pattern_instances",
+                  static_cast<Real>(t.rows().size()), "count");
+  bench::add_info("early_substep_nodes",
+                  static_cast<Real>(graphs.early.num_nodes()), "count");
 
   // Concurrency annotation of Figure 4: independent sets per level.
   std::printf("Independent pattern sets per dependency level (early substep):\n");
   const auto sets = graphs.early.independent_sets();
+  bench::add_info("early_dependency_levels", static_cast<Real>(sets.size()),
+                  "count");
   for (std::size_t l = 0; l < sets.size(); ++l) {
     std::printf("  level %zu:", l);
     for (int id : sets[l])

@@ -7,7 +7,8 @@
 
 using namespace mpas;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::bench_init(argc, argv, "table2_platform");
   std::printf("== Table II: configuration of the (modeled) test platform ==\n\n");
 
   const machine::Platform p = machine::paper_platform();
@@ -36,6 +37,11 @@ int main() {
   row("Reserved cores (offload daemon)", std::to_string(p.host.reserved_cores),
       std::to_string(p.accelerator.reserved_cores));
   bench::emit(t, "table2_platform");
+  bench::add_info("host_peak_gflops", p.host.peak_gflops(), "Gflop/s");
+  bench::add_info("accel_peak_gflops", p.accelerator.peak_gflops(), "Gflop/s");
+  bench::add_info("host_stream_bw", p.host.stream_bw_gbs, "GB/s");
+  bench::add_info("accel_stream_bw", p.accelerator.stream_bw_gbs, "GB/s");
+  bench::add_info("link_bw", p.link.bandwidth_gbs, "GB/s");
 
   std::printf("Host<->device link: PCIe, %.1f GB/s, %.1f us latency\n",
               p.link.bandwidth_gbs, p.link.latency_us);

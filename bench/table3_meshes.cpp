@@ -13,9 +13,11 @@
 using namespace mpas;
 
 int main(int argc, char** argv) {
-  const Config cfg = Config::from_args(argc, argv);
+  const Config cfg = bench::bench_init(argc, argv, "table3_meshes");
   const int max_built_level =
       static_cast<int>(cfg.get_int("max_built_level", 7));
+  bench::add_info("max_built_level", static_cast<Real>(max_built_level),
+                  "level");
 
   std::printf("== Table III: mesh information list ==\n\n");
   Table t({"resolution", "# of mesh cells", "# of edges", "# of vertices",
@@ -27,6 +29,8 @@ int main(int argc, char** argv) {
       const auto q = mesh::compute_quality(*m);
       spacing = Table::fixed(q.resolution_km, 1);
       ratio = Table::fixed(q.dc_max / q.dc_min, 3);
+      bench::add_info("dc_ratio_level" + std::to_string(level),
+                      q.dc_max / q.dc_min, "ratio");
     }
     t.add_row({mesh::resolution_label_for_level(level),
                std::to_string(mesh::icosahedral_cell_count(level)),

@@ -1,0 +1,57 @@
+// Baseline-compare CLI: diff two directories of BENCH_<suite>.json reports
+// and exit nonzero on any regression or structural failure — the CI perf
+// gate. Tolerances are per-series-kind (modeled series tight, measured wall
+// times wide) and overridable from the command line:
+//
+//   bench_compare <baseline_dir> <current_dir> [modeled_rel_tol=0.05]
+//                 [measured_rel_tol=4.0] [require_same_series=true]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_harness/compare.hpp"
+#include "util/config.hpp"
+
+using namespace mpas;
+
+int main(int argc, char** argv) {
+  std::vector<std::string> dirs;
+  std::vector<const char*> kv;
+  kv.push_back(argc > 0 ? argv[0] : "bench_compare");
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.find('=') == std::string::npos)
+      dirs.push_back(arg);
+    else
+      kv.push_back(argv[i]);
+  }
+  if (dirs.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: bench_compare <baseline_dir> <current_dir> "
+                 "[modeled_rel_tol=0.05] [measured_rel_tol=4.0] "
+                 "[require_same_series=true]\n");
+    return 2;
+  }
+  const Config cfg = Config::from_args(static_cast<int>(kv.size()), kv.data());
+
+  bench_harness::CompareOptions opts;
+  opts.modeled_rel_tol = cfg.get_real("modeled_rel_tol", opts.modeled_rel_tol);
+  opts.measured_rel_tol =
+      cfg.get_real("measured_rel_tol", opts.measured_rel_tol);
+  opts.require_same_series =
+      cfg.get_bool("require_same_series", opts.require_same_series);
+
+  const bench_harness::CompareResult result =
+      bench_harness::compare_dirs(dirs[0], dirs[1], opts);
+
+  std::printf("== bench_compare: %s vs %s ==\n\n", dirs[0].c_str(),
+              dirs[1].c_str());
+  if (result.issues.empty())
+    std::printf("no differences beyond tolerance\n");
+  else
+    std::printf("%s\n", result.to_table().to_ascii().c_str());
+  std::printf("regressions: %d, structural failures: %d -> %s\n",
+              result.regressions(), result.structural_failures(),
+              result.ok() ? "PASS" : "FAIL");
+  return result.ok() ? 0 : 1;
+}

@@ -1,0 +1,259 @@
+#include "bench_harness/attribution.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mpas::bench_harness {
+
+namespace {
+
+struct Interval {
+  double start = 0;
+  double end = 0;
+};
+
+/// Merge intervals into a disjoint, sorted union.
+std::vector<Interval> merge_intervals(std::vector<Interval> intervals) {
+  std::sort(intervals.begin(), intervals.end(),
+            [](const Interval& a, const Interval& b) {
+              return a.start < b.start;
+            });
+  std::vector<Interval> merged;
+  for (const Interval& iv : intervals) {
+    if (iv.end <= iv.start) continue;
+    if (!merged.empty() && iv.start <= merged.back().end)
+      merged.back().end = std::max(merged.back().end, iv.end);
+    else
+      merged.push_back(iv);
+  }
+  return merged;
+}
+
+double overlap_with_union(const Interval& iv,
+                          const std::vector<Interval>& merged) {
+  double overlap = 0;
+  for (const Interval& m : merged) {
+    if (m.start >= iv.end) break;
+    overlap += std::max(0.0, std::min(iv.end, m.end) -
+                                 std::max(iv.start, m.start));
+  }
+  return overlap;
+}
+
+// Simulator lane layout (matches core/trace_bridge).
+constexpr int kLaneHost = 0;
+constexpr int kLaneAccel = 1;
+constexpr int kLanePcie = 2;
+constexpr int kLaneNetwork = 3;
+
+}  // namespace
+
+const char* to_string(LaneRole role) {
+  switch (role) {
+    case LaneRole::Compute: return "compute";
+    case LaneRole::Transfer: return "transfer";
+    case LaneRole::Comm: return "comm";
+    case LaneRole::Other: return "other";
+  }
+  return "?";
+}
+
+AttributionReport attribute_track(
+    const std::vector<obs::TraceEvent>& events, int track,
+    const std::map<int, LaneRole>& lane_roles,
+    const std::map<int, std::string>& lane_names) {
+  AttributionReport report;
+
+  // Every lane named in the role map participates, busy or idle — an idle
+  // compute lane is exactly what the imbalance ratio must see.
+  std::map<int, LaneUsage> lanes;
+  for (const auto& [lane, role] : lane_roles) {
+    LaneUsage usage;
+    usage.lane = lane;
+    usage.role = role;
+    const auto it = lane_names.find(lane);
+    usage.name = it != lane_names.end() ? it->second
+                                        : "lane-" + std::to_string(lane);
+    lanes.emplace(lane, usage);
+  }
+
+  std::vector<Interval> compute_intervals;
+  std::vector<Interval> transfer_intervals;
+  double first_start = 0, last_end = 0;
+  bool any = false;
+  for (const obs::TraceEvent& e : events) {
+    if (e.track != track || e.kind != obs::TraceEvent::Kind::Complete)
+      continue;
+    auto it = lanes.find(e.lane);
+    if (it == lanes.end()) {
+      LaneUsage usage;
+      usage.lane = e.lane;
+      usage.role = LaneRole::Other;
+      usage.name = "lane-" + std::to_string(e.lane);
+      it = lanes.emplace(e.lane, usage).first;
+    }
+    it->second.busy_us += e.dur_us;
+    if (!any || e.ts_us < first_start) first_start = e.ts_us;
+    last_end = std::max(last_end, e.ts_us + e.dur_us);
+    any = true;
+
+    switch (it->second.role) {
+      case LaneRole::Compute:
+        report.per_pattern_us[e.name] += e.dur_us;
+        compute_intervals.push_back({e.ts_us, e.ts_us + e.dur_us});
+        break;
+      case LaneRole::Transfer:
+        transfer_intervals.push_back({e.ts_us, e.ts_us + e.dur_us});
+        report.transfer_total_us += e.dur_us;
+        break;
+      case LaneRole::Comm:
+      case LaneRole::Other: break;
+    }
+  }
+  report.span_us = any ? last_end - first_start : 0.0;
+
+  double compute_max = 0, compute_sum = 0;
+  int compute_lanes = 0;
+  for (const auto& [lane, usage] : lanes) {
+    report.lanes.push_back(usage);
+    if (usage.role == LaneRole::Compute) {
+      compute_max = std::max(compute_max, usage.busy_us);
+      compute_sum += usage.busy_us;
+      ++compute_lanes;
+    }
+  }
+  if (compute_lanes > 0 && compute_sum > 0)
+    report.imbalance =
+        compute_max / (compute_sum / static_cast<double>(compute_lanes));
+
+  if (report.transfer_total_us > 0) {
+    const auto merged = merge_intervals(std::move(compute_intervals));
+    double hidden = 0;
+    for (const Interval& iv : transfer_intervals)
+      hidden += overlap_with_union(iv, merged);
+    report.transfer_exposed_us = report.transfer_total_us - hidden;
+    report.overlap_efficiency = hidden / report.transfer_total_us;
+  }
+  return report;
+}
+
+AttributionReport attribute_schedule(const core::DataflowGraph& graph,
+                                     const core::Schedule& schedule,
+                                     const core::SimResult& result,
+                                     const core::MeshSizes& sizes,
+                                     const core::SimOptions& opts,
+                                     const std::string& track_name) {
+  // Render the simulator's trace entries as spans on the four modeled lanes
+  // (microseconds, 1 modeled second = 1e6 us, as core/trace_bridge does).
+  constexpr double kScale = 1e6;
+  std::vector<obs::TraceEvent> events;
+  events.reserve(result.trace.size());
+  std::map<std::string, double> kernel_us;
+  for (const core::TraceEntry& entry : result.trace) {
+    obs::TraceEvent ev;
+    ev.kind = obs::TraceEvent::Kind::Complete;
+    ev.track = 0;
+    ev.ts_us = static_cast<double>(entry.start) * kScale;
+    ev.dur_us = static_cast<double>(entry.finish - entry.start) * kScale;
+    switch (entry.kind) {
+      case core::TraceEntry::Kind::Compute: {
+        const auto& node = graph.node(entry.node);
+        ev.name = node.label;
+        ev.lane = entry.side == core::DeviceSide::Accel ? kLaneAccel
+                                                        : kLaneHost;
+        kernel_us[core::to_string(node.kernel)] += ev.dur_us;
+        break;
+      }
+      case core::TraceEntry::Kind::Transfer:
+        ev.name = entry.label;
+        ev.lane = kLanePcie;
+        break;
+      case core::TraceEntry::Kind::HaloComm:
+        ev.name = entry.label;
+        ev.lane = kLaneNetwork;
+        break;
+    }
+    events.push_back(std::move(ev));
+  }
+
+  AttributionReport report = attribute_track(
+      events, 0,
+      {{kLaneHost, LaneRole::Compute},
+       {kLaneAccel, LaneRole::Compute},
+       {kLanePcie, LaneRole::Transfer},
+       {kLaneNetwork, LaneRole::Comm}},
+      {{kLaneHost, "host"},
+       {kLaneAccel, "accel"},
+       {kLanePcie, "pcie"},
+       {kLaneNetwork, "network"}});
+  report.track_name = track_name;
+  report.per_kernel_us = std::move(kernel_us);
+
+  // Roofline utilization: total work each device executed under the
+  // schedule's assignments, against its busy time and modeled ceilings.
+  // The per-device roofline bound is summed per node — max(flop time,
+  // memory time) at the node's own intensity — because the bound at the
+  // *aggregate* intensity is not an upper bound for a heterogeneous mix of
+  // compute-bound and memory-bound patterns.
+  const machine::DeviceSpec* specs[2] = {&opts.platform.host,
+                                         &opts.platform.accelerator};
+  double flops[2] = {0, 0};
+  double bytes[2] = {0, 0};
+  double ideal_s[2] = {0, 0};  // sum of per-node roofline-bound times
+  const auto n_nodes =
+      std::min(static_cast<std::size_t>(graph.num_nodes()),
+               schedule.assignments.size());
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    const auto& node = graph.node(static_cast<int>(i));
+    const auto& a = schedule.assignments[i];
+    const double n = static_cast<double>(sizes.at(node.iterates));
+    double host_frac = 1.0;
+    if (a.side == core::DeviceSide::Accel) host_frac = 0.0;
+    else if (a.side == core::DeviceSide::Split)
+      host_frac = static_cast<double>(a.host_fraction);
+    const auto& host_cost = node.cost(schedule.host_variant);
+    const auto& accel_cost = node.cost(schedule.accel_variant);
+    const double frac[2] = {host_frac, 1.0 - host_frac};
+    const machine::KernelCost* cost[2] = {&host_cost, &accel_cost};
+    const machine::OptLevel opt_of[2] = {opts.host_opt, opts.accel_opt};
+    for (int d = 0; d < 2; ++d) {
+      flops[d] += static_cast<double>(cost[d]->flops) * n * frac[d];
+      bytes[d] += static_cast<double>(cost[d]->bytes_streamed +
+                                      cost[d]->bytes_gathered +
+                                      cost[d]->bytes_written) *
+                  n * frac[d];
+      ideal_s[d] += frac[d] *
+                    static_cast<double>(machine::roofline_time(
+                        *specs[d], *cost[d], sizes.at(node.iterates),
+                        opt_of[d]));
+    }
+  }
+  const double busy[2] = {static_cast<double>(result.host_busy),
+                          static_cast<double>(result.accel_busy)};
+  const char* names[2] = {"host", "accel"};
+  for (int d = 0; d < 2; ++d) {
+    DeviceUtilization u;
+    u.device = names[d];
+    u.busy_s = busy[d];
+    u.flops = flops[d];
+    u.bytes = bytes[d];
+    u.peak_gflops = static_cast<double>(specs[d]->peak_gflops());
+    u.peak_gbs = static_cast<double>(specs[d]->stream_bw_gbs);
+    if (u.busy_s > 0) {
+      u.achieved_gflops = u.flops / 1e9 / u.busy_s;
+      u.achieved_gbs = u.bytes / 1e9 / u.busy_s;
+      if (u.peak_gflops > 0)
+        u.flop_utilization = u.achieved_gflops / u.peak_gflops;
+      if (u.peak_gbs > 0)
+        u.bandwidth_utilization = u.achieved_gbs / u.peak_gbs;
+      // Fraction of busy time spent at the per-node roofline bound; the
+      // remainder is modeled overhead and sub-peak efficiency, so this is
+      // <= 1 by construction.
+      u.roofline_utilization = ideal_s[d] / u.busy_s;
+    }
+    report.devices.push_back(std::move(u));
+  }
+  return report;
+}
+
+}  // namespace mpas::bench_harness

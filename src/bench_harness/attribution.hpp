@@ -1,0 +1,90 @@
+// Trace-derived attribution: turn the spans of one trace track into the
+// quantitative levers the paper argues with — where the time went
+// (per-pattern and per-kernel busy time), how well it was balanced
+// (max/mean busy across compute lanes), how much of the PCIe traffic was
+// hidden under compute (overlap efficiency), and how close each device ran
+// to its modeled roofline. Works on any span list with lane roles, so the
+// same math serves measured traces, the modeled schedule-sim track (via
+// attribute_schedule), and the hand-built synthetic traces the tests check
+// exact values against.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "obs/trace.hpp"
+
+namespace mpas::bench_harness {
+
+enum class LaneRole { Compute, Transfer, Comm, Other };
+
+const char* to_string(LaneRole role);
+
+struct LaneUsage {
+  int lane = 0;
+  std::string name;
+  LaneRole role = LaneRole::Other;
+  double busy_us = 0;
+};
+
+struct DeviceUtilization {
+  std::string device;
+  double busy_s = 0;
+  double flops = 0;          // double-precision operations executed
+  double bytes = 0;          // streamed + gathered + written
+  double achieved_gflops = 0;
+  double peak_gflops = 0;
+  double achieved_gbs = 0;
+  double peak_gbs = 0;       // STREAM bandwidth
+  double flop_utilization = 0;      // achieved / peak compute
+  double bandwidth_utilization = 0; // achieved / STREAM bandwidth
+  /// Fraction of busy time spent at the roofline bound, summed per node:
+  /// sum_i max(flops_i / peak, bytes_i / stream_bw) / busy. In [0, 1]; the
+  /// shortfall is modeled overhead and sub-peak efficiency. (A single
+  /// bound at the aggregate intensity is not an upper bound for a mix of
+  /// compute-bound and memory-bound patterns.)
+  double roofline_utilization = 0;
+};
+
+struct AttributionReport {
+  std::string track_name;
+  double span_us = 0;  // last span end minus first span start on the track
+  std::vector<LaneUsage> lanes;
+  std::map<std::string, double> per_pattern_us;  // span name -> busy time
+  std::map<std::string, double> per_kernel_us;   // kernel group -> busy time
+
+  /// Max/mean busy time across Compute lanes (1.0 = perfectly balanced;
+  /// defined as 1.0 when no compute lane recorded work).
+  double imbalance = 1.0;
+
+  /// Fraction of Transfer-lane time that overlapped any Compute-lane span
+  /// (1.0 when there were no transfers: nothing was left exposed).
+  double overlap_efficiency = 1.0;
+  double transfer_total_us = 0;
+  double transfer_exposed_us = 0;
+
+  std::vector<DeviceUtilization> devices;  // filled by attribute_schedule
+};
+
+/// Aggregate the Complete spans of `track` under the given lane->role map.
+/// Lane names come from `lane_names` (fall back to "lane-<id>").
+AttributionReport attribute_track(
+    const std::vector<obs::TraceEvent>& events, int track,
+    const std::map<int, LaneRole>& lane_roles,
+    const std::map<int, std::string>& lane_names = {});
+
+/// Attribution of one simulated schedule: converts SimResult::trace into
+/// spans on the simulator's four lanes (host/accel compute, pcie transfer,
+/// network comm), names compute spans by graph label, groups them by kernel
+/// function, and adds per-device roofline utilization computed from the
+/// schedule's device assignments and the per-pattern cost signatures.
+AttributionReport attribute_schedule(const core::DataflowGraph& graph,
+                                     const core::Schedule& schedule,
+                                     const core::SimResult& result,
+                                     const core::MeshSizes& sizes,
+                                     const core::SimOptions& opts,
+                                     const std::string& track_name);
+
+}  // namespace mpas::bench_harness

@@ -1,0 +1,219 @@
+#include "bench_harness/compare.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+
+namespace mpas::bench_harness {
+
+namespace {
+
+bool in_range(double v, double lo, double hi) {
+  return std::isfinite(v) && v >= lo && v <= hi;
+}
+
+void check_attribution_structure(const BenchReport& report,
+                                 CompareResult& result) {
+  for (const AttributionReport& a : report.attributions()) {
+    auto fail = [&](const std::string& what, double value) {
+      CompareIssue issue;
+      issue.severity = CompareIssue::Severity::Structural;
+      issue.suite = report.suite();
+      issue.series = "attribution:" + a.track_name;
+      issue.current = value;
+      issue.message = what;
+      result.issues.push_back(std::move(issue));
+    };
+    // The imbalance ratio is max/mean: >= 1 by construction.
+    if (!in_range(a.imbalance, 1.0 - 1e-9, 1e9))
+      fail("imbalance ratio out of range", a.imbalance);
+    if (!in_range(a.overlap_efficiency, 0.0, 1.0 + 1e-9))
+      fail("overlap efficiency outside [0, 1]", a.overlap_efficiency);
+    if (a.transfer_exposed_us < -1e-9 ||
+        a.transfer_exposed_us > a.transfer_total_us + 1e-9)
+      fail("exposed transfer time exceeds total", a.transfer_exposed_us);
+    for (const DeviceUtilization& d : a.devices)
+      // Modeled busy time always covers the roofline bound plus overheads,
+      // so utilization beyond ~1 means the attribution math broke.
+      if (!in_range(d.roofline_utilization, 0.0, 1.05))
+        fail("roofline utilization outside [0, 1] for " + d.device,
+             d.roofline_utilization);
+  }
+}
+
+}  // namespace
+
+const char* to_string(CompareIssue::Severity s) {
+  switch (s) {
+    case CompareIssue::Severity::Regression: return "REGRESSION";
+    case CompareIssue::Severity::Structural: return "STRUCTURAL";
+    case CompareIssue::Severity::Improvement: return "improvement";
+    case CompareIssue::Severity::Note: return "note";
+  }
+  return "?";
+}
+
+int CompareResult::regressions() const {
+  return static_cast<int>(
+      std::count_if(issues.begin(), issues.end(), [](const CompareIssue& i) {
+        return i.severity == CompareIssue::Severity::Regression;
+      }));
+}
+
+int CompareResult::structural_failures() const {
+  return static_cast<int>(
+      std::count_if(issues.begin(), issues.end(), [](const CompareIssue& i) {
+        return i.severity == CompareIssue::Severity::Structural;
+      }));
+}
+
+Table CompareResult::to_table() const {
+  Table t({"severity", "suite", "series", "baseline", "current", "ratio",
+           "detail"});
+  for (const CompareIssue& i : issues)
+    t.add_row({to_string(i.severity), i.suite, i.series,
+               Table::num(i.baseline), Table::num(i.current),
+               Table::fixed(i.ratio, 3), i.message});
+  return t;
+}
+
+void CompareResult::merge(CompareResult other) {
+  issues.insert(issues.end(),
+                std::make_move_iterator(other.issues.begin()),
+                std::make_move_iterator(other.issues.end()));
+}
+
+CompareResult compare_reports(const BenchReport& baseline,
+                              const BenchReport& current,
+                              const CompareOptions& options) {
+  CompareResult result;
+  auto add = [&](CompareIssue::Severity severity, const std::string& series,
+                 double base, double cur, const std::string& message) {
+    CompareIssue issue;
+    issue.severity = severity;
+    issue.suite = baseline.suite();
+    issue.series = series;
+    issue.baseline = base;
+    issue.current = cur;
+    issue.ratio = std::abs(base) > 0 ? cur / base : 0.0;
+    issue.message = message;
+    result.issues.push_back(std::move(issue));
+  };
+
+  if (baseline.suite() != current.suite()) {
+    add(CompareIssue::Severity::Structural, "<suite>", 0, 0,
+        "suite name mismatch: '" + baseline.suite() + "' vs '" +
+            current.suite() + "'");
+    return result;
+  }
+
+  // Different compiler/build/preset: modeled values are not expected to
+  // match tightly, so everything falls back to the wide measured band.
+  const bool comparable =
+      baseline.environment().comparable(current.environment());
+  if (!comparable)
+    add(CompareIssue::Severity::Note, "<environment>", 0, 0,
+        "environments differ (" + baseline.environment().compiler + "/" +
+            baseline.environment().build_type + " vs " +
+            current.environment().compiler + "/" +
+            current.environment().build_type +
+            "); using the wide tolerance band for all series");
+
+  for (const MetricSeries& base : baseline.series()) {
+    const MetricSeries* cur = current.find_series(base.name);
+    if (cur == nullptr) {
+      if (options.require_same_series)
+        add(CompareIssue::Severity::Structural, base.name, base.stats.median,
+            0, "series missing from current report");
+      continue;
+    }
+    if (base.direction == Direction::Informational) continue;
+    if (cur->stats.count == 0) {
+      add(CompareIssue::Severity::Structural, base.name, base.stats.median, 0,
+          "series has no samples");
+      continue;
+    }
+
+    const double rel = (base.kind == SeriesKind::Modeled && comparable)
+                           ? options.modeled_rel_tol
+                           : options.measured_rel_tol;
+    const double b = base.stats.median;
+    const double c = cur->stats.median;
+    const double slack = std::abs(b) * rel + options.abs_tol;
+    const bool worse = base.direction == Direction::LowerIsBetter
+                           ? c > b + slack
+                           : c < b - slack;
+    const bool better = base.direction == Direction::LowerIsBetter
+                            ? c < b - slack
+                            : c > b + slack;
+    if (worse)
+      add(CompareIssue::Severity::Regression, base.name, b, c,
+          "median moved beyond the ±" +
+              Table::fixed(rel * 100, 0) + "% " + to_string(base.kind) +
+              " band (" + base.unit + ")");
+    else if (better)
+      add(CompareIssue::Severity::Improvement, base.name, b, c,
+          "median improved beyond the tolerance band (" + base.unit + ")");
+  }
+
+  for (const MetricSeries& s : current.series())
+    if (baseline.find_series(s.name) == nullptr)
+      add(CompareIssue::Severity::Note, s.name, 0, s.stats.median,
+          "new series (not in baseline)");
+
+  if (!baseline.attributions().empty() && current.attributions().empty())
+    add(CompareIssue::Severity::Structural, "<attribution>", 0, 0,
+        "baseline carries attribution blocks but current has none");
+  check_attribution_structure(current, result);
+  return result;
+}
+
+CompareResult compare_dirs(const std::string& baseline_dir,
+                           const std::string& current_dir,
+                           const CompareOptions& options) {
+  namespace fs = std::filesystem;
+  CompareResult result;
+  auto structural = [&](const std::string& suite, const std::string& msg) {
+    CompareIssue issue;
+    issue.severity = CompareIssue::Severity::Structural;
+    issue.suite = suite;
+    issue.series = "<file>";
+    issue.message = msg;
+    result.issues.push_back(std::move(issue));
+  };
+
+  std::vector<std::string> names;
+  if (!fs::is_directory(baseline_dir)) {
+    structural("<baseline>", "not a directory: " + baseline_dir);
+    return result;
+  }
+  for (const auto& entry : fs::directory_iterator(baseline_dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("BENCH_", 0) == 0 &&
+        name.size() > 5 + 5 &&  // "BENCH_" + ".json"
+        name.substr(name.size() - 5) == ".json")
+      names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  if (names.empty())
+    structural("<baseline>", "no BENCH_*.json files in " + baseline_dir);
+
+  for (const std::string& name : names) {
+    const std::string base_path = baseline_dir + "/" + name;
+    const std::string cur_path = current_dir + "/" + name;
+    if (!fs::exists(cur_path)) {
+      structural(name, "report missing from " + current_dir);
+      continue;
+    }
+    try {
+      const BenchReport base = BenchReport::read_file(base_path);
+      const BenchReport cur = BenchReport::read_file(cur_path);
+      result.merge(compare_reports(base, cur, options));
+    } catch (const std::exception& e) {
+      structural(name, std::string("unreadable report: ") + e.what());
+    }
+  }
+  return result;
+}
+
+}  // namespace mpas::bench_harness

@@ -1,0 +1,64 @@
+// Baseline comparison: diff two bench report sets with per-metric tolerance
+// bands and classify every difference. Modeled series are deterministic
+// machine-model outputs, so they carry a tight band; measured wall times get
+// a wide CI-noise band; Informational series and attribution blocks are
+// checked structurally (present, finite, metrics in range) but never gate
+// on their values. The CLI wrapper (examples/bench_compare) exits nonzero
+// iff ok() is false — that exit code is the CI perf gate.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bench_harness/report.hpp"
+
+namespace mpas::bench_harness {
+
+struct CompareOptions {
+  double modeled_rel_tol = 0.05;   // modeled series: ±5%
+  double measured_rel_tol = 4.0;   // measured series: 5x slower still passes
+  double abs_tol = 1e-12;          // absolute slack for near-zero medians
+  bool require_same_series = true; // baseline series missing now = failure
+};
+
+struct CompareIssue {
+  enum class Severity { Regression, Structural, Improvement, Note };
+  Severity severity = Severity::Note;
+  std::string suite;
+  std::string series;
+  double baseline = 0;
+  double current = 0;
+  double ratio = 1.0;  // current / baseline medians
+  std::string message;
+};
+
+const char* to_string(CompareIssue::Severity s);
+
+struct CompareResult {
+  std::vector<CompareIssue> issues;
+
+  [[nodiscard]] int regressions() const;
+  [[nodiscard]] int structural_failures() const;
+  /// Gate predicate: no regressions and no structural failures.
+  [[nodiscard]] bool ok() const {
+    return regressions() == 0 && structural_failures() == 0;
+  }
+
+  [[nodiscard]] Table to_table() const;
+
+  void merge(CompareResult other);
+};
+
+/// Compare two reports of the same suite.
+CompareResult compare_reports(const BenchReport& baseline,
+                              const BenchReport& current,
+                              const CompareOptions& options);
+
+/// Compare every BENCH_*.json in `baseline_dir` against its counterpart in
+/// `current_dir`. A baseline suite with no counterpart is a structural
+/// failure; extra suites in `current_dir` are noted only.
+CompareResult compare_dirs(const std::string& baseline_dir,
+                           const std::string& current_dir,
+                           const CompareOptions& options);
+
+}  // namespace mpas::bench_harness

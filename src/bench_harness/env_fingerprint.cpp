@@ -1,0 +1,59 @@
+#include "bench_harness/env_fingerprint.hpp"
+
+#include <thread>
+
+namespace mpas::bench_harness {
+
+namespace {
+
+std::string compiler_string() {
+#if defined(__clang__)
+  return std::string("clang ") + std::to_string(__clang_major__) + "." +
+         std::to_string(__clang_minor__) + "." +
+         std::to_string(__clang_patchlevel__);
+#elif defined(__GNUC__)
+  return std::string("gcc ") + std::to_string(__GNUC__) + "." +
+         std::to_string(__GNUC_MINOR__) + "." +
+         std::to_string(__GNUC_PATCHLEVEL__);
+#else
+  return "unknown";
+#endif
+}
+
+std::string os_string() {
+#if defined(__linux__)
+  return "linux";
+#elif defined(__APPLE__)
+  return "darwin";
+#elif defined(_WIN32)
+  return "windows";
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace
+
+EnvFingerprint current_fingerprint() {
+  EnvFingerprint fp;
+#ifdef MPAS_GIT_SHA
+  fp.git_sha = MPAS_GIT_SHA;
+#else
+  fp.git_sha = "unknown";
+#endif
+  fp.compiler = compiler_string();
+#ifdef MPAS_BUILD_TYPE
+  fp.build_type = MPAS_BUILD_TYPE;
+#else
+  fp.build_type = "unknown";
+#endif
+#ifdef MPAS_CXX_FLAGS
+  fp.flags = MPAS_CXX_FLAGS;
+#endif
+  fp.os = os_string();
+  fp.hardware_threads =
+      static_cast<int>(std::thread::hardware_concurrency());
+  return fp;
+}
+
+}  // namespace mpas::bench_harness

@@ -1,0 +1,127 @@
+// Machine-readable bench reports: one BENCH_<suite>.json per bench binary,
+// carrying the suite's metric series (unit, improvement direction,
+// measured-vs-modeled kind, raw samples and robust statistics), the ASCII
+// tables the binary printed, trace-derived attribution blocks, and the
+// environment fingerprint — everything bench_compare needs to answer "did
+// this commit make the bench slower" without rerunning the baseline.
+//
+// The writer emits the schema below; from_json() reads it back through the
+// dependency-free obs::json parser, and the round trip is exact (doubles
+// are printed with %.17g).
+//
+//   {
+//     "schema_version": 1,
+//     "suite": "fig7_hybrid_comparison",
+//     "environment": { "git_sha": ..., "compiler": ..., ... },
+//     "series": [ { "name": ..., "unit": ..., "kind": "modeled"|"measured",
+//                   "direction": "lower"|"higher"|"info",
+//                   "samples": [...], "stats": { ... } } ],
+//     "tables": [ { "name": ..., "headers": [...], "rows": [[...]] } ],
+//     "attributions": [ { "track": ..., "imbalance": ...,
+//                         "overlap_efficiency": ..., "lanes": [...],
+//                         "per_pattern_us": {...}, "devices": [...] } ]
+//   }
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bench_harness/attribution.hpp"
+#include "bench_harness/env_fingerprint.hpp"
+#include "bench_harness/stats.hpp"
+#include "obs/json.hpp"
+#include "util/table.hpp"
+
+namespace mpas::bench_harness {
+
+namespace json = obs::json;  // the dependency-free reader parses reports back
+
+inline constexpr int kReportSchemaVersion = 1;
+
+/// How bench_compare should judge a series that moved.
+enum class Direction {
+  LowerIsBetter,   // times, bytes, overheads
+  HigherIsBetter,  // speedups, efficiencies
+  Informational,   // presence/structure checked only
+};
+
+const char* to_string(Direction d);
+
+/// Provenance of a series: modeled values are deterministic and compared
+/// tightly; measured wall times get the wide CI-noise band.
+enum class SeriesKind { Modeled, Measured };
+
+const char* to_string(SeriesKind k);
+
+struct MetricSeries {
+  std::string name;
+  std::string unit;  // "s", "ratio", "MB", ...
+  SeriesKind kind = SeriesKind::Modeled;
+  Direction direction = Direction::LowerIsBetter;
+  std::vector<double> samples;
+  SampleStats stats;  // derived from samples by add_* if left default
+};
+
+struct TableDump {
+  std::string name;
+  std::vector<std::string> headers;
+  std::vector<std::vector<std::string>> rows;
+};
+
+class BenchReport {
+ public:
+  BenchReport() = default;
+  explicit BenchReport(std::string suite) : suite_(std::move(suite)) {}
+
+  void set_suite(std::string suite) { suite_ = std::move(suite); }
+  [[nodiscard]] const std::string& suite() const { return suite_; }
+
+  EnvFingerprint& environment() { return environment_; }
+  [[nodiscard]] const EnvFingerprint& environment() const {
+    return environment_;
+  }
+
+  /// Add a single-sample series (the modeled, deterministic case).
+  void add_value(const std::string& name, double value,
+                 const std::string& unit,
+                 SeriesKind kind = SeriesKind::Modeled,
+                 Direction direction = Direction::LowerIsBetter);
+
+  /// Add a repetition series; stats are computed from the samples.
+  void add_samples(const std::string& name, std::vector<double> samples,
+                   const std::string& unit,
+                   SeriesKind kind = SeriesKind::Measured,
+                   Direction direction = Direction::LowerIsBetter);
+
+  void add_series(MetricSeries series);
+  void add_table(const Table& table, const std::string& name);
+  void add_attribution(AttributionReport attribution);
+
+  [[nodiscard]] const std::vector<MetricSeries>& series() const {
+    return series_;
+  }
+  [[nodiscard]] const MetricSeries* find_series(const std::string& name) const;
+  [[nodiscard]] const std::vector<TableDump>& tables() const {
+    return tables_;
+  }
+  [[nodiscard]] const std::vector<AttributionReport>& attributions() const {
+    return attributions_;
+  }
+
+  [[nodiscard]] std::string to_json() const;
+  void write_json(const std::string& path) const;
+
+  /// Parse a document the writer produced; throws std::runtime_error on
+  /// schema violations (missing keys, wrong types, unknown enum strings).
+  static BenchReport from_json(const json::Value& doc);
+  static BenchReport read_file(const std::string& path);
+
+ private:
+  std::string suite_;
+  EnvFingerprint environment_;
+  std::vector<MetricSeries> series_;
+  std::vector<TableDump> tables_;
+  std::vector<AttributionReport> attributions_;
+};
+
+}  // namespace mpas::bench_harness

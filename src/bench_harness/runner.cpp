@@ -1,0 +1,46 @@
+#include "bench_harness/runner.hpp"
+
+#include <algorithm>
+
+#include "util/timer.hpp"
+
+namespace mpas::bench_harness {
+
+namespace {
+
+RunResult run_repeats(const RunnerOptions& options,
+                      const std::function<double()>& sample_once) {
+  RunResult result;
+  const int min_repeats = std::max(1, options.min_repeats);
+  const int max_repeats = std::max(min_repeats, options.max_repeats);
+  while (result.repeats < max_repeats) {
+    result.samples.push_back(sample_once());
+    ++result.repeats;
+    if (result.repeats < min_repeats) continue;
+    result.stats = SampleStats::from_samples(result.samples);
+    if (result.stats.relative_iqr() <= options.stability_rel_iqr) {
+      result.stable = true;
+      break;
+    }
+  }
+  result.stats = SampleStats::from_samples(result.samples);
+  return result;
+}
+
+}  // namespace
+
+RunResult BenchRunner::measure(const std::function<void()>& fn) const {
+  for (int i = 0; i < options_.warmup; ++i) fn();
+  return run_repeats(options_, [&fn] {
+    WallTimer timer;
+    fn();
+    return timer.seconds();
+  });
+}
+
+RunResult BenchRunner::collect(const std::function<double()>& fn) const {
+  for (int i = 0; i < options_.warmup; ++i) (void)fn();
+  return run_repeats(options_, fn);
+}
+
+}  // namespace mpas::bench_harness

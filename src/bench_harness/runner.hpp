@@ -1,0 +1,53 @@
+// Repetition control for bench measurements: warmup repeats that are
+// discarded, then measured repeats until the series is stable (relative IQR
+// under a target) or the repeat budget is exhausted. Deterministic sources
+// (the modeled times most benches report) stabilise at min_repeats with an
+// IQR of exactly zero; measured wall times keep repeating until the spread
+// settles, so a report's statistics are trustworthy without hand-tuning a
+// repeat count per bench.
+#pragma once
+
+#include <functional>
+
+#include "bench_harness/stats.hpp"
+
+namespace mpas::bench_harness {
+
+struct RunnerOptions {
+  int warmup = 1;            // discarded repeats before measuring
+  int min_repeats = 3;       // always measure at least this many
+  int max_repeats = 20;      // hard budget
+  double stability_rel_iqr = 0.05;  // stop once IQR/|median| <= this
+
+  /// Single-shot preset for expensive runs (multi-minute integrations):
+  /// no warmup, one repeat, stability check vacuous.
+  [[nodiscard]] static RunnerOptions single_shot() {
+    return {0, 1, 1, 1.0};
+  }
+};
+
+struct RunResult {
+  std::vector<double> samples;
+  SampleStats stats;
+  bool stable = false;  // met the stability target within the budget
+  int repeats = 0;
+};
+
+class BenchRunner {
+ public:
+  BenchRunner() = default;
+  explicit BenchRunner(RunnerOptions options) : options_(options) {}
+
+  [[nodiscard]] const RunnerOptions& options() const { return options_; }
+
+  /// Wall-time each repeat of `fn` (seconds per repeat).
+  [[nodiscard]] RunResult measure(const std::function<void()>& fn) const;
+
+  /// Record the value `fn` returns per repeat (modeled metrics, counters).
+  [[nodiscard]] RunResult collect(const std::function<double()>& fn) const;
+
+ private:
+  RunnerOptions options_;
+};
+
+}  // namespace mpas::bench_harness

@@ -1,0 +1,63 @@
+#include "bench_harness/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mpas::bench_harness {
+
+namespace {
+
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted.front();
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+double SampleStats::relative_iqr() const {
+  const double scale = std::abs(median);
+  return scale > 0 ? iqr / scale : 0.0;
+}
+
+SampleStats SampleStats::from_samples(const std::vector<double>& samples) {
+  SampleStats s;
+  s.count = static_cast<int>(samples.size());
+  if (samples.empty()) return s;
+
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.median = quantile_sorted(sorted, 0.5);
+  s.p25 = quantile_sorted(sorted, 0.25);
+  s.p75 = quantile_sorted(sorted, 0.75);
+  s.iqr = s.p75 - s.p25;
+
+  double sum = 0;
+  for (double v : sorted) sum += v;
+  s.mean = sum / static_cast<double>(s.count);
+  if (s.count > 1) {
+    double sq = 0;
+    for (double v : sorted) sq += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(sq / static_cast<double>(s.count - 1));
+  }
+
+  const double lo_fence = s.p25 - 1.5 * s.iqr;
+  const double hi_fence = s.p75 + 1.5 * s.iqr;
+  for (double v : sorted)
+    if (v < lo_fence || v > hi_fence) ++s.outliers;
+  return s;
+}
+
+double sample_quantile(std::vector<double> samples, double q) {
+  std::sort(samples.begin(), samples.end());
+  return quantile_sorted(samples, q);
+}
+
+}  // namespace mpas::bench_harness

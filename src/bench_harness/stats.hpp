@@ -1,0 +1,35 @@
+// Robust repeat statistics for the bench harness. One SampleStats summarises
+// a repetition series: order statistics are computed on a sorted copy with
+// linear interpolation at rank q*(n-1) (the numpy default), spread is
+// reported both as sample standard deviation and interquartile range, and
+// outliers are counted against the Tukey fences (1.5 * IQR beyond the
+// quartiles) so a single cold-cache repeat cannot silently skew a report.
+#pragma once
+
+#include <vector>
+
+namespace mpas::bench_harness {
+
+struct SampleStats {
+  int count = 0;
+  double min = 0;
+  double max = 0;
+  double mean = 0;
+  double median = 0;
+  double stddev = 0;  // sample (n-1) standard deviation; 0 when count < 2
+  double p25 = 0;
+  double p75 = 0;
+  double iqr = 0;     // p75 - p25
+  int outliers = 0;   // samples outside [p25 - 1.5*IQR, p75 + 1.5*IQR]
+
+  /// IQR relative to the median magnitude — the repeat-until-stable
+  /// criterion (0 for deterministic series, large for noisy ones).
+  [[nodiscard]] double relative_iqr() const;
+
+  static SampleStats from_samples(const std::vector<double>& samples);
+};
+
+/// Linear-interpolation quantile of an unsorted sample set (0 <= q <= 1).
+double sample_quantile(std::vector<double> samples, double q);
+
+}  // namespace mpas::bench_harness

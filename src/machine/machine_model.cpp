@@ -96,6 +96,25 @@ Real kernel_time(const DeviceSpec& dev, const KernelCost& cost,
   return std::max(flop_time, mem_time) + dev.region_overhead_us * 1e-6;
 }
 
+Real roofline_time(const DeviceSpec& dev, const KernelCost& cost,
+                   std::int64_t entities, OptLevel opt) {
+  MPAS_CHECK(entities >= 0);
+  if (entities == 0) return 0.0;
+  const Real n = static_cast<Real>(entities);
+  const Real flop_time = cost.flops * n / (dev.peak_gflops() * 1e9);
+  // Same traffic shaping as kernel_time: loop fusion at OptLevel::Full
+  // genuinely removes re-reads, so the bound must see the reduced traffic.
+  Real streamed = cost.bytes_streamed;
+  Real written = cost.bytes_written;
+  if (opt >= OptLevel::Full) {
+    streamed *= kFusionTrafficScale;
+    written *= kFusionTrafficScale;
+  }
+  const Real mem_time = (streamed + cost.bytes_gathered + written) * n /
+                        (dev.stream_bw_gbs * 1e9);
+  return std::max(flop_time, mem_time);
+}
+
 DeviceSpec xeon_e5_2680v2() {
   DeviceSpec d;
   d.name = "Intel Xeon E5-2680 v2";

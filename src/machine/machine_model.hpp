@@ -103,6 +103,14 @@ struct KernelCost {
 Real kernel_time(const DeviceSpec& dev, const KernelCost& cost,
                  std::int64_t entities, OptLevel opt, int threads = -1);
 
+/// Lower bound on kernel_time: the classic roofline max(flop time at the
+/// chip's peak, memory time at STREAM bandwidth) for the traffic the model
+/// says the kernel moves at `opt` (loop fusion at OptLevel::Full removes
+/// streamed/written re-reads). No per-region overhead, gather derating, or
+/// write amplification, so kernel_time / roofline_time >= 1 always.
+Real roofline_time(const DeviceSpec& dev, const KernelCost& cost,
+                   std::int64_t entities, OptLevel opt);
+
 /// Host <-> accelerator link (PCIe gen2 x16 for the 5110P).
 struct TransferLink {
   Real bandwidth_gbs = 6.0;

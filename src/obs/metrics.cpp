@@ -1,8 +1,36 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "obs/trace.hpp"  // json_escape
 
 namespace mpas::obs {
+
+namespace {
+
+std::string json_num(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string& metrics_session_path() {
+  static std::string path;
+  return path;
+}
+
+std::mutex& metrics_session_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
 
 int Histogram::bucket_index(double value) {
   if (!(value > 0.0)) return 0;  // v <= 0 and NaN collapse to bucket 0
@@ -31,6 +59,35 @@ double Histogram::quantile_lower_bound(double q) const {
   return bucket_lower_edge(kBuckets - 1);
 }
 
+double Histogram::bucket_upper_edge(int index) {
+  if (index <= 0) return bucket_lower_edge(1);
+  if (index >= kBuckets - 1) return 2.0 * bucket_lower_edge(kBuckets - 1);
+  return bucket_lower_edge(index + 1);
+}
+
+double Histogram::quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Target rank on the 0-based sorted-sample axis, located in its bucket;
+  // the bucket's samples are assumed spread uniformly across the bucket,
+  // each occupying a rank-interval of width 1 centred on rank + 0.5.
+  const double rank = q * static_cast<double>(n - 1);
+  double seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    const double c = static_cast<double>(bucket_count(i));
+    if (c == 0) continue;
+    if (rank < seen + c) {
+      const double lower = bucket_lower_edge(i);
+      const double upper = bucket_upper_edge(i);
+      const double frac = (rank - seen + 0.5) / c;
+      return std::min(upper, lower + (upper - lower) * frac);
+    }
+    seen += c;
+  }
+  return bucket_upper_edge(kBuckets - 1);
+}
+
 void Histogram::reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
@@ -39,8 +96,19 @@ void Histogram::reset() {
 
 MetricsRegistry& MetricsRegistry::global() {
   // Leaked like the trace recorder: offload/pool destructors may publish
-  // metrics during static teardown.
-  static MetricsRegistry* registry = new MetricsRegistry();
+  // metrics during static teardown. The MPAS_METRICS exit hook arms here,
+  // on the first global() call of the process.
+  static MetricsRegistry* registry = [] {
+    auto* reg = new MetricsRegistry();
+    if (const auto path = env_metrics_path()) {
+      {
+        std::lock_guard<std::mutex> lock(metrics_session_mutex());
+        metrics_session_path() = *path;
+      }
+      std::atexit([] { write_metrics_now(); });
+    }
+    return reg;
+  }();
   return *registry;
 }
 
@@ -67,17 +135,61 @@ bool MetricsRegistry::contains(const std::string& name) const {
 
 Table MetricsRegistry::to_table() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  Table table({"metric", "kind", "value", "mean", "p50>=", "p99>="});
+  Table table({"metric", "kind", "value", "mean", "p50", "p95", "p99"});
   for (const auto& [name, c] : counters_)
-    table.add_row({name, "counter", std::to_string(c.value()), "-", "-", "-"});
+    table.add_row(
+        {name, "counter", std::to_string(c.value()), "-", "-", "-", "-"});
   for (const auto& [name, g] : gauges_)
-    table.add_row({name, "gauge", Table::num(g.value()), "-", "-", "-"});
+    table.add_row({name, "gauge", Table::num(g.value()), "-", "-", "-", "-"});
   for (const auto& [name, h] : histograms_)
     table.add_row({name, "histogram", std::to_string(h.count()),
-                   Table::num(h.mean()),
-                   Table::num(h.quantile_lower_bound(0.50)),
-                   Table::num(h.quantile_lower_bound(0.99))});
+                   Table::num(h.mean()), Table::num(h.quantile(0.50)),
+                   Table::num(h.quantile(0.95)),
+                   Table::num(h.quantile(0.99))});
   return table;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) os << ",";
+    first = false;
+    os << '"' << json_escape(name) << "\":" << c.value();
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) os << ",";
+    first = false;
+    os << '"' << json_escape(name) << "\":" << json_num(g.value());
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) os << ",";
+    first = false;
+    os << '"' << json_escape(name) << "\":{\"count\":" << h.count()
+       << ",\"sum\":" << json_num(h.sum())
+       << ",\"mean\":" << json_num(h.mean())
+       << ",\"p50\":" << json_num(h.quantile(0.50))
+       << ",\"p95\":" << json_num(h.quantile(0.95))
+       << ",\"p99\":" << json_num(h.quantile(0.99)) << ",\"buckets\":[";
+    bool first_bucket = true;
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      const std::uint64_t c = h.bucket_count(i);
+      if (c == 0) continue;
+      if (!first_bucket) os << ",";
+      first_bucket = false;
+      os << "[" << json_num(Histogram::bucket_lower_edge(i)) << "," << c
+         << "]";
+    }
+    os << "]}";
+  }
+  os << "}}";
+  return os.str();
 }
 
 std::string MetricsRegistry::to_string() const { return to_table().to_ascii(); }
@@ -87,6 +199,44 @@ void MetricsRegistry::reset() {
   for (auto& [name, c] : counters_) c.reset();
   for (auto& [name, g] : gauges_) g.reset();
   for (auto& [name, h] : histograms_) h.reset();
+}
+
+// ---- environment/file session ---------------------------------------------
+
+std::optional<std::string> env_metrics_path() {
+  const char* path = std::getenv("MPAS_METRICS");
+  if (path == nullptr || *path == '\0') return std::nullopt;
+  return std::string(path);
+}
+
+void start_metrics_file(std::string path) {
+  (void)MetricsRegistry::global();  // ensure the registry outlives the hook
+  {
+    std::lock_guard<std::mutex> lock(metrics_session_mutex());
+    metrics_session_path() = std::move(path);
+  }
+  static bool registered = [] {
+    std::atexit([] { write_metrics_now(); });
+    return true;
+  }();
+  (void)registered;
+}
+
+std::string metrics_file_path() {
+  std::lock_guard<std::mutex> lock(metrics_session_mutex());
+  return metrics_session_path();
+}
+
+void write_metrics_now() {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(metrics_session_mutex());
+    path = metrics_session_path();
+  }
+  if (path.empty()) return;
+  std::ofstream out(path);
+  if (!out.good()) return;  // never throw from an atexit handler
+  out << MetricsRegistry::global().to_json() << "\n";
 }
 
 }  // namespace mpas::obs

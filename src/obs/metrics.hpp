@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -96,6 +97,17 @@ class Histogram {
   /// Smallest bucket lower edge q of the data's quantile (0 <= q <= 1).
   [[nodiscard]] double quantile_lower_bound(double q) const;
 
+  /// Interpolated quantile estimate (0 <= q <= 1): the target rank
+  /// q*(count-1) is located in its bucket and the value is interpolated
+  /// assuming the bucket's samples are spread uniformly across it. Exact
+  /// when a bucket holds one distinct value at its midpoint-equivalent
+  /// rank; always within one bucket width of the true sample quantile.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Inclusive upper edge of bucket i (the overflow bucket reports twice
+  /// its lower edge so interpolation stays finite).
+  [[nodiscard]] static double bucket_upper_edge(int index);
+
   void reset();
 
  private:
@@ -120,9 +132,16 @@ class MetricsRegistry {
 
   [[nodiscard]] bool contains(const std::string& name) const;
 
-  /// One row per metric: name, kind, value/count, mean, p50/p99 bounds.
+  /// One row per metric: name, kind, value/count, mean, interpolated
+  /// p50/p95/p99 estimates.
   [[nodiscard]] Table to_table() const;
   [[nodiscard]] std::string to_string() const;
+
+  /// JSON rendering of every metric (counters, gauges, histograms with
+  /// count/sum/mean, interpolated p50/p95/p99, and non-empty buckets as
+  /// [lower_edge, count] pairs) — what MPAS_METRICS dumps at exit and the
+  /// bench reports embed.
+  [[nodiscard]] std::string to_json() const;
 
   /// Zero every metric (registrations survive, pointers stay valid).
   void reset();
@@ -133,5 +152,27 @@ class MetricsRegistry {
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, Histogram> histograms_;
 };
+
+// ---- environment/file session ---------------------------------------------
+// Zero-code-change metrics capture, mirroring the MPAS_TRACE hook in
+// obs/trace.hpp: if the MPAS_METRICS environment variable names a file, the
+// global registry's JSON is written there at process exit. The hook arms on
+// the first MetricsRegistry::global() call, which every instrumented
+// runtime layer makes.
+
+/// Path named by the MPAS_METRICS environment variable, if any.
+std::optional<std::string> env_metrics_path();
+
+/// Arrange for the global registry's JSON to be written to `path` at
+/// process exit (and on write_metrics_now()). Called automatically when
+/// MPAS_METRICS is set.
+void start_metrics_file(std::string path);
+
+/// Path of the active metrics session ("" when none).
+std::string metrics_file_path();
+
+/// Flush the global registry to the session file immediately. No-op
+/// without an active session.
+void write_metrics_now();
 
 }  // namespace mpas::obs

@@ -26,6 +26,14 @@ class Table {
 
   [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
 
+  /// Structured access for machine-readable emitters (bench reports).
+  [[nodiscard]] const std::vector<std::string>& headers() const {
+    return headers_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const {
+    return rows_;
+  }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
