@@ -4,14 +4,23 @@
 // once fault-free, then proves the recovered run landed bitwise on the
 // fault-free trajectory and prints the incident report.
 //
+// The schedule is expressed in the MPAS_FAULT grammar (see
+// src/resilience/fault_env.hpp) and round-trips through it: the campaign is
+// rendered to its canonical spec string, re-parsed, and the re-parsed copy
+// is what actually runs — so the printed spec is proven equivalent to the
+// schedule. Set MPAS_FAULT to replace the built-in schedule entirely:
+//
+//   MPAS_FAULT="seed=7; drop@5; corrupt@17 word=2; stall rank=2 step=1 ms=5"
+//
 // Run:  ./fault_injection [level=3] [ranks=4] [steps=10] [seed=42]
 //       [probability=0]   (> 0 switches to probabilistic stress mode)
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "comm/distributed.hpp"
 #include "mesh/mesh_cache.hpp"
-#include "resilience/fault.hpp"
+#include "resilience/fault_env.hpp"
 #include "util/config.hpp"
 
 using namespace mpas;
@@ -29,39 +38,62 @@ int main(int argc, char** argv) {
   sw::SwParams params;
   params.dt = sw::suggested_time_step(*tc, *mesh, 0.4);
 
-  // The fault schedule. Counted specs fire at exact event indices, so the
-  // whole run — injection, detection, recovery — is reproducible.
-  resilience::FaultInjector injector(seed);
-  const auto arm = [&](resilience::FaultKind kind, std::uint64_t at_event) {
-    resilience::FaultSpec spec;
-    spec.kind = kind;
-    if (prob > 0) {
-      spec.probability = prob;
-    } else {
-      spec.at_event = at_event;
-    }
-    if (kind == resilience::FaultKind::StateCorrupt) {
-      spec.rank = 1;
-      spec.step = prob > 0 ? -1 : 4;
-    }
-    if (kind == resilience::FaultKind::RankStall) {
-      spec.rank = 2;
-      spec.step = prob > 0 ? -1 : 2;
-    }
-    injector.add(spec);
-  };
-  arm(resilience::FaultKind::MsgDrop, 7);
-  arm(resilience::FaultKind::MsgCorrupt, 23);
-  arm(resilience::FaultKind::MsgDelay, 41);
-  arm(resilience::FaultKind::StateCorrupt, 0);
-  arm(resilience::FaultKind::RankStall, 0);
+  // The fault schedule, built as an MPAS_FAULT campaign. Counted specs fire
+  // at exact event indices, so the whole run — injection, detection,
+  // recovery — is reproducible from the spec string alone.
+  resilience::FaultCampaign campaign;
+  campaign.seed = seed;
+  if (const char* env = std::getenv("MPAS_FAULT");
+      env != nullptr && env[0] != '\0') {
+    campaign = resilience::parse_fault_campaign(env);
+  } else {
+    const auto arm = [&](resilience::FaultKind kind, std::uint64_t at_event) {
+      resilience::FaultSpec spec;
+      spec.kind = kind;
+      if (prob > 0) {
+        spec.probability = prob;
+      } else {
+        spec.at_event = at_event;
+      }
+      if (kind == resilience::FaultKind::StateCorrupt) {
+        spec.rank = 1;
+        spec.step = prob > 0 ? -1 : 4;
+      }
+      if (kind == resilience::FaultKind::RankStall) {
+        spec.rank = 2;
+        spec.step = prob > 0 ? -1 : 2;
+      }
+      campaign.faults.push_back(spec);
+    };
+    arm(resilience::FaultKind::MsgDrop, 7);
+    arm(resilience::FaultKind::MsgCorrupt, 23);
+    arm(resilience::FaultKind::MsgDelay, 41);
+    arm(resilience::FaultKind::StateCorrupt, 0);
+    arm(resilience::FaultKind::RankStall, 0);
+  }
 
-  std::printf("mesh %s (%d cells), %d ranks, %d steps, %s faults\n\n",
+  // Round-trip proof: canonical rendering -> parse -> canonical rendering
+  // is a fixed point, and the re-parsed campaign is the one that runs.
+  const std::string spec_text = resilience::to_string(campaign);
+  const resilience::FaultCampaign reparsed =
+      resilience::parse_fault_campaign(spec_text);
+  if (resilience::to_string(reparsed) != spec_text) {
+    std::fprintf(stderr, "MPAS_FAULT round-trip failed:\n  %s\n  %s\n",
+                 spec_text.c_str(), resilience::to_string(reparsed).c_str());
+    return 2;
+  }
+  resilience::FaultInjector injector(reparsed.seed);
+  resilience::arm_campaign(injector, reparsed);
+
+  std::printf("mesh %s (%d cells), %d ranks, %d steps, %s faults\n",
               mesh->resolution_label().c_str(), mesh->num_cells, ranks, steps,
               prob > 0 ? "probabilistic" : "counted");
+  std::printf("MPAS_FAULT=\"%s\"\n\n", spec_text.c_str());
 
-  // Fault-free reference.
+  // Fault-free reference. The SimWorld attaches the ambient MPAS_FAULT
+  // campaign automatically, so the reference explicitly opts back out.
   comm::DistributedSw clean(*mesh, ranks, params);
+  clean.set_fault_injector(nullptr);
   clean.apply_test_case(*tc);
   clean.initialize();
   clean.run(steps);

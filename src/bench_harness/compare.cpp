@@ -159,7 +159,7 @@ CompareResult compare_reports(const BenchReport& baseline,
   for (const MetricSeries& s : current.series())
     if (baseline.find_series(s.name) == nullptr)
       add(CompareIssue::Severity::Note, s.name, 0, s.stats.median,
-          "new series (not in baseline)");
+          "series added since baseline");
 
   if (!baseline.attributions().empty() && current.attributions().empty())
     add(CompareIssue::Severity::Structural, "<attribution>", 0, 0,
@@ -182,25 +182,40 @@ CompareResult compare_dirs(const std::string& baseline_dir,
     result.issues.push_back(std::move(issue));
   };
 
-  std::vector<std::string> names;
   if (!fs::is_directory(baseline_dir)) {
     structural("<baseline>", "not a directory: " + baseline_dir);
     return result;
   }
-  for (const auto& entry : fs::directory_iterator(baseline_dir)) {
-    const std::string name = entry.path().filename().string();
-    if (name.rfind("BENCH_", 0) == 0 &&
-        name.size() > 5 + 5 &&  // "BENCH_" + ".json"
-        name.substr(name.size() - 5) == ".json")
-      names.push_back(name);
-  }
-  std::sort(names.begin(), names.end());
+  // Scan the *union* of both directories: a suite whose baseline JSON is
+  // missing (typically a suite added without refreshing the baselines) must
+  // be reported by name, not silently skipped — and the remaining suites
+  // must still be checked so one missing file doesn't mask a regression.
+  auto list_reports = [&](const std::string& dir,
+                          std::vector<std::string>& names) {
+    if (!fs::is_directory(dir)) return;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("BENCH_", 0) == 0 &&
+          name.size() > 5 + 5 &&  // "BENCH_" + ".json"
+          name.substr(name.size() - 5) == ".json")
+        names.push_back(name);
+    }
+  };
+  std::vector<std::string> names;
+  list_reports(baseline_dir, names);
   if (names.empty())
     structural("<baseline>", "no BENCH_*.json files in " + baseline_dir);
+  list_reports(current_dir, names);
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
 
   for (const std::string& name : names) {
     const std::string base_path = baseline_dir + "/" + name;
     const std::string cur_path = current_dir + "/" + name;
+    if (!fs::exists(base_path)) {
+      structural(name, "baseline report missing from " + baseline_dir);
+      continue;
+    }
     if (!fs::exists(cur_path)) {
       structural(name, "report missing from " + current_dir);
       continue;

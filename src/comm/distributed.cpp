@@ -67,11 +67,32 @@ struct DistributedSw::Resilience {
   std::uint64_t stalls = 0;
   Real modeled_seconds_lost = 0;
 
+  // Channel totals from before the last shrink_to (the channel itself is
+  // rebuilt with the fabric, but the run's counters must not reset).
+  resilience::ChannelStats carried;
+
   Resilience(SimWorld& world, const ResilienceOptions& opts)
       : options(opts),
         transport(world),
         channel(transport, opts.retry, opts.recover) {}
 };
+
+namespace {
+
+resilience::ChannelStats add_stats(const resilience::ChannelStats& a,
+                                   const resilience::ChannelStats& b) {
+  resilience::ChannelStats s;
+  s.sent = a.sent + b.sent;
+  s.delivered = a.delivered + b.delivered;
+  s.detected_drops = a.detected_drops + b.detected_drops;
+  s.detected_corruptions = a.detected_corruptions + b.detected_corruptions;
+  s.stale_discarded = a.stale_discarded + b.stale_discarded;
+  s.retransmits = a.retransmits + b.retransmits;
+  s.modeled_seconds_lost = a.modeled_seconds_lost + b.modeled_seconds_lost;
+  return s;
+}
+
+}  // namespace
 
 DistributedSw::DistributedSw(const mesh::VoronoiMesh& global_mesh,
                              int num_ranks, sw::SwParams params,
@@ -79,8 +100,9 @@ DistributedSw::DistributedSw(const mesh::VoronoiMesh& global_mesh,
     : global_(global_mesh),
       params_(params),
       variant_(variant),
+      halo_layers_(halo_layers),
       part_(partition::partition_cells_rcb(global_mesh, num_ranks)),
-      world_(num_ranks) {
+      world_(std::make_unique<SimWorld>(num_ranks)) {
   // The irregular (scatter) variants traverse whole arrays, including ghost
   // entities with off-rank neighbours — they are not partition-safe. This
   // mirrors the paper: the original loops had to be refactored before any
@@ -130,7 +152,7 @@ void DistributedSw::exchange(FieldId field) {
       if (resilience_)
         resilience_->channel.send(r, peer.rank, tag, std::move(buf));
       else
-        world_.send(r, peer.rank, tag, std::move(buf));
+        world_->send(r, peer.rank, tag, std::move(buf));
     }
   }
   // Phase 2: drain every receive.
@@ -144,7 +166,7 @@ void DistributedSw::exchange(FieldId field) {
       const std::vector<Real> buf =
           resilience_
               ? resilience_->channel.recv(r, peer.rank, tag, recv.size())
-              : world_.recv(r, peer.rank, tag);
+              : world_->recv(r, peer.rank, tag);
       MPAS_CHECK(buf.size() == recv.size());
       for (std::size_t i = 0; i < recv.size(); ++i)
         data[static_cast<std::size_t>(recv[i])] = buf[i];
@@ -155,7 +177,7 @@ void DistributedSw::exchange(FieldId field) {
     // live messages left behind are a protocol bug.
     drain_stale_messages();
   } else {
-    MPAS_CHECK_MSG(!world_.has_pending(), "unmatched halo messages");
+    MPAS_CHECK_MSG(!world_->has_pending(), "unmatched halo messages");
   }
 }
 
@@ -299,14 +321,14 @@ void DistributedSw::run(int steps) {
 
 void DistributedSw::enable_resilience(const ResilienceOptions& options) {
   MPAS_CHECK_MSG(!resilience_, "resilience already enabled");
-  MPAS_CHECK_MSG(!world_.has_pending(),
+  MPAS_CHECK_MSG(!world_->has_pending(),
                  "enable_resilience with halo traffic in flight");
   MPAS_CHECK_MSG(options.checkpoint_interval >= 1,
                  "checkpoint_interval must be >= 1, got "
                      << options.checkpoint_interval);
   MPAS_CHECK_MSG(options.max_rollbacks >= 1, "max_rollbacks must be >= 1");
-  resilience_ = std::make_unique<Resilience>(world_, options);
-  world_.set_fault_injector(options.injector);
+  resilience_ = std::make_unique<Resilience>(*world_, options);
+  world_->set_fault_injector(options.injector);
 }
 
 void DistributedSw::run_resilient(int steps) {
@@ -331,32 +353,39 @@ void DistributedSw::run_resilient(int steps) {
   const std::int64_t target = step_index_ + steps;
   int rollbacks_in_row = 0;
   while (step_index_ < target) {
-    if (!rs.checkpoint.valid() ||
-        (step_index_ % rs.options.checkpoint_interval == 0 &&
-         rs.checkpoint.step() != step_index_))
+    // `rs` dangles after a shrink (the Resilience engine is rebuilt over
+    // the new fabric), so the loop body goes through resilience_ directly.
+    if (!resilience_->checkpoint.valid() ||
+        (step_index_ % resilience_->options.checkpoint_interval == 0 &&
+         resilience_->checkpoint.step() != step_index_))
       take_checkpoint();
+    stall_scratch_.assign(static_cast<std::size_t>(num_ranks()), 0.0);
     step();
     apply_step_faults(step_index_);
     step_index_ += 1;
     std::string reason;
     if (state_healthy(&reason)) {
       rollbacks_in_row = 0;
+      if (health_ != nullptr) {
+        feed_health(step_index_ - 1);
+        shrink_quarantined_ranks();
+      }
       continue;
     }
-    rs.poisoned_detected += 1;
+    resilience_->poisoned_detected += 1;
     MPAS_TRACE_INSTANT_ARGS(
         "resilience:poisoned_state",
         obs::trace_arg("step", static_cast<std::int64_t>(step_index_ - 1)) +
             "," + obs::trace_arg("reason", reason));
-    MPAS_CHECK_MSG(rs.options.recover, "state poisoned after step "
-                                           << (step_index_ - 1) << ": "
-                                           << reason
-                                           << " (recovery disabled)");
+    MPAS_CHECK_MSG(resilience_->options.recover,
+                   "state poisoned after step " << (step_index_ - 1) << ": "
+                                                << reason
+                                                << " (recovery disabled)");
     rollbacks_in_row += 1;
-    MPAS_CHECK_MSG(rollbacks_in_row <= rs.options.max_rollbacks,
+    MPAS_CHECK_MSG(rollbacks_in_row <= resilience_->options.max_rollbacks,
                    "state still poisoned after "
-                       << rs.options.max_rollbacks << " rollbacks: "
-                       << reason);
+                       << resilience_->options.max_rollbacks
+                       << " rollbacks: " << reason);
     rollback();
   }
   // Publish the run's resilience aggregate so a metrics dump after any
@@ -392,6 +421,13 @@ void DistributedSw::rollback() {
   rs.steps_replayed +=
       static_cast<std::uint64_t>(step_index_ - rs.checkpoint.step());
   step_index_ = rs.checkpoint.step();
+  // Halo traffic still in flight belongs to the abandoned timeline: every
+  // envelope queued now is a retransmission duplicate whose sequence the
+  // receivers already consumed (the step's exchanges all completed before
+  // the health check could fail). Discard them so the replay starts from
+  // quiescence — a *live* envelope here would be a protocol bug, and
+  // drain_stale throws on one rather than dropping it.
+  drain_stale_messages();
 }
 
 void DistributedSw::apply_step_faults(std::int64_t step) {
@@ -402,6 +438,8 @@ void DistributedSw::apply_step_faults(std::int64_t step) {
       if (fault.kind == resilience::FaultKind::RankStall) {
         rs.stalls += 1;
         rs.modeled_seconds_lost += fault.stall_seconds;
+        if (static_cast<std::size_t>(r) < stall_scratch_.size())
+          stall_scratch_[static_cast<std::size_t>(r)] += fault.stall_seconds;
       } else if (fault.kind == resilience::FaultKind::StateCorrupt) {
         // Silent data corruption in resident state. `tag` selects the
         // field (mirroring the exchange tags); default is H. The flip is
@@ -460,8 +498,138 @@ bool DistributedSw::state_healthy(std::string* reason) {
 }
 
 void DistributedSw::drain_stale_messages() {
-  for (const auto& q : world_.pending())
+  for (const auto& q : world_->pending())
     resilience_->channel.drain_stale(q.to, q.from, q.tag);
+}
+
+std::string DistributedSw::rank_entity(int rank) const {
+  return "rank" + std::to_string(rank);
+}
+
+void DistributedSw::set_fault_injector(resilience::FaultInjector* injector) {
+  world_->set_fault_injector(injector);
+}
+
+void DistributedSw::set_health_monitor(
+    resilience::health::HealthMonitor* monitor) {
+  health_ = monitor;
+  if (health_ == nullptr) return;
+  for (int r = 0; r < num_ranks(); ++r) health_->track(rank_entity(r));
+  health_generation_ = health_->generation();
+}
+
+void DistributedSw::feed_health(std::int64_t step) {
+  const Real nominal = resilience_->options.nominal_step_seconds;
+  for (int r = 0; r < num_ranks(); ++r) {
+    const Real stalled = static_cast<std::size_t>(r) < stall_scratch_.size()
+                             ? stall_scratch_[static_cast<std::size_t>(r)]
+                             : 0.0;
+    health_->observe_step_time(rank_entity(r), step, nominal + stalled);
+  }
+  health_->end_step(step);
+}
+
+void DistributedSw::shrink_quarantined_ranks() {
+  if (health_->generation() == health_generation_) return;
+  health_generation_ = health_->generation();
+  int quarantined = 0;
+  for (int r = 0; r < num_ranks(); ++r)
+    if (!health_->usable(rank_entity(r))) quarantined += 1;
+  if (quarantined == 0) return;
+  MPAS_CHECK_MSG(quarantined < num_ranks(),
+                 "every rank is quarantined — nothing left to shrink onto");
+  const int survivors = num_ranks() - quarantined;
+  // Ranks renumber 0..survivors-1 on the new fabric; the old identities
+  // are gone, so re-register the survivors' entities from scratch.
+  for (int r = 0; r < num_ranks(); ++r) health_->forget(rank_entity(r));
+  shrink_to(survivors);
+  for (int r = 0; r < num_ranks(); ++r) health_->track(rank_entity(r));
+  health_generation_ = health_->generation();
+}
+
+void DistributedSw::shrink_to(int new_num_ranks) {
+  MPAS_CHECK_MSG(new_num_ranks >= 1, "cannot shrink below one rank");
+  MPAS_CHECK_MSG(new_num_ranks <= num_ranks(),
+                 "shrink_to(" << new_num_ranks << ") on a " << num_ranks()
+                              << "-rank world");
+  if (resilience_) drain_stale_messages();
+  MPAS_CHECK_MSG(!world_->has_pending(),
+                 "shrink_to with live halo traffic in flight");
+  MPAS_TRACE_INSTANT_ARGS(
+      "health:shrink",
+      obs::trace_arg("from_ranks", static_cast<std::int64_t>(num_ranks())) +
+          "," +
+          obs::trace_arg("to_ranks", static_cast<std::int64_t>(new_num_ranks)));
+
+  // 1. Assemble the prognostic state by global id from the current owners.
+  const std::vector<Real> h = gather_global(FieldId::H);
+  const std::vector<Real> u = gather_global(FieldId::U);
+  std::vector<Real> q;
+  if (params_.with_tracer) q = gather_global(FieldId::TracerQ);
+
+  // 2. Rebuild the decomposition and the fabric on the survivor count.
+  part_ = partition::partition_cells_rcb(global_, new_num_ranks);
+  locals_.clear();
+  plans_.clear();
+  stores_.clear();
+  locals_.reserve(static_cast<std::size_t>(new_num_ranks));
+  for (int r = 0; r < new_num_ranks; ++r)
+    locals_.push_back(
+        partition::build_local_mesh(global_, part_, r, halo_layers_));
+  plans_ = partition::build_exchange_plans(global_, part_, locals_);
+  for (int r = 0; r < new_num_ranks; ++r)
+    stores_.push_back(std::make_unique<sw::FieldStore>(
+        locals_[static_cast<std::size_t>(r)].mesh));
+  world_ = std::make_unique<SimWorld>(new_num_ranks);
+
+  // 3. Re-arm the resilience engine over the new fabric. The channel (and
+  //    its per-stream sequence state) restarts clean; cumulative counters
+  //    carry over, the conserved-integral baselines stay valid (they are
+  //    partition-independent), and the checkpoint is invalidated — the
+  //    resilient loop takes a fresh one before the next step.
+  if (resilience_) {
+    const ResilienceOptions opts = resilience_->options;
+    const auto carried = add_stats(resilience_->carried,
+                                   resilience_->channel.stats());
+    auto old = std::move(resilience_);
+    resilience_ = std::make_unique<Resilience>(*world_, opts);
+    resilience_->carried = carried;
+    resilience_->baseline_set = old->baseline_set;
+    resilience_->baseline_mass = old->baseline_mass;
+    resilience_->baseline_energy = old->baseline_energy;
+    resilience_->health_checks = old->health_checks;
+    resilience_->poisoned_detected = old->poisoned_detected;
+    resilience_->rollbacks = old->rollbacks;
+    resilience_->steps_replayed = old->steps_replayed;
+    resilience_->stalls = old->stalls;
+    resilience_->modeled_seconds_lost = old->modeled_seconds_lost;
+    world_->set_fault_injector(opts.injector);
+  }
+
+  // 4. Refill every local entity (owned and halo) from the global arrays —
+  //    identical values to what an exchange would deliver — then re-derive
+  //    the diagnostics, which is exactly the state a completed step leaves
+  //    (initialize() mirrors the step's tail: diagnostics + PvEdge halo +
+  //    reconstruct). Owned values are rank-count-invariant, so the
+  //    continued integration is bitwise identical to an uninterrupted run.
+  for (int r = 0; r < new_num_ranks; ++r) {
+    const auto& lm = locals_[static_cast<std::size_t>(r)];
+    sw::FieldStore& store = *stores_[static_cast<std::size_t>(r)];
+    auto fill = [&](FieldId field, const std::vector<Real>& global) {
+      auto data = store.get(field);
+      const bool cells = sw::field_info(field).location == MeshLocation::Cell;
+      const Index n = cells ? lm.mesh.num_cells : lm.mesh.num_edges;
+      const auto& ids = cells ? lm.mesh.global_cell_id : lm.mesh.global_edge_id;
+      for (Index i = 0; i < n; ++i)
+        data[static_cast<std::size_t>(i)] =
+            global[static_cast<std::size_t>(ids[static_cast<std::size_t>(i)])];
+    };
+    fill(FieldId::H, h);
+    fill(FieldId::U, u);
+    if (params_.with_tracer) fill(FieldId::TracerQ, q);
+  }
+  stall_scratch_.assign(static_cast<std::size_t>(new_num_ranks), 0.0);
+  initialize();
 }
 
 resilience::ResilienceStats DistributedSw::resilience_stats() const {
@@ -470,7 +638,7 @@ resilience::ResilienceStats DistributedSw::resilience_stats() const {
   resilience::ResilienceStats stats;
   if (rs.options.injector != nullptr)
     stats.injected = rs.options.injector->stats();
-  stats.channel = rs.channel.stats();
+  stats.channel = add_stats(rs.carried, rs.channel.stats());
   stats.health_checks = rs.health_checks;
   stats.poisoned_states_detected = rs.poisoned_detected;
   stats.rollbacks = rs.rollbacks;
@@ -498,7 +666,7 @@ void DistributedSw::exchange_rank(int rank, FieldId field) {
     if (resilience_)
       resilience_->channel.send(rank, peer.rank, tag, std::move(buf));
     else
-      world_.send(rank, peer.rank, tag, std::move(buf));
+      world_->send(rank, peer.rank, tag, std::move(buf));
   }
   for (const auto& peer : plan.peers) {
     const auto& recv =
@@ -507,7 +675,7 @@ void DistributedSw::exchange_rank(int rank, FieldId field) {
     const std::vector<Real> buf =
         resilience_
             ? resilience_->channel.recv(rank, peer.rank, tag, recv.size())
-            : world_.recv_blocking(rank, peer.rank, tag);
+            : world_->recv_blocking(rank, peer.rank, tag);
     MPAS_CHECK(buf.size() == recv.size());
     for (std::size_t i = 0; i < recv.size(); ++i)
       data[static_cast<std::size_t>(recv[i])] = buf[i];
@@ -606,7 +774,7 @@ void DistributedSw::run_threaded(int steps) {
     drain_stale_messages();
     step_index_ += steps;
   } else {
-    MPAS_CHECK_MSG(!world_.has_pending(), "unmatched halo messages");
+    MPAS_CHECK_MSG(!world_->has_pending(), "unmatched halo messages");
     step_index_ += steps;
   }
 }

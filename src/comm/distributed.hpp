@@ -13,6 +13,7 @@
 #include "comm/simworld.hpp"
 #include "partition/halo.hpp"
 #include "resilience/fault.hpp"
+#include "resilience/health/monitor.hpp"
 #include "resilience/stats.hpp"
 #include "sw/kernels.hpp"
 #include "sw/testcases.hpp"
@@ -32,6 +33,9 @@ struct ResilienceOptions {
   int max_rollbacks = 8;         // per-incident escalation bound
   Real mass_drift_tol = 1e-9;    // mass is conserved to rounding
   Real energy_drift_tol = 1e-4;  // energy only to time-truncation error
+  /// Per-rank modeled seconds of one healthy step, fed (plus any injected
+  /// stall time) to an attached HealthMonitor as that rank's step time.
+  Real nominal_step_seconds = 1e-3;
 };
 
 class DistributedSw {
@@ -53,7 +57,7 @@ class DistributedSw {
   /// (tested): values only ever flow through the FIFO message queues.
   void run_threaded(int steps);
 
-  [[nodiscard]] int num_ranks() const { return world_.num_ranks(); }
+  [[nodiscard]] int num_ranks() const { return world_->num_ranks(); }
   [[nodiscard]] const partition::LocalMesh& local_mesh(int rank) const {
     return locals_[static_cast<std::size_t>(rank)];
   }
@@ -63,7 +67,7 @@ class DistributedSw {
   [[nodiscard]] sw::FieldStore& fields(int rank) {
     return *stores_[static_cast<std::size_t>(rank)];
   }
-  [[nodiscard]] SimWorld::Stats comm_stats() const { return world_.stats(); }
+  [[nodiscard]] SimWorld::Stats comm_stats() const { return world_->stats(); }
 
   /// Assemble a global field from the owners (cells or edges), for
   /// validation against a serial run.
@@ -87,6 +91,30 @@ class DistributedSw {
   /// resilient run() driver.
   [[nodiscard]] std::int64_t step_index() const { return step_index_; }
 
+  /// Attach a health monitor (non-owning; nullptr detaches). The resilient
+  /// run() driver feeds it per-rank step times ("rank0".."rankN", nominal
+  /// plus injected stall seconds) and, when ranks end up quarantined,
+  /// shrinks the world onto the survivors at the next step boundary. The
+  /// caller may pre-track entities; untracked ranks are tracked on first
+  /// use. Lockstep run() only — run_threaded does not consult it.
+  void set_health_monitor(resilience::health::HealthMonitor* monitor);
+
+  /// Override the fabric's fault injector. The SimWorld attaches the
+  /// ambient MPAS_FAULT campaign on construction; a reference run that
+  /// must stay fault-free passes nullptr here to detach it.
+  void set_fault_injector(resilience::FaultInjector* injector);
+
+  /// Repartition the *current* prognostic state onto `new_num_ranks` ranks
+  /// (degraded-mode continuation after rank loss). Gathers H/U (+tracer)
+  /// by global id, rebuilds partition/halos/plans/fabric, refills every
+  /// local entity, and re-derives the diagnostics — the exact state a
+  /// completed step leaves, so the continued run stays bitwise identical
+  /// to an uninterrupted one (owned values are rank-count-invariant).
+  /// Requires quiescence (no halo traffic in flight); the checkpoint is
+  /// invalidated and retaken on the next resilient step, cumulative
+  /// resilience counters carry over.
+  void shrink_to(int new_num_ranks);
+
  private:
   struct Resilience;  // channel + checkpoint + counters (distributed.cpp)
 
@@ -103,15 +131,25 @@ class DistributedSw {
   [[nodiscard]] bool state_healthy(std::string* reason);
   void drain_stale_messages();
 
+  [[nodiscard]] std::string rank_entity(int rank) const;
+  void feed_health(std::int64_t step);
+  void shrink_quarantined_ranks();
+
   const mesh::VoronoiMesh& global_;
   sw::SwParams params_;
   sw::LoopVariant variant_;
+  int halo_layers_;
   partition::Partition part_;
   std::vector<partition::LocalMesh> locals_;
   std::vector<partition::ExchangePlan> plans_;
   std::vector<std::unique_ptr<sw::FieldStore>> stores_;
-  SimWorld world_;
+  // unique_ptr: SimWorld owns a mutex (immovable), and shrink_to swaps in
+  // a fresh, smaller fabric.
+  std::unique_ptr<SimWorld> world_;
   std::unique_ptr<Resilience> resilience_;
+  resilience::health::HealthMonitor* health_ = nullptr;
+  std::uint64_t health_generation_ = 0;
+  std::vector<Real> stall_scratch_;  // per-rank stall seconds this step
   std::int64_t step_index_ = 0;
 };
 

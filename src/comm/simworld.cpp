@@ -6,6 +6,7 @@
 #include <tuple>
 
 #include "obs/trace.hpp"
+#include "resilience/fault_env.hpp"
 #include "util/error.hpp"
 
 namespace mpas::comm {
@@ -27,6 +28,10 @@ void flip_bit(std::vector<Real>& payload, std::uint64_t word,
 SimWorld::SimWorld(int num_ranks) : num_ranks_(num_ranks) {
   MPAS_CHECK(num_ranks >= 1);
   depth_gauge_ = &obs::MetricsRegistry::global().gauge("simworld.queue_depth");
+  // An MPAS_FAULT campaign attaches automatically so any fabric picks up
+  // the environment's faults without code changes; a later explicit
+  // set_fault_injector call overrides (or detaches with nullptr).
+  injector_ = resilience::env_fault_injector();
 }
 
 void SimWorld::publish_depth_locked() {

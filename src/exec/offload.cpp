@@ -3,6 +3,7 @@
 #include <numeric>
 
 #include "obs/trace.hpp"
+#include "resilience/fault_env.hpp"
 #include "util/error.hpp"
 
 namespace mpas::exec {
@@ -16,6 +17,11 @@ OffloadRuntime::OffloadRuntime(machine::TransferLink link,
   metric_transfers_ = &metrics.counter("offload.transfers");
   metric_retries_ = &metrics.counter("offload.transfer_retries");
   metric_transfer_bytes_ = &metrics.histogram("offload.transfer_bytes");
+  // An MPAS_FAULT campaign attaches automatically so soak runs can inject
+  // link faults without code changes; an explicit set_resilience call
+  // overrides (or detaches with nullptr).
+  if (auto* env = resilience::env_fault_injector())
+    set_resilience(env, resilience::RetryPolicy{});
 }
 
 BufferId OffloadRuntime::register_buffer(std::string name, std::size_t bytes,
@@ -145,6 +151,54 @@ void OffloadRuntime::end_offload_region() {
       transfer(static_cast<BufferId>(i), /*to_device=*/false);
     buffers_[i].valid_on_device = false;
   }
+}
+
+void OffloadRuntime::invalidate_device() {
+  for (auto& b : buffers_) {
+    b.valid_on_device = false;
+    // Functionally every kernel wrote host memory (the device is modeled),
+    // so the host copy is current even for buffers the bookkeeping had as
+    // device-only; a real port would restore those from checkpoint.
+    b.valid_on_host = true;
+  }
+  MPAS_TRACE_INSTANT("offload:invalidate_device");
+}
+
+Real OffloadRuntime::probe_link(std::size_t bytes) {
+  MPAS_CHECK_MSG(bytes > 0, "probe payload must be non-empty");
+  auto& rec = obs::TraceRecorder::global();
+  obs::TraceSpan span(rec, rec.enabled() ? "offload:probe" : std::string());
+  Real total = 0;
+  // Two legs (up, back) so a one-way fault on either direction is seen.
+  for (int leg = 0; leg < 2; ++leg) {
+    for (int attempt = 1;; ++attempt) {
+      const Real t = link_.time(static_cast<std::int64_t>(bytes));
+      stats_.modeled_seconds += t;
+      total += t;
+      const char* fault = nullptr;
+      if (injector_ != nullptr) {
+        for (const auto& spec : injector_->on_transfer(/*buffer=*/-1)) {
+          fault = spec.kind == resilience::FaultKind::TransferCorrupt
+                      ? "failed its integrity check"
+                      : "aborted";
+        }
+      }
+      if (fault == nullptr) break;
+      stats_.transfer_faults += 1;
+      MPAS_CHECK_MSG(recover_,
+                     "probe transfer " << fault << " (recovery disabled)");
+      MPAS_CHECK_MSG(attempt < retry_.max_attempts,
+                     "probe transfer " << fault << " on all "
+                                       << retry_.max_attempts << " attempts");
+      stats_.transfer_retries += 1;
+      metric_retries_->add(1);
+    }
+  }
+  if (span.active())
+    span.set_args(
+        obs::trace_arg("bytes", static_cast<std::uint64_t>(bytes)) + "," +
+        obs::trace_arg("modeled_s", static_cast<double>(total)));
+  return total;
 }
 
 std::size_t OffloadRuntime::total_buffer_bytes() const {

@@ -74,6 +74,21 @@ class OffloadRuntime {
   void set_resilience(resilience::FaultInjector* injector,
                       resilience::RetryPolicy retry, bool recover = true);
 
+  /// Drop all device residency; the host copies become authoritative.
+  /// Called when the health monitor quarantines the accelerator: a real
+  /// port would restore device-only buffers from checkpoint, but here every
+  /// kernel functionally wrote host memory (the device is modeled), so the
+  /// host copy is already current and recovery is pure bookkeeping.
+  void invalidate_device();
+
+  /// Round-trip a synthetic `bytes`-sized payload through the link and the
+  /// full fault/retry machinery — the probation probe the health monitor
+  /// sends before trusting a quarantined device again. The probe presents
+  /// buffer id -1 to the injector, so wildcard transfer-fault specs hit it
+  /// exactly like real traffic. Returns modeled round-trip seconds; throws
+  /// mpas::Error when the retry budget escalates (probe failed).
+  Real probe_link(std::size_t bytes);
+
   struct Stats {
     // Byte/transfer counts are for *successful* deliveries only; the
     // modeled time additionally charges every failed attempt.

@@ -113,6 +113,9 @@ void ThreadPool::parallel_for(Index n,
     std::unique_lock<std::mutex> lock(mutex_);
     cv_done_.wait(lock, [&] { return task.remaining.load() == 0; });
     current_ = nullptr;
+    // wait_idle sleeps on current_ == nullptr, a condition only this line
+    // makes true — the workers' notify fired before it held.
+    cv_done_.notify_all();
   }
 
   std::exception_ptr error;
@@ -121,6 +124,11 @@ void ThreadPool::parallel_for(Index n,
     std::swap(error, error_);
   }
   if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_done_.wait(lock, [&] { return current_ == nullptr; });
 }
 
 ThreadPool& host_pool() {

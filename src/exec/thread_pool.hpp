@@ -47,6 +47,12 @@ class ThreadPool {
   /// charges a synchronization overhead per region, as in Section IV.B).
   [[nodiscard]] std::uint64_t regions_opened() const { return regions_; }
 
+  /// Block until no parallel region is executing. parallel_for already
+  /// blocks its own caller, so this only matters when *another* thread may
+  /// be mid-region — the self-healing driver calls it before swapping
+  /// schedules at a step boundary so no worker still runs the old plan.
+  void wait_idle();
+
  private:
   struct Task {
     const std::function<void(Index, Index)>* body = nullptr;

@@ -170,4 +170,30 @@ Platform paper_platform() {
   return p;
 }
 
+DeviceSpec degrade(const DeviceSpec& dev, Real slowdown) {
+  MPAS_CHECK_MSG(slowdown >= 1.0,
+                 "degrade expects slowdown >= 1, got " << slowdown);
+  if (slowdown == 1.0) return dev;
+  DeviceSpec d = dev;
+  d.name = dev.name + " (degraded " + std::to_string(slowdown) + "x)";
+  // Rates divide, per-event costs multiply: every kernel_time term scales
+  // by exactly `slowdown`, so roofline ratios are preserved and the
+  // schedulers' split algebra stays well-conditioned.
+  d.freq_ghz = dev.freq_ghz / slowdown;
+  d.stream_bw_gbs = dev.stream_bw_gbs / slowdown;
+  d.single_core_bw_gbs = dev.single_core_bw_gbs / slowdown;
+  d.serial_gather_bw_gbs = dev.serial_gather_bw_gbs / slowdown;
+  d.region_overhead_us = dev.region_overhead_us * slowdown;
+  d.atomic_ns = dev.atomic_ns * slowdown;
+  return d;
+}
+
+Platform degraded_platform(const Platform& base, Real accel_slowdown,
+                           Real host_slowdown) {
+  Platform p = base;
+  p.accelerator = degrade(base.accelerator, accel_slowdown);
+  p.host = degrade(base.host, host_slowdown);
+  return p;
+}
+
 }  // namespace mpas::machine

@@ -145,4 +145,16 @@ DeviceSpec xeon_e5_2680v2();
 DeviceSpec xeon_phi_5110p();
 Platform paper_platform();
 
+/// A gray-failed copy of `dev`, uniformly `slowdown`x slower: issue rates
+/// and bandwidths divided, per-event overheads multiplied. slowdown == 1
+/// returns the device unchanged. The degraded-machine preset the
+/// self-healing replanner feeds to the schedulers so a limping device is
+/// costed at its *observed* speed, not its nameplate.
+DeviceSpec degrade(const DeviceSpec& dev, Real slowdown);
+
+/// The paper platform with independently derated host/accelerator — the
+/// schedule_sim preset for degraded-mode what-if planning.
+Platform degraded_platform(const Platform& base, Real accel_slowdown,
+                           Real host_slowdown = 1.0);
+
 }  // namespace mpas::machine

@@ -49,6 +49,7 @@ void ResilientChannel::retransmit_locked(const Key& key, Stream& stream) {
                                                   << key.to << " tag "
                                                   << key.tag);
   stats_.retransmits += 1;
+  stream.resend_inflight = true;
   MPAS_TRACE_INSTANT_ARGS(
       "resilience:retransmit",
       obs::trace_arg("from", static_cast<std::int64_t>(key.from)) + "," +
@@ -94,7 +95,12 @@ std::vector<Real> ResilientChannel::recv(int to, int from, int tag,
       if (!opened) {
         stats_.detected_corruptions += 1;
         MPAS_TRACE_INSTANT("resilience:corruption_detected");
-        handle_fault(stream, "corrupted");
+        // With a resend already in flight for this seq, the wreck is a
+        // delayed original that the transport flushed ahead of our live
+        // retransmit. Consuming it is enough; posting another retransmit
+        // here would count two resends for one recovery. If the in-flight
+        // copy was itself lost, the patience path below reposts it.
+        if (!stream.resend_inflight) handle_fault(stream, "corrupted");
         continue;
       }
       if (opened->seq < stream.next_recv_seq) {
@@ -113,6 +119,7 @@ std::vector<Real> ResilientChannel::recv(int to, int from, int tag,
                          << opened->payload.size() << ", expected "
                          << expected_count);
       stream.next_recv_seq += 1;
+      stream.resend_inflight = false;
       stats_.delivered += 1;
       return std::move(opened->payload);
     }

@@ -83,6 +83,11 @@ class ResilientChannel {
     std::uint64_t next_recv_seq = 0;
     std::uint64_t retained_seq = 0;
     std::vector<Real> retained;  // newest payload, for retransmission
+    // A retransmit has been posted for next_recv_seq and not yet consumed.
+    // While set, damaged arrivals on the stream are casualties of the
+    // reordering (a delayed original flushed ahead of the live resend) and
+    // must not trigger — or count — another retransmit.
+    bool resend_inflight = false;
   };
 
   void retransmit_locked(const Key& key, Stream& stream);

@@ -1,0 +1,61 @@
+// MPAS_FAULT: arm a seeded fault campaign on any binary, no code changes.
+//
+// Every SimWorld and OffloadRuntime attaches the process-wide injector
+// parsed from the MPAS_FAULT environment variable (when set), the same
+// zero-code-change idiom as MPAS_TRACE / MPAS_METRICS / MPAS_VERIFY. An
+// explicit set_fault_injector / set_resilience call overrides the ambient
+// injector — which is how a reference run inside a fault-injection driver
+// opts back out.
+//
+// Grammar (entries separated by ';', fields by whitespace):
+//
+//   MPAS_FAULT  ::= entry (';' entry)*
+//   entry       ::= 'seed=' uint | fault
+//   fault       ::= kind ['@' uint] (key '=' value)*
+//   kind        ::= drop | corrupt | delay | stall | sdc
+//                 | transfer-fail | transfer-corrupt
+//   key         ::= from | to | tag | buffer | rank | step | repeat
+//                 | p | word | bit | ms
+//
+// '@N' is the counted-mode at_event (0-based N-th matching event); 'p' is
+// the probabilistic-mode per-event probability; 'ms' is the RankStall cost
+// in milliseconds. Unset keys keep FaultSpec defaults (wildcard filters).
+//
+//   MPAS_FAULT="seed=7; drop@5 from=0 to=1; corrupt@17 word=2; delay@29"
+//   MPAS_FAULT="stall rank=2 step=1 ms=5; sdc rank=1 step=3"
+//   MPAS_FAULT="transfer-corrupt p=0.01"
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "resilience/fault.hpp"
+
+namespace mpas::resilience {
+
+/// A parsed MPAS_FAULT campaign.
+struct FaultCampaign {
+  std::uint64_t seed = 0x9E3779B97F4A7C15ull;  // FaultInjector default
+  std::vector<FaultSpec> faults;
+};
+
+/// Parse a campaign spec. Throws mpas::Error on malformed input (unknown
+/// kind/key, non-numeric value) — the spec is an input and is validated
+/// like any other input.
+FaultCampaign parse_fault_campaign(const std::string& text);
+
+/// Canonical rendering; parse_fault_campaign(to_string(c)) reproduces `c`
+/// exactly (the round-trip proven by tests and examples/fault_injection).
+std::string to_string(const FaultCampaign& campaign);
+
+/// Arm `injector` with the campaign's fault schedule (construct the
+/// injector with campaign.seed: FaultInjector is pinned in place by its
+/// lock, so seeding happens at construction).
+void arm_campaign(FaultInjector& injector, const FaultCampaign& campaign);
+
+/// The process-wide injector armed from MPAS_FAULT, or nullptr when the
+/// variable is unset or empty. Parsed once per process; a malformed spec
+/// throws on first use rather than silently running without faults.
+FaultInjector* env_fault_injector();
+
+}  // namespace mpas::resilience

@@ -1,0 +1,267 @@
+#include "resilience/health/chaos.hpp"
+
+#include <sstream>
+
+#include "comm/distributed.hpp"
+#include "mesh/mesh_cache.hpp"
+#include "resilience/health/hybrid.hpp"
+#include "sw/testcases.hpp"
+#include "util/error.hpp"
+
+namespace mpas::resilience::health {
+
+namespace {
+
+/// Deterministic seed-stream splitter (same constant family the
+/// FaultInjector uses); one call per decision keeps scenarios reproducible
+/// under edits that add later decisions.
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// Offload events per hybrid step under the resident-mesh replay (one halo
+/// upload per RK substep) and at startup (mesh + state + halo). Fault
+/// placement is computed in event space from these.
+constexpr std::uint64_t kEventsPerStep = 4;
+constexpr std::uint64_t kStartupEvents = 3;
+
+struct HybridRun {
+  sw::SwParams params;
+  std::shared_ptr<const mesh::VoronoiMesh> mesh;
+  std::shared_ptr<const sw::TestCase> tc;
+};
+
+HybridRun make_run(const ChaosOptions& options) {
+  HybridRun run;
+  run.mesh = mesh::get_global_mesh(options.mesh_level);
+  run.tc = sw::make_test_case(options.test_case);
+  run.params.dt = sw::suggested_time_step(*run.tc, *run.mesh, 0.4);
+  return run;
+}
+
+/// Fault-free reference solution: the plain model under its default
+/// schedules. The hybrid's numerics are schedule-invariant, so any healed
+/// run must land on exactly these bits.
+void run_reference(const HybridRun& run, int steps, std::vector<Real>& h,
+                   std::vector<Real>& u) {
+  sw::SwModel ref(*run.mesh, run.params);
+  sw::apply_initial_conditions(*run.tc, *run.mesh, ref.fields());
+  ref.initialize();
+  ref.run(steps);
+  const auto h_ref = ref.fields().get(sw::FieldId::H);
+  const auto u_ref = ref.fields().get(sw::FieldId::U);
+  h.assign(h_ref.begin(), h_ref.end());
+  u.assign(u_ref.begin(), u_ref.end());
+}
+
+bool fields_match(const sw::FieldStore& fields, const std::vector<Real>& h,
+                  const std::vector<Real>& u) {
+  const auto h_got = fields.get(sw::FieldId::H);
+  const auto u_got = fields.get(sw::FieldId::U);
+  if (h_got.size() != h.size() || u_got.size() != u.size()) return false;
+  for (std::size_t i = 0; i < h.size(); ++i)
+    if (h_got[i] != h[i]) return false;
+  for (std::size_t i = 0; i < u.size(); ++i)
+    if (u_got[i] != u[i]) return false;
+  return true;
+}
+
+void fold_monitor(const HealthMonitor& monitor, ChaosReport& report) {
+  report.transitions = monitor.transitions();
+  for (const auto& t : report.transitions) {
+    report.detected = true;
+    if (t.to == HealthState::Quarantined) report.quarantined = true;
+    if (t.to == HealthState::Recovered) report.recovered = true;
+  }
+}
+
+ChaosReport run_hybrid_scenario(const ChaosOptions& options) {
+  std::uint64_t stream = options.seed;
+  ChaosReport report;
+  report.scenario = options.scenario;
+  report.seed = options.seed;
+
+  int steps = options.steps;
+  if (steps == 0)
+    steps = options.scenario == ChaosScenario::GrayFailure ? 18 : 10;
+
+  const HybridRun run = make_run(options);
+  std::vector<Real> h_ref, u_ref;
+  run_reference(run, steps, h_ref, u_ref);
+
+  FaultInjector injector(options.seed);
+  SelfHealingHybrid::Options hopts;
+  hopts.sim = options.sim;
+  hopts.injector = &injector;
+  SelfHealingHybrid sut(*run.mesh, run.params, hopts);
+
+  Real gray_factor = 1.0;
+  std::int64_t gray_start = 0;
+  switch (options.scenario) {
+    case ChaosScenario::DeviceDeath: {
+      // The link dies for good partway through: every attempt (and every
+      // probation probe) from that event on fails, exhausting the retry
+      // budget and forcing a hard quarantine.
+      const std::int64_t death_step =
+          1 + static_cast<std::int64_t>(splitmix64(stream) %
+                                        static_cast<std::uint64_t>(steps / 2));
+      FaultSpec death;
+      death.kind = FaultKind::TransferFail;
+      death.at_event = kStartupEvents +
+                       kEventsPerStep * static_cast<std::uint64_t>(death_step);
+      death.repeat = 1 << 20;
+      injector.add(death);
+      break;
+    }
+    case ChaosScenario::GrayFailure: {
+      // The accelerator silently slows down after the monitor has learned
+      // its baseline; no injector involvement, purely a timing drift.
+      gray_start = 3 + static_cast<std::int64_t>(splitmix64(stream) % 3);
+      gray_factor = 2.0 + static_cast<Real>(splitmix64(stream) % 100) / 50.0;
+      break;
+    }
+    case ChaosScenario::TransferCorruptionBurst: {
+      // Two bursts of 3 corrupted transfers in consecutive steps: each is
+      // retried within the 4-attempt budget (solution unharmed), but the
+      // retry spike must trip the monitor's budget twice in a row.
+      const std::uint64_t burst_step =
+          2 + splitmix64(stream) % static_cast<std::uint64_t>(steps / 2);
+      FaultSpec burst;
+      burst.kind = FaultKind::TransferCorrupt;
+      burst.at_event = kStartupEvents + kEventsPerStep * burst_step;
+      burst.repeat = 3;
+      injector.add(burst);
+      // The first burst consumed 3 extra (retry) events, hence +7 not +4.
+      burst.at_event += kEventsPerStep + 3;
+      injector.add(burst);
+      break;
+    }
+    case ChaosScenario::RankStall:
+      MPAS_FAIL("rank-stall is a distributed scenario");
+  }
+
+  if (options.scenario == ChaosScenario::GrayFailure) {
+    sut.set_accel_slowdown_hook([&sut, gray_start, gray_factor] {
+      return sut.step_index() >= gray_start ? gray_factor : 1.0;
+    });
+  }
+
+  sw::apply_initial_conditions(*run.tc, *run.mesh, sut.model().fields());
+  sut.initialize();
+  sut.run(steps);
+
+  report.bitwise_identical = fields_match(sut.model().fields(), h_ref, u_ref);
+  report.replans = sut.replans();
+  fold_monitor(sut.monitor(), report);
+
+  std::ostringstream summary;
+  summary << to_string(options.scenario) << " seed=" << options.seed
+          << " steps=" << steps << ": " << report.transitions.size()
+          << " transitions, " << report.replans << " replans, bitwise="
+          << (report.bitwise_identical ? "yes" : "NO");
+  report.summary = summary.str();
+  return report;
+}
+
+ChaosReport run_rank_stall(const ChaosOptions& options) {
+  std::uint64_t stream = options.seed;
+  ChaosReport report;
+  report.scenario = options.scenario;
+  report.seed = options.seed;
+  const int steps = options.steps == 0 ? 12 : options.steps;
+
+  const HybridRun run = make_run(options);
+  MPAS_CHECK_MSG(options.ranks >= 2, "rank-stall needs at least 2 ranks");
+
+  // Fault-free reference on the same decomposition (owned values are
+  // rank-count-invariant, so the shrunk run must still match it).
+  comm::DistributedSw ref(*run.mesh, options.ranks, run.params);
+  ref.apply_test_case(*run.tc);
+  ref.initialize();
+  ref.run(steps);
+  const auto h_ref = ref.gather_global(sw::FieldId::H);
+  const auto u_ref = ref.gather_global(sw::FieldId::U);
+
+  FaultInjector injector(options.seed);
+  const int victim = static_cast<int>(
+      splitmix64(stream) % static_cast<std::uint64_t>(options.ranks));
+  FaultSpec stall;
+  stall.kind = FaultKind::RankStall;
+  stall.rank = victim;
+  stall.at_event = 2 + splitmix64(stream) % 3;
+  stall.repeat = 6;  // enough bad steps to ride out the full hysteresis
+  stall.stall_seconds = 50e-3;  // far beyond slow_factor x nominal
+  injector.add(stall);
+
+  comm::DistributedSw sut(*run.mesh, options.ranks, run.params);
+  HealthMonitor monitor;
+  comm::ResilienceOptions ropts;
+  ropts.injector = &injector;
+  sut.enable_resilience(ropts);
+  sut.set_health_monitor(&monitor);
+  sut.apply_test_case(*run.tc);
+  sut.initialize();
+  sut.run(steps);
+
+  const auto h_got = sut.gather_global(sw::FieldId::H);
+  const auto u_got = sut.gather_global(sw::FieldId::U);
+  report.bitwise_identical = h_got == h_ref && u_got == u_ref;
+  report.final_ranks = sut.num_ranks();
+  fold_monitor(monitor, report);
+
+  std::ostringstream summary;
+  summary << to_string(options.scenario) << " seed=" << options.seed
+          << " steps=" << steps << ": rank" << victim << " stalled, world "
+          << options.ranks << " -> " << report.final_ranks << " ranks, "
+          << report.transitions.size() << " transitions, bitwise="
+          << (report.bitwise_identical ? "yes" : "NO");
+  report.summary = summary.str();
+  return report;
+}
+
+}  // namespace
+
+const char* to_string(ChaosScenario scenario) {
+  switch (scenario) {
+    case ChaosScenario::DeviceDeath: return "device-death";
+    case ChaosScenario::GrayFailure: return "gray-failure";
+    case ChaosScenario::TransferCorruptionBurst: return "transfer-corruption";
+    case ChaosScenario::RankStall: return "rank-stall";
+  }
+  return "?";
+}
+
+ChaosScenario parse_scenario(const std::string& text) {
+  for (ChaosScenario s :
+       {ChaosScenario::DeviceDeath, ChaosScenario::GrayFailure,
+        ChaosScenario::TransferCorruptionBurst, ChaosScenario::RankStall})
+    if (text == to_string(s)) return s;
+  MPAS_FAIL("unknown chaos scenario '" << text
+                                       << "' (device-death, gray-failure, "
+                                          "transfer-corruption, rank-stall)");
+}
+
+bool ChaosReport::passed() const {
+  if (!bitwise_identical || !detected) return false;
+  switch (scenario) {
+    case ChaosScenario::DeviceDeath:
+    case ChaosScenario::RankStall:
+      return quarantined;  // hard faults must isolate the failure domain
+    case ChaosScenario::GrayFailure:
+    case ChaosScenario::TransferCorruptionBurst:
+      return true;  // soft faults only need to be noticed
+  }
+  return false;
+}
+
+ChaosReport run_chaos(const ChaosOptions& options) {
+  return options.scenario == ChaosScenario::RankStall
+             ? run_rank_stall(options)
+             : run_hybrid_scenario(options);
+}
+
+}  // namespace mpas::resilience::health

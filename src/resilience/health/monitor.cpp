@@ -1,0 +1,270 @@
+#include "resilience/health/monitor.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/error.hpp"
+
+namespace mpas::resilience::health {
+
+namespace {
+
+/// Trace-instant name per target state (the quarantine/recovery instants
+/// the chaos CI smoke-checks in the exported Chrome trace).
+const char* instant_name(HealthState to) {
+  switch (to) {
+    case HealthState::Healthy: return "health:healthy";
+    case HealthState::Suspect: return "health:suspect";
+    case HealthState::Quarantined: return "health:quarantine";
+    case HealthState::Recovered: return "health:recover";
+  }
+  return "health:unknown";
+}
+
+}  // namespace
+
+const char* to_string(HealthState state) {
+  switch (state) {
+    case HealthState::Healthy: return "healthy";
+    case HealthState::Suspect: return "suspect";
+    case HealthState::Quarantined: return "quarantined";
+    case HealthState::Recovered: return "recovered";
+  }
+  return "?";
+}
+
+HealthMonitor::HealthMonitor(HealthPolicy policy) : policy_(policy) {
+  MPAS_CHECK_MSG(policy_.slow_factor > 1.0, "slow_factor must be > 1");
+  MPAS_CHECK_MSG(policy_.suspect_after >= 1 && policy_.quarantine_after >= 1 &&
+                     policy_.recover_after >= 1,
+                 "hysteresis thresholds must be >= 1");
+  MPAS_CHECK_MSG(policy_.probe_backoff_start >= 1 &&
+                     policy_.probe_backoff_max >= policy_.probe_backoff_start,
+                 "probe backoff must satisfy 1 <= start <= max");
+  MPAS_CHECK_MSG(policy_.baseline_decay > 0 && policy_.baseline_decay <= 1,
+                 "baseline_decay must be in (0, 1]");
+}
+
+void HealthMonitor::track(const std::string& entity) {
+  entities_.emplace(entity, Entity{});
+}
+
+void HealthMonitor::forget(const std::string& entity) {
+  entities_.erase(entity);
+}
+
+HealthMonitor::Entity& HealthMonitor::entity_ref(const std::string& name) {
+  const auto it = entities_.find(name);
+  MPAS_CHECK_MSG(it != entities_.end(), "untracked health entity '" << name
+                                                                    << "'");
+  return it->second;
+}
+
+const HealthMonitor::Entity& HealthMonitor::entity_ref(
+    const std::string& name) const {
+  const auto it = entities_.find(name);
+  MPAS_CHECK_MSG(it != entities_.end(), "untracked health entity '" << name
+                                                                    << "'");
+  return it->second;
+}
+
+void HealthMonitor::transition(const std::string& name, Entity& e,
+                               HealthState to, std::int64_t step,
+                               const std::string& reason) {
+  const HealthState from = e.state;
+  if (from == to) return;
+  e.state = to;
+  generation_ += 1;
+  transitions_.push_back({name, from, to, step, reason});
+  if (to == HealthState::Quarantined) {
+    e.probe_backoff = policy_.probe_backoff_start;
+    e.next_probe_step = step + e.probe_backoff;
+    e.probe_ok_streak = 0;
+  }
+  e.bad_streak = 0;
+  e.clean_streak = 0;
+  auto& registry = obs::MetricsRegistry::global();
+  registry.gauge("resilience.health.state." + name)
+      .set(static_cast<double>(static_cast<int>(to)));
+  registry.counter("resilience.health.transitions").add(1);
+  if (to == HealthState::Quarantined)
+    registry.counter("resilience.health.quarantines").add(1);
+  if (to == HealthState::Recovered)
+    registry.counter("resilience.health.recoveries").add(1);
+  // Mirror the state into the trace as a counter track, so an exported
+  // Chrome trace shows the health timeline next to the instants without
+  // needing the metrics JSON.
+  MPAS_TRACE_COUNTER("resilience.health.state." + name,
+                     static_cast<double>(static_cast<int>(to)));
+  MPAS_TRACE_COUNTER(
+      "resilience.health.transitions",
+      static_cast<double>(
+          registry.counter("resilience.health.transitions").value()));
+  MPAS_TRACE_INSTANT_ARGS(
+      instant_name(to),
+      obs::trace_arg("entity", name) + "," +
+          obs::trace_arg("from", std::string(to_string(from))) + "," +
+          obs::trace_arg("step", step) + "," +
+          obs::trace_arg("reason", reason));
+}
+
+void HealthMonitor::observe_step_time(const std::string& entity,
+                                      std::int64_t /*step*/, Real seconds) {
+  Entity& e = entity_ref(entity);
+  e.sampled = true;
+  e.heartbeat = true;
+  e.step_seconds = seconds;
+}
+
+void HealthMonitor::observe_heartbeat(const std::string& entity,
+                                      std::int64_t /*step*/) {
+  entity_ref(entity).heartbeat = true;
+}
+
+void HealthMonitor::observe_transfer_retries(const std::string& entity,
+                                             std::uint64_t retries) {
+  entity_ref(entity).step_retries += retries;
+}
+
+void HealthMonitor::observe_failure(const std::string& entity,
+                                    std::int64_t step,
+                                    const std::string& reason) {
+  Entity& e = entity_ref(entity);
+  if (e.state == HealthState::Quarantined) return;  // already out
+  transition(entity, e, HealthState::Quarantined, step, reason);
+}
+
+void HealthMonitor::end_step(std::int64_t step) {
+  for (auto& [name, e] : entities_) {
+    // Consume and reset this step's signals up front so every exit path
+    // below leaves the accumulator clean.
+    const bool sampled = e.sampled;
+    const bool heartbeat = e.heartbeat;
+    const Real seconds = e.step_seconds;
+    const std::uint64_t retries = e.step_retries;
+    e.sampled = false;
+    e.heartbeat = false;
+    e.step_seconds = 0;
+    e.step_retries = 0;
+
+    if (e.state == HealthState::Quarantined) continue;  // probation only
+
+    std::string why;
+    if (!heartbeat && !sampled) {
+      why = "missed heartbeat";
+    } else if (retries > policy_.transfer_retry_budget) {
+      why = "transfer retries over budget";
+    } else if (sampled && e.baseline_set &&
+               seconds > policy_.slow_factor * e.baseline) {
+      why = "slow step";
+    }
+
+    if (sampled) e.last_seconds = seconds;
+    if (why.empty()) {
+      // Clean step: learn the baseline (EWMA over clean samples only, so a
+      // gray failure cannot drag its own detection threshold up).
+      if (sampled) {
+        e.baseline = e.baseline_set
+                         ? (1 - policy_.baseline_decay) * e.baseline +
+                               policy_.baseline_decay * seconds
+                         : seconds;
+        e.baseline_set = true;
+      }
+      e.bad_streak = 0;
+      e.clean_streak += 1;
+      if (e.state == HealthState::Suspect &&
+          e.clean_streak >= policy_.recover_after)
+        transition(name, e, HealthState::Healthy, step, "clean streak");
+      else if (e.state == HealthState::Recovered &&
+               e.clean_streak >= policy_.recover_after)
+        transition(name, e, HealthState::Healthy, step,
+                   "clean streak after probation");
+      continue;
+    }
+
+    e.clean_streak = 0;
+    e.bad_streak += 1;
+    if (e.state == HealthState::Healthy &&
+        e.bad_streak >= policy_.suspect_after) {
+      transition(name, e, HealthState::Suspect, step, why);
+    } else if (e.state == HealthState::Suspect &&
+               e.bad_streak >= policy_.quarantine_after) {
+      transition(name, e, HealthState::Quarantined, step, why);
+    } else if (e.state == HealthState::Recovered) {
+      // No benefit of the doubt right after probation.
+      transition(name, e, HealthState::Suspect, step, why);
+    }
+  }
+}
+
+bool HealthMonitor::probe_due(const std::string& entity,
+                              std::int64_t step) const {
+  const Entity& e = entity_ref(entity);
+  return e.state == HealthState::Quarantined && step >= e.next_probe_step;
+}
+
+void HealthMonitor::observe_probe(const std::string& entity, std::int64_t step,
+                                  bool ok) {
+  Entity& e = entity_ref(entity);
+  MPAS_CHECK_MSG(e.state == HealthState::Quarantined,
+                 "probe on non-quarantined entity '" << entity << "'");
+  obs::MetricsRegistry::global().counter("resilience.health.probes").add(1);
+  MPAS_TRACE_INSTANT_ARGS(
+      "health:probe", obs::trace_arg("entity", entity) + "," +
+                          obs::trace_arg("step", step) + "," +
+                          obs::trace_arg("ok", std::string(ok ? "yes" : "no")));
+  if (!ok) {
+    e.probe_ok_streak = 0;
+    e.probe_backoff = std::min(e.probe_backoff * 2, policy_.probe_backoff_max);
+    e.next_probe_step = step + e.probe_backoff;
+    return;
+  }
+  e.probe_ok_streak += 1;
+  if (e.probe_ok_streak >= policy_.recover_after) {
+    transition(entity, e, HealthState::Recovered, step, "probation passed");
+    // Fresh start for the timing baseline: the device may come back at a
+    // different speed (e.g. after thermal throttling clears).
+    e.baseline_set = false;
+    e.last_seconds = 0;
+  } else {
+    e.next_probe_step = step + 1;  // confirm with back-to-back probes
+  }
+}
+
+void HealthMonitor::reset_baseline(const std::string& entity) {
+  Entity& e = entity_ref(entity);
+  e.baseline_set = false;
+  e.baseline = 0;
+  e.last_seconds = 0;
+}
+
+HealthState HealthMonitor::state(const std::string& entity) const {
+  return entity_ref(entity).state;
+}
+
+bool HealthMonitor::usable(const std::string& entity) const {
+  return entity_ref(entity).state != HealthState::Quarantined;
+}
+
+Real HealthMonitor::slowdown(const std::string& entity) const {
+  const Entity& e = entity_ref(entity);
+  if (!e.baseline_set || e.baseline <= 0 || e.last_seconds <= 0) return 1.0;
+  return std::max<Real>(1.0, e.last_seconds / e.baseline);
+}
+
+std::vector<std::string> HealthMonitor::entities() const {
+  std::vector<std::string> out;
+  out.reserve(entities_.size());
+  for (const auto& [name, e] : entities_) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> HealthMonitor::in_state(HealthState state) const {
+  std::vector<std::string> out;
+  for (const auto& [name, e] : entities_)
+    if (e.state == state) out.push_back(name);
+  return out;
+}
+
+}  // namespace mpas::resilience::health

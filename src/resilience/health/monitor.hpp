@@ -1,0 +1,162 @@
+// HealthMonitor: fuses the runtime's failure signals — per-step kernel
+// timings, offload transfer retries, heartbeats, and hard faults — into a
+// per-entity health state machine:
+//
+//        slow/retry streak          streak continues
+//   Healthy ----------> Suspect ----------------> Quarantined
+//      ^                   |  clean streak            |  probation probe
+//      |                   v  (hysteresis)            v  (exponential
+//      +<-------------- Healthy          Recovered <-+   backoff)
+//      ^                                     |
+//      +------ clean streak ----------------+
+//
+// An "entity" is any named failure domain: a device ("accel", "host") or a
+// rank ("rank0"). The monitor is deterministic — every decision keys on
+// step indices and observed values, never wall-clock time — so seeded chaos
+// campaigns reproduce the same transition history run after run. Drivers
+// (SelfHealingHybrid, DistributedSw::run) call it from their step loop;
+// it is not thread-safe by design (signals are fused at step boundaries).
+//
+// Hysteresis: one slow step never quarantines (suspect_after consecutive
+// bad signals to become Suspect, quarantine_after more to be Quarantined)
+// and one clean step never clears suspicion (recover_after consecutive
+// clean signals). Quarantined entities are only re-admitted through
+// probation: probes spaced by exponential backoff must succeed
+// recover_after times in a row.
+//
+// Every transition bumps generation() — the ReplanEngine trigger — and is
+// published as a resilience.health.* metric and a health:* trace instant.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace mpas::resilience::health {
+
+enum class HealthState : int {
+  Healthy = 0,
+  Suspect = 1,
+  Quarantined = 2,
+  Recovered = 3,  // probation passed; Healthy again after clean steps
+};
+
+const char* to_string(HealthState state);
+
+struct HealthPolicy {
+  Real slow_factor = 1.5;     // step time > slow_factor * baseline is "slow"
+  int suspect_after = 2;      // consecutive bad signals: Healthy -> Suspect
+  int quarantine_after = 2;   // further bad signals: Suspect -> Quarantined
+  int recover_after = 2;      // consecutive clean signals / probes to clear
+  int probe_backoff_start = 2;  // steps from quarantine to the first probe
+  int probe_backoff_max = 32;   // exponential backoff cap (steps)
+  // Transfer retries per step beyond this budget count as a bad signal
+  // (the offload link limping along is a gray failure too).
+  std::uint64_t transfer_retry_budget = 2;
+  Real baseline_decay = 0.2;  // EWMA weight of the newest clean step time
+};
+
+/// One state change, for tests and post-mortem reports.
+struct Transition {
+  std::string entity;
+  HealthState from = HealthState::Healthy;
+  HealthState to = HealthState::Healthy;
+  std::int64_t step = 0;
+  std::string reason;
+};
+
+class HealthMonitor {
+ public:
+  explicit HealthMonitor(HealthPolicy policy = {});
+
+  /// Register an entity (idempotent). Entities start Healthy.
+  void track(const std::string& entity);
+  /// Drop an entity (e.g. a rank evicted by a shrink).
+  void forget(const std::string& entity);
+
+  // ---- signals (accumulated until end_step folds them) ----
+  /// The entity's modeled or measured time for `step`. Doubles as a
+  /// heartbeat: an entity that reports nothing in a step missed its beat.
+  void observe_step_time(const std::string& entity, std::int64_t step,
+                         Real seconds);
+  /// Liveness only (no timing) — a rank that is alive but did no work.
+  void observe_heartbeat(const std::string& entity, std::int64_t step);
+  /// Transfer retries charged to the entity this step (a delta, not a
+  /// total; the caller diffs OffloadRuntime / ResilienceStats counters).
+  void observe_transfer_retries(const std::string& entity,
+                                std::uint64_t retries);
+  /// Hard fault (transfer escalation, lost rank): quarantine immediately,
+  /// skipping the Suspect hysteresis — there is nothing gradual about it.
+  void observe_failure(const std::string& entity, std::int64_t step,
+                       const std::string& reason);
+
+  /// Fold the step's signals into the state machine and publish metrics.
+  void end_step(std::int64_t step);
+
+  // ---- probation ----
+  /// True when a quarantined entity's backoff has elapsed and the driver
+  /// should issue a probe (a small transfer / ping) this step.
+  [[nodiscard]] bool probe_due(const std::string& entity,
+                               std::int64_t step) const;
+  /// Probe outcome. Failures double the backoff (capped); recover_after
+  /// consecutive successes promote the entity to Recovered.
+  void observe_probe(const std::string& entity, std::int64_t step, bool ok);
+
+  /// Invalidate the learned step-time baseline (state and streaks stay).
+  /// Drivers call this when they swap schedules: the entity's expected
+  /// per-step work changed, so comparing against the old baseline would
+  /// misread the new plan as a gray failure.
+  void reset_baseline(const std::string& entity);
+
+  // ---- queries ----
+  [[nodiscard]] HealthState state(const std::string& entity) const;
+  /// Schedulable: everything but Quarantined.
+  [[nodiscard]] bool usable(const std::string& entity) const;
+  /// Gray-failure severity estimate: last observed time over the clean
+  /// baseline, >= 1. Meaningful for Suspect entities (replan derates by
+  /// this); 1 when unknown.
+  [[nodiscard]] Real slowdown(const std::string& entity) const;
+  /// Bumped on every transition; a changed generation tells the driver a
+  /// replan is due at the next step boundary.
+  [[nodiscard]] std::uint64_t generation() const { return generation_; }
+  [[nodiscard]] const std::vector<Transition>& transitions() const {
+    return transitions_;
+  }
+  [[nodiscard]] std::vector<std::string> entities() const;
+  [[nodiscard]] std::vector<std::string> in_state(HealthState state) const;
+  [[nodiscard]] const HealthPolicy& policy() const { return policy_; }
+
+ private:
+  struct Entity {
+    HealthState state = HealthState::Healthy;
+    bool baseline_set = false;
+    Real baseline = 0;        // EWMA of clean step seconds
+    Real last_seconds = 0;
+    int bad_streak = 0;
+    int clean_streak = 0;
+    // Signals accumulated for the current step, reset by end_step.
+    bool sampled = false;
+    bool heartbeat = false;
+    Real step_seconds = 0;
+    std::uint64_t step_retries = 0;
+    // Probation bookkeeping.
+    int probe_backoff = 0;
+    std::int64_t next_probe_step = 0;
+    int probe_ok_streak = 0;
+  };
+
+  Entity& entity_ref(const std::string& name);
+  const Entity& entity_ref(const std::string& name) const;
+  void transition(const std::string& name, Entity& e, HealthState to,
+                  std::int64_t step, const std::string& reason);
+
+  HealthPolicy policy_;
+  std::map<std::string, Entity> entities_;
+  std::vector<Transition> transitions_;
+  std::uint64_t generation_ = 0;
+};
+
+}  // namespace mpas::resilience::health

@@ -1,0 +1,123 @@
+#include "resilience/health/replan.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace mpas::resilience::health {
+
+namespace {
+
+/// Schedule-level structural validation, merged into the graph verifier's
+/// report: every node must carry an assignment, and nothing may be placed
+/// on a quarantined accelerator. Diagnostics use the stable code
+/// "schedule-assignment" so tests can key on them.
+void check_schedule(const core::DataflowGraph& graph,
+                    const core::Schedule& schedule,
+                    const DeviceAvailability& avail,
+                    analysis::Report& report) {
+  if (static_cast<int>(schedule.assignments.size()) != graph.num_nodes()) {
+    report.add({analysis::Severity::Error, "schedule-assignment", -1, -1, "",
+                "schedule covers " + std::to_string(schedule.assignments.size()) +
+                    " nodes, graph has " + std::to_string(graph.num_nodes())});
+    return;
+  }
+  for (int id = 0; id < graph.num_nodes(); ++id) {
+    const auto& a = schedule.assignments[static_cast<std::size_t>(id)];
+    if (!avail.accel_alive && a.side != core::DeviceSide::Host)
+      report.add({analysis::Severity::Error, "schedule-assignment", id, -1, "",
+                  "node " + graph.node(id).label +
+                      " assigned to the quarantined accelerator"});
+    if (a.side == core::DeviceSide::Split &&
+        (a.host_fraction <= 0 || a.host_fraction >= 1))
+      report.add({analysis::Severity::Error, "schedule-assignment", id, -1, "",
+                  "node " + graph.node(id).label + " split fraction " +
+                      std::to_string(a.host_fraction) + " outside (0, 1)"});
+  }
+}
+
+}  // namespace
+
+ReplanEngine::ReplanEngine(core::MeshSizes sizes, core::SimOptions opts)
+    : sizes_(sizes), opts_(opts) {}
+
+core::SimOptions ReplanEngine::degraded_options(
+    const DeviceAvailability& avail) const {
+  core::SimOptions opts = opts_;
+  opts.platform = machine::degraded_platform(
+      opts_.platform, avail.accel_alive ? avail.accel_slowdown : 1.0,
+      avail.host_slowdown);
+  return opts;
+}
+
+ReplanResult ReplanEngine::replan(const core::DataflowGraph& graph,
+                                  const DeviceAvailability& avail) const {
+  MPAS_CHECK_MSG(graph.finalized(), "replan on a non-finalized graph");
+  const core::SimOptions opts = degraded_options(avail);
+
+  ReplanResult result;
+  if (avail.accel_alive) {
+    result.schedule = core::make_pattern_level_schedule(graph, sizes_, opts);
+  } else {
+    result.schedule = core::make_single_device_schedule(
+        graph, core::DeviceSide::Host, "degraded-host-only");
+  }
+
+  // Validate before anyone swaps this in: the graph's declared structure
+  // (the verifier re-derives hazards, levels, halo depth) plus the
+  // schedule's own shape under the availability.
+  result.verification = analysis::verify_graph(graph);
+  check_schedule(graph, result.schedule, avail, result.verification);
+  result.accepted = result.verification.clean();
+
+  result.modeled = core::simulate_schedule(graph, result.schedule, sizes_,
+                                           opts);
+  result.modeled_optimum = roofline_optimum(graph, avail);
+
+  std::ostringstream note;
+  note << result.schedule.name << ": modeled "
+       << result.modeled.makespan * 1e3 << " ms, roofline bound "
+       << result.modeled_optimum * 1e3 << " ms"
+       << (result.accepted ? "" : " [REJECTED by verifier]");
+  result.note = note.str();
+  return result;
+}
+
+Real ReplanEngine::roofline_optimum(const core::DataflowGraph& graph,
+                                    const DeviceAvailability& avail) const {
+  const core::SimOptions opts = degraded_options(avail);
+  Real work_bound = 0;
+  std::vector<Real> best(static_cast<std::size_t>(graph.num_nodes()), 0.0);
+  for (int id = 0; id < graph.num_nodes(); ++id) {
+    const auto& node = graph.node(id);
+    const std::int64_t entities = sizes_.at(node.iterates);
+    const Real t_host = machine::roofline_time(
+        opts.platform.host, node.cost(core::VariantChoice::BranchFree),
+        entities, opts.host_opt);
+    if (avail.accel_alive) {
+      const Real t_accel = machine::roofline_time(
+          opts.platform.accelerator, node.cost(core::VariantChoice::BranchFree),
+          entities, opts.accel_opt);
+      // Perfect-split throughput of the two devices on this node (an
+      // unsplittable node still cannot beat its faster device alone, but a
+      // lower bound may be loose, never wrong).
+      work_bound += (t_host * t_accel) / (t_host + t_accel);
+      best[static_cast<std::size_t>(id)] = std::min(t_host, t_accel);
+    } else {
+      work_bound += t_host;
+      best[static_cast<std::size_t>(id)] = t_host;
+    }
+  }
+  return std::max(work_bound, graph.critical_path(best));
+}
+
+core::SimResult ReplanEngine::cpu_only_modeled(
+    const core::DataflowGraph& graph, const DeviceAvailability& avail) const {
+  const core::Schedule schedule = core::make_single_device_schedule(
+      graph, core::DeviceSide::Host, "cpu-only-reference");
+  return core::simulate_schedule(graph, schedule, sizes_,
+                                 degraded_options(avail));
+}
+
+}  // namespace mpas::resilience::health

@@ -1,0 +1,70 @@
+// ReplanEngine: degraded-mode rescheduling. When the HealthMonitor changes
+// an entity's state, the engine recomputes the pattern-level CPU/accel
+// split from the calibrated machine-model costs of the *surviving* devices
+// (a dead accelerator falls back to the single-device host schedule; a gray
+// failure re-runs the splitter against a derated DeviceSpec), re-validates
+// the plan with the PR-3 analysis verifier plus schedule-level structural
+// checks, and reports the modeled makespan and its roofline lower bound so
+// the driver can prove the degraded plan is still near-optimal before
+// swapping it in at a step boundary.
+#pragma once
+
+#include <string>
+
+#include "analysis/graph_check.hpp"
+#include "core/schedule.hpp"
+
+namespace mpas::resilience::health {
+
+/// What the monitor knows about the devices when a replan fires.
+struct DeviceAvailability {
+  bool accel_alive = true;
+  Real accel_slowdown = 1.0;  // >= 1: gray-failure derating for the split
+  Real host_slowdown = 1.0;
+};
+
+struct ReplanResult {
+  core::Schedule schedule;
+  core::SimResult modeled;        // schedule_sim run of the new plan
+  analysis::Report verification;  // graph checks + schedule structure checks
+  Real modeled_optimum = 0;       // roofline lower bound, surviving devices
+  bool accepted = false;          // verification clean -> safe to swap
+  std::string note;               // one-line human summary
+};
+
+class ReplanEngine {
+ public:
+  /// `sizes`/`opts` describe the mesh and the *nameplate* platform; replan
+  /// derates a copy per the availability it is handed.
+  ReplanEngine(core::MeshSizes sizes, core::SimOptions opts);
+
+  /// Build + validate + cost a plan for `graph` under `avail`.
+  [[nodiscard]] ReplanResult replan(const core::DataflowGraph& graph,
+                                    const DeviceAvailability& avail) const;
+
+  /// Roofline lower bound on any schedule's makespan over the surviving
+  /// devices: max(work bound with perfect device overlap, critical path at
+  /// per-node best-device roofline times). No schedule can beat it; the
+  /// 1.25x degraded-mode acceptance bound is measured against it.
+  [[nodiscard]] Real roofline_optimum(const core::DataflowGraph& graph,
+                                      const DeviceAvailability& avail) const;
+
+  /// The CPU-only reference: modeled run of the single-device host schedule
+  /// under the same (possibly host-derated) availability.
+  [[nodiscard]] core::SimResult cpu_only_modeled(
+      const core::DataflowGraph& graph,
+      const DeviceAvailability& avail) const;
+
+  /// SimOptions with the availability's deratings applied.
+  [[nodiscard]] core::SimOptions degraded_options(
+      const DeviceAvailability& avail) const;
+
+  [[nodiscard]] const core::SimOptions& options() const { return opts_; }
+  [[nodiscard]] const core::MeshSizes& sizes() const { return sizes_; }
+
+ private:
+  core::MeshSizes sizes_;
+  core::SimOptions opts_;
+};
+
+}  // namespace mpas::resilience::health

@@ -444,6 +444,50 @@ TEST(CompareTest, CompareDirsGatesOnMissingCounterpart) {
   fs::remove_all(cur_dir);
 }
 
+TEST(CompareTest, CompareDirsNamesMissingBaselineAndChecksTheRest) {
+  const std::string base_dir = temp_path("mpas_bench_base_union");
+  const std::string cur_dir = temp_path("mpas_bench_cur_union");
+  fs::remove_all(base_dir);
+  fs::remove_all(cur_dir);
+  fs::create_directories(base_dir);
+  fs::create_directories(cur_dir);
+
+  // Suite A exists on both sides with a seeded modeled regression; suite B
+  // exists only in current (its baseline was never refreshed).
+  const BenchReport base = make_report();
+  base.write_json(base_dir + "/BENCH_roundtrip_suite.json");
+  BenchReport regressed(base.suite());
+  regressed.environment() = base.environment();
+  for (const MetricSeries& s : base.series()) {
+    MetricSeries copy = s;
+    if (s.name == "modeled_time")
+      for (double& v : copy.samples) v *= 2.0;
+    copy.stats = SampleStats::from_samples(copy.samples);
+    regressed.add_series(copy);
+  }
+  for (const AttributionReport& a : base.attributions())
+    regressed.add_attribution(a);
+  regressed.write_json(cur_dir + "/BENCH_roundtrip_suite.json");
+  base.write_json(cur_dir + "/BENCH_new_suite.json");
+
+  const CompareResult r = compare_dirs(base_dir, cur_dir, CompareOptions{});
+  EXPECT_FALSE(r.ok());
+  // The missing baseline is reported by suite file name...
+  bool named = false;
+  for (const CompareIssue& issue : r.issues)
+    named = named || (issue.suite == "BENCH_new_suite.json" &&
+                      issue.severity == CompareIssue::Severity::Structural &&
+                      issue.message.find("baseline report missing") !=
+                          std::string::npos);
+  EXPECT_TRUE(named) << r.to_table().to_ascii();
+  // ... and it did not short-circuit the rest: the seeded regression in the
+  // suite that does have a baseline is still caught.
+  EXPECT_GE(r.regressions(), 1) << r.to_table().to_ascii();
+
+  fs::remove_all(base_dir);
+  fs::remove_all(cur_dir);
+}
+
 }  // namespace
 }  // namespace mpas::bench_harness
 

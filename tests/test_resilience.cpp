@@ -13,6 +13,7 @@
 #include <tuple>
 #include <vector>
 
+#include "comm/simworld.hpp"
 #include "fault_helpers.hpp"
 #include "resilience/channel.hpp"
 #include "resilience/checkpoint.hpp"
@@ -561,6 +562,86 @@ TEST_F(ResilientRun, ThreadedRunRecoversFromMessageFaults) {
   EXPECT_EQ(s.channel.detected_drops, 1u);
   EXPECT_EQ(s.channel.detected_corruptions, 1u);
   EXPECT_EQ(s.channel.retransmits, 2u);
+}
+
+TEST(ResilientChannel, DelayedThenDeliveredOriginalCountsOneRetransmit) {
+  // Regression: a message that is both delayed and corrupted. The SimWorld
+  // flush puts the (corrupted) original ahead of the channel's live resend,
+  // so the receiver detects corruption while that resend is still in
+  // flight. The channel used to issue — and count — a second retransmit for
+  // the same logical loss; the resend_inflight guard must keep it at one.
+  comm::SimWorld world(2);
+  FaultInjector injector(1);
+  FaultSpec delay;
+  delay.kind = FaultKind::MsgDelay;
+  delay.from = 0;
+  delay.to = 1;
+  delay.tag = 7;
+  injector.add(delay);
+  FaultSpec corrupt;
+  corrupt.kind = FaultKind::MsgCorrupt;
+  corrupt.from = 0;
+  corrupt.to = 1;
+  corrupt.tag = 7;
+  injector.add(corrupt);
+  world.set_fault_injector(&injector);
+
+  struct Adapter final : Transport {
+    comm::SimWorld& w;
+    explicit Adapter(comm::SimWorld& world) : w(world) {}
+    void send(int from, int to, int tag, std::vector<Real> payload) override {
+      w.send(from, to, tag, std::move(payload));
+    }
+    std::optional<std::vector<Real>> try_recv(int to, int from,
+                                              int tag) override {
+      return w.try_recv(to, from, tag);
+    }
+  } adapter(world);
+
+  ResilientChannel ch(adapter, fast_policy(), true);
+  ch.send(0, 1, 7, {1.0, 2.0, 3.0});
+  EXPECT_EQ(ch.recv(1, 0, 7, 3), (std::vector<Real>{1.0, 2.0, 3.0}));
+  const auto s = ch.stats();
+  EXPECT_EQ(s.delivered, 1u);
+  EXPECT_EQ(s.retransmits, 1u) << "double-counted retransmit";
+  EXPECT_EQ(injector.stats().of(FaultKind::MsgDelay), 1u);
+  EXPECT_EQ(injector.stats().of(FaultKind::MsgCorrupt), 1u);
+}
+
+TEST_F(ResilientRun, RollbackWithInFlightHaloExchangeStaysBitwise) {
+  // A delayed halo message leaves a duplicate envelope in flight when the
+  // SDC health check fails at the end of the same window; the rollback must
+  // drain that stale envelope from the abandoned timeline (not crash on it,
+  // not deliver it into the replay) and still land bitwise on the
+  // fault-free trajectory.
+  const auto truth = fault_free_run(mesh, kRanks, *tc, params, kSteps);
+
+  FaultInjector inj;
+  FaultSpec delay;
+  delay.kind = FaultKind::MsgDelay;
+  delay.at_event = 29;  // a mid-run halo message (same site as the headline)
+  inj.add(delay);
+  FaultSpec sdc;
+  sdc.kind = FaultKind::StateCorrupt;
+  sdc.rank = 1;
+  sdc.step = 3;
+  inj.add(sdc);
+  comm::ResilienceOptions opts;
+  opts.injector = &inj;
+  opts.checkpoint_interval = 2;
+  auto d = make_distributed(mesh, kRanks, *tc, params, &opts);
+  d->run(kSteps);
+
+  expect_bitwise_equal(gather_state(*d), truth);
+  EXPECT_TRUE(inj.exhausted());
+  const auto s = d->resilience_stats();
+  EXPECT_EQ(s.rollbacks, 1u);
+  EXPECT_EQ(s.steps_replayed, 2u);
+  // The delayed original was recovered by one retransmit, and exactly one
+  // copy of it was discarded as stale — nothing leaked across the rollback.
+  EXPECT_EQ(s.channel.detected_drops, 1u);
+  EXPECT_EQ(s.channel.retransmits, 1u);
+  EXPECT_EQ(s.channel.stale_discarded, 1u);
 }
 
 TEST_F(ResilientRun, RepeatedStateCorruptionEscalatesAfterMaxRollbacks) {
