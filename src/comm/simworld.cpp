@@ -7,6 +7,7 @@
 
 #include "obs/trace.hpp"
 #include "resilience/fault_env.hpp"
+#include "util/env.hpp"
 #include "util/error.hpp"
 
 namespace mpas::comm {
@@ -115,6 +116,8 @@ std::optional<std::vector<Real>> SimWorld::try_recv(int to, int from,
 
 std::vector<Real> SimWorld::recv_blocking(int to, int from, int tag,
                                           int timeout_ms) {
+  timeout_ms = static_cast<int>(
+      resolve_timeout_ms(timeout_ms, "MPAS_RECV_TIMEOUT_MS", 30000));
   const auto started = std::chrono::steady_clock::now();
   std::unique_lock<std::mutex> lock(mutex_);
   const Key key{from, to, tag};

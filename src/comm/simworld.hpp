@@ -46,11 +46,12 @@ class SimWorld {
   std::optional<std::vector<Real>> try_recv(int to, int from, int tag);
 
   /// Blocking FIFO-matched receive (MPI_Recv-like) for the threaded
-  /// driver: waits until a matching message arrives. Throws after
-  /// `timeout_ms` (deadlock guard) with the endpoint, the wait duration,
-  /// and a summary of every pending queue.
+  /// driver: waits until a matching message arrives. Throws after the
+  /// timeout (deadlock guard) with the endpoint, the wait duration, and a
+  /// summary of every pending queue. `timeout_ms < 0` (the default) means
+  /// "the MPAS_RECV_TIMEOUT_MS environment variable, else 30000 ms".
   std::vector<Real> recv_blocking(int to, int from, int tag,
-                                  int timeout_ms = 30000);
+                                  int timeout_ms = -1);
 
   /// True if any message is still queued (catches protocol bugs in tests).
   /// Messages held back by an injected delay fault are in flight on a slow

@@ -44,12 +44,25 @@ std::shared_ptr<const VoronoiMesh> get_global_mesh(int level) {
   const auto path = cache_path(level);
   std::shared_ptr<VoronoiMesh> mesh;
   if (std::filesystem::exists(path)) {
+    // A cache file is a convenience, never an authority: any load failure
+    // (stale version, truncation, checksum mismatch, validation error) is
+    // logged and the mesh regenerated — a corrupt cache must not take the
+    // process down or, worse, hand out bad connectivity.
     WallTimer t;
-    mesh = std::make_shared<VoronoiMesh>(load_mesh(path.string()));
-    MPAS_LOG_INFO << "loaded level-" << level << " mesh ("
-                  << mesh->num_cells << " cells) from cache in "
-                  << t.seconds() << " s";
-  } else {
+    try {
+      mesh = std::make_shared<VoronoiMesh>(load_mesh(path.string()));
+      MPAS_LOG_INFO << "loaded level-" << level << " mesh ("
+                    << mesh->num_cells << " cells) from cache in "
+                    << t.seconds() << " s";
+    } catch (const std::exception& e) {
+      MPAS_LOG_WARN << "mesh cache load failed (" << e.what()
+                    << "); regenerating level-" << level << " mesh";
+      mesh = nullptr;
+      std::error_code ec;
+      std::filesystem::remove(path, ec);
+    }
+  }
+  if (!mesh) {
     WallTimer t;
     mesh = std::make_shared<VoronoiMesh>(build_icosahedral_voronoi_mesh(level));
     MPAS_LOG_INFO << "built level-" << level << " mesh (" << mesh->num_cells

@@ -15,6 +15,8 @@ namespace mpas::mesh {
 
 /// The standard experiment mesh for a subdivision level (Earth radius,
 /// labeled per Table III). Thread-safe; returns a shared immutable mesh.
+/// Cache files carry a version + checksum header; a stale, truncated, or
+/// bit-flipped file is logged, deleted, and regenerated, never trusted.
 std::shared_ptr<const VoronoiMesh> get_global_mesh(int level);
 
 /// Build a fresh mesh without touching the cache (used by tests that need

@@ -10,7 +10,67 @@ namespace mpas::mesh {
 namespace {
 
 constexpr char kMagic[8] = {'M', 'P', 'A', 'S', 'M', 'S', 'H', '1'};
-constexpr std::uint32_t kVersion = 4;
+// Version 5 added the FNV-1a payload checksum after the version word, so a
+// bit-flipped or truncated cache file is detected on load instead of
+// producing silently wrong connectivity.
+constexpr std::uint32_t kVersion = 5;
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+/// Streambuf tee that FNV-1a-hashes every byte written through it.
+class HashingOutBuf : public std::streambuf {
+ public:
+  explicit HashingOutBuf(std::streambuf* inner) : inner_(inner) {}
+  [[nodiscard]] std::uint64_t hash() const { return hash_; }
+
+ protected:
+  int_type overflow(int_type ch) override {
+    if (traits_type::eq_int_type(ch, traits_type::eof())) return 0;
+    mix(traits_type::to_char_type(ch));
+    return inner_->sputc(traits_type::to_char_type(ch));
+  }
+  std::streamsize xsputn(const char* s, std::streamsize n) override {
+    for (std::streamsize i = 0; i < n; ++i) mix(s[i]);
+    return inner_->sputn(s, n);
+  }
+
+ private:
+  void mix(char c) {
+    hash_ = (hash_ ^ static_cast<unsigned char>(c)) * kFnvPrime;
+  }
+  std::streambuf* inner_;
+  std::uint64_t hash_ = kFnvOffset;
+};
+
+/// Streambuf tee that hashes every byte *consumed* through it (peeks via
+/// underflow are not consumed and not hashed).
+class HashingInBuf : public std::streambuf {
+ public:
+  explicit HashingInBuf(std::streambuf* inner) : inner_(inner) {}
+  [[nodiscard]] std::uint64_t hash() const { return hash_; }
+
+ protected:
+  int_type underflow() override { return inner_->sgetc(); }
+  int_type uflow() override {
+    const int_type c = inner_->sbumpc();
+    if (!traits_type::eq_int_type(c, traits_type::eof()))
+      mix(traits_type::to_char_type(c));
+    return c;
+  }
+  std::streamsize xsgetn(char* s, std::streamsize n) override {
+    const std::streamsize got = inner_->sgetn(s, n);
+    for (std::streamsize i = 0; i < got; ++i) mix(s[i]);
+    return got;
+  }
+
+ private:
+  void mix(char c) {
+    hash_ = (hash_ ^ static_cast<unsigned char>(c)) * kFnvPrime;
+  }
+  std::streambuf* inner_;
+  std::uint64_t hash_ = kFnvOffset;
+};
 
 template <class T>
 void write_pod(std::ostream& os, const T& value) {
@@ -66,13 +126,7 @@ void read_array2d(std::istream& is, Array2D<T>& a) {
   }
 }
 
-}  // namespace
-
-void save_mesh(const VoronoiMesh& m, const std::string& path) {
-  std::ofstream os(path, std::ios::binary);
-  MPAS_CHECK_MSG(os.good(), "cannot open '" << path << "' for writing");
-  os.write(kMagic, sizeof(kMagic));
-  write_pod(os, kVersion);
+void write_payload(std::ostream& os, const VoronoiMesh& m) {
   write_pod(os, m.num_cells);
   write_pod(os, m.num_edges);
   write_pod(os, m.num_vertices);
@@ -116,21 +170,9 @@ void save_mesh(const VoronoiMesh& m, const std::string& path) {
   write_vector(os, m.global_cell_id);
   write_vector(os, m.global_edge_id);
   write_vector(os, m.global_vertex_id);
-  MPAS_CHECK_MSG(os.good(), "write failure on '" << path << "'");
 }
 
-VoronoiMesh load_mesh(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  MPAS_CHECK_MSG(is.good(), "cannot open mesh file '" << path << "'");
-  char magic[sizeof(kMagic)];
-  is.read(magic, sizeof(magic));
-  MPAS_CHECK_MSG(is.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
-                 "'" << path << "' is not an MPAS mesh file");
-  const auto version = read_pod<std::uint32_t>(is);
-  MPAS_CHECK_MSG(version == kVersion,
-                 "mesh file version " << version << ", expected " << kVersion);
-
-  VoronoiMesh m;
+void read_payload(std::istream& is, VoronoiMesh& m) {
   m.num_cells = read_pod<Index>(is);
   m.num_edges = read_pod<Index>(is);
   m.num_vertices = read_pod<Index>(is);
@@ -174,6 +216,54 @@ VoronoiMesh load_mesh(const std::string& path) {
   read_vector(is, m.global_cell_id);
   read_vector(is, m.global_edge_id);
   read_vector(is, m.global_vertex_id);
+}
+
+}  // namespace
+
+void save_mesh(const VoronoiMesh& m, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  MPAS_CHECK_MSG(os.good(), "cannot open '" << path << "' for writing");
+  os.write(kMagic, sizeof(kMagic));
+  write_pod(os, kVersion);
+  const std::streampos checksum_pos = os.tellp();
+  write_pod(os, std::uint64_t{0});  // patched with the payload hash below
+
+  std::uint64_t checksum = 0;
+  {
+    HashingOutBuf hashing(os.rdbuf());
+    std::ostream payload(&hashing);
+    write_payload(payload, m);
+    MPAS_CHECK_MSG(payload.good(), "write failure on '" << path << "'");
+    checksum = hashing.hash();
+  }
+  os.seekp(checksum_pos);
+  write_pod(os, checksum);
+  os.flush();
+  MPAS_CHECK_MSG(os.good(), "write failure on '" << path << "'");
+}
+
+VoronoiMesh load_mesh(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  MPAS_CHECK_MSG(is.good(), "cannot open mesh file '" << path << "'");
+  char magic[sizeof(kMagic)];
+  is.read(magic, sizeof(magic));
+  MPAS_CHECK_MSG(is.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+                 "'" << path << "' is not an MPAS mesh file");
+  const auto version = read_pod<std::uint32_t>(is);
+  MPAS_CHECK_MSG(version == kVersion,
+                 "mesh file version " << version << ", expected " << kVersion);
+  const auto expected = read_pod<std::uint64_t>(is);
+
+  VoronoiMesh m;
+  HashingInBuf hashing(is.rdbuf());
+  std::istream payload(&hashing);
+  read_payload(payload, m);
+  // Every payload byte must be consumed (trailing garbage is corruption
+  // too) and must hash to what the writer recorded.
+  MPAS_CHECK_MSG(payload.peek() == std::istream::traits_type::eof(),
+                 "mesh file '" << path << "' has trailing bytes");
+  MPAS_CHECK_MSG(hashing.hash() == expected,
+                 "mesh file '" << path << "' failed its checksum (corrupt?)");
 
   m.validate(/*strict=*/false);
   return m;

@@ -19,6 +19,7 @@ SelfHealingHybrid::SelfHealingHybrid(const mesh::VoronoiMesh& mesh,
       engine_(core::MeshSizes{mesh.num_cells, mesh.num_edges,
                               mesh.num_vertices},
               opts.sim) {
+  monitor_.set_metric_scope(opts_.metric_scope);
   if (opts_.threads > 0) {
     pool_ = std::make_unique<exec::ThreadPool>(opts_.threads);
     model_.set_pool(pool_.get());
@@ -90,7 +91,9 @@ void SelfHealingHybrid::swap_in(ReplanResult plans[3],
           obs::trace_arg("plan", current_[1].schedule.name) + "," +
           obs::trace_arg("accel", std::string(avail.accel_alive ? "alive"
                                                                 : "dead")));
-  obs::MetricsRegistry::global().counter("resilience.health.replans").add(1);
+  obs::MetricsRegistry::global()
+      .counter(opts_.metric_scope + "resilience.health.replans")
+      .add(1);
 }
 
 DeviceAvailability SelfHealingHybrid::current_availability() const {

@@ -46,6 +46,10 @@ class SelfHealingHybrid {
     std::size_t probe_bytes = std::size_t{1} << 16;
     /// Worker threads for the numerics pool (0 = run inline).
     int threads = 0;
+    /// Prefix for the health metrics this instance publishes (e.g.
+    /// "service.session7."), so concurrent instances write distinguishable
+    /// series. Empty keeps the historical process-global names.
+    std::string metric_scope;
   };
 
   SelfHealingHybrid(const mesh::VoronoiMesh& mesh, sw::SwParams params,

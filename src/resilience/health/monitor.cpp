@@ -47,11 +47,18 @@ HealthMonitor::HealthMonitor(HealthPolicy policy) : policy_(policy) {
 }
 
 void HealthMonitor::track(const std::string& entity) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   entities_.emplace(entity, Entity{});
 }
 
 void HealthMonitor::forget(const std::string& entity) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   entities_.erase(entity);
+}
+
+void HealthMonitor::set_metric_scope(std::string scope) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  metric_scope_ = std::move(scope);
 }
 
 HealthMonitor::Entity& HealthMonitor::entity_ref(const std::string& name) {
@@ -75,7 +82,7 @@ void HealthMonitor::transition(const std::string& name, Entity& e,
   const HealthState from = e.state;
   if (from == to) return;
   e.state = to;
-  generation_ += 1;
+  generation_.fetch_add(1, std::memory_order_acq_rel);
   transitions_.push_back({name, from, to, step, reason});
   if (to == HealthState::Quarantined) {
     e.probe_backoff = policy_.probe_backoff_start;
@@ -85,22 +92,23 @@ void HealthMonitor::transition(const std::string& name, Entity& e,
   e.bad_streak = 0;
   e.clean_streak = 0;
   auto& registry = obs::MetricsRegistry::global();
-  registry.gauge("resilience.health.state." + name)
+  registry.gauge(metric_scope_ + "resilience.health.state." + name)
       .set(static_cast<double>(static_cast<int>(to)));
-  registry.counter("resilience.health.transitions").add(1);
+  registry.counter(metric_scope_ + "resilience.health.transitions").add(1);
   if (to == HealthState::Quarantined)
-    registry.counter("resilience.health.quarantines").add(1);
+    registry.counter(metric_scope_ + "resilience.health.quarantines").add(1);
   if (to == HealthState::Recovered)
-    registry.counter("resilience.health.recoveries").add(1);
+    registry.counter(metric_scope_ + "resilience.health.recoveries").add(1);
   // Mirror the state into the trace as a counter track, so an exported
   // Chrome trace shows the health timeline next to the instants without
   // needing the metrics JSON.
-  MPAS_TRACE_COUNTER("resilience.health.state." + name,
+  MPAS_TRACE_COUNTER(metric_scope_ + "resilience.health.state." + name,
                      static_cast<double>(static_cast<int>(to)));
   MPAS_TRACE_COUNTER(
-      "resilience.health.transitions",
+      metric_scope_ + "resilience.health.transitions",
       static_cast<double>(
-          registry.counter("resilience.health.transitions").value()));
+          registry.counter(metric_scope_ + "resilience.health.transitions")
+              .value()));
   MPAS_TRACE_INSTANT_ARGS(
       instant_name(to),
       obs::trace_arg("entity", name) + "," +
@@ -111,6 +119,7 @@ void HealthMonitor::transition(const std::string& name, Entity& e,
 
 void HealthMonitor::observe_step_time(const std::string& entity,
                                       std::int64_t /*step*/, Real seconds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   Entity& e = entity_ref(entity);
   e.sampled = true;
   e.heartbeat = true;
@@ -119,23 +128,27 @@ void HealthMonitor::observe_step_time(const std::string& entity,
 
 void HealthMonitor::observe_heartbeat(const std::string& entity,
                                       std::int64_t /*step*/) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   entity_ref(entity).heartbeat = true;
 }
 
 void HealthMonitor::observe_transfer_retries(const std::string& entity,
                                              std::uint64_t retries) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   entity_ref(entity).step_retries += retries;
 }
 
 void HealthMonitor::observe_failure(const std::string& entity,
                                     std::int64_t step,
                                     const std::string& reason) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   Entity& e = entity_ref(entity);
   if (e.state == HealthState::Quarantined) return;  // already out
   transition(entity, e, HealthState::Quarantined, step, reason);
 }
 
 void HealthMonitor::end_step(std::int64_t step) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   for (auto& [name, e] : entities_) {
     // Consume and reset this step's signals up front so every exit path
     // below leaves the accumulator clean.
@@ -200,16 +213,20 @@ void HealthMonitor::end_step(std::int64_t step) {
 
 bool HealthMonitor::probe_due(const std::string& entity,
                               std::int64_t step) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   const Entity& e = entity_ref(entity);
   return e.state == HealthState::Quarantined && step >= e.next_probe_step;
 }
 
 void HealthMonitor::observe_probe(const std::string& entity, std::int64_t step,
                                   bool ok) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   Entity& e = entity_ref(entity);
   MPAS_CHECK_MSG(e.state == HealthState::Quarantined,
                  "probe on non-quarantined entity '" << entity << "'");
-  obs::MetricsRegistry::global().counter("resilience.health.probes").add(1);
+  obs::MetricsRegistry::global()
+      .counter(metric_scope_ + "resilience.health.probes")
+      .add(1);
   MPAS_TRACE_INSTANT_ARGS(
       "health:probe", obs::trace_arg("entity", entity) + "," +
                           obs::trace_arg("step", step) + "," +
@@ -233,6 +250,7 @@ void HealthMonitor::observe_probe(const std::string& entity, std::int64_t step,
 }
 
 void HealthMonitor::reset_baseline(const std::string& entity) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   Entity& e = entity_ref(entity);
   e.baseline_set = false;
   e.baseline = 0;
@@ -240,20 +258,29 @@ void HealthMonitor::reset_baseline(const std::string& entity) {
 }
 
 HealthState HealthMonitor::state(const std::string& entity) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   return entity_ref(entity).state;
 }
 
 bool HealthMonitor::usable(const std::string& entity) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   return entity_ref(entity).state != HealthState::Quarantined;
 }
 
 Real HealthMonitor::slowdown(const std::string& entity) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   const Entity& e = entity_ref(entity);
   if (!e.baseline_set || e.baseline <= 0 || e.last_seconds <= 0) return 1.0;
   return std::max<Real>(1.0, e.last_seconds / e.baseline);
 }
 
+std::vector<Transition> HealthMonitor::transitions() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return transitions_;
+}
+
 std::vector<std::string> HealthMonitor::entities() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::string> out;
   out.reserve(entities_.size());
   for (const auto& [name, e] : entities_) out.push_back(name);
@@ -261,6 +288,7 @@ std::vector<std::string> HealthMonitor::entities() const {
 }
 
 std::vector<std::string> HealthMonitor::in_state(HealthState state) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::string> out;
   for (const auto& [name, e] : entities_)
     if (e.state == state) out.push_back(name);

@@ -14,8 +14,11 @@
 // rank ("rank0"). The monitor is deterministic — every decision keys on
 // step indices and observed values, never wall-clock time — so seeded chaos
 // campaigns reproduce the same transition history run after run. Drivers
-// (SelfHealingHybrid, DistributedSw::run) call it from their step loop;
-// it is not thread-safe by design (signals are fused at step boundaries).
+// (SelfHealingHybrid, DistributedSw::run) call it from their step loop.
+// All public methods are thread-safe (one internal mutex): the session
+// service observes many entities from concurrent workers. Determinism is
+// then per entity — callers that need a deterministic *global* transition
+// order still fuse signals from one thread per entity at step boundaries.
 //
 // Hysteresis: one slow step never quarantines (suspect_after consecutive
 // bad signals to become Suspect, quarantine_after more to be Quarantined)
@@ -28,8 +31,10 @@
 // published as a resilience.health.* metric and a health:* trace instant.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -77,6 +82,12 @@ class HealthMonitor {
   /// Drop an entity (e.g. a rank evicted by a shrink).
   void forget(const std::string& entity);
 
+  /// Prefix every metric and trace-counter name this monitor publishes
+  /// (e.g. "service.session7."), so concurrent monitors — one per session —
+  /// write distinguishable series instead of interleaving one global
+  /// counter set. Empty (the default) keeps the historical global names.
+  void set_metric_scope(std::string scope);
+
   // ---- signals (accumulated until end_step folds them) ----
   /// The entity's modeled or measured time for `step`. Doubles as a
   /// heartbeat: an entity that reports nothing in a step missed its beat.
@@ -120,11 +131,12 @@ class HealthMonitor {
   /// this); 1 when unknown.
   [[nodiscard]] Real slowdown(const std::string& entity) const;
   /// Bumped on every transition; a changed generation tells the driver a
-  /// replan is due at the next step boundary.
-  [[nodiscard]] std::uint64_t generation() const { return generation_; }
-  [[nodiscard]] const std::vector<Transition>& transitions() const {
-    return transitions_;
+  /// replan is due at the next step boundary. Monotonic (atomic read).
+  [[nodiscard]] std::uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
   }
+  /// Snapshot of the transition history (copied under the lock).
+  [[nodiscard]] std::vector<Transition> transitions() const;
   [[nodiscard]] std::vector<std::string> entities() const;
   [[nodiscard]] std::vector<std::string> in_state(HealthState state) const;
   [[nodiscard]] const HealthPolicy& policy() const { return policy_; }
@@ -148,15 +160,18 @@ class HealthMonitor {
     int probe_ok_streak = 0;
   };
 
+  // Helpers assume mutex_ is held by the public caller.
   Entity& entity_ref(const std::string& name);
   const Entity& entity_ref(const std::string& name) const;
   void transition(const std::string& name, Entity& e, HealthState to,
                   std::int64_t step, const std::string& reason);
 
   HealthPolicy policy_;
+  std::string metric_scope_;
+  mutable std::mutex mutex_;
   std::map<std::string, Entity> entities_;
   std::vector<Transition> transitions_;
-  std::uint64_t generation_ = 0;
+  std::atomic<std::uint64_t> generation_{0};
 };
 
 }  // namespace mpas::resilience::health

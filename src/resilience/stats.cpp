@@ -33,9 +33,10 @@ Table ResilienceStats::to_table() const {
 
 std::string ResilienceStats::to_string() const { return to_table().to_ascii(); }
 
-void ResilienceStats::export_metrics(obs::MetricsRegistry& registry) const {
-  const auto set = [&registry](const char* name, double value) {
-    registry.gauge(name).set(value);
+void ResilienceStats::export_metrics(obs::MetricsRegistry& registry,
+                                     const std::string& prefix) const {
+  const auto set = [&registry, &prefix](const char* name, double value) {
+    registry.gauge(prefix + name).set(value);
   };
   set("resilience.faults_injected", static_cast<double>(injected.total()));
   set("resilience.messages_sent", static_cast<double>(channel.sent));

@@ -34,10 +34,14 @@ struct ResilienceStats {
   [[nodiscard]] Table to_table() const;
   [[nodiscard]] std::string to_string() const;  // aligned ASCII rendering
 
-  /// Publish the snapshot into `registry` as "resilience.*" gauges (gauges,
-  /// not counters: this struct is already a point-in-time aggregate, so
-  /// re-publishing overwrites instead of double-counting).
-  void export_metrics(obs::MetricsRegistry& registry) const;
+  /// Publish the snapshot into `registry` as "<prefix>resilience.*" gauges
+  /// (gauges, not counters: this struct is already a point-in-time
+  /// aggregate, so re-publishing overwrites instead of double-counting).
+  /// A non-empty prefix (e.g. "service.session7.") scopes the series to
+  /// one session so concurrent runs stay distinguishable; the default
+  /// keeps the historical process-global names.
+  void export_metrics(obs::MetricsRegistry& registry,
+                      const std::string& prefix = "") const;
 };
 
 }  // namespace mpas::resilience

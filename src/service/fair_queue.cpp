@@ -1,0 +1,114 @@
+#include "service/fair_queue.hpp"
+
+#include <algorithm>
+
+namespace mpas::service {
+
+void FairQueue::set_weight(const std::string& tenant, Real weight) {
+  lanes_[tenant].weight = std::max<Real>(weight, 1e-9);
+}
+
+void FairQueue::push(QueueEntry entry) {
+  Lane& lane = lanes_[entry.tenant];
+  lane.entries.push_back(std::move(entry));
+  size_ += 1;
+}
+
+std::optional<QueueEntry> FairQueue::pop() {
+  if (size_ == 0) return std::nullopt;
+
+  // Quantum sized to the largest head-of-lane cost so a weight-1 lane
+  // dispatches within one visit (DWRR's usual max-packet-size choice).
+  Real quantum = 0;
+  for (const auto& [tenant, lane] : lanes_)
+    if (!lane.entries.empty())
+      quantum = std::max(quantum, lane.entries.front().cost);
+  quantum = std::max<Real>(quantum, 1e-12);
+
+  // Ring order is map order; resume at the cursor. A lane is charged its
+  // quantum * weight once per visit and then drains entries as long as
+  // the deficit covers them — the burst is what makes service per round
+  // proportional to weight, not to lane count. The cursor (and its
+  // charged flag) survives across pop() calls mid-burst.
+  auto it = lanes_.lower_bound(cursor_);
+  if (it == lanes_.end() || it->first != cursor_) cursor_charged_ = false;
+  const std::size_t max_visits = 64 * lanes_.size() + 64;
+  for (std::size_t visits = 0; visits < max_visits; ++visits) {
+    if (it == lanes_.end()) {
+      it = lanes_.begin();
+      cursor_charged_ = false;
+    }
+    Lane& lane = it->second;
+    if (lane.entries.empty()) {
+      lane.deficit = 0;  // an idle lane banks nothing (work conserving)
+      ++it;
+      cursor_charged_ = false;
+      continue;
+    }
+    if (!cursor_charged_) {
+      lane.deficit += quantum * lane.weight;
+      cursor_charged_ = true;
+    }
+    if (lane.deficit + 1e-12 >= lane.entries.front().cost) {
+      QueueEntry out = std::move(lane.entries.front());
+      lane.entries.pop_front();
+      lane.deficit -= out.cost;
+      size_ -= 1;
+      if (lane.entries.empty()) {
+        lane.deficit = 0;
+        ++it;
+        cursor_ = it == lanes_.end() ? std::string() : it->first;
+        cursor_charged_ = false;
+      } else {
+        cursor_ = it->first;  // burst may continue on the next pop
+      }
+      return out;
+    }
+    ++it;
+    cursor_charged_ = false;
+  }
+  // Liveness backstop for pathological weights (a near-zero weight needs
+  // ~1/weight ring passes to bank one head cost): fall back to FIFO
+  // rather than telling the caller an occupied queue is empty.
+  QueueEntry* oldest = nullptr;
+  for (auto& [tenant, lane] : lanes_)
+    if (!lane.entries.empty() &&
+        (oldest == nullptr || lane.entries.front().seq < oldest->seq))
+      oldest = &lane.entries.front();
+  QueueEntry out = std::move(*oldest);
+  Lane& lane = lanes_[out.tenant];
+  lane.entries.pop_front();
+  lane.deficit = 0;
+  size_ -= 1;
+  cursor_charged_ = false;
+  return out;
+}
+
+bool FairQueue::remove(std::uint64_t id) {
+  for (auto& [tenant, lane] : lanes_) {
+    const auto it = std::find_if(
+        lane.entries.begin(), lane.entries.end(),
+        [id](const QueueEntry& e) { return e.id == id; });
+    if (it != lane.entries.end()) {
+      lane.entries.erase(it);
+      size_ -= 1;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t FairQueue::size_of_tenant(const std::string& tenant) const {
+  const auto it = lanes_.find(tenant);
+  return it == lanes_.end() ? 0 : it->second.entries.size();
+}
+
+std::vector<QueueEntry> FairQueue::snapshot() const {
+  std::vector<QueueEntry> out;
+  out.reserve(size_);
+  for (const auto& [tenant, lane] : lanes_)
+    for (const QueueEntry& e : lane.entries) out.push_back(e);
+  return out;
+}
+
+}  // namespace mpas::service

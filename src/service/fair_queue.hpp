@@ -1,0 +1,67 @@
+// Deficit weighted round-robin dispatch queue.
+//
+// Admitted sessions wait here until a worker frees up; pop order — not
+// admission — is what keeps a burst-happy tenant from starving a polite
+// one between admission decisions. Classic DWRR: tenants are visited in a
+// fixed round-robin ring, each visit deposits quantum * weight into the
+// tenant's deficit counter, and the tenant's oldest session dispatches
+// when the deficit covers its modeled cost. Heavier sessions therefore
+// wait for more visits; per-visit service converges to the weight ratio.
+//
+// NOT internally synchronized: the SessionManager owns the lock (the
+// queue is always consulted together with accounting it must stay
+// consistent with).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace mpas::service {
+
+struct QueueEntry {
+  std::uint64_t id = 0;
+  std::string tenant;
+  int priority = 0;
+  Real cost = 0;       // modeled seconds (the DWRR service unit)
+  bool borrowed = false;
+  std::uint64_t seq = 0;
+};
+
+class FairQueue {
+ public:
+  /// Tenants default to weight 1 until declared.
+  void set_weight(const std::string& tenant, Real weight);
+
+  void push(QueueEntry entry);
+  /// Next session per DWRR, or nullopt when empty.
+  [[nodiscard]] std::optional<QueueEntry> pop();
+  /// Evict a queued session (cancellation, load-shedding). False when the
+  /// id is not queued (e.g. already dispatched).
+  bool remove(std::uint64_t id);
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size_of_tenant(const std::string& tenant) const;
+  /// Every queued entry, in no particular order (admission shed scans).
+  [[nodiscard]] std::vector<QueueEntry> snapshot() const;
+
+ private:
+  struct Lane {
+    std::deque<QueueEntry> entries;
+    Real weight = 1.0;
+    Real deficit = 0;
+  };
+
+  std::map<std::string, Lane> lanes_;  // ring = map order (stable, fair)
+  std::string cursor_;                 // tenant visited next
+  bool cursor_charged_ = false;        // cursor lane got its quantum already
+  std::size_t size_ = 0;
+};
+
+}  // namespace mpas::service

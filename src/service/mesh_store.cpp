@@ -1,0 +1,66 @@
+#include "service/mesh_store.hpp"
+
+#include <string>
+
+#include "mesh/mesh_cache.hpp"
+#include "obs/metrics.hpp"
+
+namespace mpas::service {
+
+MeshLease MeshStore::acquire(int level) {
+  // Build/load outside the store lock: get_global_mesh serializes itself,
+  // and a level-8 build must not block refcount traffic on other levels.
+  std::shared_ptr<const mesh::VoronoiMesh> fresh;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (auto it = entries_.find(level); it != entries_.end()) {
+      it->second.refs += 1;
+      publish_locked();
+      return MeshLease(this, level, it->second.mesh);
+    }
+  }
+  fresh = mesh::get_global_mesh(level);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Entry& e = entries_[level];  // a racing acquire may have inserted it
+  if (!e.mesh) e.mesh = fresh;
+  e.refs += 1;
+  publish_locked();
+  return MeshLease(this, level, e.mesh);
+}
+
+void MeshStore::release(int level) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(level);
+  if (it == entries_.end()) return;
+  it->second.refs -= 1;
+  if (it->second.refs <= 0) {
+    entries_.erase(it);
+    // The per-level gauge would otherwise hold its last nonzero value.
+    obs::MetricsRegistry::global()
+        .gauge("service.mesh_store.refs.level" + std::to_string(level))
+        .set(0);
+  }
+  publish_locked();
+}
+
+std::size_t MeshStore::resident_levels() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+int MeshStore::refs(int level) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(level);
+  return it == entries_.end() ? 0 : it->second.refs;
+}
+
+void MeshStore::publish_locked() const {
+  auto& registry = obs::MetricsRegistry::global();
+  registry.gauge("service.mesh_store.resident_levels")
+      .set(static_cast<double>(entries_.size()));
+  for (const auto& [level, e] : entries_)
+    registry.gauge("service.mesh_store.refs.level" + std::to_string(level))
+        .set(static_cast<double>(e.refs));
+}
+
+}  // namespace mpas::service

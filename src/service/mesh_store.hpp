@@ -1,0 +1,93 @@
+// Refcounted shared mesh store for co-resident sessions.
+//
+// Sessions at the same subdivision level share one immutable mesh instead
+// of building (or even cache-loading) their own copy; the store tracks how
+// many sessions hold each level so the degraded-fidelity admission rung —
+// which herds overload traffic onto a coarser shared level — reuses what
+// is already resident. Acquisition goes through mesh::get_global_mesh, so
+// the disk cache and its corruption handling apply unchanged; the store's
+// own entry is dropped when the last session releases a level.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "mesh/mesh.hpp"
+
+namespace mpas::service {
+
+/// A session's lease on a shared mesh: RAII release on destruction.
+class MeshLease;
+
+class MeshStore {
+ public:
+  /// Shared mesh for `level`; builds/loads on first acquisition, bumps the
+  /// refcount otherwise. Publishes service.mesh_store.* gauges.
+  [[nodiscard]] MeshLease acquire(int level);
+
+  [[nodiscard]] std::size_t resident_levels() const;
+  [[nodiscard]] int refs(int level) const;
+
+ private:
+  friend class MeshLease;
+  void release(int level);
+  void publish_locked() const;
+
+  struct Entry {
+    std::shared_ptr<const mesh::VoronoiMesh> mesh;
+    int refs = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<int, Entry> entries_;
+};
+
+class MeshLease {
+ public:
+  MeshLease() = default;
+  MeshLease(MeshLease&& other) noexcept
+      : store_(other.store_), level_(other.level_), mesh_(std::move(other.mesh_)) {
+    other.store_ = nullptr;
+  }
+  MeshLease& operator=(MeshLease&& other) noexcept {
+    if (this != &other) {
+      reset();
+      store_ = other.store_;
+      level_ = other.level_;
+      mesh_ = std::move(other.mesh_);
+      other.store_ = nullptr;
+    }
+    return *this;
+  }
+  MeshLease(const MeshLease&) = delete;
+  MeshLease& operator=(const MeshLease&) = delete;
+  ~MeshLease() { reset(); }
+
+  void reset() {
+    if (store_ != nullptr) store_->release(level_);
+    store_ = nullptr;
+    mesh_.reset();
+  }
+
+  [[nodiscard]] const mesh::VoronoiMesh& operator*() const { return *mesh_; }
+  [[nodiscard]] const mesh::VoronoiMesh* operator->() const {
+    return mesh_.get();
+  }
+  [[nodiscard]] const mesh::VoronoiMesh* get() const { return mesh_.get(); }
+  [[nodiscard]] int level() const { return level_; }
+  [[nodiscard]] explicit operator bool() const { return mesh_ != nullptr; }
+
+ private:
+  friend class MeshStore;
+  MeshLease(MeshStore* store, int level,
+            std::shared_ptr<const mesh::VoronoiMesh> mesh)
+      : store_(store), level_(level), mesh_(std::move(mesh)) {}
+
+  MeshStore* store_ = nullptr;
+  int level_ = 0;
+  std::shared_ptr<const mesh::VoronoiMesh> mesh_;
+};
+
+}  // namespace mpas::service

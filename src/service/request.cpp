@@ -1,0 +1,23 @@
+#include "service/request.hpp"
+
+namespace mpas::service {
+
+const char* to_string(SessionState state) {
+  switch (state) {
+    case SessionState::Queued: return "queued";
+    case SessionState::Running: return "running";
+    case SessionState::Completed: return "completed";
+    case SessionState::Rejected: return "rejected";
+    case SessionState::Shed: return "shed";
+    case SessionState::Cancelled: return "cancelled";
+    case SessionState::TimedOut: return "timed-out";
+    case SessionState::Failed: return "failed";
+  }
+  return "?";
+}
+
+bool is_terminal(SessionState state) {
+  return state != SessionState::Queued && state != SessionState::Running;
+}
+
+}  // namespace mpas::service

@@ -1,0 +1,148 @@
+#include "service/session.hpp"
+
+#include <map>
+#include <mutex>
+#include <span>
+#include <sstream>
+#include <tuple>
+
+#include "mesh/mesh_cache.hpp"
+#include "sw/model.hpp"
+#include "sw/testcases.hpp"
+#include "util/error.hpp"
+
+namespace mpas::service {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+void fnv_mix(std::uint64_t& hash, std::span<const Real> values) {
+  const auto* bytes = reinterpret_cast<const unsigned char*>(values.data());
+  const std::size_t n = values.size() * sizeof(Real);
+  for (std::size_t i = 0; i < n; ++i) {
+    hash ^= bytes[i];
+    hash *= kFnvPrime;
+  }
+}
+
+sw::SwParams params_for(const sw::TestCase& tc,
+                        const mesh::VoronoiMesh& mesh) {
+  sw::SwParams params;
+  params.dt = sw::suggested_time_step(tc, mesh, 0.4);
+  return params;
+}
+
+}  // namespace
+
+std::uint64_t state_hash(const sw::FieldStore& fields) {
+  std::uint64_t hash = kFnvOffset;
+  fnv_mix(hash, fields.get(sw::FieldId::H));
+  fnv_mix(hash, fields.get(sw::FieldId::U));
+  return hash;
+}
+
+std::uint64_t reference_hash(int mesh_level, int test_case, int steps) {
+  using Key = std::tuple<int, int, int>;
+  static std::mutex mutex;
+  static std::map<Key, std::uint64_t> memo;
+
+  const Key key{mesh_level, test_case, steps};
+  {
+    const std::lock_guard<std::mutex> lock(mutex);
+    if (const auto it = memo.find(key); it != memo.end()) return it->second;
+  }
+  // Reference outside the lock: a level-6 run must not serialize lookups
+  // for other keys. A racing duplicate computes the same value.
+  const auto mesh = mesh::get_global_mesh(mesh_level);
+  const auto tc = sw::make_test_case(test_case);
+  sw::SwModel ref(*mesh, params_for(*tc, *mesh));
+  sw::apply_initial_conditions(*tc, *mesh, ref.fields());
+  ref.initialize();
+  ref.run(steps);
+  const std::uint64_t hash = state_hash(ref.fields());
+
+  const std::lock_guard<std::mutex> lock(mutex);
+  memo.emplace(key, hash);
+  return hash;
+}
+
+void run_session(const SessionRunContext& ctx, SessionResult& result) {
+  MPAS_CHECK(ctx.request != nullptr && ctx.mesh != nullptr);
+  const SessionRequest& req = *ctx.request;
+
+  if (result.attempts <= req.chaos.fail_first_attempts) {
+    std::ostringstream os;
+    os << "chaos: injected transient launch fault (attempt "
+       << result.attempts << " of " << req.chaos.fail_first_attempts
+       << " doomed)";
+    throw TransientError(os.str());
+  }
+
+  const auto tc = sw::make_test_case(req.test_case);
+  resilience::health::SelfHealingHybrid::Options hopts;
+  hopts.sim = ctx.sim;
+  hopts.threads = req.threads;
+  hopts.metric_scope = "service.session" + std::to_string(ctx.id) + ".";
+  resilience::health::SelfHealingHybrid sut(*ctx.mesh,
+                                            params_for(*tc, *ctx.mesh), hopts);
+  sw::apply_initial_conditions(*tc, *ctx.mesh, sut.model().fields());
+  sut.initialize();
+
+  const std::int64_t bytes = static_cast<std::int64_t>(sizeof(Real)) *
+                             (ctx.mesh->num_cells + ctx.mesh->num_edges);
+  const Real output_seconds = ctx.sim.platform.link.time(bytes);
+
+  Real spent = ctx.modeled_seconds_spent;
+  result.steps_done = 0;
+  result.outputs_written = 0;
+  result.step_modeled_seconds.clear();
+
+  for (int s = 0; s < req.steps; ++s) {
+    // Step boundary: the only place cancellation, deadlines, and injected
+    // device faults are honored — a step in flight always completes.
+    if (ctx.cancel != nullptr &&
+        ctx.cancel->load(std::memory_order_acquire)) {
+      result.state = SessionState::Cancelled;
+      std::ostringstream os;
+      os << "cancelled at step boundary " << s << " of " << req.steps;
+      result.reason = os.str();
+      result.modeled_seconds = spent;
+      return;
+    }
+    if (req.deadline_modeled_s > 0 &&
+        spent + sut.modeled_step_seconds() > req.deadline_modeled_s) {
+      result.state = SessionState::TimedOut;
+      std::ostringstream os;
+      os << "deadline of " << req.deadline_modeled_s << " modeled s "
+         << (s == 0 ? "exhausted before the first step (retry backoff)"
+                    : "would be exceeded by the next step")
+         << " after " << s << " of " << req.steps << " steps";
+      result.reason = os.str();
+      result.modeled_seconds = spent;
+      result.replans = sut.replans();
+      return;
+    }
+    if (s == req.chaos.quarantine_accel_at_step)
+      sut.monitor().observe_failure("accel", s,
+                                    "chaos: injected device fault");
+
+    sut.step();
+    const Real step_seconds = sut.modeled_step_seconds();
+    spent += step_seconds;
+    result.step_modeled_seconds.push_back(step_seconds);
+    result.steps_done = s + 1;
+    if (req.output_every > 0 && (s + 1) % req.output_every == 0) {
+      result.outputs_written += 1;
+      spent += output_seconds;
+    }
+  }
+
+  result.state = SessionState::Completed;
+  result.modeled_seconds = spent;
+  result.replans = sut.replans();
+  result.state_hash = state_hash(sut.model().fields());
+}
+
+}  // namespace mpas::service

@@ -1,0 +1,363 @@
+#include "service/session_manager.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "service/session.hpp"
+#include "util/env.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace mpas::service {
+
+SessionManager::SessionManager(ServiceOptions opts)
+    : opts_(opts),
+      costs_(opts.sim),
+      admission_(opts.admission, &costs_) {
+  MPAS_CHECK_MSG(opts_.workers >= 1, "service needs at least one worker");
+  MPAS_CHECK_MSG(opts_.max_attempts >= 1, "need at least one attempt");
+  workers_.reserve(static_cast<std::size_t>(opts_.workers));
+  for (int i = 0; i < opts_.workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+SessionManager::~SessionManager() { shutdown(); }
+
+void SessionManager::set_tenant_weight(const std::string& tenant,
+                                       Real weight) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  admission_.set_tenant_weight(tenant, weight);
+  queue_.set_weight(tenant, weight);
+}
+
+AdmissionInput SessionManager::admission_input_locked(
+    const std::string& tenant) const {
+  AdmissionInput input;
+  input.outstanding_total = outstanding_total_;
+  input.outstanding_by_tenant = outstanding_by_tenant_;
+  input.queued_of_tenant = queue_.size_of_tenant(tenant);
+  for (const QueueEntry& e : queue_.snapshot())
+    input.queued.push_back(
+        {e.id, e.tenant, e.priority, e.cost, e.borrowed, e.seq});
+  return input;
+}
+
+std::uint64_t SessionManager::submit(SessionRequest request) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t id = next_id_++;
+  auto rec = std::make_unique<Record>();
+  rec->effective = request;
+  rec->result.id = id;
+  rec->result.tenant = request.tenant;
+  rec->result.mesh_level_used = request.mesh_level;
+  rec->result.test_case_used = request.test_case;
+  rec->result.output_every_used = request.output_every;
+  stats_.submitted += 1;
+
+  if (shutdown_) {
+    rec->result.state = SessionState::Rejected;
+    rec->result.reason = "service is shutting down";
+    stats_.rejected += 1;
+    records_.emplace(id, std::move(rec));
+    publish_locked();
+    done_cv_.notify_all();
+    return id;
+  }
+
+  const AdmissionOutcome verdict =
+      admission_.decide(request, admission_input_locked(request.tenant));
+
+  if (verdict.action == AdmissionOutcome::Action::Reject) {
+    rec->result.state = SessionState::Rejected;
+    rec->result.reason = verdict.reason;
+    rec->result.admitted_cost = verdict.cost;
+    stats_.rejected += 1;
+    MPAS_LOG_WARN << "session " << id << " rejected: " << verdict.reason;
+    MPAS_TRACE_INSTANT_ARGS("service:reject",
+                            obs::trace_arg("id", static_cast<int64_t>(id)) +
+                                "," + obs::trace_arg("tenant", request.tenant));
+    records_.emplace(id, std::move(rec));
+    publish_locked();
+    done_cv_.notify_all();
+    return id;
+  }
+
+  // Apply the rehearsed evictions before taking the freed capacity.
+  for (const auto& [shed_id, why] : verdict.shed) {
+    const auto it = records_.find(shed_id);
+    if (it == records_.end() || !queue_.remove(shed_id)) continue;
+    stats_.shed += 1;
+    // A shed session's work was never done: the fairness ledger must not
+    // credit its tenant for it.
+    stats_.admitted_seconds_by_tenant[it->second->result.tenant] -=
+        it->second->result.admitted_cost;
+    finish_locked(*it->second, SessionState::Shed, why);
+  }
+
+  rec->effective = verdict.effective;
+  rec->borrowed = verdict.borrowed;
+  rec->result.state = SessionState::Queued;
+  rec->result.reason = verdict.reason;
+  rec->result.admitted_cost = verdict.cost;
+  rec->result.degraded =
+      verdict.action == AdmissionOutcome::Action::AdmitDegraded;
+  rec->result.mesh_level_used = verdict.effective.mesh_level;
+  rec->result.test_case_used = verdict.effective.test_case;
+  rec->result.output_every_used = verdict.effective.output_every;
+
+  outstanding_total_ += verdict.cost;
+  outstanding_by_tenant_[request.tenant] += verdict.cost;
+  stats_.admitted += 1;
+  if (rec->result.degraded) stats_.admitted_degraded += 1;
+  stats_.admitted_seconds_by_tenant[request.tenant] += verdict.cost;
+
+  queue_.push({id, request.tenant, verdict.effective.priority, verdict.cost,
+               verdict.borrowed, id});
+  records_.emplace(id, std::move(rec));
+  publish_locked();
+  work_cv_.notify_one();
+  return id;
+}
+
+void SessionManager::worker_loop() {
+  for (;;) {
+    std::uint64_t id = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] {
+        return shutdown_ || (!paused_ && !queue_.empty());
+      });
+      if (shutdown_) return;
+      const auto entry = queue_.pop();
+      if (!entry) continue;
+      id = entry->id;
+      Record& rec = *records_.at(id);
+      rec.result.state = SessionState::Running;
+      active_ += 1;
+      publish_locked();
+    }
+    run_one(id);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      active_ -= 1;
+      publish_locked();
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void SessionManager::run_one(std::uint64_t id) {
+  SessionRequest req;
+  Record* rec_ptr = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    rec_ptr = records_.at(id).get();  // unique_ptr: stable across inserts
+    req = rec_ptr->effective;
+  }
+  Record& rec = *rec_ptr;
+
+  Real backoff_spent = 0;
+  for (int attempt = 1; attempt <= opts_.max_attempts; ++attempt) {
+    try {
+      SessionResult local;
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        rec.result.attempts = attempt;
+        local = rec.result;
+      }
+      const MeshLease lease = meshes_.acquire(req.mesh_level);
+      SessionRunContext ctx;
+      ctx.id = id;
+      ctx.request = &req;
+      ctx.mesh = lease.get();
+      ctx.cancel = &rec.cancel;
+      ctx.modeled_seconds_spent = backoff_spent;
+      ctx.sim = opts_.sim;
+      run_session(ctx, local);
+
+      const std::lock_guard<std::mutex> lock(mutex_);
+      rec.result = local;
+      finish_locked(rec, local.state, local.reason);
+      return;
+    } catch (const TransientError& e) {
+      // Exponential backoff in modeled seconds, charged to the deadline.
+      const Real backoff =
+          opts_.backoff_start_modeled_s * static_cast<Real>(1 << (attempt - 1));
+      backoff_spent += backoff;
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stats_.retries += 1;
+      std::ostringstream os;
+      if (attempt == opts_.max_attempts) {
+        os << "transient fault persisted through " << opts_.max_attempts
+           << " attempts: " << e.what();
+        rec.result.modeled_seconds = backoff_spent;
+        finish_locked(rec, SessionState::Failed, os.str());
+        return;
+      }
+      if (req.deadline_modeled_s > 0 &&
+          backoff_spent >= req.deadline_modeled_s) {
+        os << "retry backoff (" << backoff_spent
+           << " modeled s) exhausted the deadline after attempt " << attempt
+           << ": " << e.what();
+        rec.result.modeled_seconds = backoff_spent;
+        finish_locked(rec, SessionState::TimedOut, os.str());
+        return;
+      }
+      MPAS_LOG_WARN << "session " << id << " attempt " << attempt
+                    << " hit a transient fault (" << e.what()
+                    << "); backing off " << backoff << " modeled s";
+    } catch (const std::exception& e) {
+      // Fault isolation: the throwing session unwinds completely (model,
+      // pool, offload runtime, mesh lease all die with the frame) and is
+      // the only session that ends Failed.
+      const std::lock_guard<std::mutex> lock(mutex_);
+      std::ostringstream os;
+      os << "session threw: " << e.what();
+      finish_locked(rec, SessionState::Failed, os.str());
+      return;
+    }
+  }
+}
+
+void SessionManager::finish_locked(Record& rec, SessionState state,
+                                   const std::string& reason) {
+  rec.result.state = state;
+  if (!reason.empty()) rec.result.reason = reason;
+
+  // Release the admission reservation (rejected sessions never held one).
+  if (state != SessionState::Rejected) {
+    const Real cost = rec.result.admitted_cost;
+    outstanding_total_ = std::max<Real>(0, outstanding_total_ - cost);
+    auto& mine = outstanding_by_tenant_[rec.result.tenant];
+    mine = std::max<Real>(0, mine - cost);
+  }
+
+  switch (state) {
+    case SessionState::Completed: stats_.completed += 1; break;
+    case SessionState::Failed: stats_.failed += 1; break;
+    case SessionState::Cancelled: stats_.cancelled += 1; break;
+    case SessionState::TimedOut: stats_.timed_out += 1; break;
+    // Shed/Rejected counters are bumped where the verdict is made.
+    default: break;
+  }
+  MPAS_TRACE_INSTANT_ARGS(
+      "service:terminal",
+      obs::trace_arg("id", static_cast<int64_t>(rec.result.id)) + "," +
+          obs::trace_arg("state", std::string(to_string(state))));
+  publish_locked();
+  done_cv_.notify_all();
+  work_cv_.notify_all();  // freed capacity may unblock nothing, but a
+                          // paused->resumed race must not strand workers
+}
+
+bool SessionManager::cancel(std::uint64_t id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = records_.find(id);
+  if (it == records_.end() || is_terminal(it->second->result.state))
+    return false;
+  Record& rec = *it->second;
+  if (rec.result.state == SessionState::Queued && queue_.remove(id)) {
+    finish_locked(rec, SessionState::Cancelled, "cancelled while queued");
+    return true;
+  }
+  rec.cancel.store(true, std::memory_order_release);
+  return true;
+}
+
+void SessionManager::set_paused(bool paused) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  paused_ = paused;
+  if (!paused_) work_cv_.notify_all();
+}
+
+bool SessionManager::drain(long timeout_ms) {
+  const long resolved =
+      resolve_timeout_ms(timeout_ms, "MPAS_SERVICE_DRAIN_TIMEOUT_MS", 120000);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(resolved);
+  std::unique_lock<std::mutex> lock(mutex_);
+  return done_cv_.wait_until(lock, deadline, [this] {
+    if (active_ > 0 || !queue_.empty()) return false;
+    return std::all_of(records_.begin(), records_.end(), [](const auto& kv) {
+      return is_terminal(kv.second->result.state);
+    });
+  });
+}
+
+void SessionManager::shutdown() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) return;
+    shutdown_ = true;
+    // Queued sessions will never run; running ones are asked to stop at
+    // their next step boundary.
+    while (const auto entry = queue_.pop()) {
+      Record& rec = *records_.at(entry->id);
+      finish_locked(rec, SessionState::Cancelled, "service shutdown");
+    }
+    for (auto& [id, rec] : records_)
+      if (!is_terminal(rec->result.state))
+        rec->cancel.store(true, std::memory_order_release);
+    work_cv_.notify_all();
+  }
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+}
+
+SessionResult SessionManager::result(std::uint64_t id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = records_.find(id);
+  MPAS_CHECK_MSG(it != records_.end(), "unknown session id " << id);
+  return it->second->result;
+}
+
+std::vector<SessionResult> SessionManager::results() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SessionResult> out;
+  out.reserve(records_.size());
+  for (const auto& [id, rec] : records_) out.push_back(rec->result);
+  return out;
+}
+
+ServiceStats SessionManager::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t SessionManager::queue_depth() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+Real SessionManager::tenant_budget(const std::string& tenant) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return admission_.tenant_budget(tenant);
+}
+
+void SessionManager::publish_locked() const {
+  auto& registry = obs::MetricsRegistry::global();
+  const auto set = [&registry](const std::string& name, double value) {
+    registry.gauge(name).set(value);
+  };
+  set("service.queue_depth", static_cast<double>(queue_.size()));
+  set("service.active_sessions", static_cast<double>(active_));
+  set("service.outstanding_modeled_s", outstanding_total_);
+  set("service.sessions.submitted", static_cast<double>(stats_.submitted));
+  set("service.sessions.admitted", static_cast<double>(stats_.admitted));
+  set("service.sessions.admitted_degraded",
+      static_cast<double>(stats_.admitted_degraded));
+  set("service.sessions.rejected", static_cast<double>(stats_.rejected));
+  set("service.sessions.shed", static_cast<double>(stats_.shed));
+  set("service.sessions.completed", static_cast<double>(stats_.completed));
+  set("service.sessions.failed", static_cast<double>(stats_.failed));
+  set("service.sessions.cancelled", static_cast<double>(stats_.cancelled));
+  set("service.sessions.timed_out", static_cast<double>(stats_.timed_out));
+  set("service.sessions.retries", static_cast<double>(stats_.retries));
+  for (const auto& [tenant, seconds] : stats_.admitted_seconds_by_tenant)
+    set("service.tenant." + tenant + ".admitted_modeled_s", seconds);
+}
+
+}  // namespace mpas::service

@@ -1,0 +1,143 @@
+// SessionManager: the simulation-as-a-service front end.
+//
+// submit() walks the admission ladder (see admission.hpp) under one lock,
+// enqueues admitted sessions into the DWRR fair queue, and returns a
+// session id whose result() can be polled — or awaited with drain(). A
+// fixed crew of worker threads pops sessions fairly and runs each to a
+// terminal state with:
+//
+//   retries    TransientError -> exponential backoff in *modeled* seconds
+//              (charged against the session's deadline), bounded attempts;
+//   deadlines  checked at step boundaries inside run_session;
+//   cancel     cooperative flag, honored at the next step boundary;
+//   isolation  each session owns its model, pool, offload runtime, and
+//              scoped HealthMonitor, so a quarantine or a throw in one
+//              session replans or tears down that session alone.
+//
+// All bookkeeping is published as service.* metrics; per-tenant admitted
+// work feeds the fairness audit the soak asserts on.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/admission.hpp"
+#include "service/fair_queue.hpp"
+#include "service/mesh_store.hpp"
+#include "service/request.hpp"
+
+namespace mpas::service {
+
+struct ServiceOptions {
+  int workers = 2;
+  AdmissionPolicy admission;
+  core::SimOptions sim{machine::paper_platform()};
+  /// Retry budget for TransientError: attempts and the modeled backoff
+  /// (doubled per retry, charged against the deadline).
+  int max_attempts = 3;
+  Real backoff_start_modeled_s = 0.05;
+};
+
+/// Aggregate service counters (also published as service.* metrics).
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t admitted_degraded = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t timed_out = 0;
+  std::uint64_t retries = 0;
+  /// Modeled seconds of admitted work per tenant (the fairness audit).
+  std::map<std::string, Real> admitted_seconds_by_tenant;
+};
+
+class SessionManager {
+ public:
+  explicit SessionManager(ServiceOptions opts = {});
+  ~SessionManager();
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Declare a tenant's scheduling weight (affects both the admission
+  /// guarantee and the DWRR dispatch share).
+  void set_tenant_weight(const std::string& tenant, Real weight);
+
+  /// Price, admit (possibly degrading or shedding), and enqueue. Always
+  /// returns an id; a rejected request's result() is immediately terminal
+  /// with the refusal reason.
+  std::uint64_t submit(SessionRequest request);
+
+  /// Cooperative cancel: evicts a queued session immediately, asks a
+  /// running one to stop at its next step boundary. False when already
+  /// terminal.
+  bool cancel(std::uint64_t id);
+
+  /// Pause/resume dispatch (admission continues). Lets callers stage a
+  /// full queue and then release it — the deterministic way to exercise
+  /// fairness at saturation.
+  void set_paused(bool paused);
+
+  /// Block until every submitted session is terminal. timeout_ms = -1
+  /// reads MPAS_SERVICE_DRAIN_TIMEOUT_MS (default 120000). False on
+  /// timeout.
+  bool drain(long timeout_ms = -1);
+
+  /// Stop accepting work, cancel queued sessions, join the workers.
+  void shutdown();
+
+  [[nodiscard]] SessionResult result(std::uint64_t id) const;
+  [[nodiscard]] std::vector<SessionResult> results() const;
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] std::size_t queue_depth() const;
+  [[nodiscard]] const CostModel& costs() const { return costs_; }
+  [[nodiscard]] Real tenant_budget(const std::string& tenant) const;
+
+ private:
+  struct Record {
+    SessionRequest effective;
+    SessionResult result;
+    std::atomic<bool> cancel{false};
+    bool borrowed = false;
+  };
+
+  void worker_loop();
+  void run_one(std::uint64_t id);
+  /// Mark `id` terminal and release its admission reservation (lock held).
+  void finish_locked(Record& rec, SessionState state,
+                     const std::string& reason);
+  void publish_locked() const;
+  [[nodiscard]] AdmissionInput admission_input_locked(
+      const std::string& tenant) const;
+
+  ServiceOptions opts_;
+  CostModel costs_;
+  AdmissionController admission_;
+  MeshStore meshes_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;   // workers: queue non-empty / shutdown
+  std::condition_variable done_cv_;   // drain: a session went terminal
+  FairQueue queue_;
+  std::map<std::uint64_t, std::unique_ptr<Record>> records_;
+  ServiceStats stats_;
+  Real outstanding_total_ = 0;
+  std::map<std::string, Real> outstanding_by_tenant_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t active_ = 0;  // sessions currently inside run_one
+  bool paused_ = false;
+  bool shutdown_ = false;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mpas::service

@@ -1,0 +1,33 @@
+#include "util/env.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "util/logging.hpp"
+
+namespace mpas {
+
+long env_long(const char* var, long fallback, long min_value, long max_value) {
+  const char* raw = std::getenv(var);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const long value = std::strtol(raw, &end, 10);
+  if (end == raw || *end != '\0') {
+    MPAS_LOG_WARN << var << "='" << raw << "' is not an integer; using "
+                  << fallback;
+    return fallback;
+  }
+  if (value < min_value || value > max_value) {
+    MPAS_LOG_WARN << var << "=" << value << " outside [" << min_value << ", "
+                  << max_value << "]; using " << fallback;
+    return fallback;
+  }
+  return value;
+}
+
+long resolve_timeout_ms(long requested_ms, const char* var, long fallback_ms) {
+  if (requested_ms >= 0) return requested_ms;
+  return env_long(var, fallback_ms);
+}
+
+}  // namespace mpas

@@ -1,0 +1,21 @@
+// Typed environment-variable lookups shared by every layer that accepts an
+// env override (timeouts, budgets). Malformed values never abort a run:
+// they log a warning and fall back to the built-in default, so a typo in a
+// job script degrades to stock behaviour instead of a crash.
+#pragma once
+
+namespace mpas {
+
+/// Integer read of the environment variable `var`. Returns `fallback` when
+/// the variable is unset; warns (MPAS_LOG_WARN) and returns `fallback` when
+/// the value is not a full integer or is outside [min_value, max_value].
+long env_long(const char* var, long fallback, long min_value = 0,
+              long max_value = 1L << 40);
+
+/// The env-or-default idiom for millisecond timeouts: call sites pass -1 as
+/// their "unset" sentinel and get `env_long(var, fallback_ms)` back, so the
+/// hard-coded default survives while `MPAS_*_TIMEOUT_MS` variables can
+/// raise or lower it per run.
+long resolve_timeout_ms(long requested_ms, const char* var, long fallback_ms);
+
+}  // namespace mpas

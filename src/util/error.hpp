@@ -15,6 +15,14 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// A failure worth retrying (flaky link, transient launch fault): callers
+/// with a retry budget back off and try again; everything else propagates
+/// as a plain Error and fails fast.
+class TransientError : public Error {
+ public:
+  explicit TransientError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
                                              int line, const std::string& msg) {

@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <cmath>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_harness/attribution.hpp"
@@ -248,6 +249,87 @@ TEST(HealthMonitor, ResetBaselineForgetsLearnedStepTime) {
   }
   EXPECT_EQ(m.state("host"), HealthState::Healthy);
   EXPECT_NEAR(m.slowdown("host"), 1.0, 1e-9);
+}
+
+// The session service drives one monitor from concurrent workers. Hammer
+// 32 entities from multiple threads (each thread owns its entities — the
+// per-entity determinism contract) and assert no transition was lost and
+// the generation counter moved once per transition.
+TEST(HealthMonitor, ConcurrentFailuresLoseNoTransitions) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 4;  // 32 entities total
+  HealthMonitor m;
+  for (int t = 0; t < kThreads; ++t)
+    for (int i = 0; i < kPerThread; ++i)
+      m.track("dev" + std::to_string(t) + "_" + std::to_string(i));
+
+  const std::uint64_t gen0 = m.generation();
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&m, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::string name =
+            "dev" + std::to_string(t) + "_" + std::to_string(i);
+        // Hard fault -> Quarantined, then probation back to Recovered:
+        // two transitions per entity, interleaved across threads.
+        m.observe_failure(name, /*step=*/1, "injected");
+        std::int64_t step = 1;
+        while (m.state(name) != HealthState::Recovered) {
+          step += 1;
+          if (m.probe_due(name, step)) m.observe_probe(name, step, true);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const auto transitions = m.transitions();
+  ASSERT_EQ(transitions.size(), 2u * kThreads * kPerThread);
+  EXPECT_EQ(m.generation() - gen0, 2u * kThreads * kPerThread);
+  int quarantines = 0;
+  int recoveries = 0;
+  for (const auto& tr : transitions) {
+    if (tr.to == HealthState::Quarantined) quarantines += 1;
+    if (tr.to == HealthState::Recovered) recoveries += 1;
+  }
+  EXPECT_EQ(quarantines, kThreads * kPerThread);
+  EXPECT_EQ(recoveries, kThreads * kPerThread);
+  for (const auto& name : m.entities())
+    EXPECT_EQ(m.state(name), HealthState::Recovered);
+}
+
+// Two monitors with distinct metric scopes must publish distinguishable
+// series; an unscoped monitor keeps the historical global names.
+TEST(HealthMonitor, MetricScopeSeparatesConcurrentMonitors) {
+  auto& registry = obs::MetricsRegistry::global();
+  HealthMonitor a;
+  a.set_metric_scope("service.session1.");
+  HealthMonitor b;
+  b.set_metric_scope("service.session2.");
+  a.track("accel");
+  b.track("accel");
+
+  const auto quarantines = [&registry](const std::string& scope) {
+    return registry.counter(scope + "resilience.health.quarantines").value();
+  };
+  const auto q1 = quarantines("service.session1.");
+  const auto q2 = quarantines("service.session2.");
+  const auto q_global = quarantines("");
+
+  a.observe_failure("accel", 3, "session 1 fault");
+  EXPECT_EQ(quarantines("service.session1."), q1 + 1);
+  EXPECT_EQ(quarantines("service.session2."), q2);
+  EXPECT_EQ(quarantines(""), q_global);  // global series untouched
+  b.observe_failure("accel", 5, "session 2 fault");
+  EXPECT_EQ(quarantines("service.session2."), q2 + 1);
+
+  EXPECT_EQ(registry.gauge("service.session1.resilience.health.state.accel")
+                .value(),
+            static_cast<double>(static_cast<int>(HealthState::Quarantined)));
+  EXPECT_EQ(registry.gauge("service.session2.resilience.health.state.accel")
+                .value(),
+            static_cast<double>(static_cast<int>(HealthState::Quarantined)));
 }
 
 // ---------------------------------------------------------- machine degrade
