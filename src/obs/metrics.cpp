@@ -133,58 +133,110 @@ bool MetricsRegistry::contains(const std::string& name) const {
          histograms_.count(name) > 0;
 }
 
-Table MetricsRegistry::to_table() const {
+namespace {
+
+/// Histogram::quantile() logic over a copied bucket array: every read
+/// comes from the same point-in-time copy, so count and quantiles agree.
+double quantile_from(
+    const std::array<std::uint64_t, Histogram::kBuckets>& buckets,
+    std::uint64_t n, double q) {
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(n - 1);
+  double seen = 0;
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    const double c = static_cast<double>(buckets[i]);
+    if (c == 0) continue;
+    if (rank < seen + c) {
+      const double lower = Histogram::bucket_lower_edge(i);
+      const double upper = Histogram::bucket_upper_edge(i);
+      const double frac = (rank - seen + 0.5) / c;
+      return std::min(upper, lower + (upper - lower) * frac);
+    }
+    seen += c;
+  }
+  return Histogram::bucket_upper_edge(Histogram::kBuckets - 1);
+}
+
+}  // namespace
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c.value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g.value();
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramValues hv;
+    std::array<std::uint64_t, Histogram::kBuckets> buckets{};
+    std::uint64_t n = 0;
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      buckets[i] = h.bucket_count(i);
+      n += buckets[i];
+    }
+    // Count derived from the copied buckets (not h.count()): a racing
+    // record() bumps them at different instants and the snapshot must be
+    // internally consistent.
+    hv.count = n;
+    hv.sum = h.sum();
+    hv.mean = n == 0 ? 0.0 : hv.sum / static_cast<double>(n);
+    hv.p50 = quantile_from(buckets, n, 0.50);
+    hv.p95 = quantile_from(buckets, n, 0.95);
+    hv.p99 = quantile_from(buckets, n, 0.99);
+    for (int i = 0; i < Histogram::kBuckets; ++i)
+      if (buckets[i] != 0)
+        hv.buckets.emplace_back(Histogram::bucket_lower_edge(i), buckets[i]);
+    snap.histograms.emplace(name, std::move(hv));
+  }
+  return snap;
+}
+
+Table MetricsRegistry::to_table() const {
+  const MetricsSnapshot snap = snapshot();
   Table table({"metric", "kind", "value", "mean", "p50", "p95", "p99"});
-  for (const auto& [name, c] : counters_)
-    table.add_row(
-        {name, "counter", std::to_string(c.value()), "-", "-", "-", "-"});
-  for (const auto& [name, g] : gauges_)
-    table.add_row({name, "gauge", Table::num(g.value()), "-", "-", "-", "-"});
-  for (const auto& [name, h] : histograms_)
-    table.add_row({name, "histogram", std::to_string(h.count()),
-                   Table::num(h.mean()), Table::num(h.quantile(0.50)),
-                   Table::num(h.quantile(0.95)),
-                   Table::num(h.quantile(0.99))});
+  for (const auto& [name, v] : snap.counters)
+    table.add_row({name, "counter", std::to_string(v), "-", "-", "-", "-"});
+  for (const auto& [name, v] : snap.gauges)
+    table.add_row({name, "gauge", Table::num(v), "-", "-", "-", "-"});
+  for (const auto& [name, h] : snap.histograms)
+    table.add_row({name, "histogram", std::to_string(h.count),
+                   Table::num(h.mean), Table::num(h.p50), Table::num(h.p95),
+                   Table::num(h.p99)});
   return table;
 }
 
 std::string MetricsRegistry::to_json() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  // Formatting runs on the snapshot, outside the registry mutex: the exit
+  // dump must not stall (or tear against) worker threads still publishing.
+  const MetricsSnapshot snap = snapshot();
   std::ostringstream os;
   os << "{\"counters\":{";
   bool first = true;
-  for (const auto& [name, c] : counters_) {
+  for (const auto& [name, v] : snap.counters) {
     if (!first) os << ",";
     first = false;
-    os << '"' << json_escape(name) << "\":" << c.value();
+    os << '"' << json_escape(name) << "\":" << v;
   }
   os << "},\"gauges\":{";
   first = true;
-  for (const auto& [name, g] : gauges_) {
+  for (const auto& [name, v] : snap.gauges) {
     if (!first) os << ",";
     first = false;
-    os << '"' << json_escape(name) << "\":" << json_num(g.value());
+    os << '"' << json_escape(name) << "\":" << json_num(v);
   }
   os << "},\"histograms\":{";
   first = true;
-  for (const auto& [name, h] : histograms_) {
+  for (const auto& [name, h] : snap.histograms) {
     if (!first) os << ",";
     first = false;
-    os << '"' << json_escape(name) << "\":{\"count\":" << h.count()
-       << ",\"sum\":" << json_num(h.sum())
-       << ",\"mean\":" << json_num(h.mean())
-       << ",\"p50\":" << json_num(h.quantile(0.50))
-       << ",\"p95\":" << json_num(h.quantile(0.95))
-       << ",\"p99\":" << json_num(h.quantile(0.99)) << ",\"buckets\":[";
+    os << '"' << json_escape(name) << "\":{\"count\":" << h.count
+       << ",\"sum\":" << json_num(h.sum) << ",\"mean\":" << json_num(h.mean)
+       << ",\"p50\":" << json_num(h.p50) << ",\"p95\":" << json_num(h.p95)
+       << ",\"p99\":" << json_num(h.p99) << ",\"buckets\":[";
     bool first_bucket = true;
-    for (int i = 0; i < Histogram::kBuckets; ++i) {
-      const std::uint64_t c = h.bucket_count(i);
-      if (c == 0) continue;
+    for (const auto& [edge, c] : h.buckets) {
       if (!first_bucket) os << ",";
       first_bucket = false;
-      os << "[" << json_num(Histogram::bucket_lower_edge(i)) << "," << c
-         << "]";
+      os << "[" << json_num(edge) << "," << c << "]";
     }
     os << "]}";
   }

@@ -16,6 +16,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/table.hpp"
@@ -116,6 +117,27 @@ class Histogram {
   std::atomic<double> sum_{0};
 };
 
+/// Point-in-time copy of every metric, taken under one mutex acquisition.
+/// Exports format from this instead of the live registry: a dump racing
+/// still-running worker threads (the MPAS_METRICS atexit hook) otherwise
+/// re-reads each atomic several times while formatting and can render a
+/// histogram whose count, quantiles, and buckets disagree.
+struct MetricsSnapshot {
+  struct HistogramValues {
+    std::uint64_t count = 0;
+    double sum = 0;
+    double mean = 0;
+    double p50 = 0;
+    double p95 = 0;
+    double p99 = 0;
+    /// Non-empty buckets as (lower_edge, count) pairs.
+    std::vector<std::pair<double, std::uint64_t>> buckets;
+  };
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramValues> histograms;
+};
+
 class MetricsRegistry {
  public:
   /// The process-wide registry the runtime layers publish into.
@@ -131,6 +153,12 @@ class MetricsRegistry {
   Histogram& histogram(const std::string& name);
 
   [[nodiscard]] bool contains(const std::string& name) const;
+
+  /// Copy every metric under one mutex acquisition. Histogram statistics
+  /// (count, quantiles) are derived from the copied buckets, so each
+  /// histogram's numbers are mutually consistent even while workers
+  /// record concurrently.
+  [[nodiscard]] MetricsSnapshot snapshot() const;
 
   /// One row per metric: name, kind, value/count, mean, interpolated
   /// p50/p95/p99 estimates.

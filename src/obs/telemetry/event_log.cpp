@@ -1,0 +1,104 @@
+#include "obs/telemetry/event_log.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "obs/trace.hpp"  // json_escape
+#include "util/timer.hpp"
+
+namespace mpas::obs::telemetry {
+
+namespace {
+
+std::string json_num(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::optional<std::string> env_events_path() {
+  const char* path = std::getenv("MPAS_EVENTS");
+  if (path == nullptr || *path == '\0') return std::nullopt;
+  return std::string(path);
+}
+
+std::string to_jsonl(const WideEvent& event) {
+  std::ostringstream os;
+  os << "{\"ts\":" << json_num(event.ts_s) << ",\"tenant\":\""
+     << json_escape(event.tenant) << "\",\"session\":" << event.session
+     << ",\"kind\":\"" << json_escape(event.kind) << "\"";
+  if (!event.attrs.empty()) os << ",\"attrs\":{" << event.attrs << "}";
+  os << "}";
+  return os.str();
+}
+
+EventLog& EventLog::global() {
+  static EventLog log;
+  static const bool armed = [] {
+    if (const auto path = env_events_path()) log.open(*path);
+    return true;
+  }();
+  (void)armed;
+  return log;
+}
+
+void EventLog::open(const std::string& path) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (out_.is_open()) out_.close();
+  out_.open(path, std::ios::trunc);
+  path_ = path;
+  written_ = 0;
+  enabled_.store(out_.good(), std::memory_order_relaxed);
+}
+
+void EventLog::close() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  enabled_.store(false, std::memory_order_relaxed);
+  if (out_.is_open()) {
+    out_.flush();
+    out_.close();
+  }
+  path_.clear();
+}
+
+void EventLog::emit(const WideEvent& event) {
+  if (!enabled()) return;
+  WideEvent stamped = event;
+  if (stamped.ts_s < 0) stamped.ts_s = monotonic_seconds();
+  const std::string line = to_jsonl(stamped);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!out_.is_open()) return;
+  // Flush per line: the event log is the black-box companion — it must be
+  // complete up to the instant of a crash, and the event rate (one per
+  // service decision) is far too low for buffering to matter.
+  out_ << line << '\n' << std::flush;
+  written_ += 1;
+}
+
+void EventLog::emit(const std::string& kind, const std::string& tenant,
+                    std::uint64_t session, const std::string& attrs) {
+  if (!enabled()) return;
+  WideEvent event;
+  event.tenant = tenant;
+  event.session = session;
+  event.kind = kind;
+  event.attrs = attrs;
+  emit(event);
+}
+
+std::string EventLog::path() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return path_;
+}
+
+std::uint64_t EventLog::events_written() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return written_;
+}
+
+}  // namespace mpas::obs::telemetry

@@ -1,0 +1,88 @@
+// Structured wide-event log: one JSONL line per service decision and
+// session state change, sharing a fixed schema so CI scripts and humans
+// query the service's behaviour the same way (examples/obs_query).
+//
+//   {"ts":<monotonic s>,"tenant":"gold","session":7,"kind":"admit",
+//    "attrs":{...}}
+//
+// `ts` is the shared monotonic timeline every other observability layer
+// stamps with (logger lines, Chrome-trace timestamps), so an event-log
+// line, a log line, and a trace instant for the same decision line up.
+// `attrs` carries the decision-specific payload as pre-rendered JSON
+// members (obs::trace_arg renders them), nested under one key so attr
+// names can never collide with the envelope schema.
+//
+// Zero-code-change capture, mirroring MPAS_TRACE/MPAS_METRICS: if the
+// MPAS_EVENTS environment variable names a file, the global log opens it
+// on first use and every instrumented layer appends. Each line is flushed
+// as written — the log is a postmortem artifact and must survive a crash.
+//
+// Overhead discipline: enabled() is one relaxed atomic load; attr string
+// formatting belongs behind it at every call site.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <string>
+
+namespace mpas::obs::telemetry {
+
+/// One wide event. `ts_s < 0` means "stamp me at emit time".
+struct WideEvent {
+  double ts_s = -1;
+  std::string tenant;          // may be empty for service-scope events
+  std::uint64_t session = 0;   // 0 = not tied to one session
+  std::string kind;
+  std::string attrs;           // pre-rendered JSON members, may be empty
+};
+
+class EventLog {
+ public:
+  EventLog() = default;
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// The process-wide log the service layers emit into. Opens the file
+  /// named by MPAS_EVENTS (if any) on the first call.
+  static EventLog& global();
+
+  /// Open (truncating) `path` and start accepting events. Replaces any
+  /// previously open sink.
+  void open(const std::string& path);
+  /// Flush and stop accepting events.
+  void close();
+
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Append one event (no-op while disabled). Stamps `ts_s` with the
+  /// shared monotonic clock when the caller left it negative; each line
+  /// is flushed immediately.
+  void emit(const WideEvent& event);
+
+  /// Convenience overload rendering the envelope in place.
+  void emit(const std::string& kind, const std::string& tenant,
+            std::uint64_t session, const std::string& attrs = {});
+
+  [[nodiscard]] std::string path() const;
+  [[nodiscard]] std::uint64_t events_written() const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::ofstream out_;
+  std::string path_;
+  std::uint64_t written_ = 0;
+};
+
+/// Path named by the MPAS_EVENTS environment variable, if any.
+std::optional<std::string> env_events_path();
+
+/// Render one event as its JSONL line (exposed for tests).
+std::string to_jsonl(const WideEvent& event);
+
+}  // namespace mpas::obs::telemetry

@@ -1,0 +1,162 @@
+#include "obs/telemetry/flight_recorder.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "obs/trace.hpp"  // json_escape
+#include "util/timer.hpp"
+
+namespace mpas::obs::telemetry {
+
+namespace {
+
+std::string json_num(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+const char* to_string(FlightKind kind) {
+  switch (kind) {
+    case FlightKind::Admission:
+      return "admission";
+    case FlightKind::Dispatch:
+      return "dispatch";
+    case FlightKind::Retry:
+      return "retry";
+    case FlightKind::HealthTransition:
+      return "health";
+    case FlightKind::Replan:
+      return "replan";
+    case FlightKind::StepExcursion:
+      return "step_excursion";
+    case FlightKind::DeadlineCheck:
+      return "deadline_check";
+    case FlightKind::Cancel:
+      return "cancel";
+    case FlightKind::Terminal:
+      return "terminal";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+void FlightRecorder::record(FlightKind kind, long step,
+                            const std::string& detail, double a, double b) {
+  FlightEvent event;
+  event.kind = kind;
+  event.step = step;
+  event.a = a;
+  event.b = b;
+  event.detail = detail;
+  event.ts_s = monotonic_seconds();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  event.seq = next_seq_++;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+  } else {
+    ring_[head_] = std::move(event);
+    head_ = (head_ + 1) % capacity_;
+  }
+  recorded_ += 1;
+}
+
+std::vector<FlightEvent> FlightRecorder::events() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<FlightEvent> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::uint64_t FlightRecorder::recorded() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return recorded_;
+}
+
+std::size_t FlightRecorder::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+std::size_t FlightRecorder::count(FlightKind kind) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const FlightEvent& event : ring_) {
+    if (event.kind == kind) n += 1;
+  }
+  return n;
+}
+
+std::string FlightRecorder::to_json(std::uint64_t session,
+                                    const std::string& tenant,
+                                    const std::string& trigger) const {
+  const std::vector<FlightEvent> held = events();
+  const std::uint64_t total = recorded();
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"session\": " << session << ",\n";
+  os << "  \"tenant\": \"" << json_escape(tenant) << "\",\n";
+  os << "  \"trigger\": \"" << json_escape(trigger) << "\",\n";
+  os << "  \"capacity\": " << capacity_ << ",\n";
+  os << "  \"recorded\": " << total << ",\n";
+  os << "  \"dropped\": " << (total - held.size()) << ",\n";
+  os << "  \"events\": [\n";
+  for (std::size_t i = 0; i < held.size(); ++i) {
+    const FlightEvent& e = held[i];
+    os << "    {\"seq\":" << e.seq << ",\"ts\":" << json_num(e.ts_s)
+       << ",\"kind\":\"" << to_string(e.kind) << "\",\"step\":" << e.step
+       << ",\"a\":" << json_num(e.a) << ",\"b\":" << json_num(e.b)
+       << ",\"detail\":\"" << json_escape(e.detail) << "\"}";
+    os << (i + 1 < held.size() ? ",\n" : "\n");
+  }
+  os << "  ]\n";
+  os << "}\n";
+  return os.str();
+}
+
+bool FlightRecorder::dump_to_file(const std::string& path,
+                                  std::uint64_t session,
+                                  const std::string& tenant,
+                                  const std::string& trigger) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.good()) return false;
+  out << to_json(session, tenant, trigger);
+  return out.good();
+}
+
+FlightDumpPolicy FlightDumpPolicy::parse(const std::string& spec) {
+  FlightDumpPolicy policy;
+  if (spec.empty()) return policy;
+  if (spec == "all") {
+    policy.dump_all = true;
+    policy.dir = "flight_dumps";
+  } else if (spec.rfind("all:", 0) == 0) {
+    policy.dump_all = true;
+    policy.dir = spec.substr(4);
+    if (policy.dir.empty()) policy.dir = "flight_dumps";
+  } else {
+    policy.dir = spec;
+  }
+  return policy;
+}
+
+FlightDumpPolicy FlightDumpPolicy::from_env() {
+  const char* raw = std::getenv("MPAS_FLIGHT_DUMP");
+  if (raw == nullptr) return {};
+  return parse(raw);
+}
+
+}  // namespace mpas::obs::telemetry

@@ -1,0 +1,105 @@
+// Per-session flight recorder: a fixed-size ring buffer of the decisions
+// that explain a session's fate — admission verdict with its arithmetic,
+// every retry/backoff, health transitions observed while the session ran,
+// replan swaps, step-time EWMA excursions, cancellation and deadline
+// checks. Recording is O(1) and allocation-free after the ring fills;
+// while a session is healthy the recorder costs a mutex and a slot write
+// per event and produces no output at all.
+//
+// The payoff is the dump: on terminal failure, quarantine involvement, or
+// MPAS_FLIGHT_DUMP=all, the ring is serialized as one JSON file — the
+// black box that makes "why did session 7 die at step 4000?" answerable
+// after the process has moved on. FlightDumpPolicy holds the env grammar:
+//
+//   MPAS_FLIGHT_DUMP unset     -> disarmed (no dumps ever)
+//   MPAS_FLIGHT_DUMP=all       -> dump every session into ./flight_dumps
+//   MPAS_FLIGHT_DUMP=all:<dir> -> dump every session into <dir>
+//   MPAS_FLIGHT_DUMP=<dir>     -> dump failures/quarantines into <dir>
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mpas::obs::telemetry {
+
+enum class FlightKind : int {
+  Admission = 0,        // verdict + cost arithmetic
+  Dispatch,             // session left the queue for a worker
+  Retry,                // transient fault -> backoff, another attempt
+  HealthTransition,     // entity state change seen by this session
+  Replan,               // schedule swap after quarantine/recovery
+  StepExcursion,        // step modeled time left the EWMA band
+  DeadlineCheck,        // modeled budget exceeded at a step boundary
+  Cancel,               // cooperative cancellation honored
+  Terminal,             // final state + reason
+};
+
+const char* to_string(FlightKind kind);
+
+struct FlightEvent {
+  FlightKind kind = FlightKind::Admission;
+  long step = -1;        // -1 = not tied to a step
+  double a = 0;          // kind-specific numerics (cost, spent, ratio...)
+  double b = 0;
+  std::string detail;    // short human-readable context
+  double ts_s = 0;       // shared monotonic clock
+  std::uint64_t seq = 0; // monotone per-recorder sequence number
+};
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 256;
+
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity);
+
+  /// Append one event; overwrites the oldest once the ring is full.
+  void record(FlightKind kind, long step, const std::string& detail,
+              double a = 0, double b = 0);
+
+  /// Events currently held, oldest first.
+  [[nodiscard]] std::vector<FlightEvent> events() const;
+  /// Total events ever recorded (including overwritten ones).
+  [[nodiscard]] std::uint64_t recorded() const;
+  /// Events currently held (<= capacity).
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// How many held events are of `kind`.
+  [[nodiscard]] std::size_t count(FlightKind kind) const;
+
+  /// Serialize the ring as a self-describing JSON document.
+  [[nodiscard]] std::string to_json(std::uint64_t session,
+                                    const std::string& tenant,
+                                    const std::string& trigger) const;
+  /// to_json + write; returns false when the file cannot be opened.
+  bool dump_to_file(const std::string& path, std::uint64_t session,
+                    const std::string& tenant,
+                    const std::string& trigger) const;
+
+ private:
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<FlightEvent> ring_;
+  std::size_t head_ = 0;       // next slot to write once full
+  std::uint64_t recorded_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+struct FlightDumpPolicy {
+  bool dump_all = false;
+  std::string dir;  // empty = disarmed
+
+  [[nodiscard]] bool armed() const { return !dir.empty(); }
+  /// True when a session with the given fate should be dumped.
+  [[nodiscard]] bool should_dump(bool failed, bool quarantine_involved)
+      const {
+    return armed() && (dump_all || failed || quarantine_involved);
+  }
+
+  /// Parse MPAS_FLIGHT_DUMP per the grammar in the header comment.
+  [[nodiscard]] static FlightDumpPolicy from_env();
+  [[nodiscard]] static FlightDumpPolicy parse(const std::string& spec);
+};
+
+}  // namespace mpas::obs::telemetry

@@ -61,6 +61,11 @@ void HealthMonitor::set_metric_scope(std::string scope) {
   metric_scope_ = std::move(scope);
 }
 
+void HealthMonitor::add_transition_listener(TransitionListener listener) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  listeners_.push_back(std::move(listener));
+}
+
 HealthMonitor::Entity& HealthMonitor::entity_ref(const std::string& name) {
   const auto it = entities_.find(name);
   MPAS_CHECK_MSG(it != entities_.end(), "untracked health entity '" << name
@@ -115,6 +120,8 @@ void HealthMonitor::transition(const std::string& name, Entity& e,
           obs::trace_arg("from", std::string(to_string(from))) + "," +
           obs::trace_arg("step", step) + "," +
           obs::trace_arg("reason", reason));
+  for (const TransitionListener& listener : listeners_)
+    listener(transitions_.back());
 }
 
 void HealthMonitor::observe_step_time(const std::string& entity,

@@ -33,6 +33,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
@@ -87,6 +88,12 @@ class HealthMonitor {
   /// write distinguishable series instead of interleaving one global
   /// counter set. Empty (the default) keeps the historical global names.
   void set_metric_scope(std::string scope);
+
+  /// Observe every state change as it happens (flight recorders, event
+  /// logs). Listeners run with the monitor's mutex held, in registration
+  /// order: they must be fast and must not call back into the monitor.
+  using TransitionListener = std::function<void(const Transition&)>;
+  void add_transition_listener(TransitionListener listener);
 
   // ---- signals (accumulated until end_step folds them) ----
   /// The entity's modeled or measured time for `step`. Doubles as a
@@ -171,6 +178,7 @@ class HealthMonitor {
   mutable std::mutex mutex_;
   std::map<std::string, Entity> entities_;
   std::vector<Transition> transitions_;
+  std::vector<TransitionListener> listeners_;
   std::atomic<std::uint64_t> generation_{0};
 };
 

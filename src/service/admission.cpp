@@ -107,6 +107,7 @@ AdmissionOutcome AdmissionController::decide(
        << input.queued_of_tenant << " queued sessions (bound "
        << policy_.max_queued_per_tenant << ")";
     out.reason = os.str();
+    out.reason_code = ReasonCode::RejectBackpressure;
     return out;
   }
 
@@ -121,7 +122,8 @@ AdmissionOutcome AdmissionController::decide(
   const auto fits = [&](Real cost) {
     return total + cost <= policy_.capacity_modeled_s + kEps;
   };
-  const auto admit = [&](Real cost, const std::string& note) {
+  const auto admit = [&](Real cost, const std::string& note,
+                         ReasonCode code) {
     out.action = AdmissionOutcome::Action::Admit;
     out.cost = cost;
     out.borrowed = mine + cost > budget + kEps;
@@ -131,28 +133,36 @@ AdmissionOutcome AdmissionController::decide(
                         : "admitted within the tenant guarantee");
     if (!note.empty()) os << "; " << note;
     out.reason = os.str();
+    out.reason_code = code != ReasonCode::None
+                          ? code
+                          : (out.borrowed ? ReasonCode::AdmitBorrowed
+                                          : ReasonCode::AdmitGuarantee);
   };
 
   // Rung 1 + 2: fit as-is, within the guarantee or borrowing spare.
   if (fits(out.cost)) {
-    admit(out.cost, "");
+    admit(out.cost, "", ReasonCode::None);
     return out;
   }
 
   // Rung 3: reclaim borrowed queue slots — but only for a request that
   // would itself sit within its guarantee (reclaiming to borrow more
-  // would just thrash).
+  // would just thrash). Exception: a tenant burning its SLO error budget
+  // at >= slo_burn_guarantee gets this rung even beyond its guarantee —
+  // capacity spent stopping a breach beats capacity lent to borrowers.
+  const bool burn_priority =
+      input.tenant_burn_rate >= policy_.slo_burn_guarantee - kEps;
   std::vector<ShedCandidate> candidates = input.queued;
   const auto rehearse_shed = [&](const ShedCandidate& c,
-                                 const std::string& why) {
+                                 const std::string& why, ReasonCode code) {
     total -= c.cost;
     by_tenant[c.tenant] -= c.cost;
-    out.shed.emplace_back(c.id, why);
+    out.shed.push_back({c.id, why, code});
     candidates.erase(
         std::find_if(candidates.begin(), candidates.end(),
                      [&c](const ShedCandidate& x) { return x.id == c.id; }));
   };
-  if (mine + out.cost <= budget + kEps) {
+  if (mine + out.cost <= budget + kEps || burn_priority) {
     while (!fits(out.cost)) {
       // Most polite eviction: the borrowed slot of the tenant furthest
       // over its guarantee; ties to the lowest priority, then youngest.
@@ -176,11 +186,22 @@ AdmissionOutcome AdmissionController::decide(
       std::ostringstream os;
       os << "reclaimed: tenant '" << best->tenant
          << "' was borrowing beyond its guaranteed share and tenant '"
-         << request.tenant << "' claimed its guarantee";
-      rehearse_shed(*best, os.str());
+         << request.tenant << "' claimed its ";
+      if (burn_priority && mine + out.cost > budget + kEps)
+        os << "SLO burn-rate priority (burn "
+           << input.tenant_burn_rate << " >= " << policy_.slo_burn_guarantee
+           << ")";
+      else
+        os << "guarantee";
+      rehearse_shed(*best, os.str(), ReasonCode::ShedReclaimed);
     }
     if (fits(out.cost)) {
-      admit(out.cost, "after reclaiming borrowed capacity");
+      std::ostringstream os;
+      os << "after reclaiming borrowed capacity";
+      if (burn_priority && mine + out.cost > budget + kEps)
+        os << " under SLO burn-rate priority (burn "
+           << input.tenant_burn_rate << ")";
+      admit(out.cost, os.str(), ReasonCode::AdmitReclaimed);
       return out;
     }
   }
@@ -200,10 +221,11 @@ AdmissionOutcome AdmissionController::decide(
     os << "shed: priority " << best->priority
        << " session evicted under overload for a priority "
        << request.priority << " submission";
-    rehearse_shed(*best, os.str());
+    rehearse_shed(*best, os.str(), ReasonCode::ShedPriority);
   }
   if (fits(out.cost)) {
-    admit(out.cost, "after shedding lower-priority sessions");
+    admit(out.cost, "after shedding lower-priority sessions",
+          ReasonCode::AdmitAfterShed);
     return out;
   }
 
@@ -227,6 +249,7 @@ AdmissionOutcome AdmissionController::decide(
           os << ", output cadence " << request.output_every << " -> "
              << degraded.output_every;
         out.reason = os.str();
+        out.reason_code = ReasonCode::AdmitDegraded;
         return out;
       }
     }
@@ -244,6 +267,7 @@ AdmissionOutcome AdmissionController::decide(
      << (request.allow_degraded ? ", degradation exhausted"
                                 : ", degradation not permitted");
   out.reason = os.str();
+  out.reason_code = ReasonCode::RejectOverload;
   return out;
 }
 

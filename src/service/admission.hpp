@@ -65,6 +65,12 @@ struct AdmissionPolicy {
   std::size_t max_queued_per_tenant = 16;
   /// Degraded-fidelity floor: never coarsen below this level.
   int degrade_min_level = 1;
+  /// SLO coupling: a tenant whose error-budget burn rate is at or above
+  /// this gets guarantee-priority on the reclaim rung even when the
+  /// request would put it over its guaranteed share — the service spends
+  /// borrowed capacity to stop an SLO breach before it spends it on
+  /// tenants that are still inside their budgets.
+  Real slo_burn_guarantee = 2.0;
 };
 
 /// A queued session the controller may evict to make room.
@@ -84,6 +90,17 @@ struct AdmissionInput {
   std::map<std::string, Real> outstanding_by_tenant;
   std::size_t queued_of_tenant = 0;
   std::vector<ShedCandidate> queued;
+  /// The submitting tenant's worst SLO error-budget burn rate (from the
+  /// SloTracker; 0 when the tenant has no history). >= slo_burn_guarantee
+  /// unlocks the reclaim rung even beyond the tenant's guarantee.
+  Real tenant_burn_rate = 0;
+};
+
+/// A queued session the verdict evicts, with both reason forms.
+struct ShedOutcome {
+  std::uint64_t id = 0;
+  std::string reason;
+  ReasonCode code = ReasonCode::None;
 };
 
 struct AdmissionOutcome {
@@ -93,8 +110,9 @@ struct AdmissionOutcome {
   Real cost = 0;
   bool borrowed = false;
   std::string reason;
+  ReasonCode reason_code = ReasonCode::None;
   /// Queued sessions evicted to make room, each with its explicit reason.
-  std::vector<std::pair<std::uint64_t, std::string>> shed;
+  std::vector<ShedOutcome> shed;
 };
 
 class AdmissionController {

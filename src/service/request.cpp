@@ -20,4 +20,27 @@ bool is_terminal(SessionState state) {
   return state != SessionState::Queued && state != SessionState::Running;
 }
 
+const char* to_string(ReasonCode code) {
+  switch (code) {
+    case ReasonCode::None: return "none";
+    case ReasonCode::AdmitGuarantee: return "admit_guarantee";
+    case ReasonCode::AdmitBorrowed: return "admit_borrowed";
+    case ReasonCode::AdmitReclaimed: return "admit_reclaimed";
+    case ReasonCode::AdmitAfterShed: return "admit_after_shed";
+    case ReasonCode::AdmitDegraded: return "admit_degraded";
+    case ReasonCode::RejectBackpressure: return "reject_backpressure";
+    case ReasonCode::RejectOverload: return "reject_overload";
+    case ReasonCode::RejectShutdown: return "reject_shutdown";
+    case ReasonCode::ShedReclaimed: return "shed_reclaimed";
+    case ReasonCode::ShedPriority: return "shed_priority";
+    case ReasonCode::DeadlineExceeded: return "deadline_exceeded";
+    case ReasonCode::TransientExhausted: return "transient_exhausted";
+    case ReasonCode::SessionFault: return "session_fault";
+    case ReasonCode::CancelledByUser: return "cancelled_by_user";
+    case ReasonCode::ServiceShutdown: return "service_shutdown";
+    case ReasonCode::Completed: return "completed";
+  }
+  return "?";
+}
+
 }  // namespace mpas::service

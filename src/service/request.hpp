@@ -35,6 +35,35 @@ const char* to_string(SessionState state);
 /// True for states a session can never leave.
 bool is_terminal(SessionState state);
 
+/// Machine-readable companion to SessionResult::reason. The strings stay
+/// the human-facing explanation; the code is what the event log and
+/// obs_query aggregate on, so no consumer ever parses reason prose.
+enum class ReasonCode : int {
+  None = 0,
+  // Admission verdicts (which rung of the ladder admitted the session).
+  AdmitGuarantee = 1,      // fit within the tenant's guaranteed share
+  AdmitBorrowed = 2,       // borrowed spare capacity beyond the guarantee
+  AdmitReclaimed = 3,      // admitted after reclaiming borrowed slots
+  AdmitAfterShed = 4,      // admitted after shedding lower-priority work
+  AdmitDegraded = 5,       // admitted at reduced fidelity
+  // Refusals.
+  RejectBackpressure = 6,  // tenant queue bound hit before pricing
+  RejectOverload = 7,      // nothing left to reclaim/shed/degrade
+  RejectShutdown = 8,      // service no longer accepting work
+  // Evictions of queued sessions.
+  ShedReclaimed = 9,       // borrowed slot reclaimed by a guarantee claim
+  ShedPriority = 10,       // displaced by a higher-priority submission
+  // Terminal fates of sessions that ran (or were asked to stop).
+  DeadlineExceeded = 11,   // modeled deadline hit at a step boundary
+  TransientExhausted = 12, // retries/backoff used up the attempt budget
+  SessionFault = 13,       // threw a non-transient exception
+  CancelledByUser = 14,    // cooperative cancel honored
+  ServiceShutdown = 15,    // torn down by shutdown()
+  Completed = 16,          // ran to the last step
+};
+
+const char* to_string(ReasonCode code);
+
 /// Deterministic fault plan for one session (soak campaigns and tests).
 struct ChaosSpec {
   /// Throw a TransientError on the first N run attempts — exercises the
@@ -74,6 +103,8 @@ struct SessionResult {
   /// degradation explanations, exception text) — never empty for
   /// Rejected/Shed/Cancelled/TimedOut/Failed.
   std::string reason;
+  /// Machine-readable reason — what reason says, as an enum.
+  ReasonCode reason_code = ReasonCode::None;
   bool degraded = false;
   int mesh_level_used = -1;
   int test_case_used = 0;

@@ -7,6 +7,8 @@
 #include <tuple>
 
 #include "mesh/mesh_cache.hpp"
+#include "obs/telemetry/event_log.hpp"
+#include "obs/trace.hpp"
 #include "sw/model.hpp"
 #include "sw/testcases.hpp"
 #include "util/error.hpp"
@@ -71,6 +73,8 @@ std::uint64_t reference_hash(int mesh_level, int test_case, int steps) {
 void run_session(const SessionRunContext& ctx, SessionResult& result) {
   MPAS_CHECK(ctx.request != nullptr && ctx.mesh != nullptr);
   const SessionRequest& req = *ctx.request;
+  namespace telemetry = obs::telemetry;
+  telemetry::FlightRecorder* flight = ctx.flight;
 
   if (result.attempts <= req.chaos.fail_first_attempts) {
     std::ostringstream os;
@@ -87,8 +91,44 @@ void run_session(const SessionRunContext& ctx, SessionResult& result) {
   hopts.metric_scope = "service.session" + std::to_string(ctx.id) + ".";
   resilience::health::SelfHealingHybrid sut(*ctx.mesh,
                                             params_for(*tc, *ctx.mesh), hopts);
+  if (flight != nullptr) {
+    // Black-box feed: every health transition this session's monitor sees
+    // lands in the ring (and the event log) as it happens. The listener
+    // runs under the monitor's mutex — both sinks are O(1)/cheap.
+    const std::uint64_t id = ctx.id;
+    const std::string tenant = req.tenant;
+    sut.monitor().add_transition_listener(
+        [flight, id, tenant](const resilience::health::Transition& t) {
+          flight->record(telemetry::FlightKind::HealthTransition,
+                         static_cast<long>(t.step),
+                         t.entity + ": " + to_string(t.from) + " -> " +
+                             to_string(t.to) + " (" + t.reason + ")");
+          auto& events = telemetry::EventLog::global();
+          if (events.enabled())
+            events.emit("health", tenant, id,
+                        obs::trace_arg("entity", t.entity) + "," +
+                            obs::trace_arg("from",
+                                           std::string(to_string(t.from))) +
+                            "," +
+                            obs::trace_arg("to",
+                                           std::string(to_string(t.to))) +
+                            "," + obs::trace_arg("step", t.step));
+        });
+  }
   sw::apply_initial_conditions(*tc, *ctx.mesh, sut.model().fields());
   sut.initialize();
+
+  // Per-session trace track: concurrent sessions writing one MPAS_TRACE
+  // file must stay distinguishable, so each session owns a named track
+  // and records its step timeline there.
+  auto& tracer = obs::TraceRecorder::global();
+  int track = -1;
+  if (tracer.enabled()) {
+    std::ostringstream os;
+    os << "session " << ctx.id << " [" << req.tenant << "]";
+    track = tracer.allocate_track(os.str());
+    tracer.set_lane_name(track, 0, "steps");
+  }
 
   const std::int64_t bytes = static_cast<std::int64_t>(sizeof(Real)) *
                              (ctx.mesh->num_cells + ctx.mesh->num_edges);
@@ -99,6 +139,16 @@ void run_session(const SessionRunContext& ctx, SessionResult& result) {
   result.outputs_written = 0;
   result.step_modeled_seconds.clear();
 
+  // Step-time EWMA for excursion records: seeded after a short warmup so
+  // the first steps (cold caches, initial replans) don't pollute the band.
+  constexpr int kEwmaWarmupSteps = 3;
+  constexpr Real kEwmaAlpha = 0.3;
+  constexpr Real kExcursionLow = 0.8;
+  constexpr Real kExcursionHigh = 1.2;
+  Real ewma = 0;
+  int ewma_samples = 0;
+  int last_replans = sut.replans();
+
   for (int s = 0; s < req.steps; ++s) {
     // Step boundary: the only place cancellation, deadlines, and injected
     // device faults are honored — a step in flight always completes.
@@ -108,7 +158,10 @@ void run_session(const SessionRunContext& ctx, SessionResult& result) {
       std::ostringstream os;
       os << "cancelled at step boundary " << s << " of " << req.steps;
       result.reason = os.str();
+      result.reason_code = ReasonCode::CancelledByUser;
       result.modeled_seconds = spent;
+      if (flight != nullptr)
+        flight->record(telemetry::FlightKind::Cancel, s, result.reason);
       return;
     }
     if (req.deadline_modeled_s > 0 &&
@@ -120,19 +173,72 @@ void run_session(const SessionRunContext& ctx, SessionResult& result) {
                     : "would be exceeded by the next step")
          << " after " << s << " of " << req.steps << " steps";
       result.reason = os.str();
+      result.reason_code = ReasonCode::DeadlineExceeded;
       result.modeled_seconds = spent;
       result.replans = sut.replans();
+      if (flight != nullptr)
+        flight->record(telemetry::FlightKind::DeadlineCheck, s,
+                       result.reason, spent + sut.modeled_step_seconds(),
+                       req.deadline_modeled_s);
       return;
     }
     if (s == req.chaos.quarantine_accel_at_step)
       sut.monitor().observe_failure("accel", s,
                                     "chaos: injected device fault");
 
+    const double step_start_us = tracer.now_us();
     sut.step();
     const Real step_seconds = sut.modeled_step_seconds();
+    if (track >= 0) {
+      obs::TraceEvent ev;
+      ev.kind = obs::TraceEvent::Kind::Complete;
+      ev.name = "step";
+      ev.args = obs::trace_arg("step", static_cast<std::int64_t>(s)) + "," +
+                obs::trace_arg("modeled_s", step_seconds);
+      ev.ts_us = step_start_us;
+      ev.dur_us = tracer.now_us() - step_start_us;
+      ev.track = track;
+      ev.lane = 0;
+      tracer.record(std::move(ev));
+    }
     spent += step_seconds;
     result.step_modeled_seconds.push_back(step_seconds);
     result.steps_done = s + 1;
+
+    const int replans = sut.replans();
+    if (replans != last_replans) {
+      if (flight != nullptr)
+        flight->record(telemetry::FlightKind::Replan, s,
+                       "schedule swap after health transition",
+                       static_cast<double>(replans));
+      auto& events = telemetry::EventLog::global();
+      if (events.enabled())
+        events.emit("replan", req.tenant, ctx.id,
+                    obs::trace_arg("step", static_cast<std::int64_t>(s)) +
+                        "," +
+                        obs::trace_arg("replans",
+                                       static_cast<std::int64_t>(replans)));
+      last_replans = replans;
+      // The plan changed: the old EWMA band describes the old schedule.
+      ewma = 0;
+      ewma_samples = 0;
+    }
+
+    // EWMA excursion: a step that left the learned band is exactly the
+    // breadcrumb a postmortem needs, even when the run still completed.
+    if (ewma_samples >= kEwmaWarmupSteps) {
+      const Real ratio = step_seconds / ewma;
+      if ((ratio < kExcursionLow || ratio > kExcursionHigh) &&
+          flight != nullptr) {
+        flight->record(telemetry::FlightKind::StepExcursion, s,
+                       "step time left the EWMA band", step_seconds, ewma);
+      }
+    }
+    ewma = ewma_samples == 0 ? step_seconds
+                             : (1 - kEwmaAlpha) * ewma +
+                                   kEwmaAlpha * step_seconds;
+    ewma_samples += 1;
+
     if (req.output_every > 0 && (s + 1) % req.output_every == 0) {
       result.outputs_written += 1;
       spent += output_seconds;
@@ -140,6 +246,7 @@ void run_session(const SessionRunContext& ctx, SessionResult& result) {
   }
 
   result.state = SessionState::Completed;
+  result.reason_code = ReasonCode::Completed;
   result.modeled_seconds = spent;
   result.replans = sut.replans();
   result.state_hash = state_hash(sut.model().fields());

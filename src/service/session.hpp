@@ -12,6 +12,7 @@
 #include "core/schedule.hpp"
 #include "machine/machine_model.hpp"
 #include "mesh/mesh.hpp"
+#include "obs/telemetry/flight_recorder.hpp"
 #include "resilience/health/hybrid.hpp"
 #include "service/request.hpp"
 #include "sw/fields.hpp"
@@ -38,6 +39,10 @@ struct SessionRunContext {
   /// earlier attempts) — counts against the deadline.
   Real modeled_seconds_spent = 0;
   core::SimOptions sim{machine::paper_platform()};
+  /// Per-session black box, owned by the manager (null = not recording).
+  /// The run records health transitions, replans, EWMA excursions, and
+  /// deadline/cancel decisions into it.
+  obs::telemetry::FlightRecorder* flight = nullptr;
 };
 
 /// Run the session to a terminal state. Throws TransientError for

@@ -2,26 +2,33 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
 #include <sstream>
 
 #include "obs/metrics.hpp"
+#include "obs/telemetry/event_log.hpp"
 #include "obs/trace.hpp"
 #include "service/session.hpp"
 #include "util/env.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
+#include "util/timer.hpp"
 
 namespace mpas::service {
+
+namespace telemetry = obs::telemetry;
 
 SessionManager::SessionManager(ServiceOptions opts)
     : opts_(opts),
       costs_(opts.sim),
-      admission_(opts.admission, &costs_) {
+      admission_(opts.admission, &costs_),
+      slo_(opts.slo),
+      flight_dump_(opts.flight_dump) {
   MPAS_CHECK_MSG(opts_.workers >= 1, "service needs at least one worker");
   MPAS_CHECK_MSG(opts_.max_attempts >= 1, "need at least one attempt");
   workers_.reserve(static_cast<std::size_t>(opts_.workers));
   for (int i = 0; i < opts_.workers; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
 }
 
 SessionManager::~SessionManager() { shutdown(); }
@@ -57,28 +64,63 @@ std::uint64_t SessionManager::submit(SessionRequest request) {
   rec->result.output_every_used = request.output_every;
   stats_.submitted += 1;
 
+  auto& events = telemetry::EventLog::global();
+  if (events.enabled())
+    events.emit("submit", request.tenant, id,
+                obs::trace_arg("level",
+                               static_cast<std::int64_t>(request.mesh_level)) +
+                    "," +
+                    obs::trace_arg("steps",
+                                   static_cast<std::int64_t>(request.steps)) +
+                    "," +
+                    obs::trace_arg("priority", static_cast<std::int64_t>(
+                                                   request.priority)));
+
   if (shutdown_) {
     rec->result.state = SessionState::Rejected;
     rec->result.reason = "service is shutting down";
+    rec->result.reason_code = ReasonCode::RejectShutdown;
     stats_.rejected += 1;
+    if (events.enabled())
+      events.emit("reject", request.tenant, id,
+                  obs::trace_arg("code",
+                                 std::string(to_string(
+                                     ReasonCode::RejectShutdown))));
     records_.emplace(id, std::move(rec));
     publish_locked();
     done_cv_.notify_all();
     return id;
   }
 
-  const AdmissionOutcome verdict =
-      admission_.decide(request, admission_input_locked(request.tenant));
+  // The admission decision is itself under an SLO: wall-time it, and feed
+  // the tenant's current burn rate in as a ladder input.
+  AdmissionInput input = admission_input_locked(request.tenant);
+  input.tenant_burn_rate = slo_.worst_burn_rate(request.tenant);
+  const double decide_start_s = monotonic_seconds();
+  const AdmissionOutcome verdict = admission_.decide(request, input);
+  const double latency_us =
+      (monotonic_seconds() - decide_start_s) * 1e6;
+  record_slo_locked(request.tenant,
+                    telemetry::SloDimension::AdmissionLatency,
+                    latency_us <= slo_.policy().admission_latency_budget_us,
+                    id);
 
   if (verdict.action == AdmissionOutcome::Action::Reject) {
     rec->result.state = SessionState::Rejected;
     rec->result.reason = verdict.reason;
+    rec->result.reason_code = verdict.reason_code;
     rec->result.admitted_cost = verdict.cost;
     stats_.rejected += 1;
     MPAS_LOG_WARN << "session " << id << " rejected: " << verdict.reason;
     MPAS_TRACE_INSTANT_ARGS("service:reject",
                             obs::trace_arg("id", static_cast<int64_t>(id)) +
                                 "," + obs::trace_arg("tenant", request.tenant));
+    if (events.enabled())
+      events.emit("reject", request.tenant, id,
+                  obs::trace_arg("code", std::string(to_string(
+                                             verdict.reason_code))) +
+                      "," + obs::trace_arg("cost", verdict.cost) + "," +
+                      obs::trace_arg("latency_us", latency_us));
     records_.emplace(id, std::move(rec));
     publish_locked();
     done_cv_.notify_all();
@@ -86,21 +128,28 @@ std::uint64_t SessionManager::submit(SessionRequest request) {
   }
 
   // Apply the rehearsed evictions before taking the freed capacity.
-  for (const auto& [shed_id, why] : verdict.shed) {
-    const auto it = records_.find(shed_id);
-    if (it == records_.end() || !queue_.remove(shed_id)) continue;
+  for (const ShedOutcome& shed : verdict.shed) {
+    const auto it = records_.find(shed.id);
+    if (it == records_.end() || !queue_.remove(shed.id)) continue;
     stats_.shed += 1;
     // A shed session's work was never done: the fairness ledger must not
     // credit its tenant for it.
     stats_.admitted_seconds_by_tenant[it->second->result.tenant] -=
         it->second->result.admitted_cost;
-    finish_locked(*it->second, SessionState::Shed, why);
+    if (events.enabled())
+      events.emit("shed", it->second->result.tenant, shed.id,
+                  obs::trace_arg("code", std::string(to_string(shed.code))) +
+                      "," +
+                      obs::trace_arg("displaced_by",
+                                     static_cast<std::int64_t>(id)));
+    finish_locked(*it->second, SessionState::Shed, shed.reason, shed.code);
   }
 
   rec->effective = verdict.effective;
   rec->borrowed = verdict.borrowed;
   rec->result.state = SessionState::Queued;
   rec->result.reason = verdict.reason;
+  rec->result.reason_code = verdict.reason_code;
   rec->result.admitted_cost = verdict.cost;
   rec->result.degraded =
       verdict.action == AdmissionOutcome::Action::AdmitDegraded;
@@ -113,6 +162,26 @@ std::uint64_t SessionManager::submit(SessionRequest request) {
   stats_.admitted += 1;
   if (rec->result.degraded) stats_.admitted_degraded += 1;
   stats_.admitted_seconds_by_tenant[request.tenant] += verdict.cost;
+  record_slo_locked(request.tenant,
+                    telemetry::SloDimension::DegradedFidelity,
+                    !rec->result.degraded, id);
+
+  // Every admitted session gets a black box; its first entry is the
+  // admission verdict with the arithmetic that produced it.
+  rec->flight = std::make_unique<telemetry::FlightRecorder>();
+  rec->flight->record(telemetry::FlightKind::Admission, -1, verdict.reason,
+                      verdict.cost, admission_.tenant_budget(request.tenant));
+  if (events.enabled())
+    events.emit(rec->result.degraded ? "admit_degraded" : "admit",
+                request.tenant, id,
+                obs::trace_arg("code", std::string(to_string(
+                                           verdict.reason_code))) +
+                    "," + obs::trace_arg("cost", verdict.cost) + "," +
+                    obs::trace_arg("borrowed",
+                                   std::string(verdict.borrowed ? "true"
+                                                                : "false")) +
+                    "," + obs::trace_arg("latency_us", latency_us) + "," +
+                    obs::trace_arg("burn_rate", input.tenant_burn_rate));
 
   queue_.push({id, request.tenant, verdict.effective.priority, verdict.cost,
                verdict.borrowed, id});
@@ -122,7 +191,11 @@ std::uint64_t SessionManager::submit(SessionRequest request) {
   return id;
 }
 
-void SessionManager::worker_loop() {
+void SessionManager::worker_loop(int worker_index) {
+  // Label this thread's measured trace lane so N workers interleaving in
+  // one MPAS_TRACE file stay tellable apart.
+  obs::TraceRecorder::global().set_thread_name(
+      "service-worker-" + std::to_string(worker_index));
   for (;;) {
     std::uint64_t id = 0;
     {
@@ -137,6 +210,15 @@ void SessionManager::worker_loop() {
       Record& rec = *records_.at(id);
       rec.result.state = SessionState::Running;
       active_ += 1;
+      if (rec.flight != nullptr)
+        rec.flight->record(telemetry::FlightKind::Dispatch, -1,
+                           "picked by worker " +
+                               std::to_string(worker_index));
+      auto& events = telemetry::EventLog::global();
+      if (events.enabled())
+        events.emit("dispatch", rec.result.tenant, id,
+                    obs::trace_arg("worker", static_cast<std::int64_t>(
+                                                 worker_index)));
       publish_locked();
     }
     run_one(id);
@@ -176,11 +258,12 @@ void SessionManager::run_one(std::uint64_t id) {
       ctx.cancel = &rec.cancel;
       ctx.modeled_seconds_spent = backoff_spent;
       ctx.sim = opts_.sim;
+      ctx.flight = rec.flight.get();
       run_session(ctx, local);
 
       const std::lock_guard<std::mutex> lock(mutex_);
       rec.result = local;
-      finish_locked(rec, local.state, local.reason);
+      finish_locked(rec, local.state, local.reason, local.reason_code);
       return;
     } catch (const TransientError& e) {
       // Exponential backoff in modeled seconds, charged to the deadline.
@@ -189,12 +272,23 @@ void SessionManager::run_one(std::uint64_t id) {
       backoff_spent += backoff;
       const std::lock_guard<std::mutex> lock(mutex_);
       stats_.retries += 1;
+      if (rec.flight != nullptr)
+        rec.flight->record(telemetry::FlightKind::Retry, -1,
+                           std::string("transient fault: ") + e.what(),
+                           backoff, backoff_spent);
+      auto& events = telemetry::EventLog::global();
+      if (events.enabled())
+        events.emit("retry", rec.result.tenant, id,
+                    obs::trace_arg("attempt",
+                                   static_cast<std::int64_t>(attempt)) +
+                        "," + obs::trace_arg("backoff_modeled_s", backoff));
       std::ostringstream os;
       if (attempt == opts_.max_attempts) {
         os << "transient fault persisted through " << opts_.max_attempts
            << " attempts: " << e.what();
         rec.result.modeled_seconds = backoff_spent;
-        finish_locked(rec, SessionState::Failed, os.str());
+        finish_locked(rec, SessionState::Failed, os.str(),
+                      ReasonCode::TransientExhausted);
         return;
       }
       if (req.deadline_modeled_s > 0 &&
@@ -203,7 +297,8 @@ void SessionManager::run_one(std::uint64_t id) {
            << " modeled s) exhausted the deadline after attempt " << attempt
            << ": " << e.what();
         rec.result.modeled_seconds = backoff_spent;
-        finish_locked(rec, SessionState::TimedOut, os.str());
+        finish_locked(rec, SessionState::TimedOut, os.str(),
+                      ReasonCode::DeadlineExceeded);
         return;
       }
       MPAS_LOG_WARN << "session " << id << " attempt " << attempt
@@ -216,16 +311,19 @@ void SessionManager::run_one(std::uint64_t id) {
       const std::lock_guard<std::mutex> lock(mutex_);
       std::ostringstream os;
       os << "session threw: " << e.what();
-      finish_locked(rec, SessionState::Failed, os.str());
+      finish_locked(rec, SessionState::Failed, os.str(),
+                    ReasonCode::SessionFault);
       return;
     }
   }
 }
 
 void SessionManager::finish_locked(Record& rec, SessionState state,
-                                   const std::string& reason) {
+                                   const std::string& reason,
+                                   ReasonCode code) {
   rec.result.state = state;
   if (!reason.empty()) rec.result.reason = reason;
+  if (code != ReasonCode::None) rec.result.reason_code = code;
 
   // Release the admission reservation (rejected sessions never held one).
   if (state != SessionState::Rejected) {
@@ -243,14 +341,108 @@ void SessionManager::finish_locked(Record& rec, SessionState state,
     // Shed/Rejected counters are bumped where the verdict is made.
     default: break;
   }
+
+  // SLO samples describe sessions that actually ran (or were dispatched):
+  // a Shed/Rejected session says nothing about deadline or error fates.
+  const bool ran = state == SessionState::Completed ||
+                   state == SessionState::Failed ||
+                   state == SessionState::TimedOut ||
+                   state == SessionState::Cancelled;
+  if (ran) {
+    record_slo_locked(rec.result.tenant, telemetry::SloDimension::DeadlineMiss,
+                      state != SessionState::TimedOut, rec.result.id);
+    record_slo_locked(rec.result.tenant, telemetry::SloDimension::ErrorRate,
+                      state != SessionState::Failed, rec.result.id);
+  }
+
   MPAS_TRACE_INSTANT_ARGS(
       "service:terminal",
       obs::trace_arg("id", static_cast<int64_t>(rec.result.id)) + "," +
           obs::trace_arg("state", std::string(to_string(state))));
+  auto& events = telemetry::EventLog::global();
+  if (events.enabled())
+    events.emit(
+        "terminal", rec.result.tenant, rec.result.id,
+        obs::trace_arg("state", std::string(to_string(state))) + "," +
+            obs::trace_arg("code",
+                           std::string(to_string(rec.result.reason_code))) +
+            "," +
+            obs::trace_arg("steps_done", static_cast<std::int64_t>(
+                                             rec.result.steps_done)) +
+            "," +
+            obs::trace_arg("replans",
+                           static_cast<std::int64_t>(rec.result.replans)) +
+            "," +
+            obs::trace_arg("modeled_s", rec.result.modeled_seconds));
+
+  // Black-box dump decision: terminal failure, quarantine involvement, or
+  // dump-everything mode. The ring stays silent for healthy sessions.
+  if (rec.flight != nullptr) {
+    rec.flight->record(telemetry::FlightKind::Terminal, -1,
+                       std::string(to_string(state)) + ": " +
+                           rec.result.reason);
+    const bool failed =
+        state == SessionState::Failed || state == SessionState::TimedOut;
+    const bool quarantine_involved =
+        rec.result.replans > 0 ||
+        rec.flight->count(telemetry::FlightKind::HealthTransition) > 0;
+    if (flight_dump_.should_dump(failed, quarantine_involved)) {
+      std::error_code ec;
+      std::filesystem::create_directories(flight_dump_.dir, ec);
+      const std::string trigger = failed               ? "failure"
+                                  : quarantine_involved ? "quarantine"
+                                                        : "all";
+      const std::string path =
+          flight_dump_.dir + "/flight_session" +
+          std::to_string(rec.result.id) + ".json";
+      if (rec.flight->dump_to_file(path, rec.result.id, rec.result.tenant,
+                                   trigger)) {
+        stats_.flight_dumps += 1;
+        MPAS_LOG_INFO << "session " << rec.result.id
+                      << " flight recorder dumped to " << path << " ("
+                      << trigger << ")";
+        if (events.enabled())
+          events.emit("flight_dump", rec.result.tenant, rec.result.id,
+                      obs::trace_arg("path", path) + "," +
+                          obs::trace_arg("trigger", trigger));
+      } else {
+        MPAS_LOG_WARN << "session " << rec.result.id
+                      << " flight dump to " << path << " failed";
+      }
+    }
+  }
+
   publish_locked();
   done_cv_.notify_all();
   work_cv_.notify_all();  // freed capacity may unblock nothing, but a
                           // paused->resumed race must not strand workers
+}
+
+void SessionManager::record_slo_locked(const std::string& tenant,
+                                       telemetry::SloDimension dimension,
+                                       bool ok, std::uint64_t session) {
+  const telemetry::SloSample sample = slo_.record(tenant, dimension, ok);
+  auto& registry = obs::MetricsRegistry::global();
+  const std::string base =
+      "service.slo." + tenant + "." + telemetry::to_string(dimension);
+  registry.gauge(base + ".attainment").set(sample.attainment);
+  registry.gauge(base + ".burn_rate").set(sample.burn_rate);
+  if (!sample.breach) return;
+  stats_.slo_breaches += 1;
+  MPAS_TRACE_INSTANT_ARGS(
+      "slo:breach",
+      obs::trace_arg("tenant", tenant) + "," +
+          obs::trace_arg("dimension",
+                         std::string(telemetry::to_string(dimension))) +
+          "," + obs::trace_arg("attainment", sample.attainment) + "," +
+          obs::trace_arg("burn_rate", sample.burn_rate));
+  auto& events = telemetry::EventLog::global();
+  if (events.enabled())
+    events.emit("slo_breach", tenant, session,
+                obs::trace_arg("dimension",
+                               std::string(telemetry::to_string(dimension))) +
+                    "," + obs::trace_arg("attainment", sample.attainment) +
+                    "," + obs::trace_arg("burn_rate", sample.burn_rate));
 }
 
 bool SessionManager::cancel(std::uint64_t id) {
@@ -260,7 +452,8 @@ bool SessionManager::cancel(std::uint64_t id) {
     return false;
   Record& rec = *it->second;
   if (rec.result.state == SessionState::Queued && queue_.remove(id)) {
-    finish_locked(rec, SessionState::Cancelled, "cancelled while queued");
+    finish_locked(rec, SessionState::Cancelled, "cancelled while queued",
+                  ReasonCode::CancelledByUser);
     return true;
   }
   rec.cancel.store(true, std::memory_order_release);
@@ -296,7 +489,8 @@ void SessionManager::shutdown() {
     // their next step boundary.
     while (const auto entry = queue_.pop()) {
       Record& rec = *records_.at(entry->id);
-      finish_locked(rec, SessionState::Cancelled, "service shutdown");
+      finish_locked(rec, SessionState::Cancelled, "service shutdown",
+                    ReasonCode::ServiceShutdown);
     }
     for (auto& [id, rec] : records_)
       if (!is_terminal(rec->result.state))
@@ -356,6 +550,8 @@ void SessionManager::publish_locked() const {
   set("service.sessions.cancelled", static_cast<double>(stats_.cancelled));
   set("service.sessions.timed_out", static_cast<double>(stats_.timed_out));
   set("service.sessions.retries", static_cast<double>(stats_.retries));
+  set("service.slo.breaches", static_cast<double>(stats_.slo_breaches));
+  set("service.flight_dumps", static_cast<double>(stats_.flight_dumps));
   for (const auto& [tenant, seconds] : stats_.admitted_seconds_by_tenant)
     set("service.tenant." + tenant + ".admitted_modeled_s", seconds);
 }

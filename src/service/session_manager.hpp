@@ -27,6 +27,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/telemetry/flight_recorder.hpp"
+#include "obs/telemetry/slo.hpp"
 #include "service/admission.hpp"
 #include "service/fair_queue.hpp"
 #include "service/mesh_store.hpp"
@@ -42,6 +44,11 @@ struct ServiceOptions {
   /// (doubled per retry, charged against the deadline).
   int max_attempts = 3;
   Real backoff_start_modeled_s = 0.05;
+  /// Per-tenant SLO windows/targets (MPAS_SLO_* env knobs by default).
+  obs::telemetry::SloPolicy slo = obs::telemetry::SloPolicy::from_env();
+  /// Flight-recorder dump policy (MPAS_FLIGHT_DUMP grammar by default).
+  obs::telemetry::FlightDumpPolicy flight_dump =
+      obs::telemetry::FlightDumpPolicy::from_env();
 };
 
 /// Aggregate service counters (also published as service.* metrics).
@@ -56,6 +63,8 @@ struct ServiceStats {
   std::uint64_t cancelled = 0;
   std::uint64_t timed_out = 0;
   std::uint64_t retries = 0;
+  std::uint64_t slo_breaches = 0;   // breach edges across tenants/dims
+  std::uint64_t flight_dumps = 0;   // black-box files written
   /// Modeled seconds of admitted work per tenant (the fairness audit).
   std::map<std::string, Real> admitted_seconds_by_tenant;
 };
@@ -101,6 +110,10 @@ class SessionManager {
   [[nodiscard]] std::size_t queue_depth() const;
   [[nodiscard]] const CostModel& costs() const { return costs_; }
   [[nodiscard]] Real tenant_budget(const std::string& tenant) const;
+  /// The per-tenant SLO windows (rolling attainment / burn rates).
+  [[nodiscard]] const obs::telemetry::SloTracker& slo() const {
+    return slo_;
+  }
 
  private:
   struct Record {
@@ -108,13 +121,22 @@ class SessionManager {
     SessionResult result;
     std::atomic<bool> cancel{false};
     bool borrowed = false;
+    /// Black box (admitted sessions only). unique_ptr: the recorder must
+    /// stay addressable by a running session while records_ rebalances.
+    std::unique_ptr<obs::telemetry::FlightRecorder> flight;
   };
 
-  void worker_loop();
+  void worker_loop(int worker_index);
   void run_one(std::uint64_t id);
   /// Mark `id` terminal and release its admission reservation (lock held).
   void finish_locked(Record& rec, SessionState state,
-                     const std::string& reason);
+                     const std::string& reason,
+                     ReasonCode code = ReasonCode::None);
+  /// Fold one SLO sample, publish service.slo.* gauges, and raise the
+  /// slo:breach instant / event on a breach (lock held).
+  void record_slo_locked(const std::string& tenant,
+                         obs::telemetry::SloDimension dimension, bool ok,
+                         std::uint64_t session);
   void publish_locked() const;
   [[nodiscard]] AdmissionInput admission_input_locked(
       const std::string& tenant) const;
@@ -123,6 +145,8 @@ class SessionManager {
   CostModel costs_;
   AdmissionController admission_;
   MeshStore meshes_;
+  obs::telemetry::SloTracker slo_;
+  obs::telemetry::FlightDumpPolicy flight_dump_;
 
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;   // workers: queue non-empty / shutdown

@@ -5,10 +5,12 @@
 // distributed run, and the disabled-tracing overhead budget.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <limits>
+#include <map>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -20,6 +22,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_export.hpp"
+#include "service/session_manager.hpp"
 #include "sw/model.hpp"
 #include "sw/profiler.hpp"
 #include "util/timer.hpp"
@@ -364,6 +367,128 @@ TEST(TraceSession, FileRoundTripThroughTwoRankDistributedRun) {
 
   TraceRecorder::global().clear();
   std::remove(path.c_str());
+}
+
+TEST(TraceSession, ConcurrentSessionsShareOneTraceFileDistinguishably) {
+  const std::string path = "test_obs_sessions.json";
+  start_trace_file(path);
+
+  // Three sessions across three workers, all recording into the one
+  // global trace: each must land on its own named track.
+  service::ServiceOptions opts;
+  opts.workers = 3;
+  service::SessionRequest req;
+  req.mesh_level = 2;
+  req.test_case = 2;
+  req.steps = 3;
+  req.output_every = 0;
+  const service::CostModel costs;
+  opts.admission.capacity_modeled_s = 100 * costs.price(req);
+  {
+    service::SessionManager service(opts);
+    for (int i = 0; i < 3; ++i) {
+      service::SessionRequest r = req;
+      r.tenant = "tenant" + std::to_string(i);
+      service.submit(r);
+    }
+    ASSERT_TRUE(service.drain());
+  }
+
+  write_trace_now();
+  TraceRecorder& rec = TraceRecorder::global();
+  rec.set_enabled(false);
+
+  // One track per session, plus named worker lanes on the measured track.
+  int session_tracks = 0;
+  for (const auto& t : rec.tracks())
+    if (t.name.rfind("session ", 0) == 0) ++session_tracks;
+  EXPECT_GE(session_tracks, 3);
+  int worker_lanes = 0;
+  for (const auto& l : rec.lanes())
+    if (l.track == kMeasuredTrack &&
+        l.name.rfind("service-worker-", 0) == 0)
+      ++worker_lanes;
+  EXPECT_GE(worker_lanes, 3);
+
+  // The exported file is one valid Chrome-trace document carrying every
+  // session's step timeline and terminal instant.
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const json::Value doc = json::parse(buffer.str());
+  const auto& events = doc.at("traceEvents").as_array();
+
+  int terminal_instants = 0, step_spans = 0, session_names = 0;
+  for (const auto& e : events) {
+    const std::string& name = e.at("name").as_string();
+    if (name == "service:terminal") ++terminal_instants;
+    if (name == "step" && e.at("ph").as_string() == "X") ++step_spans;
+    if (name == "process_name" &&
+        e.at("args").at("name").as_string().rfind("session ", 0) == 0)
+      ++session_names;
+  }
+  EXPECT_EQ(terminal_instants, 3);
+  EXPECT_GE(step_spans, 9);  // 3 sessions x 3 steps
+  EXPECT_GE(session_names, 3);
+
+  TraceRecorder::global().clear();
+  std::remove(path.c_str());
+}
+
+TEST(Metrics, SnapshotStaysConsistentUnderConcurrentWriters) {
+  // Regression for the dump-at-exit race: to_json() used to walk the live
+  // maps re-reading each atomic while workers recorded, so a histogram's
+  // count, quantiles, and buckets could disagree (and a racing
+  // registration could invalidate the iteration). snapshot() copies under
+  // the registry mutex; every view derived from it must be internally
+  // consistent no matter how hard writers race. Run under TSan in CI.
+  MetricsRegistry registry;
+  Counter& hits = registry.counter("hits");
+  Gauge& level = registry.gauge("level");
+  Histogram& latency = registry.histogram("latency");
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t)
+    threads.emplace_back([&] {
+      std::uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        hits.add();
+        level.set(static_cast<double>(i % 7));
+        latency.record(static_cast<double>(1 + i % 1000));
+        ++i;
+      }
+    });
+  // A registrar keeps inserting new metrics so snapshots race map growth,
+  // not just value updates.
+  threads.emplace_back([&] {
+    int n = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      registry.counter("dynamic." + std::to_string(n % 64)).add();
+      ++n;
+    }
+  });
+
+  for (int iter = 0; iter < 200; ++iter) {
+    const MetricsSnapshot snap = registry.snapshot();
+    const auto it = snap.histograms.find("latency");
+    ASSERT_NE(it, snap.histograms.end());
+    std::uint64_t in_buckets = 0;
+    for (const auto& [edge, count] : it->second.buckets) in_buckets += count;
+    EXPECT_EQ(it->second.count, in_buckets);
+    if (it->second.count > 0) {
+      EXPECT_GE(it->second.p95, it->second.p50);
+      EXPECT_GE(it->second.p99, it->second.p95);
+      EXPECT_GT(it->second.mean, 0.0);
+    }
+    if (iter % 50 == 0) {
+      const json::Value doc = json::parse(registry.to_json());
+      EXPECT_TRUE(doc.at("histograms").at("latency").is_object());
+    }
+  }
+  stop.store(true);
+  for (auto& t : threads) t.join();
 }
 
 TEST(TraceOverhead, DisabledTracingStaysUnderTwoPercentOfAStep) {

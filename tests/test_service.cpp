@@ -7,10 +7,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "obs/json.hpp"
+#include "obs/telemetry/flight_recorder.hpp"
+#include "obs/telemetry/slo.hpp"
 #include "service/admission.hpp"
 #include "service/fair_queue.hpp"
 #include "service/mesh_store.hpp"
@@ -112,9 +117,49 @@ TEST_F(AdmissionLadder, GuaranteeReclaimsBorrowedQueueSlot) {
   input.queued.push_back({7, "a", 1, cost, /*borrowed=*/true, /*seq=*/7});
   const auto verdict = admission.decide(small_request("b"), input);
   ASSERT_EQ(verdict.action, AdmissionOutcome::Action::Admit);
+  EXPECT_EQ(verdict.reason_code, ReasonCode::AdmitReclaimed);
   ASSERT_EQ(verdict.shed.size(), 1u);
-  EXPECT_EQ(verdict.shed[0].first, 7u);
-  EXPECT_NE(verdict.shed[0].second.find("reclaimed"), std::string::npos);
+  EXPECT_EQ(verdict.shed[0].id, 7u);
+  EXPECT_EQ(verdict.shed[0].code, ReasonCode::ShedReclaimed);
+  EXPECT_NE(verdict.shed[0].reason.find("reclaimed"), std::string::npos);
+}
+
+TEST_F(AdmissionLadder, BurnRateChangesTheVerdict) {
+  // The SLO coupling: an identical submission is rejected at burn 0 and
+  // admitted (by reclaiming a borrower) when the tenant is burning its
+  // error budget at twice the refill rate.
+  const Real unit = costs_.price(small_request());
+  policy_.capacity_modeled_s = 4 * unit;
+  AdmissionController admission(policy_, &costs_);
+  admission.set_tenant_weight("a", 1.0);
+  admission.set_tenant_weight("b", 1.0);
+
+  // a is 0.5 units over its 2-unit guarantee with one borrowed queued
+  // session; b is already at 1.5 units, so one more unit lands beyond b's
+  // guarantee and the reclaim rung normally refuses to thrash for it.
+  AdmissionInput input;
+  input.outstanding_total = 4 * unit;
+  input.outstanding_by_tenant["a"] = 2.5 * unit;
+  input.outstanding_by_tenant["b"] = 1.5 * unit;
+  input.queued.push_back({7, "a", 1, 1.5 * unit, /*borrowed=*/true, 7});
+  SessionRequest req = small_request("b");
+  req.allow_degraded = false;
+
+  const auto calm = admission.decide(req, input);
+  EXPECT_EQ(calm.action, AdmissionOutcome::Action::Reject);
+  EXPECT_EQ(calm.reason_code, ReasonCode::RejectOverload);
+
+  input.tenant_burn_rate = 3.0;  // >= slo_burn_guarantee (2.0)
+  const auto burning = admission.decide(req, input);
+  ASSERT_EQ(burning.action, AdmissionOutcome::Action::Admit);
+  EXPECT_EQ(burning.reason_code, ReasonCode::AdmitReclaimed);
+  EXPECT_NE(burning.reason.find("SLO burn-rate priority"),
+            std::string::npos);
+  ASSERT_EQ(burning.shed.size(), 1u);
+  EXPECT_EQ(burning.shed[0].id, 7u);
+  EXPECT_EQ(burning.shed[0].code, ReasonCode::ShedReclaimed);
+  EXPECT_NE(burning.shed[0].reason.find("SLO burn-rate priority"),
+            std::string::npos);
 }
 
 TEST_F(AdmissionLadder, PrioritySheddingEvictsLowestYoungest) {
@@ -129,9 +174,11 @@ TEST_F(AdmissionLadder, PrioritySheddingEvictsLowestYoungest) {
   urgent.priority = 9;
   const auto verdict = admission.decide(urgent, input);
   ASSERT_EQ(verdict.action, AdmissionOutcome::Action::Admit);
+  EXPECT_EQ(verdict.reason_code, ReasonCode::AdmitAfterShed);
   ASSERT_GE(verdict.shed.size(), 1u);
-  EXPECT_EQ(verdict.shed[0].first, 5u);  // lowest priority, youngest first
-  EXPECT_NE(verdict.shed[0].second.find("shed"), std::string::npos);
+  EXPECT_EQ(verdict.shed[0].id, 5u);  // lowest priority, youngest first
+  EXPECT_EQ(verdict.shed[0].code, ReasonCode::ShedPriority);
+  EXPECT_NE(verdict.shed[0].reason.find("shed"), std::string::npos);
 }
 
 TEST_F(AdmissionLadder, OverloadDegradesFidelityWithReason) {
@@ -230,6 +277,7 @@ TEST(SessionManager, AdmittedSessionsCompleteBitwiseCorrect) {
   for (const auto id : {id1, id2}) {
     const SessionResult r = service.result(id);
     EXPECT_EQ(r.state, SessionState::Completed) << r.reason;
+    EXPECT_EQ(r.reason_code, ReasonCode::Completed);
     EXPECT_EQ(r.steps_done, 4);
     EXPECT_EQ(r.outputs_written, 2);
     EXPECT_EQ(r.replans, 0);
@@ -264,6 +312,7 @@ TEST(SessionManager, PersistentTransientFaultFailsAfterBudget) {
 
   const SessionResult r = service.result(id);
   EXPECT_EQ(r.state, SessionState::Failed);
+  EXPECT_EQ(r.reason_code, ReasonCode::TransientExhausted);
   EXPECT_NE(r.reason.find("transient fault persisted"), std::string::npos);
 }
 
@@ -279,6 +328,7 @@ TEST(SessionManager, DeadlineHonoredAtStepBoundary) {
 
   const SessionResult r = service.result(id);
   EXPECT_EQ(r.state, SessionState::TimedOut);
+  EXPECT_EQ(r.reason_code, ReasonCode::DeadlineExceeded);
   EXPECT_GT(r.steps_done, 0);
   EXPECT_LT(r.steps_done, 50);
   EXPECT_NE(r.reason.find("deadline"), std::string::npos);
@@ -292,6 +342,7 @@ TEST(SessionManager, CancelQueuedAndRunningSessions) {
   // id2 is queued behind id1 and paused; evict it before dispatch.
   EXPECT_TRUE(service.cancel(id2));
   EXPECT_EQ(service.result(id2).state, SessionState::Cancelled);
+  EXPECT_EQ(service.result(id2).reason_code, ReasonCode::CancelledByUser);
   service.set_paused(false);
   ASSERT_TRUE(service.drain());
   EXPECT_EQ(service.result(id1).state, SessionState::Completed);
@@ -331,6 +382,7 @@ TEST(SessionManager, ThrowingSessionFailsAloneAndServiceSurvives) {
   ASSERT_TRUE(service.drain());
 
   EXPECT_EQ(service.result(bad_id).state, SessionState::Failed);
+  EXPECT_EQ(service.result(bad_id).reason_code, ReasonCode::SessionFault);
   EXPECT_NE(service.result(bad_id).reason.find("session threw"),
             std::string::npos);
   EXPECT_EQ(service.result(good_id).state, SessionState::Completed);
@@ -371,6 +423,77 @@ TEST(SessionManager, SaturationSharesFollowTenantWeights) {
   const Real share = gold_s / (gold_s + bronze_s);
   EXPECT_NEAR(share, 2.0 / 3.0, 0.1 * 2.0 / 3.0);
   EXPECT_GT(service.stats().rejected, 0u);  // it really was saturated
+}
+
+// -------------------------------------------------- slo + flight recorder
+
+TEST(SessionManager, SloTrackerFollowsSessionOutcomes) {
+  ServiceOptions opts = small_service(1);
+  SessionManager service(opts);
+  service.submit(small_request("a"));
+  SessionRequest doomed = small_request("a");
+  doomed.chaos.fail_first_attempts = 100;
+  service.submit(doomed);
+  ASSERT_TRUE(service.drain());
+
+  namespace telemetry = obs::telemetry;
+  const telemetry::SloTracker& slo = service.slo();
+  // Two sessions ran: one completed, one failed -> error-rate attainment
+  // is 1/2 and its budget (default target 0.95) is burning hard.
+  EXPECT_EQ(slo.samples("a", telemetry::SloDimension::ErrorRate), 2u);
+  EXPECT_DOUBLE_EQ(slo.attainment("a", telemetry::SloDimension::ErrorRate),
+                   0.5);
+  EXPECT_GT(slo.worst_burn_rate("a"), 1.0);
+  // Neither timed out, so the deadline dimension is clean.
+  EXPECT_DOUBLE_EQ(
+      slo.attainment("a", telemetry::SloDimension::DeadlineMiss), 1.0);
+  // The failure breached the error SLO and the service counted it.
+  EXPECT_GE(service.stats().slo_breaches, 1u);
+}
+
+TEST(SessionManager, FailureDumpsTheFlightRecorder) {
+  const std::string dir = "test_flight_dumps";
+  std::filesystem::remove_all(dir);
+  ServiceOptions opts = small_service(1);
+  opts.flight_dump = obs::telemetry::FlightDumpPolicy::parse(dir);
+  SessionManager service(opts);
+
+  const auto ok_id = service.submit(small_request("fine"));
+  SessionRequest doomed = small_request("doomed");
+  doomed.chaos.fail_first_attempts = 100;
+  const auto bad_id = service.submit(doomed);
+  ASSERT_TRUE(service.drain());
+  ASSERT_EQ(service.result(ok_id).state, SessionState::Completed);
+  ASSERT_EQ(service.result(bad_id).state, SessionState::Failed);
+
+  // Only the failure produced a black box; the healthy session stayed
+  // output-free.
+  EXPECT_EQ(service.stats().flight_dumps, 1u);
+  const std::string ok_path =
+      dir + "/flight_session" + std::to_string(ok_id) + ".json";
+  EXPECT_FALSE(std::filesystem::exists(ok_path));
+
+  const std::string bad_path =
+      dir + "/flight_session" + std::to_string(bad_id) + ".json";
+  std::ifstream in(bad_path);
+  ASSERT_TRUE(in.good()) << bad_path;
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  const auto doc = obs::json::parse(text);
+  EXPECT_EQ(doc.at("trigger").as_string(), "failure");
+  EXPECT_EQ(doc.at("tenant").as_string(), "doomed");
+  EXPECT_DOUBLE_EQ(doc.at("session").as_number(),
+                   static_cast<double>(bad_id));
+  // The box replays the session's fate: admission, dispatch, the retry
+  // storm, and the terminal verdict.
+  std::map<std::string, int> kinds;
+  for (const auto& e : doc.at("events").as_array())
+    kinds[e.at("kind").as_string()] += 1;
+  EXPECT_EQ(kinds["admission"], 1);
+  EXPECT_EQ(kinds["dispatch"], 1);
+  EXPECT_GE(kinds["retry"], 2);
+  EXPECT_EQ(kinds["terminal"], 1);
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Run the small-mesh bench subset behind the CI perf-smoke gate and collect
-# one BENCH_<suite>.json per binary in <out_dir>. The subset is modeled-only
-# (no measured wall-time suites, no large mesh builds) so the reports are
-# deterministic and compare tightly across machines with the same compiler.
+# one BENCH_<suite>.json per binary in <out_dir>. The subset is mostly
+# modeled (deterministic, compared tightly across machines with the same
+# compiler); the one measured suite (telemetry hook costs) is compared
+# under bench_compare's wide measured band.
 #
 # Usage: tools/perf_smoke.sh <build_dir> <out_dir>
 #
@@ -23,5 +24,6 @@ export MPAS_BENCH_OUT="$OUT"
 "$BUILD/bench/ablation_split_sweep" cells=2562 > /dev/null
 "$BUILD/bench/ablation_transfer_policy" steps=10 > /dev/null
 "$BUILD/bench/pattern_costs" cells=2562 > /dev/null
+"$BUILD/bench/telemetry_overhead" > /dev/null
 
 ls "$OUT"/BENCH_*.json
