@@ -1,0 +1,149 @@
+// Lock-order detector overhead series: the per-lock/unlock-pair cost of
+// util::Mutex against a raw std::mutex, dark (hooks disarmed — the state
+// every production run is in) and armed (MPAS_LOCK_CHECK=1). Four
+// uncontended series plus a two-thread contended counter:
+//
+//   raw_pair        std::lock_guard<std::mutex> — the floor
+//   dark_pair       util::LockGuard, hooks disarmed (one relaxed load +
+//                   predicted branch per op; the <1% budget over raw is
+//                   asserted by tests/test_lockorder.cpp)
+//   armed_pair      hooks installed, no outer lock held — the hook fast
+//                   path (thread-local push/pop, no graph mutex)
+//   armed_nested    hooks installed, inner lock taken under an outer one —
+//                   the full path through the registry's graph mutex on
+//                   every acquisition (the edge is already known, so no
+//                   publishing)
+//   contended_*     two threads incrementing one guarded counter, dark vs
+//                   armed — what MPAS_LOCK_CHECK=1 costs a soak's hottest
+//                   lock
+//
+// Measured series with a committed baseline (bench/baselines/
+// BENCH_lockorder.json), gated by bench_compare's wide measured band.
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "analysis/lock_order.hpp"
+#include "bench_common.hpp"
+#include "util/config.hpp"
+#include "util/mutex.hpp"
+#include "util/timer.hpp"
+
+using namespace mpas;
+
+namespace {
+
+template <typename Fn>
+double per_op_ns(int ops, Fn&& fn) {
+  WallTimer timer;
+  for (int i = 0; i < ops; ++i) fn();
+  return timer.seconds() / ops * 1e9;
+}
+
+template <typename Fn>
+double contended_ns(int ops, int threads, Fn&& fn) {
+  const int per_thread = ops / threads;
+  WallTimer timer;
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (int t = 0; t < threads; ++t)
+    workers.emplace_back([&fn, per_thread] {
+      for (int i = 0; i < per_thread; ++i) fn();
+    });
+  for (auto& w : workers) w.join();
+  return timer.seconds() / (per_thread * threads) * 1e9;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Config cfg = bench::bench_init(argc, argv, "lockorder");
+  const int ops = static_cast<int>(cfg.get_int("ops", 400000));
+  const int threads = static_cast<int>(cfg.get_int("threads", 2));
+  bench::add_info("ops", static_cast<Real>(ops), "count");
+  bench::add_info("threads", static_cast<Real>(threads), "count");
+
+  const bench_harness::BenchRunner runner;
+  std::printf("== Lock-order detector overhead (%d ops per repeat) ==\n\n",
+              ops);
+
+  std::uint64_t sink = 0;
+
+  std::mutex raw_mutex;
+  const auto raw = runner.collect([&] {
+    return per_op_ns(ops, [&] {
+      const std::lock_guard<std::mutex> lock(raw_mutex);
+      sink += 1;
+    });
+  });
+  bench::add_measured("raw_pair_ns", raw, "ns");
+
+  util::Mutex inner{"bench.lockorder.inner", 0};
+  util::Mutex outer{"bench.lockorder.outer", 0};
+  const auto dark = runner.collect([&] {
+    return per_op_ns(ops, [&] {
+      const util::LockGuard lock(inner);
+      sink += 1;
+    });
+  });
+  bench::add_measured("dark_pair_ns", dark, "ns");
+
+  auto& registry = analysis::LockOrderRegistry::instance();
+  registry.install();
+
+  const auto armed = runner.collect([&] {
+    return per_op_ns(ops, [&] {
+      const util::LockGuard lock(inner);
+      sink += 1;
+    });
+  });
+  bench::add_measured("armed_pair_ns", armed, "ns");
+
+  const auto nested = runner.collect([&] {
+    const util::LockGuard hold(outer);
+    return per_op_ns(ops, [&] {
+      const util::LockGuard lock(inner);
+      sink += 1;
+    });
+  });
+  bench::add_measured("armed_nested_ns", nested, "ns");
+
+  registry.uninstall();
+  const auto contended_dark = runner.collect([&] {
+    return contended_ns(ops, threads, [&] {
+      const util::LockGuard lock(inner);
+      sink += 1;
+    });
+  });
+  bench::add_measured("contended_dark_ns", contended_dark, "ns");
+
+  registry.install();
+  const auto contended_armed = runner.collect([&] {
+    return contended_ns(ops, threads, [&] {
+      const util::LockGuard lock(inner);
+      sink += 1;
+    });
+  });
+  bench::add_measured("contended_armed_ns", contended_armed, "ns");
+
+  registry.uninstall();
+  registry.reset();
+  if (sink == 0) std::printf("(unreachable: empty critical sections)\n");
+
+  Table t({"series", "ns/pair p50", "ns/pair p75", "stable"});
+  const auto row = [&t](const char* name,
+                        const bench_harness::RunResult& run) {
+    t.add_row({name, Table::fixed(run.stats.median, 1),
+               Table::fixed(run.stats.p75, 1), run.stable ? "yes" : "no"});
+  };
+  row("raw_pair", raw);
+  row("dark_pair", dark);
+  row("armed_pair", armed);
+  row("armed_nested", nested);
+  row("contended_dark", contended_dark);
+  row("contended_armed", contended_armed);
+  bench::emit(t, "lock_contention");
+  return 0;
+}

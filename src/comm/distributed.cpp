@@ -2,7 +2,6 @@
 
 #include <cmath>
 #include <cstring>
-#include <mutex>
 #include <sstream>
 #include <thread>
 
@@ -11,6 +10,8 @@
 #include "resilience/checkpoint.hpp"
 #include "sw/invariants.hpp"
 #include "util/error.hpp"
+#include "util/lock_ranks.hpp"
+#include "util/mutex.hpp"
 
 namespace mpas::comm {
 
@@ -749,7 +750,8 @@ void DistributedSw::run_threaded(int steps) {
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(num_ranks()));
   std::exception_ptr error;
-  std::mutex error_mutex;
+  util::Mutex error_mutex{"comm.distributed_error",
+                          util::lockrank::kDistributedError};
   for (int r = 0; r < num_ranks(); ++r) {
     threads.emplace_back([&, r] {
       try {
@@ -763,7 +765,7 @@ void DistributedSw::run_threaded(int steps) {
           step_rank(r);
         }
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
+        util::LockGuard lock(error_mutex);
         if (!error) error = std::current_exception();
       }
     });

@@ -41,7 +41,7 @@ void SimWorld::publish_depth_locked() {
 }
 
 void SimWorld::set_fault_injector(resilience::FaultInjector* injector) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   injector_ = injector;
 }
 
@@ -67,7 +67,7 @@ void SimWorld::send(int from, int to, int tag, std::vector<Real> payload) {
   const Key key{from, to, tag};
   bool drop = false, delay = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::LockGuard lock(mutex_);
     if (injector_ != nullptr) {
       for (const auto& fault : injector_->on_message(from, to, tag)) {
         switch (fault.kind) {
@@ -103,7 +103,7 @@ std::vector<Real> SimWorld::recv(int to, int from, int tag) {
 
 std::optional<std::vector<Real>> SimWorld::try_recv(int to, int from,
                                                     int tag) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   const auto it = queues_.find(Key{from, to, tag});
   if (it == queues_.end() || it->second.empty()) return std::nullopt;
   std::vector<Real> payload = std::move(it->second.front());
@@ -119,13 +119,21 @@ std::vector<Real> SimWorld::recv_blocking(int to, int from, int tag,
   timeout_ms = static_cast<int>(
       resolve_timeout_ms(timeout_ms, "MPAS_RECV_TIMEOUT_MS", 30000));
   const auto started = std::chrono::steady_clock::now();
-  std::unique_lock<std::mutex> lock(mutex_);
+  const auto deadline = started + std::chrono::milliseconds(timeout_ms);
+  util::UniqueLock lock(mutex_);
   const Key key{from, to, tag};
-  const bool arrived = cv_.wait_for(
-      lock, std::chrono::milliseconds(timeout_ms), [&] {
-        auto it = queues_.find(key);
-        return it != queues_.end() && !it->second.empty();
-      });
+  // Inline predicate loop (not wait_for with a lambda): the thread-safety
+  // analysis checks the queue access with mutex_ held.
+  bool arrived = false;
+  for (;;) {
+    const auto it = queues_.find(key);
+    if (it != queues_.end() && !it->second.empty()) {
+      arrived = true;
+      break;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) break;
+    cv_.wait_until(lock, deadline);
+  }
   if (!arrived) {
     const auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
         std::chrono::steady_clock::now() - started);
@@ -156,12 +164,12 @@ std::vector<Real> SimWorld::recv_blocking(int to, int from, int tag,
 }
 
 bool SimWorld::has_pending() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   return !queues_.empty();
 }
 
 std::vector<SimWorld::PendingQueue> SimWorld::pending() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   std::vector<PendingQueue> out;
   out.reserve(queues_.size());
   for (const auto& [key, queue] : queues_)
@@ -183,12 +191,12 @@ std::string SimWorld::pending_summary() const {
 }
 
 SimWorld::Stats SimWorld::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   return stats_;
 }
 
 void SimWorld::reset_stats() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   stats_ = {};
 }
 

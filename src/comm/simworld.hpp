@@ -13,17 +13,18 @@
 // comm::DistributedSw) — the fabric itself fails silently, like real wires.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "obs/metrics.hpp"
 #include "resilience/fault.hpp"
+#include "util/annotations.hpp"
+#include "util/lock_ranks.hpp"
+#include "util/mutex.hpp"
 #include "util/types.hpp"
 
 namespace mpas::comm {
@@ -85,22 +86,26 @@ class SimWorld {
     }
   };
 
-  void enqueue_locked(const Key& key, std::vector<Real> payload);
-  void flush_delayed_locked(const Key& key);
+  void enqueue_locked(const Key& key, std::vector<Real> payload)
+      MPAS_REQUIRES(mutex_);
+  void flush_delayed_locked(const Key& key) MPAS_REQUIRES(mutex_);
   /// Publish the in-flight message count (gauge + trace counter sample).
-  void publish_depth_locked();
+  void publish_depth_locked() MPAS_REQUIRES(mutex_);
 
   int num_ranks_;
-  std::int64_t in_flight_ = 0;  // total queued messages across all streams
+  // Total queued messages across all streams.
+  std::int64_t in_flight_ MPAS_GUARDED_BY(mutex_) = 0;
   obs::Gauge* depth_gauge_ = nullptr;  // resolved once in the constructor
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::map<Key, std::deque<std::vector<Real>>> queues_;
+  mutable util::Mutex mutex_{"comm.simworld", util::lockrank::kSimWorld};
+  util::ConditionVariable cv_;
+  std::map<Key, std::deque<std::vector<Real>>> queues_
+      MPAS_GUARDED_BY(mutex_);
   // Messages held back by a delay fault; delivered ahead of the next send
   // on the same stream (i.e. after any traffic posted in between).
-  std::map<Key, std::deque<std::vector<Real>>> delayed_;
-  resilience::FaultInjector* injector_ = nullptr;
-  Stats stats_;
+  std::map<Key, std::deque<std::vector<Real>>> delayed_
+      MPAS_GUARDED_BY(mutex_);
+  resilience::FaultInjector* injector_ MPAS_GUARDED_BY(mutex_) = nullptr;
+  Stats stats_ MPAS_GUARDED_BY(mutex_);
 };
 
 }  // namespace mpas::comm

@@ -16,7 +16,7 @@ ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::LockGuard lock(mutex_);
     stop_ = true;
   }
   cv_work_.notify_all();
@@ -41,7 +41,7 @@ void ThreadPool::run_task_share(Task& task, int participant_id,
       }
     }
   } catch (...) {
-    std::lock_guard<std::mutex> lock(error_mutex_);
+    util::LockGuard lock(error_mutex_);
     if (!error_) error_ = std::current_exception();
   }
 }
@@ -55,10 +55,12 @@ void ThreadPool::worker_loop(int worker_id) {
   for (;;) {
     Task* task = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_work_.wait(lock, [&] {
-        return stop_ || (current_ != nullptr && generation_ != seen_generation);
-      });
+      util::UniqueLock lock(mutex_);
+      // Inline predicate loop (not a wait(lock, pred) lambda): the
+      // thread-safety analysis checks this body with mutex_ held.
+      while (!stop_ &&
+             !(current_ != nullptr && generation_ != seen_generation))
+        cv_work_.wait(lock);
       if (stop_) return;
       task = current_;
       seen_generation = generation_;
@@ -69,7 +71,7 @@ void ThreadPool::worker_loop(int worker_id) {
       run_task_share(*task, worker_id, num_threads_ + 1);
     }
     if (task->remaining.fetch_sub(1) == 1) {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::LockGuard lock(mutex_);
       cv_done_.notify_all();
     }
   }
@@ -80,7 +82,7 @@ void ThreadPool::parallel_for(Index n,
                               LoopSchedule schedule, Index chunk) {
   MPAS_CHECK(n >= 0 && chunk > 0);
   if (n == 0) return;
-  ++regions_;
+  regions_.fetch_add(1, std::memory_order_relaxed);
 
   obs::TraceSpan span(obs::TraceRecorder::global(), "pool:parallel_for");
   if (span.active())
@@ -100,7 +102,7 @@ void ThreadPool::parallel_for(Index n,
   task.schedule = schedule;
   task.remaining.store(num_threads_);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::LockGuard lock(mutex_);
     current_ = &task;
     ++generation_;
   }
@@ -110,8 +112,8 @@ void ThreadPool::parallel_for(Index n,
   run_task_share(task, num_threads_, num_threads_ + 1);
 
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_done_.wait(lock, [&] { return task.remaining.load() == 0; });
+    util::UniqueLock lock(mutex_);
+    while (task.remaining.load() != 0) cv_done_.wait(lock);
     current_ = nullptr;
     // wait_idle sleeps on current_ == nullptr, a condition only this line
     // makes true — the workers' notify fired before it held.
@@ -120,15 +122,15 @@ void ThreadPool::parallel_for(Index n,
 
   std::exception_ptr error;
   {
-    std::lock_guard<std::mutex> lock(error_mutex_);
+    util::LockGuard lock(error_mutex_);
     std::swap(error, error_);
   }
   if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_done_.wait(lock, [&] { return current_ == nullptr; });
+  util::UniqueLock lock(mutex_);
+  while (current_ != nullptr) cv_done_.wait(lock);
 }
 
 ThreadPool& host_pool() {

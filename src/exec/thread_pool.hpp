@@ -13,12 +13,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
+#include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "util/annotations.hpp"
+#include "util/lock_ranks.hpp"
+#include "util/mutex.hpp"
 #include "util/types.hpp"
 
 namespace mpas::exec {
@@ -45,7 +47,9 @@ class ThreadPool {
 
   /// Total number of parallel regions opened so far (the machine model
   /// charges a synchronization overhead per region, as in Section IV.B).
-  [[nodiscard]] std::uint64_t regions_opened() const { return regions_; }
+  [[nodiscard]] std::uint64_t regions_opened() const {
+    return regions_.load(std::memory_order_relaxed);
+  }
 
   /// Block until no parallel region is executing. parallel_for already
   /// blocks its own caller, so this only matters when *another* thread may
@@ -68,15 +72,22 @@ class ThreadPool {
 
   int num_threads_;
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable cv_work_;
-  std::condition_variable cv_done_;
-  Task* current_ = nullptr;
-  std::uint64_t generation_ = 0;
-  bool stop_ = false;
-  std::uint64_t regions_ = 0;
-  std::exception_ptr error_;
-  std::mutex error_mutex_;
+  // Lock order (DESIGN.md §14): a SessionManager worker calls parallel_for
+  // / wait_idle while holding nothing, so exec.thread_pool ranks above
+  // service.session_manager and must never call back into the service
+  // layer while held.
+  util::Mutex mutex_{"exec.thread_pool", util::lockrank::kThreadPool};
+  util::ConditionVariable cv_work_;
+  util::ConditionVariable cv_done_;
+  Task* current_ MPAS_GUARDED_BY(mutex_) = nullptr;
+  std::uint64_t generation_ MPAS_GUARDED_BY(mutex_) = 0;
+  bool stop_ MPAS_GUARDED_BY(mutex_) = false;
+  // Atomic, not guarded: bumped outside the region handshake so the
+  // machine-model accounting never serializes against the workers.
+  std::atomic<std::uint64_t> regions_{0};
+  util::Mutex error_mutex_{"exec.thread_pool_error",
+                           util::lockrank::kThreadPoolError};
+  std::exception_ptr error_ MPAS_GUARDED_BY(error_mutex_);
 };
 
 /// Shared host pool sized to the hardware (never more than needed).

@@ -3,9 +3,10 @@
 #include <cstdlib>
 #include <filesystem>
 #include <map>
-#include <mutex>
 
 #include "mesh/mesh_io.hpp"
+#include "util/lock_ranks.hpp"
+#include "util/mutex.hpp"
 #include "mesh/trimesh.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
@@ -35,10 +36,14 @@ std::filesystem::path cache_path(int level) {
 }  // namespace
 
 std::shared_ptr<const VoronoiMesh> get_global_mesh(int level) {
-  static std::mutex mutex;
+  static util::Mutex mutex{"mesh.mesh_cache", util::lockrank::kMeshCache};
   static std::map<int, std::shared_ptr<const VoronoiMesh>> memo;
 
-  std::lock_guard<std::mutex> lock(mutex);
+  // Cache fill (load or regenerate, both slow) happens under the memo lock
+  // on purpose: two threads asking for the same level must not build it
+  // twice or race the cache file.
+  // concurrency-lint: allow(blocking-under-lock) cache fill is the critical section
+  util::LockGuard lock(mutex);
   if (auto it = memo.find(level); it != memo.end()) return it->second;
 
   const auto path = cache_path(level);

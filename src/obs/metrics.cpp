@@ -8,6 +8,8 @@
 #include <sstream>
 
 #include "obs/trace.hpp"  // json_escape
+#include "util/lock_ranks.hpp"
+#include "util/mutex.hpp"
 
 namespace mpas::obs {
 
@@ -25,8 +27,9 @@ std::string& metrics_session_path() {
   return path;
 }
 
-std::mutex& metrics_session_mutex() {
-  static std::mutex m;
+util::Mutex& metrics_session_mutex() {
+  static util::Mutex m{"obs.metrics_session",
+                       util::lockrank::kMetricsSession};
   return m;
 }
 
@@ -102,7 +105,7 @@ MetricsRegistry& MetricsRegistry::global() {
     auto* reg = new MetricsRegistry();
     if (const auto path = env_metrics_path()) {
       {
-        std::lock_guard<std::mutex> lock(metrics_session_mutex());
+        util::LockGuard lock(metrics_session_mutex());
         metrics_session_path() = *path;
       }
       std::atexit([] { write_metrics_now(); });
@@ -113,22 +116,22 @@ MetricsRegistry& MetricsRegistry::global() {
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   return counters_[name];  // std::map: node stability keeps pointers valid
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   return gauges_[name];
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   return histograms_[name];
 }
 
 bool MetricsRegistry::contains(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   return counters_.count(name) > 0 || gauges_.count(name) > 0 ||
          histograms_.count(name) > 0;
 }
@@ -161,7 +164,7 @@ double quantile_from(
 }  // namespace
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   MetricsSnapshot snap;
   for (const auto& [name, c] : counters_) snap.counters[name] = c.value();
   for (const auto& [name, g] : gauges_) snap.gauges[name] = g.value();
@@ -247,7 +250,7 @@ std::string MetricsRegistry::to_json() const {
 std::string MetricsRegistry::to_string() const { return to_table().to_ascii(); }
 
 void MetricsRegistry::reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   for (auto& [name, c] : counters_) c.reset();
   for (auto& [name, g] : gauges_) g.reset();
   for (auto& [name, h] : histograms_) h.reset();
@@ -264,7 +267,7 @@ std::optional<std::string> env_metrics_path() {
 void start_metrics_file(std::string path) {
   (void)MetricsRegistry::global();  // ensure the registry outlives the hook
   {
-    std::lock_guard<std::mutex> lock(metrics_session_mutex());
+    util::LockGuard lock(metrics_session_mutex());
     metrics_session_path() = std::move(path);
   }
   static bool registered = [] {
@@ -275,14 +278,14 @@ void start_metrics_file(std::string path) {
 }
 
 std::string metrics_file_path() {
-  std::lock_guard<std::mutex> lock(metrics_session_mutex());
+  util::LockGuard lock(metrics_session_mutex());
   return metrics_session_path();
 }
 
 void write_metrics_now() {
   std::string path;
   {
-    std::lock_guard<std::mutex> lock(metrics_session_mutex());
+    util::LockGuard lock(metrics_session_mutex());
     path = metrics_session_path();
   }
   if (path.empty()) return;

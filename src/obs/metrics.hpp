@@ -13,12 +13,14 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "util/annotations.hpp"
+#include "util/lock_ranks.hpp"
+#include "util/mutex.hpp"
 #include "util/table.hpp"
 
 namespace mpas::obs {
@@ -175,10 +177,13 @@ class MetricsRegistry {
   void reset();
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, Counter> counters_;
-  std::map<std::string, Gauge> gauges_;
-  std::map<std::string, Histogram> histograms_;
+  mutable util::Mutex mutex_{"obs.metrics", util::lockrank::kMetrics};
+  // Map nodes are pointer-stable; the mutex guards the maps' structure.
+  // Metric values themselves are atomics, updated lock-free through the
+  // references counter()/gauge()/histogram() hand out.
+  std::map<std::string, Counter> counters_ MPAS_GUARDED_BY(mutex_);
+  std::map<std::string, Gauge> gauges_ MPAS_GUARDED_BY(mutex_);
+  std::map<std::string, Histogram> histograms_ MPAS_GUARDED_BY(mutex_);
 };
 
 // ---- environment/file session ---------------------------------------------

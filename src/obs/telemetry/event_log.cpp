@@ -48,7 +48,8 @@ EventLog& EventLog::global() {
 }
 
 void EventLog::open(const std::string& path) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  // concurrency-lint: allow(blocking-under-lock) serializing the sink is this lock's purpose
+  const util::LockGuard lock(mutex_);
   if (out_.is_open()) out_.close();
   out_.open(path, std::ios::trunc);
   path_ = path;
@@ -57,7 +58,7 @@ void EventLog::open(const std::string& path) {
 }
 
 void EventLog::close() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   enabled_.store(false, std::memory_order_relaxed);
   if (out_.is_open()) {
     out_.flush();
@@ -71,7 +72,7 @@ void EventLog::emit(const WideEvent& event) {
   WideEvent stamped = event;
   if (stamped.ts_s < 0) stamped.ts_s = monotonic_seconds();
   const std::string line = to_jsonl(stamped);
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   if (!out_.is_open()) return;
   // Flush per line: the event log is the black-box companion — it must be
   // complete up to the instant of a crash, and the event rate (one per
@@ -92,12 +93,12 @@ void EventLog::emit(const std::string& kind, const std::string& tenant,
 }
 
 std::string EventLog::path() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   return path_;
 }
 
 std::uint64_t EventLog::events_written() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   return written_;
 }
 

@@ -24,9 +24,12 @@
 #include <atomic>
 #include <cstdint>
 #include <fstream>
-#include <mutex>
 #include <optional>
 #include <string>
+
+#include "util/annotations.hpp"
+#include "util/lock_ranks.hpp"
+#include "util/mutex.hpp"
 
 namespace mpas::obs::telemetry {
 
@@ -73,10 +76,12 @@ class EventLog {
 
  private:
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mutex_;
-  std::ofstream out_;
-  std::string path_;
-  std::uint64_t written_ = 0;
+  // Leaf-rank mutex that exists to serialize the JSONL sink; the one
+  // blocking write under it (emit) is the log's entire purpose.
+  mutable util::Mutex mutex_{"obs.event_log", util::lockrank::kEventLog};
+  std::ofstream out_ MPAS_GUARDED_BY(mutex_);
+  std::string path_ MPAS_GUARDED_BY(mutex_);
+  std::uint64_t written_ MPAS_GUARDED_BY(mutex_) = 0;
 };
 
 /// Path named by the MPAS_EVENTS environment variable, if any.

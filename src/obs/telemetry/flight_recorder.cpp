@@ -60,7 +60,7 @@ void FlightRecorder::record(FlightKind kind, long step,
   event.b = b;
   event.detail = detail;
   event.ts_s = monotonic_seconds();
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   event.seq = next_seq_++;
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(event));
@@ -72,7 +72,7 @@ void FlightRecorder::record(FlightKind kind, long step,
 }
 
 std::vector<FlightEvent> FlightRecorder::events() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   std::vector<FlightEvent> out;
   out.reserve(ring_.size());
   for (std::size_t i = 0; i < ring_.size(); ++i) {
@@ -82,17 +82,17 @@ std::vector<FlightEvent> FlightRecorder::events() const {
 }
 
 std::uint64_t FlightRecorder::recorded() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   return recorded_;
 }
 
 std::size_t FlightRecorder::size() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   return ring_.size();
 }
 
 std::size_t FlightRecorder::count(FlightKind kind) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   std::size_t n = 0;
   for (const FlightEvent& event : ring_) {
     if (event.kind == kind) n += 1;

@@ -18,9 +18,12 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/annotations.hpp"
+#include "util/lock_ranks.hpp"
+#include "util/mutex.hpp"
 
 namespace mpas::obs::telemetry {
 
@@ -79,11 +82,12 @@ class FlightRecorder {
 
  private:
   std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::vector<FlightEvent> ring_;
-  std::size_t head_ = 0;       // next slot to write once full
-  std::uint64_t recorded_ = 0;
-  std::uint64_t next_seq_ = 0;
+  mutable util::Mutex mutex_{"obs.flight_recorder",
+                             util::lockrank::kFlightRecorder};
+  std::vector<FlightEvent> ring_ MPAS_GUARDED_BY(mutex_);
+  std::size_t head_ MPAS_GUARDED_BY(mutex_) = 0;  // next slot once full
+  std::uint64_t recorded_ MPAS_GUARDED_BY(mutex_) = 0;
+  std::uint64_t next_seq_ MPAS_GUARDED_BY(mutex_) = 0;
 };
 
 struct FlightDumpPolicy {

@@ -63,7 +63,7 @@ Real SloTracker::burn_of(const Window& w, SloDimension d) const {
 
 SloSample SloTracker::record(const std::string& tenant,
                              SloDimension dimension, bool ok) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   Window& w = tenants_[tenant][static_cast<int>(dimension)];
   if (w.ring.empty()) w.ring.assign(policy_.window, 0);
   if (w.count == w.ring.size()) {
@@ -86,7 +86,7 @@ SloSample SloTracker::record(const std::string& tenant,
 
 Real SloTracker::attainment(const std::string& tenant,
                             SloDimension dimension) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   const auto it = tenants_.find(tenant);
   if (it == tenants_.end()) return Real(1);
   return attainment_of(it->second[static_cast<int>(dimension)]);
@@ -94,14 +94,14 @@ Real SloTracker::attainment(const std::string& tenant,
 
 Real SloTracker::burn_rate(const std::string& tenant,
                            SloDimension dimension) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   const auto it = tenants_.find(tenant);
   if (it == tenants_.end()) return Real(0);
   return burn_of(it->second[static_cast<int>(dimension)], dimension);
 }
 
 Real SloTracker::worst_burn_rate(const std::string& tenant) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   const auto it = tenants_.find(tenant);
   if (it == tenants_.end()) return Real(0);
   Real worst = 0;
@@ -114,14 +114,14 @@ Real SloTracker::worst_burn_rate(const std::string& tenant) const {
 
 std::uint64_t SloTracker::samples(const std::string& tenant,
                                   SloDimension dimension) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   const auto it = tenants_.find(tenant);
   if (it == tenants_.end()) return 0;
   return it->second[static_cast<int>(dimension)].count;
 }
 
 std::vector<std::string> SloTracker::tenants() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   std::vector<std::string> names;
   names.reserve(tenants_.size());
   for (const auto& [name, windows] : tenants_) names.push_back(name);

@@ -22,10 +22,12 @@
 #include <array>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "util/annotations.hpp"
+#include "util/lock_ranks.hpp"
+#include "util/mutex.hpp"
 #include "util/types.hpp"
 
 namespace mpas::obs::telemetry {
@@ -95,12 +97,15 @@ class SloTracker {
   };
 
   // Helpers assume mutex_ is held.
-  [[nodiscard]] Real attainment_of(const Window& w) const;
-  [[nodiscard]] Real burn_of(const Window& w, SloDimension d) const;
+  [[nodiscard]] Real attainment_of(const Window& w) const
+      MPAS_REQUIRES(mutex_);
+  [[nodiscard]] Real burn_of(const Window& w, SloDimension d) const
+      MPAS_REQUIRES(mutex_);
 
   SloPolicy policy_;
-  mutable std::mutex mutex_;
-  std::map<std::string, std::array<Window, kSloDimensions>> tenants_;
+  mutable util::Mutex mutex_{"obs.slo", util::lockrank::kSlo};
+  std::map<std::string, std::array<Window, kSloDimensions>> tenants_
+      MPAS_GUARDED_BY(mutex_);
 };
 
 }  // namespace mpas::obs::telemetry

@@ -6,6 +6,8 @@
 #include <sstream>
 
 #include "obs/trace_export.hpp"
+#include "util/lock_ranks.hpp"
+#include "util/mutex.hpp"
 #include "util/timer.hpp"
 
 namespace mpas::obs {
@@ -31,8 +33,8 @@ std::string& session_path() {
   return path;
 }
 
-std::mutex& session_mutex() {
-  static std::mutex m;
+util::Mutex& session_mutex() {
+  static util::Mutex m{"obs.trace_session", util::lockrank::kTraceSession};
   return m;
 }
 
@@ -52,7 +54,7 @@ TraceRecorder& TraceRecorder::global() {
     if (const auto path = env_trace_path()) {
       rec->set_enabled(true);
       {
-        std::lock_guard<std::mutex> lock(session_mutex());
+        util::LockGuard lock(session_mutex());
         session_path() = *path;
       }
       std::atexit([] { write_trace_now(); });
@@ -67,7 +69,7 @@ double TraceRecorder::now_us() const { return monotonic_seconds() * 1e6; }
 TraceRecorder::ThreadBuffer& TraceRecorder::local_buffer() {
   if (t_cache.recorder_id == id_)
     return *static_cast<ThreadBuffer*>(t_cache.buffer);
-  std::lock_guard<std::mutex> lock(registry_mutex_);
+  util::LockGuard lock(registry_mutex_);
   auto buffer = std::make_unique<ThreadBuffer>();
   buffer->lane = static_cast<int>(buffers_.size());
   ThreadBuffer& ref = *buffer;
@@ -80,7 +82,7 @@ TraceRecorder::ThreadBuffer& TraceRecorder::local_buffer() {
 void TraceRecorder::complete(std::string name, double ts_us, double dur_us,
                              std::string args) {
   ThreadBuffer& buf = local_buffer();
-  std::lock_guard<std::mutex> lock(buf.mutex);
+  util::LockGuard lock(buf.mutex);
   buf.events.push_back({TraceEvent::Kind::Complete, std::move(name),
                         std::move(args), ts_us, dur_us, 0, kMeasuredTrack,
                         buf.lane});
@@ -89,7 +91,7 @@ void TraceRecorder::complete(std::string name, double ts_us, double dur_us,
 void TraceRecorder::instant(std::string name, std::string args) {
   ThreadBuffer& buf = local_buffer();
   const double ts = now_us();
-  std::lock_guard<std::mutex> lock(buf.mutex);
+  util::LockGuard lock(buf.mutex);
   buf.events.push_back({TraceEvent::Kind::Instant, std::move(name),
                         std::move(args), ts, 0, 0, kMeasuredTrack, buf.lane});
 }
@@ -97,7 +99,7 @@ void TraceRecorder::instant(std::string name, std::string args) {
 void TraceRecorder::counter(std::string name, double value) {
   ThreadBuffer& buf = local_buffer();
   const double ts = now_us();
-  std::lock_guard<std::mutex> lock(buf.mutex);
+  util::LockGuard lock(buf.mutex);
   buf.events.push_back({TraceEvent::Kind::Counter, std::move(name), {}, ts, 0,
                         value, kMeasuredTrack, buf.lane});
 }
@@ -108,14 +110,14 @@ void TraceRecorder::set_thread_name(std::string name) {
 }
 
 int TraceRecorder::allocate_track(std::string name) {
-  std::lock_guard<std::mutex> lock(registry_mutex_);
+  util::LockGuard lock(registry_mutex_);
   const int track = next_track_++;
   tracks_.push_back({track, std::move(name)});
   return track;
 }
 
 void TraceRecorder::set_lane_name(int track, int lane, std::string name) {
-  std::lock_guard<std::mutex> lock(registry_mutex_);
+  util::LockGuard lock(registry_mutex_);
   for (auto& info : lanes_) {
     if (info.track == track && info.lane == lane) {
       info.name = std::move(name);
@@ -126,21 +128,21 @@ void TraceRecorder::set_lane_name(int track, int lane, std::string name) {
 }
 
 void TraceRecorder::record(TraceEvent event) {
-  std::lock_guard<std::mutex> lock(shared_.mutex);
+  util::LockGuard lock(shared_.mutex);
   shared_.events.push_back(std::move(event));
 }
 
 std::vector<TraceEvent> TraceRecorder::snapshot() const {
   std::vector<TraceEvent> out;
   {
-    std::lock_guard<std::mutex> registry(registry_mutex_);
+    util::LockGuard registry(registry_mutex_);
     for (const auto& buf : buffers_) {
-      std::lock_guard<std::mutex> lock(buf->mutex);
+      util::LockGuard lock(buf->mutex);
       out.insert(out.end(), buf->events.begin(), buf->events.end());
     }
   }
   {
-    std::lock_guard<std::mutex> lock(shared_.mutex);
+    util::LockGuard lock(shared_.mutex);
     out.insert(out.end(), shared_.events.begin(), shared_.events.end());
   }
   std::stable_sort(out.begin(), out.end(),
@@ -154,33 +156,33 @@ std::vector<TraceEvent> TraceRecorder::snapshot() const {
 std::size_t TraceRecorder::event_count() const {
   std::size_t n = 0;
   {
-    std::lock_guard<std::mutex> registry(registry_mutex_);
+    util::LockGuard registry(registry_mutex_);
     for (const auto& buf : buffers_) {
-      std::lock_guard<std::mutex> lock(buf->mutex);
+      util::LockGuard lock(buf->mutex);
       n += buf->events.size();
     }
   }
-  std::lock_guard<std::mutex> lock(shared_.mutex);
+  util::LockGuard lock(shared_.mutex);
   return n + shared_.events.size();
 }
 
 std::vector<TraceRecorder::TrackInfo> TraceRecorder::tracks() const {
-  std::lock_guard<std::mutex> lock(registry_mutex_);
+  util::LockGuard lock(registry_mutex_);
   return tracks_;
 }
 
 std::vector<TraceRecorder::LaneInfo> TraceRecorder::lanes() const {
-  std::lock_guard<std::mutex> lock(registry_mutex_);
+  util::LockGuard lock(registry_mutex_);
   return lanes_;
 }
 
 void TraceRecorder::clear() {
-  std::lock_guard<std::mutex> registry(registry_mutex_);
+  util::LockGuard registry(registry_mutex_);
   for (const auto& buf : buffers_) {
-    std::lock_guard<std::mutex> lock(buf->mutex);
+    util::LockGuard lock(buf->mutex);
     buf->events.clear();
   }
-  std::lock_guard<std::mutex> lock(shared_.mutex);
+  util::LockGuard lock(shared_.mutex);
   shared_.events.clear();
 }
 
@@ -195,7 +197,7 @@ std::optional<std::string> env_trace_path() {
 void start_trace_file(std::string path) {
   TraceRecorder& rec = TraceRecorder::global();
   {
-    std::lock_guard<std::mutex> lock(session_mutex());
+    util::LockGuard lock(session_mutex());
     session_path() = std::move(path);
   }
   rec.set_thread_name("main");  // the session usually starts on main
@@ -208,14 +210,14 @@ void start_trace_file(std::string path) {
 }
 
 std::string trace_file_path() {
-  std::lock_guard<std::mutex> lock(session_mutex());
+  util::LockGuard lock(session_mutex());
   return session_path();
 }
 
 void write_trace_now() {
   std::string path;
   {
-    std::lock_guard<std::mutex> lock(session_mutex());
+    util::LockGuard lock(session_mutex());
     path = session_path();
   }
   if (path.empty()) return;

@@ -22,10 +22,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
+
+#include "util/annotations.hpp"
+#include "util/lock_ranks.hpp"
+#include "util/mutex.hpp"
 
 namespace mpas::obs {
 
@@ -105,22 +108,27 @@ class TraceRecorder {
 
  private:
   struct ThreadBuffer {
-    mutable std::mutex mutex;  // uncontended except during snapshot/clear
-    std::vector<TraceEvent> events;
-    int lane = 0;
+    // Uncontended except during snapshot/clear; ranked above the registry
+    // mutex because snapshot() nests registry -> buffer.
+    mutable util::Mutex mutex{"obs.trace_buffer",
+                              util::lockrank::kTraceBuffer};
+    std::vector<TraceEvent> events MPAS_GUARDED_BY(mutex);
+    int lane = 0;  // write-once at registration, read-only afterwards
   };
 
-  ThreadBuffer& local_buffer();
+  ThreadBuffer& local_buffer() MPAS_EXCLUDES(registry_mutex_);
 
   const std::uint64_t id_;  // process-unique, for the thread-local cache
   std::atomic<bool> enabled_{false};
 
-  mutable std::mutex registry_mutex_;
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  mutable util::Mutex registry_mutex_{"obs.trace_registry",
+                                      util::lockrank::kTraceRegistry};
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_
+      MPAS_GUARDED_BY(registry_mutex_);
   ThreadBuffer shared_;  // explicit-address events (record())
-  int next_track_ = kMeasuredTrack + 1;
-  std::vector<TrackInfo> tracks_;
-  std::vector<LaneInfo> lanes_;
+  int next_track_ MPAS_GUARDED_BY(registry_mutex_) = kMeasuredTrack + 1;
+  std::vector<TrackInfo> tracks_ MPAS_GUARDED_BY(registry_mutex_);
+  std::vector<LaneInfo> lanes_ MPAS_GUARDED_BY(registry_mutex_);
 };
 
 // ---- environment/file session ---------------------------------------------

@@ -29,7 +29,7 @@ ResilientChannel::ResilientChannel(Transport& transport, RetryPolicy policy,
 
 void ResilientChannel::send(int from, int to, int tag,
                             std::vector<Real> payload) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   Stream& stream = streams_[Key{from, to, tag}];
   const std::uint64_t seq = stream.next_send_seq++;
   stream.retained = payload;  // keep a copy for retransmission
@@ -61,6 +61,25 @@ void ResilientChannel::retransmit_locked(const Key& key, Stream& stream) {
                   seal(stream.retained_seq, stream.retained));
 }
 
+void ResilientChannel::handle_fault_locked(const Key& key, Stream& stream,
+                                           const char* what, int& attempts) {
+  stats_.modeled_seconds_lost += network_.message_time(
+      static_cast<std::int64_t>((stream.retained.size() + kEnvelopeWords) *
+                                sizeof(Real)));
+  MPAS_CHECK_MSG(recover_, "halo message "
+                               << what << ": " << key.from << " -> " << key.to
+                               << " tag " << key.tag << " seq "
+                               << stream.next_recv_seq
+                               << " (recovery disabled)");
+  attempts += 1;
+  MPAS_CHECK_MSG(attempts <= policy_.max_attempts,
+                 "halo message " << what << " persists after "
+                                 << policy_.max_attempts << " attempts: "
+                                 << key.from << " -> " << key.to << " tag "
+                                 << key.tag);
+  retransmit_locked(key, stream);
+}
+
 std::vector<Real> ResilientChannel::recv(int to, int from, int tag,
                                          std::size_t expected_count) {
   const Key key{from, to, tag};
@@ -68,27 +87,8 @@ std::vector<Real> ResilientChannel::recv(int to, int from, int tag,
   auto patience = Clock::now() + from_ms(policy_.resend_wait_ms);
   int attempts = 1;
 
-  // Shared detection outcome: escalate (no recovery / attempts exhausted)
-  // or charge the lost wire time and retransmit.
-  const auto handle_fault = [&](Stream& stream, const char* what) {
-    stats_.modeled_seconds_lost += network_.message_time(
-        static_cast<std::int64_t>((stream.retained.size() + kEnvelopeWords) *
-                                  sizeof(Real)));
-    MPAS_CHECK_MSG(recover_, "halo message " << what << ": " << from << " -> "
-                                             << to << " tag " << tag
-                                             << " seq " << stream.next_recv_seq
-                                             << " (recovery disabled)");
-    attempts += 1;
-    MPAS_CHECK_MSG(attempts <= policy_.max_attempts,
-                   "halo message " << what << " persists after "
-                                   << policy_.max_attempts << " attempts: "
-                                   << from << " -> " << to << " tag " << tag);
-    retransmit_locked(key, stream);
-    patience = Clock::now() + from_ms(policy_.resend_wait_ms);
-  };
-
   for (;;) {
-    std::unique_lock<std::mutex> lock(mutex_);
+    util::UniqueLock lock(mutex_);
     Stream& stream = streams_[key];
     if (auto raw = transport_.try_recv(to, from, tag)) {
       auto opened = open(std::move(*raw));
@@ -100,7 +100,10 @@ std::vector<Real> ResilientChannel::recv(int to, int from, int tag,
         // retransmit. Consuming it is enough; posting another retransmit
         // here would count two resends for one recovery. If the in-flight
         // copy was itself lost, the patience path below reposts it.
-        if (!stream.resend_inflight) handle_fault(stream, "corrupted");
+        if (!stream.resend_inflight) {
+          handle_fault_locked(key, stream, "corrupted", attempts);
+          patience = Clock::now() + from_ms(policy_.resend_wait_ms);
+        }
         continue;
       }
       if (opened->seq < stream.next_recv_seq) {
@@ -131,7 +134,8 @@ std::vector<Real> ResilientChannel::recv(int to, int from, int tag,
     if (sender_posted && Clock::now() >= patience) {
       stats_.detected_drops += 1;
       MPAS_TRACE_INSTANT("resilience:drop_detected");
-      handle_fault(stream, "dropped");
+      handle_fault_locked(key, stream, "dropped", attempts);
+      patience = Clock::now() + from_ms(policy_.resend_wait_ms);
       continue;
     }
     lock.unlock();
@@ -144,7 +148,7 @@ std::vector<Real> ResilientChannel::recv(int to, int from, int tag,
 }
 
 void ResilientChannel::drain_stale(int to, int from, int tag) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   Stream& stream = streams_[Key{from, to, tag}];
   while (auto raw = transport_.try_recv(to, from, tag)) {
     auto opened = open(std::move(*raw));
@@ -156,7 +160,7 @@ void ResilientChannel::drain_stale(int to, int from, int tag) {
 }
 
 ChannelStats ResilientChannel::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   return stats_;
 }
 

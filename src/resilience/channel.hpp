@@ -18,11 +18,13 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "machine/machine_model.hpp"
+#include "util/annotations.hpp"
+#include "util/lock_ranks.hpp"
+#include "util/mutex.hpp"
 #include "resilience/fault.hpp"
 #include "util/types.hpp"
 
@@ -90,15 +92,23 @@ class ResilientChannel {
     bool resend_inflight = false;
   };
 
-  void retransmit_locked(const Key& key, Stream& stream);
+  void retransmit_locked(const Key& key, Stream& stream)
+      MPAS_REQUIRES(mutex_);
+  /// Shared detection outcome for recv: escalate (no recovery / attempts
+  /// exhausted) or charge the lost wire time and retransmit. A member (not
+  /// a lambda in recv) so the thread-safety analysis sees it runs under
+  /// mutex_.
+  void handle_fault_locked(const Key& key, Stream& stream, const char* what,
+                           int& attempts) MPAS_REQUIRES(mutex_);
 
   Transport& transport_;
   RetryPolicy policy_;
   bool recover_;
   machine::Network network_;
-  mutable std::mutex mutex_;
-  std::map<Key, Stream> streams_;
-  ChannelStats stats_;
+  mutable util::Mutex mutex_{"resilience.channel",
+                             util::lockrank::kChannel};
+  std::map<Key, Stream> streams_ MPAS_GUARDED_BY(mutex_);
+  ChannelStats stats_ MPAS_GUARDED_BY(mutex_);
 };
 
 }  // namespace mpas::resilience

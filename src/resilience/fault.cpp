@@ -63,7 +63,7 @@ void FaultInjector::add(const FaultSpec& spec) {
   MPAS_CHECK_MSG(spec.bit < 64, "corruption bit must be < 64, got "
                                     << spec.bit);
   MPAS_CHECK_MSG(spec.stall_seconds >= 0, "negative stall time");
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   Armed a;
   a.spec = spec;
   // Each spec gets its own PRNG stream so adding/removing one spec does not
@@ -90,7 +90,7 @@ bool FaultInjector::fires(Armed& arm) {
 }
 
 std::vector<FaultSpec> FaultInjector::on_message(int from, int to, int tag) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   std::vector<FaultSpec> fired;
   for (Armed& arm : armed_) {
     const FaultSpec& s = arm.spec;
@@ -105,7 +105,7 @@ std::vector<FaultSpec> FaultInjector::on_message(int from, int to, int tag) {
 }
 
 std::vector<FaultSpec> FaultInjector::on_transfer(int buffer) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   std::vector<FaultSpec> fired;
   for (Armed& arm : armed_) {
     const FaultSpec& s = arm.spec;
@@ -119,7 +119,7 @@ std::vector<FaultSpec> FaultInjector::on_transfer(int buffer) {
 }
 
 std::vector<FaultSpec> FaultInjector::on_step(int rank, std::int64_t step) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   std::vector<FaultSpec> fired;
   for (Armed& arm : armed_) {
     const FaultSpec& s = arm.spec;
@@ -132,24 +132,24 @@ std::vector<FaultSpec> FaultInjector::on_step(int rank, std::int64_t step) {
 }
 
 InjectorStats FaultInjector::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   return stats_;
 }
 
 std::size_t FaultInjector::num_armed() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   return armed_.size();
 }
 
 bool FaultInjector::exhausted() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   for (const Armed& arm : armed_)
     if (arm.spec.probability == 0 && arm.fired < arm.spec.repeat) return false;
   return true;
 }
 
 void FaultInjector::reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   stats_ = {};
   std::size_t i = 0;
   for (Armed& arm : armed_) {

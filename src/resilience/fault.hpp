@@ -22,9 +22,11 @@
 
 #include <array>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
+#include "util/annotations.hpp"
+#include "util/lock_ranks.hpp"
+#include "util/mutex.hpp"
 #include "util/types.hpp"
 
 namespace mpas::resilience {
@@ -118,12 +120,14 @@ class FaultInjector {
     std::uint64_t rng_state = 0;  // per-spec PRNG stream (probabilistic mode)
   };
 
-  bool fires(Armed& arm);  // one matching event: advance + decide
+  // One matching event: advance + decide. Assumes mutex_ is held.
+  bool fires(Armed& arm) MPAS_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
+  mutable util::Mutex mutex_{"resilience.fault_injector",
+                             util::lockrank::kFaultInjector};
   std::uint64_t seed_;
-  std::vector<Armed> armed_;
-  InjectorStats stats_;
+  std::vector<Armed> armed_ MPAS_GUARDED_BY(mutex_);
+  InjectorStats stats_ MPAS_GUARDED_BY(mutex_);
 };
 
 /// Default hard deadline per receive: the MPAS_CHANNEL_TIMEOUT_MS

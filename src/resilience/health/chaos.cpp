@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "analysis/lock_order.hpp"
 #include "comm/distributed.hpp"
 #include "mesh/mesh_cache.hpp"
 #include "resilience/health/hybrid.hpp"
@@ -259,6 +260,9 @@ bool ChaosReport::passed() const {
 }
 
 ChaosReport run_chaos(const ChaosOptions& options) {
+  // Chaos runs double as lock-order soaks: arm the detector when
+  // MPAS_LOCK_CHECK=1 (idempotent, near-zero cost otherwise).
+  analysis::LockOrderRegistry::install_from_env();
   return options.scenario == ChaosScenario::RankStall
              ? run_rank_stall(options)
              : run_hybrid_scenario(options);

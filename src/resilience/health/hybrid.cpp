@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/lock_order.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
 
@@ -19,6 +20,8 @@ SelfHealingHybrid::SelfHealingHybrid(const mesh::VoronoiMesh& mesh,
       engine_(core::MeshSizes{mesh.num_cells, mesh.num_edges,
                               mesh.num_vertices},
               opts.sim) {
+  // Arm the lock-order detector when MPAS_LOCK_CHECK=1 (idempotent).
+  analysis::LockOrderRegistry::install_from_env();
   monitor_.set_metric_scope(opts_.metric_scope);
   if (opts_.threads > 0) {
     pool_ = std::make_unique<exec::ThreadPool>(opts_.threads);

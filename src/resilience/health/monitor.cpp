@@ -47,22 +47,22 @@ HealthMonitor::HealthMonitor(HealthPolicy policy) : policy_(policy) {
 }
 
 void HealthMonitor::track(const std::string& entity) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   entities_.emplace(entity, Entity{});
 }
 
 void HealthMonitor::forget(const std::string& entity) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   entities_.erase(entity);
 }
 
 void HealthMonitor::set_metric_scope(std::string scope) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   metric_scope_ = std::move(scope);
 }
 
 void HealthMonitor::add_transition_listener(TransitionListener listener) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   listeners_.push_back(std::move(listener));
 }
 
@@ -120,13 +120,30 @@ void HealthMonitor::transition(const std::string& name, Entity& e,
           obs::trace_arg("from", std::string(to_string(from))) + "," +
           obs::trace_arg("step", step) + "," +
           obs::trace_arg("reason", reason));
-  for (const TransitionListener& listener : listeners_)
-    listener(transitions_.back());
+  pending_notifications_.push_back(transitions_.back());
+}
+
+void HealthMonitor::notify_listeners() {
+  // A listener may call back into the monitor and cause further
+  // transitions; loop until the queue is drained so those are delivered
+  // too (on this thread, in order).
+  for (;;) {
+    std::vector<Transition> pending;
+    std::vector<TransitionListener> listeners;
+    {
+      const util::LockGuard lock(mutex_);
+      if (pending_notifications_.empty()) return;
+      pending.swap(pending_notifications_);
+      listeners = listeners_;
+    }
+    for (const Transition& t : pending)
+      for (const TransitionListener& listener : listeners) listener(t);
+  }
 }
 
 void HealthMonitor::observe_step_time(const std::string& entity,
                                       std::int64_t /*step*/, Real seconds) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   Entity& e = entity_ref(entity);
   e.sampled = true;
   e.heartbeat = true;
@@ -135,27 +152,37 @@ void HealthMonitor::observe_step_time(const std::string& entity,
 
 void HealthMonitor::observe_heartbeat(const std::string& entity,
                                       std::int64_t /*step*/) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   entity_ref(entity).heartbeat = true;
 }
 
 void HealthMonitor::observe_transfer_retries(const std::string& entity,
                                              std::uint64_t retries) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   entity_ref(entity).step_retries += retries;
 }
 
 void HealthMonitor::observe_failure(const std::string& entity,
                                     std::int64_t step,
                                     const std::string& reason) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  Entity& e = entity_ref(entity);
-  if (e.state == HealthState::Quarantined) return;  // already out
-  transition(entity, e, HealthState::Quarantined, step, reason);
+  {
+    const util::LockGuard lock(mutex_);
+    Entity& e = entity_ref(entity);
+    if (e.state == HealthState::Quarantined) return;  // already out
+    transition(entity, e, HealthState::Quarantined, step, reason);
+  }
+  notify_listeners();
 }
 
 void HealthMonitor::end_step(std::int64_t step) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  fold_step_signals(step);
+  notify_listeners();
+}
+
+/// The locked half of end_step: folds the step's signals into the state
+/// machine; listener delivery happens in end_step after this returns.
+void HealthMonitor::fold_step_signals(std::int64_t step) {
+  const util::LockGuard lock(mutex_);
   for (auto& [name, e] : entities_) {
     // Consume and reset this step's signals up front so every exit path
     // below leaves the accumulator clean.
@@ -220,44 +247,50 @@ void HealthMonitor::end_step(std::int64_t step) {
 
 bool HealthMonitor::probe_due(const std::string& entity,
                               std::int64_t step) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   const Entity& e = entity_ref(entity);
   return e.state == HealthState::Quarantined && step >= e.next_probe_step;
 }
 
 void HealthMonitor::observe_probe(const std::string& entity, std::int64_t step,
                                   bool ok) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  Entity& e = entity_ref(entity);
-  MPAS_CHECK_MSG(e.state == HealthState::Quarantined,
-                 "probe on non-quarantined entity '" << entity << "'");
-  obs::MetricsRegistry::global()
-      .counter(metric_scope_ + "resilience.health.probes")
-      .add(1);
-  MPAS_TRACE_INSTANT_ARGS(
-      "health:probe", obs::trace_arg("entity", entity) + "," +
-                          obs::trace_arg("step", step) + "," +
-                          obs::trace_arg("ok", std::string(ok ? "yes" : "no")));
-  if (!ok) {
-    e.probe_ok_streak = 0;
-    e.probe_backoff = std::min(e.probe_backoff * 2, policy_.probe_backoff_max);
-    e.next_probe_step = step + e.probe_backoff;
-    return;
+  {
+    const util::LockGuard lock(mutex_);
+    Entity& e = entity_ref(entity);
+    MPAS_CHECK_MSG(e.state == HealthState::Quarantined,
+                   "probe on non-quarantined entity '" << entity << "'");
+    obs::MetricsRegistry::global()
+        .counter(metric_scope_ + "resilience.health.probes")
+        .add(1);
+    MPAS_TRACE_INSTANT_ARGS(
+        "health:probe",
+        obs::trace_arg("entity", entity) + "," +
+            obs::trace_arg("step", step) + "," +
+            obs::trace_arg("ok", std::string(ok ? "yes" : "no")));
+    if (!ok) {
+      e.probe_ok_streak = 0;
+      e.probe_backoff =
+          std::min(e.probe_backoff * 2, policy_.probe_backoff_max);
+      e.next_probe_step = step + e.probe_backoff;
+    } else {
+      e.probe_ok_streak += 1;
+      if (e.probe_ok_streak >= policy_.recover_after) {
+        transition(entity, e, HealthState::Recovered, step,
+                   "probation passed");
+        // Fresh start for the timing baseline: the device may come back at
+        // a different speed (e.g. after thermal throttling clears).
+        e.baseline_set = false;
+        e.last_seconds = 0;
+      } else {
+        e.next_probe_step = step + 1;  // confirm with back-to-back probes
+      }
+    }
   }
-  e.probe_ok_streak += 1;
-  if (e.probe_ok_streak >= policy_.recover_after) {
-    transition(entity, e, HealthState::Recovered, step, "probation passed");
-    // Fresh start for the timing baseline: the device may come back at a
-    // different speed (e.g. after thermal throttling clears).
-    e.baseline_set = false;
-    e.last_seconds = 0;
-  } else {
-    e.next_probe_step = step + 1;  // confirm with back-to-back probes
-  }
+  notify_listeners();
 }
 
 void HealthMonitor::reset_baseline(const std::string& entity) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   Entity& e = entity_ref(entity);
   e.baseline_set = false;
   e.baseline = 0;
@@ -265,29 +298,29 @@ void HealthMonitor::reset_baseline(const std::string& entity) {
 }
 
 HealthState HealthMonitor::state(const std::string& entity) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   return entity_ref(entity).state;
 }
 
 bool HealthMonitor::usable(const std::string& entity) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   return entity_ref(entity).state != HealthState::Quarantined;
 }
 
 Real HealthMonitor::slowdown(const std::string& entity) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   const Entity& e = entity_ref(entity);
   if (!e.baseline_set || e.baseline <= 0 || e.last_seconds <= 0) return 1.0;
   return std::max<Real>(1.0, e.last_seconds / e.baseline);
 }
 
 std::vector<Transition> HealthMonitor::transitions() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   return transitions_;
 }
 
 std::vector<std::string> HealthMonitor::entities() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   std::vector<std::string> out;
   out.reserve(entities_.size());
   for (const auto& [name, e] : entities_) out.push_back(name);
@@ -295,7 +328,7 @@ std::vector<std::string> HealthMonitor::entities() const {
 }
 
 std::vector<std::string> HealthMonitor::in_state(HealthState state) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   std::vector<std::string> out;
   for (const auto& [name, e] : entities_)
     if (e.state == state) out.push_back(name);

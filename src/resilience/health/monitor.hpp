@@ -35,10 +35,12 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "util/annotations.hpp"
+#include "util/lock_ranks.hpp"
+#include "util/mutex.hpp"
 #include "util/types.hpp"
 
 namespace mpas::resilience::health {
@@ -90,8 +92,11 @@ class HealthMonitor {
   void set_metric_scope(std::string scope);
 
   /// Observe every state change as it happens (flight recorders, event
-  /// logs). Listeners run with the monitor's mutex held, in registration
-  /// order: they must be fast and must not call back into the monitor.
+  /// logs). Listeners run in registration order on the thread that caused
+  /// the transition, *after* the monitor has released its mutex — so a
+  /// listener may query or even mutate the monitor (re-entrancy is safe),
+  /// at the cost that the monitor's state can have advanced past the
+  /// transition being delivered by the time the listener sees it.
   using TransitionListener = std::function<void(const Transition&)>;
   void add_transition_listener(TransitionListener listener);
 
@@ -168,17 +173,30 @@ class HealthMonitor {
   };
 
   // Helpers assume mutex_ is held by the public caller.
-  Entity& entity_ref(const std::string& name);
-  const Entity& entity_ref(const std::string& name) const;
+  Entity& entity_ref(const std::string& name) MPAS_REQUIRES(mutex_);
+  const Entity& entity_ref(const std::string& name) const
+      MPAS_REQUIRES(mutex_);
+  /// Record the state change and queue the listener notification; the
+  /// public caller drains the queue via notify_listeners() after
+  /// unlocking (never invoke user callbacks under mutex_ — a re-entrant
+  /// listener would self-deadlock).
   void transition(const std::string& name, Entity& e, HealthState to,
-                  std::int64_t step, const std::string& reason);
+                  std::int64_t step, const std::string& reason)
+      MPAS_REQUIRES(mutex_);
+  /// Deliver queued transitions to the listeners outside the lock.
+  void notify_listeners() MPAS_EXCLUDES(mutex_);
+  /// The locked half of end_step (takes mutex_ itself).
+  void fold_step_signals(std::int64_t step) MPAS_EXCLUDES(mutex_);
 
   HealthPolicy policy_;
-  std::string metric_scope_;
-  mutable std::mutex mutex_;
-  std::map<std::string, Entity> entities_;
-  std::vector<Transition> transitions_;
-  std::vector<TransitionListener> listeners_;
+  mutable util::Mutex mutex_{"resilience.health_monitor",
+                             util::lockrank::kHealthMonitor};
+  std::string metric_scope_ MPAS_GUARDED_BY(mutex_);
+  std::map<std::string, Entity> entities_ MPAS_GUARDED_BY(mutex_);
+  std::vector<Transition> transitions_ MPAS_GUARDED_BY(mutex_);
+  std::vector<TransitionListener> listeners_ MPAS_GUARDED_BY(mutex_);
+  /// Transitions recorded but not yet delivered to listeners.
+  std::vector<Transition> pending_notifications_ MPAS_GUARDED_BY(mutex_);
   std::atomic<std::uint64_t> generation_{0};
 };
 

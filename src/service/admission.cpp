@@ -23,7 +23,10 @@ std::int64_t cells_at_level(int level) {
 CostModel::CostModel(core::SimOptions sim) : sim_(sim) {}
 
 const CostModel::LevelCost& CostModel::level_cost(int mesh_level) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  // The memoized pricing fill IS this lock's critical section: concurrent
+  // submits for the same level must price it once.
+  // concurrency-lint: allow(blocking-under-lock) memo fill is the critical section
+  const util::LockGuard lock(mutex_);
   if (const auto it = cache_.find(mesh_level); it != cache_.end())
     return it->second;
 

@@ -20,7 +20,6 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -28,6 +27,9 @@
 #include "core/schedule.hpp"
 #include "machine/machine_model.hpp"
 #include "service/request.hpp"
+#include "util/annotations.hpp"
+#include "util/lock_ranks.hpp"
+#include "util/mutex.hpp"
 
 namespace mpas::service {
 
@@ -51,11 +53,13 @@ class CostModel {
     Real step_seconds = 0;
     Real output_seconds = 0;
   };
-  [[nodiscard]] const LevelCost& level_cost(int mesh_level) const;
+  [[nodiscard]] const LevelCost& level_cost(int mesh_level) const
+      MPAS_EXCLUDES(mutex_);
 
   core::SimOptions sim_;
-  mutable std::mutex mutex_;
-  mutable std::map<int, LevelCost> cache_;
+  mutable util::Mutex mutex_{"service.cost_model",
+                             util::lockrank::kAdmission};
+  mutable std::map<int, LevelCost> cache_ MPAS_GUARDED_BY(mutex_);
 };
 
 struct AdmissionPolicy {

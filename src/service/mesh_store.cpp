@@ -12,7 +12,7 @@ MeshLease MeshStore::acquire(int level) {
   // and a level-8 build must not block refcount traffic on other levels.
   std::shared_ptr<const mesh::VoronoiMesh> fresh;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::LockGuard lock(mutex_);
     if (auto it = entries_.find(level); it != entries_.end()) {
       it->second.refs += 1;
       publish_locked();
@@ -20,7 +20,7 @@ MeshLease MeshStore::acquire(int level) {
     }
   }
   fresh = mesh::get_global_mesh(level);
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   Entry& e = entries_[level];  // a racing acquire may have inserted it
   if (!e.mesh) e.mesh = fresh;
   e.refs += 1;
@@ -29,7 +29,7 @@ MeshLease MeshStore::acquire(int level) {
 }
 
 void MeshStore::release(int level) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   const auto it = entries_.find(level);
   if (it == entries_.end()) return;
   it->second.refs -= 1;
@@ -44,12 +44,12 @@ void MeshStore::release(int level) {
 }
 
 std::size_t MeshStore::resident_levels() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   return entries_.size();
 }
 
 int MeshStore::refs(int level) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   const auto it = entries_.find(level);
   return it == entries_.end() ? 0 : it->second.refs;
 }

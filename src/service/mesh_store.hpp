@@ -12,9 +12,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 
 #include "mesh/mesh.hpp"
+#include "util/annotations.hpp"
+#include "util/lock_ranks.hpp"
+#include "util/mutex.hpp"
 
 namespace mpas::service {
 
@@ -33,15 +35,16 @@ class MeshStore {
  private:
   friend class MeshLease;
   void release(int level);
-  void publish_locked() const;
+  void publish_locked() const MPAS_REQUIRES(mutex_);
 
   struct Entry {
     std::shared_ptr<const mesh::VoronoiMesh> mesh;
     int refs = 0;
   };
 
-  mutable std::mutex mutex_;
-  std::map<int, Entry> entries_;
+  mutable util::Mutex mutex_{"service.mesh_store",
+                             util::lockrank::kMeshStore};
+  std::map<int, Entry> entries_ MPAS_GUARDED_BY(mutex_);
 };
 
 class MeshLease {

@@ -1,7 +1,6 @@
 #include "service/session.hpp"
 
 #include <map>
-#include <mutex>
 #include <span>
 #include <sstream>
 #include <tuple>
@@ -12,6 +11,8 @@
 #include "sw/model.hpp"
 #include "sw/testcases.hpp"
 #include "util/error.hpp"
+#include "util/lock_ranks.hpp"
+#include "util/mutex.hpp"
 
 namespace mpas::service {
 
@@ -47,12 +48,13 @@ std::uint64_t state_hash(const sw::FieldStore& fields) {
 
 std::uint64_t reference_hash(int mesh_level, int test_case, int steps) {
   using Key = std::tuple<int, int, int>;
-  static std::mutex mutex;
+  static util::Mutex mutex{"service.session_reference",
+                           util::lockrank::kSessionReference};
   static std::map<Key, std::uint64_t> memo;
 
   const Key key{mesh_level, test_case, steps};
   {
-    const std::lock_guard<std::mutex> lock(mutex);
+    const util::LockGuard lock(mutex);
     if (const auto it = memo.find(key); it != memo.end()) return it->second;
   }
   // Reference outside the lock: a level-6 run must not serialize lookups
@@ -65,7 +67,7 @@ std::uint64_t reference_hash(int mesh_level, int test_case, int steps) {
   ref.run(steps);
   const std::uint64_t hash = state_hash(ref.fields());
 
-  const std::lock_guard<std::mutex> lock(mutex);
+  const util::LockGuard lock(mutex);
   memo.emplace(key, hash);
   return hash;
 }
@@ -94,7 +96,8 @@ void run_session(const SessionRunContext& ctx, SessionResult& result) {
   if (flight != nullptr) {
     // Black-box feed: every health transition this session's monitor sees
     // lands in the ring (and the event log) as it happens. The listener
-    // runs under the monitor's mutex — both sinks are O(1)/cheap.
+    // runs *after* the monitor releases its mutex, so recording here never
+    // nests the recorder's lock under the monitor's.
     const std::uint64_t id = ctx.id;
     const std::string tenant = req.tenant;
     sut.monitor().add_transition_listener(

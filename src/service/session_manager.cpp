@@ -5,12 +5,14 @@
 #include <filesystem>
 #include <sstream>
 
+#include "analysis/lock_order.hpp"
 #include "obs/metrics.hpp"
 #include "obs/telemetry/event_log.hpp"
 #include "obs/trace.hpp"
 #include "service/session.hpp"
 #include "util/env.hpp"
 #include "util/error.hpp"
+#include "util/lock_ranks.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
 
@@ -18,12 +20,20 @@ namespace mpas::service {
 
 namespace telemetry = obs::telemetry;
 
+// The manager dispatches sessions that run on per-session thread pools;
+// its lock must rank strictly below theirs (see DESIGN.md §14).
+static_assert(util::lockrank::kSessionManager < util::lockrank::kThreadPool,
+              "SessionManager's mutex must be acquirable before ThreadPool's");
+
 SessionManager::SessionManager(ServiceOptions opts)
     : opts_(opts),
       costs_(opts.sim),
       admission_(opts.admission, &costs_),
       slo_(opts.slo),
       flight_dump_(opts.flight_dump) {
+  // Arm the lock-order detector when MPAS_LOCK_CHECK=1 (idempotent; near
+  // zero cost when the variable is unset).
+  analysis::LockOrderRegistry::install_from_env();
   MPAS_CHECK_MSG(opts_.workers >= 1, "service needs at least one worker");
   MPAS_CHECK_MSG(opts_.max_attempts >= 1, "need at least one attempt");
   workers_.reserve(static_cast<std::size_t>(opts_.workers));
@@ -35,7 +45,7 @@ SessionManager::~SessionManager() { shutdown(); }
 
 void SessionManager::set_tenant_weight(const std::string& tenant,
                                        Real weight) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   admission_.set_tenant_weight(tenant, weight);
   queue_.set_weight(tenant, weight);
 }
@@ -53,7 +63,18 @@ AdmissionInput SessionManager::admission_input_locked(
 }
 
 std::uint64_t SessionManager::submit(SessionRequest request) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t id = 0;
+  {
+    const util::LockGuard lock(mutex_);
+    id = submit_locked(std::move(request));
+  }
+  // A shed verdict inside submit_locked may have queued black-box dumps;
+  // the file I/O happens here, after the lock is gone.
+  flush_flight_dumps();
+  return id;
+}
+
+std::uint64_t SessionManager::submit_locked(SessionRequest request) {
   const std::uint64_t id = next_id_++;
   auto rec = std::make_unique<Record>();
   rec->effective = request;
@@ -199,10 +220,10 @@ void SessionManager::worker_loop(int worker_index) {
   for (;;) {
     std::uint64_t id = 0;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock, [this] {
-        return shutdown_ || (!paused_ && !queue_.empty());
-      });
+      util::UniqueLock lock(mutex_);
+      // Inline predicate loop (not a wait(lock, pred) lambda): the
+      // thread-safety analysis checks this body with mutex_ held.
+      while (!shutdown_ && (paused_ || queue_.empty())) work_cv_.wait(lock);
       if (shutdown_) return;
       const auto entry = queue_.pop();
       if (!entry) continue;
@@ -223,7 +244,7 @@ void SessionManager::worker_loop(int worker_index) {
     }
     run_one(id);
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const util::LockGuard lock(mutex_);
       active_ -= 1;
       publish_locked();
       done_cv_.notify_all();
@@ -235,7 +256,7 @@ void SessionManager::run_one(std::uint64_t id) {
   SessionRequest req;
   Record* rec_ptr = nullptr;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::LockGuard lock(mutex_);
     rec_ptr = records_.at(id).get();  // unique_ptr: stable across inserts
     req = rec_ptr->effective;
   }
@@ -246,7 +267,7 @@ void SessionManager::run_one(std::uint64_t id) {
     try {
       SessionResult local;
       {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const util::LockGuard lock(mutex_);
         rec.result.attempts = attempt;
         local = rec.result;
       }
@@ -261,44 +282,53 @@ void SessionManager::run_one(std::uint64_t id) {
       ctx.flight = rec.flight.get();
       run_session(ctx, local);
 
-      const std::lock_guard<std::mutex> lock(mutex_);
-      rec.result = local;
-      finish_locked(rec, local.state, local.reason, local.reason_code);
+      {
+        const util::LockGuard lock(mutex_);
+        rec.result = local;
+        finish_locked(rec, local.state, local.reason, local.reason_code);
+      }
+      flush_flight_dumps();
       return;
     } catch (const TransientError& e) {
       // Exponential backoff in modeled seconds, charged to the deadline.
       const Real backoff =
           opts_.backoff_start_modeled_s * static_cast<Real>(1 << (attempt - 1));
       backoff_spent += backoff;
-      const std::lock_guard<std::mutex> lock(mutex_);
-      stats_.retries += 1;
-      if (rec.flight != nullptr)
-        rec.flight->record(telemetry::FlightKind::Retry, -1,
-                           std::string("transient fault: ") + e.what(),
-                           backoff, backoff_spent);
-      auto& events = telemetry::EventLog::global();
-      if (events.enabled())
-        events.emit("retry", rec.result.tenant, id,
-                    obs::trace_arg("attempt",
-                                   static_cast<std::int64_t>(attempt)) +
-                        "," + obs::trace_arg("backoff_modeled_s", backoff));
-      std::ostringstream os;
-      if (attempt == opts_.max_attempts) {
-        os << "transient fault persisted through " << opts_.max_attempts
-           << " attempts: " << e.what();
-        rec.result.modeled_seconds = backoff_spent;
-        finish_locked(rec, SessionState::Failed, os.str(),
-                      ReasonCode::TransientExhausted);
-        return;
+      bool terminal = false;
+      {
+        const util::LockGuard lock(mutex_);
+        stats_.retries += 1;
+        if (rec.flight != nullptr)
+          rec.flight->record(telemetry::FlightKind::Retry, -1,
+                             std::string("transient fault: ") + e.what(),
+                             backoff, backoff_spent);
+        auto& events = telemetry::EventLog::global();
+        if (events.enabled())
+          events.emit("retry", rec.result.tenant, id,
+                      obs::trace_arg("attempt",
+                                     static_cast<std::int64_t>(attempt)) +
+                          "," + obs::trace_arg("backoff_modeled_s", backoff));
+        std::ostringstream os;
+        if (attempt == opts_.max_attempts) {
+          os << "transient fault persisted through " << opts_.max_attempts
+             << " attempts: " << e.what();
+          rec.result.modeled_seconds = backoff_spent;
+          finish_locked(rec, SessionState::Failed, os.str(),
+                        ReasonCode::TransientExhausted);
+          terminal = true;
+        } else if (req.deadline_modeled_s > 0 &&
+                   backoff_spent >= req.deadline_modeled_s) {
+          os << "retry backoff (" << backoff_spent
+             << " modeled s) exhausted the deadline after attempt " << attempt
+             << ": " << e.what();
+          rec.result.modeled_seconds = backoff_spent;
+          finish_locked(rec, SessionState::TimedOut, os.str(),
+                        ReasonCode::DeadlineExceeded);
+          terminal = true;
+        }
       }
-      if (req.deadline_modeled_s > 0 &&
-          backoff_spent >= req.deadline_modeled_s) {
-        os << "retry backoff (" << backoff_spent
-           << " modeled s) exhausted the deadline after attempt " << attempt
-           << ": " << e.what();
-        rec.result.modeled_seconds = backoff_spent;
-        finish_locked(rec, SessionState::TimedOut, os.str(),
-                      ReasonCode::DeadlineExceeded);
+      if (terminal) {
+        flush_flight_dumps();
         return;
       }
       MPAS_LOG_WARN << "session " << id << " attempt " << attempt
@@ -308,11 +338,14 @@ void SessionManager::run_one(std::uint64_t id) {
       // Fault isolation: the throwing session unwinds completely (model,
       // pool, offload runtime, mesh lease all die with the frame) and is
       // the only session that ends Failed.
-      const std::lock_guard<std::mutex> lock(mutex_);
-      std::ostringstream os;
-      os << "session threw: " << e.what();
-      finish_locked(rec, SessionState::Failed, os.str(),
-                    ReasonCode::SessionFault);
+      {
+        const util::LockGuard lock(mutex_);
+        std::ostringstream os;
+        os << "session threw: " << e.what();
+        finish_locked(rec, SessionState::Failed, os.str(),
+                      ReasonCode::SessionFault);
+      }
+      flush_flight_dumps();
       return;
     }
   }
@@ -376,7 +409,9 @@ void SessionManager::finish_locked(Record& rec, SessionState state,
             obs::trace_arg("modeled_s", rec.result.modeled_seconds));
 
   // Black-box dump decision: terminal failure, quarantine involvement, or
-  // dump-everything mode. The ring stays silent for healthy sessions.
+  // dump-everything mode. The ring stays silent for healthy sessions. Only
+  // the *decision* happens here — writing the file is I/O, which must not
+  // run under mutex_, so the dump is queued for flush_flight_dumps().
   if (rec.flight != nullptr) {
     rec.flight->record(telemetry::FlightKind::Terminal, -1,
                        std::string(to_string(state)) + ": " +
@@ -387,28 +422,14 @@ void SessionManager::finish_locked(Record& rec, SessionState state,
         rec.result.replans > 0 ||
         rec.flight->count(telemetry::FlightKind::HealthTransition) > 0;
     if (flight_dump_.should_dump(failed, quarantine_involved)) {
-      std::error_code ec;
-      std::filesystem::create_directories(flight_dump_.dir, ec);
       const std::string trigger = failed               ? "failure"
                                   : quarantine_involved ? "quarantine"
                                                         : "all";
-      const std::string path =
-          flight_dump_.dir + "/flight_session" +
-          std::to_string(rec.result.id) + ".json";
-      if (rec.flight->dump_to_file(path, rec.result.id, rec.result.tenant,
-                                   trigger)) {
-        stats_.flight_dumps += 1;
-        MPAS_LOG_INFO << "session " << rec.result.id
-                      << " flight recorder dumped to " << path << " ("
-                      << trigger << ")";
-        if (events.enabled())
-          events.emit("flight_dump", rec.result.tenant, rec.result.id,
-                      obs::trace_arg("path", path) + "," +
-                          obs::trace_arg("trigger", trigger));
-      } else {
-        MPAS_LOG_WARN << "session " << rec.result.id
-                      << " flight dump to " << path << " failed";
-      }
+      pending_dumps_.push_back(
+          {rec.flight.get(), flight_dump_.dir,
+           flight_dump_.dir + "/flight_session" +
+               std::to_string(rec.result.id) + ".json",
+           rec.result.id, rec.result.tenant, trigger});
     }
   }
 
@@ -416,6 +437,35 @@ void SessionManager::finish_locked(Record& rec, SessionState state,
   done_cv_.notify_all();
   work_cv_.notify_all();  // freed capacity may unblock nothing, but a
                           // paused->resumed race must not strand workers
+}
+
+void SessionManager::flush_flight_dumps() {
+  std::vector<PendingDump> dumps;
+  {
+    const util::LockGuard lock(mutex_);
+    if (pending_dumps_.empty()) return;
+    dumps.swap(pending_dumps_);
+  }
+  auto& events = telemetry::EventLog::global();
+  for (const PendingDump& dump : dumps) {
+    std::error_code ec;
+    std::filesystem::create_directories(dump.dir, ec);
+    if (dump.flight->dump_to_file(dump.path, dump.id, dump.tenant,
+                                  dump.trigger)) {
+      MPAS_LOG_INFO << "session " << dump.id << " flight recorder dumped to "
+                    << dump.path << " (" << dump.trigger << ")";
+      if (events.enabled())
+        events.emit("flight_dump", dump.tenant, dump.id,
+                    obs::trace_arg("path", dump.path) + "," +
+                        obs::trace_arg("trigger", dump.trigger));
+      const util::LockGuard lock(mutex_);
+      stats_.flight_dumps += 1;
+      publish_locked();
+    } else {
+      MPAS_LOG_WARN << "session " << dump.id << " flight dump to "
+                    << dump.path << " failed";
+    }
+  }
 }
 
 void SessionManager::record_slo_locked(const std::string& tenant,
@@ -446,22 +496,28 @@ void SessionManager::record_slo_locked(const std::string& tenant,
 }
 
 bool SessionManager::cancel(std::uint64_t id) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = records_.find(id);
-  if (it == records_.end() || is_terminal(it->second->result.state))
-    return false;
-  Record& rec = *it->second;
-  if (rec.result.state == SessionState::Queued && queue_.remove(id)) {
-    finish_locked(rec, SessionState::Cancelled, "cancelled while queued",
-                  ReasonCode::CancelledByUser);
-    return true;
+  bool cancelled = false;
+  {
+    const util::LockGuard lock(mutex_);
+    const auto it = records_.find(id);
+    if (it == records_.end() || is_terminal(it->second->result.state))
+      return false;
+    Record& rec = *it->second;
+    if (rec.result.state == SessionState::Queued && queue_.remove(id)) {
+      finish_locked(rec, SessionState::Cancelled, "cancelled while queued",
+                    ReasonCode::CancelledByUser);
+      cancelled = true;
+    } else {
+      rec.cancel.store(true, std::memory_order_release);
+      return true;
+    }
   }
-  rec.cancel.store(true, std::memory_order_release);
-  return true;
+  flush_flight_dumps();
+  return cancelled;
 }
 
 void SessionManager::set_paused(bool paused) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   paused_ = paused;
   if (!paused_) work_cv_.notify_all();
 }
@@ -471,18 +527,24 @@ bool SessionManager::drain(long timeout_ms) {
       resolve_timeout_ms(timeout_ms, "MPAS_SERVICE_DRAIN_TIMEOUT_MS", 120000);
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(resolved);
-  std::unique_lock<std::mutex> lock(mutex_);
-  return done_cv_.wait_until(lock, deadline, [this] {
-    if (active_ > 0 || !queue_.empty()) return false;
-    return std::all_of(records_.begin(), records_.end(), [](const auto& kv) {
-      return is_terminal(kv.second->result.state);
-    });
-  });
+  util::UniqueLock lock(mutex_);
+  // Inline predicate loop (not wait_until(lock, deadline, pred)): the
+  // thread-safety analysis checks this body with mutex_ held.
+  for (;;) {
+    const bool drained =
+        active_ == 0 && queue_.empty() &&
+        std::all_of(records_.begin(), records_.end(), [](const auto& kv) {
+          return is_terminal(kv.second->result.state);
+        });
+    if (drained) return true;
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    done_cv_.wait_until(lock, deadline);
+  }
 }
 
 void SessionManager::shutdown() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::LockGuard lock(mutex_);
     if (shutdown_) return;
     shutdown_ = true;
     // Queued sessions will never run; running ones are asked to stop at
@@ -497,19 +559,23 @@ void SessionManager::shutdown() {
         rec->cancel.store(true, std::memory_order_release);
     work_cv_.notify_all();
   }
+  flush_flight_dumps();
   for (std::thread& worker : workers_) worker.join();
   workers_.clear();
+  // Workers queue dumps on their way out (cancelled sessions); sweep the
+  // stragglers now that every worker has joined.
+  flush_flight_dumps();
 }
 
 SessionResult SessionManager::result(std::uint64_t id) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   const auto it = records_.find(id);
   MPAS_CHECK_MSG(it != records_.end(), "unknown session id " << id);
   return it->second->result;
 }
 
 std::vector<SessionResult> SessionManager::results() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   std::vector<SessionResult> out;
   out.reserve(records_.size());
   for (const auto& [id, rec] : records_) out.push_back(rec->result);
@@ -517,17 +583,17 @@ std::vector<SessionResult> SessionManager::results() const {
 }
 
 ServiceStats SessionManager::stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   return stats_;
 }
 
 std::size_t SessionManager::queue_depth() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   return queue_.size();
 }
 
 Real SessionManager::tenant_budget(const std::string& tenant) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   return admission_.tenant_budget(tenant);
 }
 

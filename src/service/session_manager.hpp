@@ -18,11 +18,9 @@
 // work feeds the fairness audit the soak asserts on.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -33,6 +31,9 @@
 #include "service/fair_queue.hpp"
 #include "service/mesh_store.hpp"
 #include "service/request.hpp"
+#include "util/annotations.hpp"
+#include "util/lock_ranks.hpp"
+#include "util/mutex.hpp"
 
 namespace mpas::service {
 
@@ -126,20 +127,42 @@ class SessionManager {
     std::unique_ptr<obs::telemetry::FlightRecorder> flight;
   };
 
+  /// A flight-recorder dump decided under the lock but executed after it:
+  /// directory creation and the JSON write are file I/O, which must never
+  /// run under mutex_ (the concurrency lint enforces this). The recorder
+  /// pointer stays valid because records_ holds the owning unique_ptr for
+  /// the manager's whole lifetime.
+  struct PendingDump {
+    obs::telemetry::FlightRecorder* flight = nullptr;
+    std::string dir;
+    std::string path;
+    std::uint64_t id = 0;
+    std::string tenant;
+    std::string trigger;
+  };
+
   void worker_loop(int worker_index);
   void run_one(std::uint64_t id);
+  /// The locked core of submit(); the public wrapper flushes any flight
+  /// dumps a shed verdict queued.
+  std::uint64_t submit_locked(SessionRequest request) MPAS_REQUIRES(mutex_);
   /// Mark `id` terminal and release its admission reservation (lock held).
+  /// Queues (never performs) the flight-recorder dump; every caller must
+  /// call flush_flight_dumps() after releasing mutex_.
   void finish_locked(Record& rec, SessionState state,
                      const std::string& reason,
-                     ReasonCode code = ReasonCode::None);
+                     ReasonCode code = ReasonCode::None)
+      MPAS_REQUIRES(mutex_);
+  /// Write out dumps queued by finish_locked, outside the lock.
+  void flush_flight_dumps() MPAS_EXCLUDES(mutex_);
   /// Fold one SLO sample, publish service.slo.* gauges, and raise the
   /// slo:breach instant / event on a breach (lock held).
   void record_slo_locked(const std::string& tenant,
                          obs::telemetry::SloDimension dimension, bool ok,
-                         std::uint64_t session);
-  void publish_locked() const;
+                         std::uint64_t session) MPAS_REQUIRES(mutex_);
+  void publish_locked() const MPAS_REQUIRES(mutex_);
   [[nodiscard]] AdmissionInput admission_input_locked(
-      const std::string& tenant) const;
+      const std::string& tenant) const MPAS_REQUIRES(mutex_);
 
   ServiceOptions opts_;
   CostModel costs_;
@@ -148,18 +171,29 @@ class SessionManager {
   obs::telemetry::SloTracker slo_;
   obs::telemetry::FlightDumpPolicy flight_dump_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable work_cv_;   // workers: queue non-empty / shutdown
-  std::condition_variable done_cv_;   // drain: a session went terminal
-  FairQueue queue_;
-  std::map<std::uint64_t, std::unique_ptr<Record>> records_;
-  ServiceStats stats_;
-  Real outstanding_total_ = 0;
-  std::map<std::string, Real> outstanding_by_tenant_;
-  std::uint64_t next_id_ = 1;
-  std::uint64_t active_ = 0;  // sessions currently inside run_one
-  bool paused_ = false;
-  bool shutdown_ = false;
+  // Lock order (DESIGN.md §14): the manager's mutex (rank
+  // kSessionManager = 10) is the lowest-ranked lock in the service stack.
+  // Sessions running under it take MeshStore, HealthMonitor, ThreadPool,
+  // and observability locks — all higher-ranked — but never the reverse:
+  // nothing that holds a pool or monitor lock may call back into the
+  // manager. The LockOrderRegistry enforces this at runtime under
+  // MPAS_LOCK_CHECK=1.
+  mutable util::Mutex mutex_{"service.session_manager",
+                             util::lockrank::kSessionManager};
+  util::ConditionVariable work_cv_;  // workers: queue non-empty / shutdown
+  util::ConditionVariable done_cv_;  // drain: a session went terminal
+  FairQueue queue_ MPAS_GUARDED_BY(mutex_);
+  std::map<std::uint64_t, std::unique_ptr<Record>> records_
+      MPAS_GUARDED_BY(mutex_);
+  ServiceStats stats_ MPAS_GUARDED_BY(mutex_);
+  Real outstanding_total_ MPAS_GUARDED_BY(mutex_) = 0;
+  std::map<std::string, Real> outstanding_by_tenant_ MPAS_GUARDED_BY(mutex_);
+  std::uint64_t next_id_ MPAS_GUARDED_BY(mutex_) = 1;
+  std::uint64_t active_ MPAS_GUARDED_BY(mutex_) = 0;  // inside run_one
+  bool paused_ MPAS_GUARDED_BY(mutex_) = false;
+  bool shutdown_ MPAS_GUARDED_BY(mutex_) = false;
+  /// Dumps decided by finish_locked, written by flush_flight_dumps().
+  std::vector<PendingDump> pending_dumps_ MPAS_GUARDED_BY(mutex_);
 
   std::vector<std::thread> workers_;
 };

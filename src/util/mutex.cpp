@@ -1,0 +1,48 @@
+#include "util/mutex.hpp"
+
+namespace mpas::util {
+
+namespace detail {
+
+std::atomic<bool> g_mutex_hooks_armed{false};
+
+namespace {
+// The installed table. Written only by set/clear (before/after flipping
+// the armed flag with release semantics); read on the armed hot path.
+MutexHooks g_hooks;
+}  // namespace
+
+std::uint64_t next_mutex_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+void mutex_hook_lock(const Mutex& m) {
+  if (g_hooks.on_lock != nullptr) g_hooks.on_lock(m);
+}
+
+void mutex_hook_unlock(const Mutex& m) {
+  if (g_hooks.on_unlock != nullptr) g_hooks.on_unlock(m);
+}
+
+}  // namespace detail
+
+void set_mutex_hooks(const MutexHooks& hooks) {
+  detail::g_hooks = hooks;
+  detail::g_mutex_hooks_armed.store(
+      hooks.on_lock != nullptr && hooks.on_unlock != nullptr,
+      std::memory_order_release);
+}
+
+void clear_mutex_hooks() {
+  // Disarm only — the table stays intact so a thread already past the
+  // armed check still dispatches into a valid (leaked-singleton) observer
+  // instead of a torn pointer.
+  detail::g_mutex_hooks_armed.store(false, std::memory_order_release);
+}
+
+bool mutex_hooks_armed() {
+  return detail::g_mutex_hooks_armed.load(std::memory_order_acquire);
+}
+
+}  // namespace mpas::util

@@ -1,0 +1,215 @@
+// The annotated mutex every lock in src/ goes through.
+//
+// util::Mutex wraps std::mutex three ways at once:
+//
+//   contract   It is a Clang Thread Safety CAPABILITY (util/annotations.hpp):
+//              members it protects carry MPAS_GUARDED_BY(mutex_) and the
+//              `thread-safety` CI job turns a missed lock into a compile
+//              error under -Wthread-safety -Werror.
+//   identity   Every mutex carries a stable name and a lock-order rank
+//              (util/lock_ranks.hpp), so a runtime report can say
+//              "service.session_manager was taken while exec.thread_pool
+//              was held" instead of printing two addresses.
+//   hooks      lock()/unlock() call into an installable hook table when it
+//              is armed — the LockOrderRegistry (src/analysis/lock_order.hpp,
+//              enabled via MPAS_LOCK_CHECK=1) records per-thread acquisition
+//              chains through it. Dark cost is one relaxed atomic load and a
+//              predicted-untaken branch per operation — parity with a raw
+//              std::mutex lock/unlock pair (typically <1%, asserted <5% by
+//              tests/test_lockorder.cpp; bench/lock_contention.cpp tracks
+//              the measured series).
+//
+// Raw std::mutex / std::lock_guard / std::condition_variable are forbidden
+// outside src/util/ by tools/lint_concurrency.py; use Mutex, LockGuard,
+// UniqueLock, and ConditionVariable from this header instead.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "util/annotations.hpp"
+
+namespace mpas::util {
+
+class Mutex;
+
+/// Hook table the lock-order detector installs. Both pointers must be
+/// non-null while armed; callbacks run on the locking thread and must not
+/// acquire any util::Mutex (the registry guards itself with a raw
+/// std::mutex and a per-thread reentrancy flag).
+struct MutexHooks {
+  void (*on_lock)(const Mutex&) = nullptr;
+  void (*on_unlock)(const Mutex&) = nullptr;
+};
+
+namespace detail {
+
+/// Armed flag, read on every lock/unlock. Separate from the table so the
+/// dark path costs exactly one relaxed load.
+extern std::atomic<bool> g_mutex_hooks_armed;
+
+/// Out-of-line dispatch (keeps the inline lock() body branch-and-call).
+void mutex_hook_lock(const Mutex& m);
+void mutex_hook_unlock(const Mutex& m);
+
+std::uint64_t next_mutex_id();
+
+}  // namespace detail
+
+/// Install the hook table and arm it. One observer at a time; installing
+/// over an armed table replaces it.
+void set_mutex_hooks(const MutexHooks& hooks);
+/// Disarm. Callers must quiesce their own threads first: a thread already
+/// past the armed check may still deliver one in-flight callback.
+void clear_mutex_hooks();
+[[nodiscard]] bool mutex_hooks_armed();
+
+class MPAS_CAPABILITY("mutex") Mutex {
+ public:
+  /// `name` must outlive the mutex (string literals only); `rank` comes
+  /// from util/lock_ranks.hpp (0 = unranked: cycle detection still
+  /// applies, rank checking does not).
+  explicit Mutex(const char* name = "", int rank = 0)
+      : name_(name), rank_(rank), id_(detail::next_mutex_id()) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() MPAS_ACQUIRE() {
+    // Hook BEFORE the acquisition (acquire-attempt semantics). Two reasons:
+    // the registry records the edge even when the acquisition is about to
+    // block (a hung process still has the cycle in its report), and the
+    // hook's own publishing (metrics counters, trace instants) locks the
+    // observability mutexes — dispatching after m_.lock() would self-
+    // deadlock the first time a new edge is discovered while acquiring one
+    // of those very mutexes.
+    if (detail::g_mutex_hooks_armed.load(std::memory_order_acquire))
+        [[unlikely]]
+      detail::mutex_hook_lock(*this);
+    m_.lock();
+  }
+
+  void unlock() MPAS_RELEASE() {
+    if (detail::g_mutex_hooks_armed.load(std::memory_order_acquire))
+        [[unlikely]]
+      detail::mutex_hook_unlock(*this);
+    m_.unlock();
+  }
+
+  bool try_lock() MPAS_TRY_ACQUIRE(true) {
+    // Dispatch after success here (a failed attempt is not an edge). This
+    // means the observability sinks themselves must never be try_lock'ed
+    // — the hook publishes through them while m_ is already held.
+    const bool ok = m_.try_lock();
+    if (ok && detail::g_mutex_hooks_armed.load(std::memory_order_acquire))
+        [[unlikely]]
+      detail::mutex_hook_lock(*this);
+    return ok;
+  }
+
+  [[nodiscard]] const char* name() const { return name_; }
+  [[nodiscard]] int rank() const { return rank_; }
+  /// Process-unique, assigned at construction — the lock-order graph key.
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+
+ private:
+  std::mutex m_;
+  const char* name_;
+  int rank_;
+  std::uint64_t id_;
+};
+
+/// Drop-in for std::lock_guard<std::mutex> over util::Mutex.
+class MPAS_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& m) MPAS_ACQUIRE(m) : m_(m) { m_.lock(); }
+  ~LockGuard() MPAS_RELEASE() { m_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& m_;
+};
+
+/// Drop-in for std::unique_lock<std::mutex> over util::Mutex — the handle
+/// ConditionVariable waits through. Supports manual unlock()/lock() so a
+/// scope can shed the capability around a blocking call.
+class MPAS_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& m) MPAS_ACQUIRE(m) : m_(&m), owns_(true) {
+    m_->lock();
+  }
+  ~UniqueLock() MPAS_RELEASE() {
+    if (owns_) m_->unlock();
+  }
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() MPAS_ACQUIRE() {
+    m_->lock();
+    owns_ = true;
+  }
+  void unlock() MPAS_RELEASE() {
+    owns_ = false;
+    m_->unlock();
+  }
+  [[nodiscard]] bool owns_lock() const { return owns_; }
+  [[nodiscard]] Mutex* mutex() const { return m_; }
+
+ private:
+  Mutex* m_;
+  bool owns_;
+};
+
+/// Condition variable that waits on util::Mutex (through a UniqueLock), so
+/// the lock-order registry sees the capability released while the thread
+/// sleeps and reacquired before wait() returns.
+///
+/// The thread-safety analysis cannot see through the type-erased
+/// release/reacquire inside std::condition_variable_any, so wait sites keep
+/// the canonical annotated shape — the predicate stays inline in the
+/// locked function, never in a lambda the analysis would treat as
+/// lock-free:
+///
+///   util::UniqueLock lock(mutex_);
+///   while (!ready_) cv_.wait(lock);
+class ConditionVariable {
+ public:
+  ConditionVariable() = default;
+  ConditionVariable(const ConditionVariable&) = delete;
+  ConditionVariable& operator=(const ConditionVariable&) = delete;
+
+  /// Atomically release `lock`, sleep, reacquire. Spurious wakeups apply:
+  /// always wait in a while loop. The analysis models the capability as
+  /// held across the call (it is, at every observable point).
+  void wait(UniqueLock& lock) MPAS_NO_THREAD_SAFETY_ANALYSIS {
+    cv_.wait(*lock.mutex());
+  }
+
+  template <class Clock, class Duration>
+  std::cv_status wait_until(
+      UniqueLock& lock, const std::chrono::time_point<Clock, Duration>& tp)
+      MPAS_NO_THREAD_SAFETY_ANALYSIS {
+    return cv_.wait_until(*lock.mutex(), tp);
+  }
+
+  template <class Rep, class Period>
+  std::cv_status wait_for(UniqueLock& lock,
+                          const std::chrono::duration<Rep, Period>& d)
+      MPAS_NO_THREAD_SAFETY_ANALYSIS {
+    return cv_.wait_for(*lock.mutex(), d);
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace mpas::util

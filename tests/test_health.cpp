@@ -299,6 +299,42 @@ TEST(HealthMonitor, ConcurrentFailuresLoseNoTransitions) {
     EXPECT_EQ(m.state(name), HealthState::Recovered);
 }
 
+// Regression: listeners fire after the monitor releases its mutex, so a
+// listener may call back into the monitor — query it, or even cause further
+// transitions — without self-deadlocking. (Listeners used to run under the
+// lock; a re-entrant listener would hang forever.)
+TEST(HealthMonitor, ListenerMayReenterTheMonitor) {
+  HealthMonitor m;
+  m.track("accel");
+  m.track("spare");
+
+  std::vector<Transition> seen;
+  m.add_transition_listener([&m, &seen](const Transition& t) {
+    seen.push_back(t);
+    // Query re-entrancy: reading state from inside the listener must not
+    // deadlock.
+    EXPECT_NE(m.state(t.entity), HealthState::Healthy);
+    // Mutating re-entrancy: the accel's quarantine fails the spare over
+    // too. The nested transition is queued and delivered to this same
+    // listener after the current batch, not dropped and not re-entered
+    // under the lock.
+    if (t.entity == "accel" && t.to == HealthState::Quarantined &&
+        m.state("spare") == HealthState::Healthy)
+      m.observe_failure("spare", t.step, "cascaded from accel");
+  });
+
+  m.observe_failure("accel", /*step=*/7, "injected");
+
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].entity, "accel");
+  EXPECT_EQ(seen[0].to, HealthState::Quarantined);
+  EXPECT_EQ(seen[1].entity, "spare");
+  EXPECT_EQ(seen[1].to, HealthState::Quarantined);
+  EXPECT_EQ(seen[1].reason, "cascaded from accel");
+  EXPECT_EQ(m.state("accel"), HealthState::Quarantined);
+  EXPECT_EQ(m.state("spare"), HealthState::Quarantined);
+}
+
 // Two monitors with distinct metric scopes must publish distinguishable
 // series; an unscoped monitor keeps the historical global names.
 TEST(HealthMonitor, MetricScopeSeparatesConcurrentMonitors) {

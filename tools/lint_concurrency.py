@@ -1,0 +1,230 @@
+#!/usr/bin/env python3
+"""Concurrency-contract lint, run in CI (tools/lint_concurrency.py [root]).
+
+Three rules over src/ (pass a directory argument to lint something else,
+e.g. the negative fixtures under tools/lint_fixtures/):
+
+  1. raw-sync: no raw std::mutex / std::lock_guard / std::unique_lock /
+     std::condition_variable (and friends) outside src/util/ — all locking
+     goes through util::Mutex so the Clang thread-safety annotations and
+     the MPAS_LOCK_CHECK runtime detector see every acquisition.
+
+  2. blocking-under-lock: no blocking call (file I/O, sleeps, thread joins,
+     mesh builds) while a lock guard is live. Calls after `lock.unlock()`
+     are fine; condition-variable waits are not blocking (they release the
+     lock). The check is lexical — it tracks guard declarations and brace
+     depth per file, not control flow — so it is a lint, not a prover.
+
+  3. unguarded-mutex: every `util::Mutex` class member declared in a
+     header must have at least one sibling annotated with
+     MPAS_GUARDED_BY(that mutex) or a method with MPAS_REQUIRES(it) —
+     a named lock that protects nothing is either dead or undocumented.
+
+Suppressions (the reason is mandatory, greppable, and human-audited):
+
+  // concurrency-lint: allow(raw-sync) <reason>
+  // concurrency-lint: allow(blocking-under-lock) <reason>
+  // concurrency-lint: allow(unguarded-mutex) <reason>
+
+placed on the offending line or the line directly above it. For
+blocking-under-lock, an allow on (or directly above) the guard declaration
+blesses the guard's whole critical section — for the few locks whose
+entire purpose is to serialize one blocking operation (the mesh cache
+fill, the event log's line writes).
+
+Exit code = number of violations.
+"""
+import re
+import sys
+from pathlib import Path
+
+SOURCE_SUFFIXES = {".hpp", ".h", ".cpp", ".cc"}
+
+# Files whose job is to wrap or observe raw primitives.
+RAW_SYNC_ALLOWLIST = {
+    "src/analysis/lock_order.cpp":
+        "the detector's own guard must not recurse into its hooks",
+    "src/analysis/lock_order.hpp":
+        "the detector's own guard must not recurse into its hooks",
+}
+
+RAW_SYNC_RE = re.compile(
+    r"\bstd::(?:mutex|recursive_mutex|timed_mutex|recursive_timed_mutex"
+    r"|shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock"
+    r"|shared_lock|condition_variable|condition_variable_any)\b")
+
+# A guard *declaration*: the type followed by a variable name and an
+# initializer. A `Type&` parameter or a prototype does not match.
+GUARD_DECL_RE = re.compile(
+    r"\b(?:util::(?:LockGuard|UniqueLock)"
+    r"|std::(?:lock_guard|unique_lock|scoped_lock|shared_lock)"
+    r"(?:<[^>]*>)?)\s+\w+\s*[({]")
+
+UNLOCK_RE = re.compile(r"\b\w+\.unlock\s*\(\s*\)")
+
+# Operations that can block for unbounded or I/O-scale time. Curated, not
+# exhaustive: the point is to catch the classes of mistake we have actually
+# made (file dumps and directory creation under the service lock, sleeps
+# under the channel lock) plus the obvious neighbours.
+BLOCKING_RES = [
+    (re.compile(r"std::this_thread::sleep_(?:for|until)\b"), "sleep"),
+    (re.compile(r"std::filesystem::"
+                r"(?:create_directories|copy|remove_all|rename)\b"),
+     "filesystem mutation"),
+    (re.compile(r"\bstd::[oi]?fstream\b"), "file stream"),
+    (re.compile(r"\.open\s*\("), "file open"),
+    (re.compile(r"\.join\s*\(\s*\)"), "thread join"),
+    (re.compile(r"\bsystem\s*\("), "subprocess"),
+    (re.compile(r"\bdump_to_file\s*\("), "flight-recorder dump (file I/O)"),
+    (re.compile(r"\bget_global_mesh\s*\("), "mesh build/load (disk + CPU)"),
+]
+
+ALLOW_RE = re.compile(r"concurrency-lint:\s*allow\(([a-z-]+)\)")
+MUTEX_MEMBER_RE = re.compile(
+    r"\butil::Mutex\s+(\w+)\s*[{;]")
+COMMENT_RE = re.compile(r"//.*$")
+STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
+CHAR_RE = re.compile(r"'(?:[^'\\]|\\.)*'")
+
+
+def code_of(line: str) -> str:
+    """The line with comments and literal contents stripped (keeps quotes
+    so token positions stay roughly aligned)."""
+    line = COMMENT_RE.sub("", line)
+    line = STRING_RE.sub('""', line)
+    line = CHAR_RE.sub("''", line)
+    return line
+
+
+def allows(lines, n, rule) -> bool:
+    """True when line n (1-based) or the line above carries an allow()."""
+    for idx in (n - 1, n - 2):
+        if 0 <= idx < len(lines):
+            m = ALLOW_RE.search(lines[idx])
+            if m and m.group(1) == rule:
+                return True
+    return False
+
+
+def strip_block_comments(text: str) -> str:
+    """Blank out /* ... */ runs, preserving line structure."""
+    out = []
+    in_block = False
+    for line in text.splitlines():
+        if in_block:
+            end = line.find("*/")
+            if end < 0:
+                out.append("")
+                continue
+            line = " " * (end + 2) + line[end + 2:]
+            in_block = False
+        while True:
+            start = line.find("/*")
+            if start < 0:
+                break
+            end = line.find("*/", start + 2)
+            if end < 0:
+                line = line[:start]
+                in_block = True
+                break
+            line = line[:start] + " " * (end + 2 - start) + line[end + 2:]
+        out.append(line)
+    return "\n".join(out)
+
+
+def lint_raw_sync(rel, lines, problems):
+    if rel in RAW_SYNC_ALLOWLIST or rel.startswith("src/util/"):
+        return
+    for n, line in enumerate(lines, 1):
+        if RAW_SYNC_RE.search(code_of(line)) and not allows(lines, n,
+                                                            "raw-sync"):
+            problems.append(
+                f"{rel}:{n}: raw standard-library synchronization — use "
+                "util::Mutex / util::LockGuard / util::UniqueLock / "
+                "util::ConditionVariable so the thread-safety annotations "
+                "and MPAS_LOCK_CHECK see the acquisition")
+
+
+def lint_blocking_under_lock(rel, lines, problems):
+    depth = 0
+    guards = []  # [{depth, blessed}] innermost last
+    for n, line in enumerate(lines, 1):
+        code = code_of(line)
+
+        if GUARD_DECL_RE.search(code):
+            guards.append({
+                "depth": depth,
+                "blessed": allows(lines, n, "blocking-under-lock"),
+            })
+        elif guards and UNLOCK_RE.search(code):
+            guards.pop()
+
+        if guards and not all(g["blessed"] for g in guards):
+            for pattern, what in BLOCKING_RES:
+                if pattern.search(code) and not allows(
+                        lines, n, "blocking-under-lock"):
+                    problems.append(
+                        f"{rel}:{n}: {what} while holding a lock — do the "
+                        "blocking work outside the critical section (queue "
+                        "it and flush after unlock)")
+                    break
+
+        depth += code.count("{") - code.count("}")
+        while guards and depth < guards[-1]["depth"]:
+            guards.pop()
+
+
+def lint_unguarded_mutex(rel, path, lines, problems):
+    if path.suffix not in {".hpp", ".h"} or rel.startswith("src/util/"):
+        return
+    code_text = "\n".join(code_of(l) for l in lines)
+    for n, line in enumerate(lines, 1):
+        code = code_of(line)
+        m = MUTEX_MEMBER_RE.search(code)
+        if not m or "static" in code:
+            continue
+        name = m.group(1)
+        if re.search(r"MPAS_(?:GUARDED_BY|REQUIRES|ACQUIRE|EXCLUDES)\(\s*"
+                     + re.escape(name) + r"\s*\)", code_text):
+            continue
+        if allows(lines, n, "unguarded-mutex"):
+            continue
+        problems.append(
+            f"{rel}:{n}: util::Mutex member '{name}' has no "
+            f"MPAS_GUARDED_BY({name}) sibling or MPAS_REQUIRES({name}) "
+            "method — annotate what it protects")
+
+
+def lint_file(root: Path, path: Path) -> list:
+    rel = path.relative_to(root).as_posix()
+    text = strip_block_comments(path.read_text(encoding="utf-8"))
+    lines = text.splitlines()
+    problems = []
+    lint_raw_sync(rel, lines, problems)
+    lint_blocking_under_lock(rel, lines, problems)
+    lint_unguarded_mutex(rel, path, lines, problems)
+    return problems
+
+
+def main() -> int:
+    if len(sys.argv) > 1:
+        root = Path(sys.argv[1]).resolve()
+        bases = [root]
+    else:
+        root = Path(__file__).resolve().parent.parent
+        bases = [root / "src"]
+
+    problems = []
+    for base in bases:
+        for path in sorted(base.rglob("*")):
+            if path.suffix in SOURCE_SUFFIXES:
+                problems.extend(lint_file(root, path))
+
+    for p in problems:
+        print(p)
+    print(f"lint_concurrency: {len(problems)} violation(s)")
+    return min(len(problems), 255)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+// Lint fixture: blocking work inside critical sections (4 violations).
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "util/mutex.hpp"
+
+namespace fixture {
+
+util::Mutex g_mutex{"fixture.bad", 0};
+std::thread g_worker;
+
+inline void dump_under_lock(const std::string& dir) {
+  const util::LockGuard lock(g_mutex);
+  std::filesystem::create_directories(dir);        // violation
+  std::ofstream out(dir + "/dump.json");           // violation
+  out << "{}\n";
+}
+
+inline void sleep_under_lock() {
+  util::UniqueLock lock(g_mutex);
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));  // violation
+}
+
+inline void join_under_lock() {
+  const util::LockGuard lock(g_mutex);
+  g_worker.join();  // violation
+}
+
+}  // namespace fixture

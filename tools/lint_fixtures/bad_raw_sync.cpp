@@ -1,0 +1,33 @@
+// Lint fixture: raw standard-library synchronization outside src/util/.
+// Every line with a std:: primitive below must be flagged (5 violations).
+#include <condition_variable>
+#include <mutex>
+
+namespace fixture {
+
+class BadCounter {
+ public:
+  void bump() {
+    const std::lock_guard<std::mutex> lock(mutex_);  // violation
+    ++value_;
+    cv_.notify_one();  // (use through the member is caught at declaration)
+  }
+
+  void wait_nonzero() {
+    std::unique_lock<std::mutex> lock(mutex_);  // violation
+    while (value_ == 0) cv_.wait(lock);
+  }
+
+ private:
+  std::mutex mutex_;             // violation
+  std::condition_variable cv_;   // violation
+  int value_ = 0;
+};
+
+inline int with_scoped(BadCounter& c) {
+  static std::mutex local;  // violation
+  (void)c;
+  return 0;
+}
+
+}  // namespace fixture

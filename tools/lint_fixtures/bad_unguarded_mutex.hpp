@@ -1,0 +1,18 @@
+// Lint fixture: a util::Mutex member that guards nothing (1 violation).
+#pragma once
+
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
+
+namespace fixture {
+
+class Orphan {
+ public:
+  int value() const { return value_; }
+
+ private:
+  mutable util::Mutex mutex_{"fixture.orphan", 0};  // violation: no siblings
+  int value_ = 0;  // not MPAS_GUARDED_BY(mutex_)
+};
+
+}  // namespace fixture

@@ -1,0 +1,40 @@
+// Lint fixture: correct patterns that must NOT be flagged (0 violations).
+#include <chrono>
+#include <fstream>
+#include <thread>
+
+#include "util/mutex.hpp"
+
+namespace fixture {
+
+util::Mutex g_mutex{"fixture.good", 0};
+
+/// Unlock-then-sleep: the blocking call happens after the guard released.
+inline void poll_politely() {
+  for (;;) {
+    util::UniqueLock lock(g_mutex);
+    lock.unlock();
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+    return;
+  }
+}
+
+/// Scope exit releases the guard; I/O after the block is fine.
+inline void dump_after_lock(const std::string& path) {
+  std::string snapshot;
+  {
+    const util::LockGuard lock(g_mutex);
+    snapshot = "{}";
+  }
+  std::ofstream out(path);
+  out << snapshot << "\n";
+}
+
+/// A blessed critical section: the fill IS what the lock serializes.
+inline void blessed_fill(const std::string& path) {
+  // concurrency-lint: allow(blocking-under-lock) cache fill is the critical section
+  const util::LockGuard lock(g_mutex);
+  std::ifstream in(path);
+}
+
+}  // namespace fixture
