@@ -6,6 +6,7 @@
 // keep its SLOs?
 //
 //   obs_query <events.jsonl> [mode=summary|events|slo] [filters...]
+//   obs_query <profile.json> mode=profile [max_drift=<ratio>]
 //
 // Filters (combine freely):
 //   tenant=<name>   kind=<event kind>   session=<id>
@@ -16,6 +17,12 @@
 // job can assert service behaviour from the artifact alone:
 //   mode=slo slo_target=0.95 [latency_budget_us=250000]
 //     exit 1 when any tenant/dimension with samples is below target.
+//
+// Profile mode reads a MPAS_PROFILE JSON artifact instead of an event
+// log: round-trips it through the parser (byte-exact, exit 2 on any
+// mismatch), prints the measured-vs-modeled share table per profiled
+// slot, and with max_drift= exits 1 when the worst share-normalized
+// divergence (max(ratio, 1/ratio), machine-scale-free) exceeds it.
 //
 // Presence assertions (any mode):
 //   require_kind=<kind> [require_min=<n>]
@@ -31,6 +38,8 @@
 #include <vector>
 
 #include "obs/json.hpp"
+#include "obs/profiling/profile_store.hpp"
+#include "obs/profiling/profile_trace.hpp"
 #include "util/config.hpp"
 #include "util/table.hpp"
 
@@ -85,9 +94,11 @@ int main(int argc, char** argv) {
     }
   }
   if (path.empty()) {
-    std::cerr << "usage: obs_query <events.jsonl> [mode=summary|events|slo]"
+    std::cerr << "usage: obs_query <events.jsonl> "
+              << "[mode=summary|events|slo|profile]"
               << " [tenant=] [kind=] [session=] [since=] [until=]"
-              << " [slo_target=] [require_kind=] [require_min=] [limit=]\n";
+              << " [slo_target=] [require_kind=] [require_min=] [limit=]"
+              << " [max_drift=]\n";
     return 2;
   }
 
@@ -100,13 +111,75 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  const std::string mode = cfg.get_string("mode", "summary");
+
+  if (mode == "profile") {
+    namespace profiling = mpas::obs::profiling;
+    profiling::Profile profile;
+    try {
+      profile = profiling::read_profile_file(path);
+    } catch (const std::exception& e) {
+      std::cerr << "obs_query: " << e.what() << "\n";
+      return 2;
+    }
+    // Round-trip: serialize -> parse -> serialize must be byte-identical
+    // (the ProfileStore exactness contract CI leans on).
+    const std::string once = profile.to_json();
+    std::string twice;
+    try {
+      twice = profiling::Profile::from_json(once).to_json();
+    } catch (const std::exception& e) {
+      std::cerr << "obs_query: profile re-parse failed: " << e.what() << "\n";
+      return 2;
+    }
+    if (once != twice) {
+      std::cerr << "obs_query: profile round-trip mismatch for '" << path
+                << "'\n";
+      return 2;
+    }
+    std::cout << "profile: " << profile.entries.size() << " slots, backend '"
+              << profile.backend << "', threads " << profile.threads
+              << ", counters "
+              << (profile.counters_available ? "sampled" : "unavailable")
+              << ", round-trip exact\n";
+
+    mpas::Table table({"pattern", "kernel", "device", "calls", "measured_us",
+                       "modeled_us", "meas_share", "model_share", "drift"});
+    for (const profiling::ShareDrift& d : profiling::share_drift(profile)) {
+      const auto it = std::find_if(
+          profile.entries.begin(), profile.entries.end(),
+          [&](const profiling::ProfileEntry& e) { return e.key == d.key; });
+      if (it == profile.entries.end()) continue;
+      table.add_row(
+          {d.key.pattern, d.key.kernel, d.key.device,
+           std::to_string(it->calls), mpas::Table::num(it->mean_s() * 1e6),
+           mpas::Table::num(it->predicted_s_per_call * 1e6),
+           mpas::Table::num(d.measured_share),
+           mpas::Table::num(d.predicted_share),
+           d.ratio > 0 ? mpas::Table::num(d.divergence()) : "-"});
+    }
+    std::cout << table.to_ascii();
+
+    const double worst = profiling::worst_share_drift(profile);
+    std::cout << "worst share drift: " << worst << "\n";
+    if (cfg.has("max_drift")) {
+      const double max_drift = cfg.get_real("max_drift", 2.0);
+      if (worst > max_drift) {
+        std::cerr << "DRIFT: worst share divergence " << worst
+                  << " > max_drift " << max_drift << "\n";
+        return 1;
+      }
+      std::cout << "share drift <= " << max_drift
+                << " for every profiled slot\n";
+    }
+    return 0;
+  }
+
   std::ifstream in(path);
   if (!in.good()) {
     std::cerr << "obs_query: cannot open '" << path << "'\n";
     return 2;
   }
-
-  const std::string mode = cfg.get_string("mode", "summary");
   const std::string want_tenant = cfg.get_string("tenant", "");
   const std::string want_kind = cfg.get_string("kind", "");
   const long want_session = cfg.get_int("session", -1);

@@ -7,9 +7,10 @@
 // process, the "modeled:" track overlays the predicted timeline with
 // host/accel/pcie/network lanes. Finishes with the metrics registry dump.
 //
-// Run:  ./trace_viewer_export [trace=trace.json] [level=3] [steps=2]
-//       (MPAS_TRACE=<path> works on any binary; trace= is this demo's
-//        explicit equivalent.)
+// Run:  ./trace_viewer_export [trace=trace.json] [profile=profile.json]
+//       [level=3] [steps=2]
+//       (MPAS_TRACE=<path> / MPAS_PROFILE=<path> work on any binary;
+//        trace= / profile= are this demo's explicit equivalents.)
 #include <cstdio>
 
 #include "comm/distributed.hpp"
@@ -17,6 +18,8 @@
 #include "exec/offload.hpp"
 #include "mesh/mesh_cache.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiling/perf_profiler.hpp"
+#include "obs/profiling/profile_trace.hpp"
 #include "obs/trace.hpp"
 #include "sw/model.hpp"
 #include "sw/profiler.hpp"
@@ -33,6 +36,13 @@ int main(int argc, char** argv) {
   const std::string trace_path =
       obs::env_trace_path().value_or(cfg.get_string("trace", "trace.json"));
   obs::start_trace_file(trace_path);
+  // Continuous profiler alongside the trace: MPAS_PROFILE wins, profile=
+  // is the fallback so the demo always produces both artifacts. Must be
+  // armed before the StepProfiler below resolves its slots, so the
+  // machine model's per-kernel predictions get attached.
+  const std::string profile_path = obs::profiling::env_profile_path().value_or(
+      cfg.get_string("profile", "profile.json"));
+  obs::profiling::start_profile_file(profile_path);
 
   const auto mesh = mesh::get_global_mesh(level);
   const auto tc = sw::make_test_case(5);
@@ -130,13 +140,29 @@ int main(int argc, char** argv) {
                 result.makespan);
   }
 
+  // -- measured vs modeled: the continuous-profiler overlay ----------------
+  // write_profile_now() records the "profile:" overlay track (measured /
+  // modeled per-call lanes + drift-ratio counter series) into the still-
+  // open trace session, then writes both files.
+  {
+    const auto profile = obs::profiling::PerfProfiler::global().to_profile(
+        "serial", /*threads=*/1, level);
+    std::printf("profile: %zu slots, worst share drift %.3f -> '%s' "
+                "(\"profile:\" overlay track)\n\n",
+                profile.entries.size(),
+                obs::profiling::worst_share_drift(profile),
+                profile_path.c_str());
+    obs::profiling::write_profile_now();
+  }
+
   obs::write_trace_now();
   std::printf("-- metrics registry --\n%s\n",
               obs::MetricsRegistry::global().to_string().c_str());
   std::printf(
       "wrote %s with %zu events.\nOpen https://ui.perfetto.dev and load the "
       "file: track 0 = measured threads,\n\"modeled:\" track = predicted "
-      "host/accel/pcie/network lanes.\n",
+      "host/accel/pcie/network lanes,\n\"profile:\" track = measured vs "
+      "modeled per-pattern costs + drift ratio.\n",
       trace_path.c_str(), obs::TraceRecorder::global().event_count());
   return 0;
 }

@@ -1,0 +1,46 @@
+#include "machine/calibration.hpp"
+
+#include <cstdio>
+
+// Header-only JSON reader (no link dependency on mpas_obs).
+#include "obs/json.hpp"
+#include "util/error.hpp"
+
+namespace mpas::machine {
+
+namespace {
+
+/// Shortest-exact double rendering, the repo-wide %.17g convention that
+/// makes JSON round-trips bit-exact.
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string Calibration::to_json() const {
+  std::string out = "{\n  \"default_scale\": " + fmt_double(default_scale) +
+                    ",\n  \"kernel_scale\": {";
+  bool first = true;
+  for (const auto& [kernel, scale] : kernel_scale) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + kernel + "\": " + fmt_double(scale);
+  }
+  out += first ? "}" : "\n  }";
+  out += "\n}\n";
+  return out;
+}
+
+Calibration Calibration::from_json(const std::string& text) {
+  const obs::json::Value doc = obs::json::parse(text);
+  Calibration cal;
+  cal.default_scale = doc.at("default_scale").as_number();
+  for (const auto& [kernel, scale] : doc.at("kernel_scale").as_object())
+    cal.kernel_scale[kernel] = scale.as_number();
+  return cal;
+}
+
+}  // namespace mpas::machine

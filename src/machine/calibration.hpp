@@ -1,0 +1,47 @@
+// Measured correction coefficients for the Table-II machine model.
+//
+// The model prices every kernel from first principles (roofline over the
+// cost signatures); a Calibration carries the measured-over-predicted
+// scale factors the continuous profiler derived (obs/profiling
+// calibrate()), so schedulers and admission can re-price predictions
+// against observed truth without rebuilding the model. Scales are keyed by
+// kernel-group name (to_string(KernelGroup)); kernels the profile never
+// saw fall back to default_scale, and the identity calibration (empty map,
+// scale 1) is always safe to apply.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "util/types.hpp"
+
+namespace mpas::machine {
+
+struct Calibration {
+  /// Measured/predicted scale per kernel-group name.
+  std::map<std::string, Real> kernel_scale;
+  /// Fallback for kernels without a measured scale (1 = trust the model).
+  Real default_scale = 1.0;
+
+  [[nodiscard]] Real scale_for(const std::string& kernel) const {
+    const auto it = kernel_scale.find(kernel);
+    return it != kernel_scale.end() ? it->second : default_scale;
+  }
+
+  /// Re-price one modeled kernel time with the measured correction.
+  [[nodiscard]] Real corrected_time(const std::string& kernel,
+                                    Real modeled_seconds) const {
+    return scale_for(kernel) * modeled_seconds;
+  }
+
+  /// True when no measured correction is present (identity).
+  [[nodiscard]] bool empty() const {
+    return kernel_scale.empty() && default_scale == 1.0;
+  }
+
+  /// Canonical JSON (%.17g doubles, map-ordered keys); exact round-trip.
+  [[nodiscard]] std::string to_json() const;
+  static Calibration from_json(const std::string& text);
+};
+
+}  // namespace mpas::machine

@@ -1,0 +1,152 @@
+#include "obs/profiling/hw_counters.hpp"
+
+#include <atomic>
+
+#if defined(__linux__) && __has_include(<linux/perf_event.h>)
+#define MPAS_HAS_PERF_EVENT 1
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#else
+#define MPAS_HAS_PERF_EVENT 0
+#endif
+
+namespace mpas::obs::profiling {
+
+#if MPAS_HAS_PERF_EVENT
+
+namespace {
+
+int perf_open(std::uint32_t type, std::uint64_t config, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.type = type;
+  attr.size = sizeof(attr);
+  attr.config = config;
+  attr.disabled = group_fd < 0 ? 1 : 0;  // the leader gates the group
+  attr.exclude_kernel = 1;               // works at perf_event_paranoid <= 2
+  attr.exclude_hv = 1;
+  attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                     PERF_FORMAT_TOTAL_TIME_RUNNING;
+  const long fd = syscall(SYS_perf_event_open, &attr, /*pid=*/0, /*cpu=*/-1,
+                          group_fd, /*flags=*/0UL);
+  return static_cast<int>(fd);
+}
+
+/// Scale a raw group count to its full-time estimate when the kernel
+/// multiplexed the group off the PMU part of the time.
+std::uint64_t scale_count(std::uint64_t raw, std::uint64_t enabled,
+                          std::uint64_t running) {
+  if (running == 0 || running >= enabled) return raw;
+  const double factor =
+      static_cast<double>(enabled) / static_cast<double>(running);
+  return static_cast<std::uint64_t>(static_cast<double>(raw) * factor);
+}
+
+}  // namespace
+
+bool HwCounterGroup::available() {
+  // 0 = unprobed, 1 = yes, 2 = no.
+  static std::atomic<int> verdict{0};
+  int v = verdict.load(std::memory_order_relaxed);
+  if (v == 0) {
+    const int fd =
+        perf_open(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, -1);
+    if (fd >= 0) close(fd);
+    v = fd >= 0 ? 1 : 2;
+    verdict.store(v, std::memory_order_relaxed);
+  }
+  return v == 1;
+}
+
+void HwCounterGroup::open_group() {
+  fd_leader_ = perf_open(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, -1);
+  if (fd_leader_ < 0) return;
+  members_ = 1;
+  fd_instructions_ = perf_open(PERF_TYPE_HARDWARE,
+                               PERF_COUNT_HW_INSTRUCTIONS, fd_leader_);
+  if (fd_instructions_ >= 0) members_ += 1;
+  fd_llc_misses_ =
+      perf_open(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES, fd_leader_);
+  if (fd_llc_misses_ >= 0) members_ += 1;
+  // Frontend/backend stall events are absent on many PMUs; the group is
+  // fine without it (stalled_valid = false in the samples).
+  fd_stalled_ = perf_open(PERF_TYPE_HARDWARE,
+                          PERF_COUNT_HW_STALLED_CYCLES_BACKEND, fd_leader_);
+  if (fd_stalled_ >= 0) members_ += 1;
+}
+
+void HwCounterGroup::close_group() {
+  if (fd_stalled_ >= 0) close(fd_stalled_);
+  if (fd_llc_misses_ >= 0) close(fd_llc_misses_);
+  if (fd_instructions_ >= 0) close(fd_instructions_);
+  if (fd_leader_ >= 0) close(fd_leader_);
+  fd_leader_ = fd_instructions_ = fd_llc_misses_ = fd_stalled_ = -1;
+  members_ = 0;
+}
+
+void HwCounterGroup::start() {
+  if (fd_leader_ < 0) return;
+  ioctl(fd_leader_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ioctl(fd_leader_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+}
+
+HwCounterSample HwCounterGroup::stop() {
+  HwCounterSample sample;
+  if (fd_leader_ < 0) return sample;
+  ioctl(fd_leader_, PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+
+  // PERF_FORMAT_GROUP layout: nr, time_enabled, time_running, value[nr].
+  // Values appear in the order the events were opened into the group.
+  struct {
+    std::uint64_t nr = 0;
+    std::uint64_t time_enabled = 0;
+    std::uint64_t time_running = 0;
+    std::uint64_t values[4] = {0, 0, 0, 0};
+  } data;
+  const ssize_t got = read(fd_leader_, &data, sizeof(data));
+  if (got < 0 || data.nr < 1) return sample;
+
+  int slot = 0;
+  auto next = [&]() -> std::uint64_t {
+    const std::uint64_t raw =
+        slot < static_cast<int>(data.nr) ? data.values[slot] : 0;
+    slot += 1;
+    return scale_count(raw, data.time_enabled, data.time_running);
+  };
+  sample.cycles = next();
+  if (fd_instructions_ >= 0) sample.instructions = next();
+  if (fd_llc_misses_ >= 0) sample.llc_misses = next();
+  if (fd_stalled_ >= 0) {
+    sample.stalled_cycles = next();
+    sample.stalled_valid = true;
+  }
+  sample.valid = true;
+  return sample;
+}
+
+#else  // !MPAS_HAS_PERF_EVENT
+
+bool HwCounterGroup::available() { return false; }
+void HwCounterGroup::open_group() {}
+void HwCounterGroup::close_group() {}
+void HwCounterGroup::start() {}
+HwCounterSample HwCounterGroup::stop() { return {}; }
+
+#endif  // MPAS_HAS_PERF_EVENT
+
+HwCounterGroup::HwCounterGroup() {
+  if (available()) open_group();
+}
+
+HwCounterGroup::HwCounterGroup(bool force_fallback) {
+  if (!force_fallback && available()) open_group();
+}
+
+HwCounterGroup::~HwCounterGroup() { close_group(); }
+
+}  // namespace mpas::obs::profiling

@@ -1,0 +1,83 @@
+// Hardware-counter sampling for the continuous profiler, built on the
+// Linux perf_event_open(2) syscall.
+//
+// One HwCounterGroup opens a counter *group* — cycles (the leader),
+// instructions, LLC misses, and stalled backend cycles — so all members
+// are scheduled onto the PMU together and a sample is internally
+// consistent. Reads use PERF_FORMAT_TOTAL_TIME_ENABLED/RUNNING so a
+// multiplexed group (more groups than PMU slots) is scaled to its full-
+// time estimate instead of silently under-counting.
+//
+// Capability probe: containers and CI runners routinely deny perf_event
+// (kernel.perf_event_paranoid, seccomp) and non-Linux builds have no
+// syscall at all. available() probes once per process and caches the
+// verdict; when it is false every group constructs in fallback mode —
+// start()/stop() still work, but the sample carries valid == false and
+// zeroed counts, and the profiler keeps its steady-clock timing. Tests
+// must pass identically on both paths.
+#pragma once
+
+#include <cstdint>
+
+namespace mpas::obs::profiling {
+
+/// One scaled read of the counter group. `valid` is false on the fallback
+/// path (perf_event unavailable or the group failed to open); counts are
+/// then zero. `stalled_valid` is false when only the stalled-cycles event
+/// is missing (many PMUs/kernels do not expose it) — the rest of the
+/// sample is still usable.
+struct HwCounterSample {
+  bool valid = false;
+  bool stalled_valid = false;
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t llc_misses = 0;
+  std::uint64_t stalled_cycles = 0;
+
+  [[nodiscard]] double ipc() const {
+    return cycles > 0 ? static_cast<double>(instructions) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+  }
+};
+
+/// A per-thread group of hardware counters over the calling thread
+/// (pid = 0, cpu = -1). Not thread-safe and not movable: one group per
+/// thread, used start()/stop() bracketed around the measured region.
+class HwCounterGroup {
+ public:
+  /// Process-wide capability verdict, probed once and cached: true when a
+  /// cycles counter can actually be opened and read. Cheap after the
+  /// first call (one relaxed atomic load).
+  [[nodiscard]] static bool available();
+
+  HwCounterGroup();
+  /// `force_fallback` skips the perf_event path even when available() —
+  /// used by tests to exercise the fallback branch deterministically.
+  explicit HwCounterGroup(bool force_fallback);
+  ~HwCounterGroup();
+
+  HwCounterGroup(const HwCounterGroup&) = delete;
+  HwCounterGroup& operator=(const HwCounterGroup&) = delete;
+
+  /// True when the group opened and samples will carry valid counts.
+  [[nodiscard]] bool active() const { return fd_leader_ >= 0; }
+
+  /// Zero and enable the group. No-op in fallback mode.
+  void start();
+  /// Disable and read the group, multiplex-scaled. Returns an invalid
+  /// (zeroed) sample in fallback mode.
+  [[nodiscard]] HwCounterSample stop();
+
+ private:
+  void open_group();
+  void close_group();
+
+  int fd_leader_ = -1;       // cycles (group leader)
+  int fd_instructions_ = -1;
+  int fd_llc_misses_ = -1;
+  int fd_stalled_ = -1;      // optional: -1 when the PMU lacks the event
+  int members_ = 0;          // events actually in the group
+};
+
+}  // namespace mpas::obs::profiling

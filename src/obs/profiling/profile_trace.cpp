@@ -1,0 +1,112 @@
+#include "obs/profiling/profile_trace.hpp"
+
+#include <algorithm>
+
+namespace mpas::obs::profiling {
+
+std::vector<ShareDrift> share_drift(const Profile& profile) {
+  // Both totals run over the entries that carry a prediction, so the two
+  // share vectors describe the same universe. A profile typically also
+  // holds unpredicted slots (e.g. per-node scopes nested inside predicted
+  // per-section scopes, double-counting the same wall time); letting those
+  // into the measured total would deflate every predicted entry's measured
+  // share and fake drift where the mix actually agrees.
+  double measured_total = 0;
+  double predicted_total = 0;
+  for (const ProfileEntry& e : profile.entries) {
+    if (e.calls == 0 || e.predicted_s_per_call <= 0) continue;
+    measured_total += e.mean_s();
+    predicted_total += e.predicted_s_per_call;
+  }
+  std::vector<ShareDrift> out;
+  for (const ProfileEntry& e : profile.entries) {
+    if (e.calls == 0) continue;
+    ShareDrift d;
+    d.key = e.key;
+    if (e.predicted_s_per_call > 0 && measured_total > 0 &&
+        predicted_total > 0) {
+      d.measured_share = e.mean_s() / measured_total;
+      d.predicted_share = e.predicted_s_per_call / predicted_total;
+      if (d.measured_share > 0)
+        d.ratio = d.measured_share / d.predicted_share;
+    }
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+double worst_share_drift(const Profile& profile) {
+  double worst = 1.0;
+  for (const ShareDrift& d : share_drift(profile))
+    if (d.ratio > 0) worst = std::max(worst, d.divergence());
+  return worst;
+}
+
+int record_profile_overlay(const Profile& profile, TraceRecorder& recorder,
+                           const std::string& track_name) {
+  const int track = recorder.allocate_track(track_name);
+  recorder.set_lane_name(track, 0, "measured (profiled)");
+  recorder.set_lane_name(track, 1, "modeled (predicted)");
+  recorder.set_lane_name(track, 2, "drift ratio (share)");
+
+  const std::vector<ShareDrift> drift = share_drift(profile);
+  auto drift_for = [&](const ProfileKey& key) -> const ShareDrift* {
+    for (const ShareDrift& d : drift)
+      if (d.key == key) return &d;
+    return nullptr;
+  };
+
+  double cursor_us = 0;
+  for (const ProfileEntry& e : profile.entries) {
+    if (e.calls == 0) continue;
+    const double measured_us = e.mean_s() * 1e6;
+    const double modeled_us = e.predicted_s_per_call * 1e6;
+    const std::string name = e.key.pattern + "@" + e.key.device;
+    const ShareDrift* d = drift_for(e.key);
+    std::string args = trace_arg("kernel", e.key.kernel) + "," +
+                       trace_arg("mesh_level",
+                                 static_cast<std::int64_t>(e.key.mesh_level)) +
+                       "," +
+                       trace_arg("calls",
+                                 static_cast<std::uint64_t>(e.calls)) +
+                       "," + trace_arg("measured_us", measured_us) + "," +
+                       trace_arg("modeled_us", modeled_us);
+    if (d != nullptr && d->ratio > 0)
+      args += "," + trace_arg("share_drift", d->ratio);
+
+    TraceEvent measured;
+    measured.kind = TraceEvent::Kind::Complete;
+    measured.name = name;
+    measured.args = args;
+    measured.ts_us = cursor_us;
+    measured.dur_us = measured_us;
+    measured.track = track;
+    measured.lane = 0;
+    recorder.record(measured);
+
+    if (modeled_us > 0) {
+      TraceEvent modeled = measured;
+      modeled.dur_us = modeled_us;
+      modeled.lane = 1;
+      recorder.record(modeled);
+    }
+
+    if (d != nullptr && d->ratio > 0) {
+      TraceEvent counter;
+      counter.kind = TraceEvent::Kind::Counter;
+      counter.name = "profile.drift_ratio";
+      counter.ts_us = cursor_us;
+      counter.value = d->ratio;
+      counter.track = track;
+      counter.lane = 2;
+      recorder.record(counter);
+    }
+
+    // Lay entries side by side with a visual gap so both lanes line up
+    // per pattern.
+    cursor_us += std::max(measured_us, modeled_us) * 1.15 + 1.0;
+  }
+  return track;
+}
+
+}  // namespace mpas::obs::profiling

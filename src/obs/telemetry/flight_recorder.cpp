@@ -36,6 +36,8 @@ const char* to_string(FlightKind kind) {
       return "replan";
     case FlightKind::StepExcursion:
       return "step_excursion";
+    case FlightKind::DriftAlarm:
+      return "drift_alarm";
     case FlightKind::DeadlineCheck:
       return "deadline_check";
     case FlightKind::Cancel:

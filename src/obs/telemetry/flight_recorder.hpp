@@ -34,6 +34,7 @@ enum class FlightKind : int {
   HealthTransition,     // entity state change seen by this session
   Replan,               // schedule swap after quarantine/recovery
   StepExcursion,        // step modeled time left the EWMA band
+  DriftAlarm,           // measured diverged from the machine model
   DeadlineCheck,        // modeled budget exceeded at a step boundary
   Cancel,               // cooperative cancellation honored
   Terminal,             // final state + reason

@@ -3,8 +3,10 @@
 #include <algorithm>
 
 #include "analysis/lock_order.hpp"
+#include "obs/profiling/perf_profiler.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
+#include "util/timer.hpp"
 
 namespace mpas::resilience::health {
 
@@ -17,12 +19,14 @@ SelfHealingHybrid::SelfHealingHybrid(const mesh::VoronoiMesh& mesh,
                // Capacity is not under test here; size it to fit with room.
                2 * (mesh.mesh_data_bytes() + std::size_t{64} * 1024 * 1024)),
       monitor_(opts.health),
+      drift_(opts.drift),
       engine_(core::MeshSizes{mesh.num_cells, mesh.num_edges,
                               mesh.num_vertices},
               opts.sim) {
   // Arm the lock-order detector when MPAS_LOCK_CHECK=1 (idempotent).
   analysis::LockOrderRegistry::install_from_env();
   monitor_.set_metric_scope(opts_.metric_scope);
+  drift_.set_metric_scope(opts_.metric_scope);
   if (opts_.threads > 0) {
     pool_ = std::make_unique<exec::ThreadPool>(opts_.threads);
     model_.set_pool(pool_.get());
@@ -85,6 +89,11 @@ void SelfHealingHybrid::swap_in(ReplanResult plans[3],
   // plan as a host gray failure.
   monitor_.reset_baseline("host");
   monitor_.reset_baseline("accel");
+  // The modeled per-device work also changed, so every drift channel's
+  // frozen baseline is stale; relearn under the new plan.
+  drift_.reset_all();
+  wall_seen_ = 0;
+  publish_node_predictions();
   avail_ = avail;
   pending_valid_ = false;
   replans_ += 1;
@@ -97,6 +106,46 @@ void SelfHealingHybrid::swap_in(ReplanResult plans[3],
   obs::MetricsRegistry::global()
       .counter(opts_.metric_scope + "resilience.health.replans")
       .add(1);
+}
+
+void SelfHealingHybrid::publish_node_predictions() const {
+  obs::profiling::PerfProfiler& profiler =
+      obs::profiling::PerfProfiler::global();
+  if (!profiler.enabled()) return;
+  const core::MeshSizes sizes{mesh_.num_cells, mesh_.num_edges,
+                              mesh_.num_vertices};
+  const auto& graphs = model_.graphs();
+  const core::DataflowGraph* g[3] = {&graphs.setup, &graphs.early,
+                                     &graphs.final};
+  for (int i = 0; i < 3; ++i) {
+    const core::Schedule& schedule = current_[i].schedule;
+    for (const core::PatternNode& node : g[i]->nodes()) {
+      const std::int64_t n = sizes.at(node.iterates);
+      const core::Assignment& asg =
+          schedule.assignments[static_cast<std::size_t>(node.id)];
+      // Predict per call on the side(s) the plan actually runs the node
+      // on, over the entity range each side covers (the same split the
+      // SwModel profiling scopes measure).
+      const Real host_frac = asg.side == core::DeviceSide::Host ? 1.0
+                             : asg.side == core::DeviceSide::Accel
+                                 ? 0.0
+                                 : asg.host_fraction;
+      const auto nh = static_cast<std::int64_t>(
+          std::llround(host_frac * static_cast<double>(n)));
+      if (nh > 0)
+        profiler.set_prediction(
+            {node.label, core::to_string(node.kernel), "host",
+             mesh_.subdivision_level},
+            core::node_time(node, core::DeviceSide::Host, nh, schedule,
+                            opts_.sim));
+      if (n - nh > 0)
+        profiler.set_prediction(
+            {node.label, core::to_string(node.kernel), "accel",
+             mesh_.subdivision_level},
+            core::node_time(node, core::DeviceSide::Accel, n - nh, schedule,
+                            opts_.sim));
+    }
+  }
 }
 
 DeviceAvailability SelfHealingHybrid::current_availability() const {
@@ -164,8 +213,12 @@ void SelfHealingHybrid::step() {
     }
   }
 
-  // 4. The numerics (schedule-invariant, bitwise).
+  // 4. The numerics (schedule-invariant, bitwise), wall-timed for the
+  //    "step.wall" drift channel.
+  const double wall_start = mpas::monotonic_seconds();
   model_.step();
+  const Real wall_s =
+      static_cast<Real>(mpas::monotonic_seconds() - wall_start);
 
   // 5. Feed the monitor this step's modeled device times and link retries.
   Real host_s = 0;
@@ -176,11 +229,12 @@ void SelfHealingHybrid::step() {
     accel_s += reps[i] * current_[i].modeled.accel_busy;
   }
   monitor_.observe_step_time("host", step_, host_s);
+  Real accel_factor = 1.0;
   if (used_accel) {
-    const Real factor =
-        accel_slowdown_hook_ ? std::max<Real>(1.0, accel_slowdown_hook_())
-                             : 1.0;
-    monitor_.observe_step_time("accel", step_, accel_s * factor);
+    accel_factor = accel_slowdown_hook_
+                       ? std::max<Real>(1.0, accel_slowdown_hook_())
+                       : 1.0;
+    monitor_.observe_step_time("accel", step_, accel_s * accel_factor);
   } else if (monitor_.state("accel") != HealthState::Quarantined) {
     // Idle (host-only plan) but not dead: it still answers heartbeats.
     monitor_.observe_heartbeat("accel", step_);
@@ -188,6 +242,35 @@ void SelfHealingHybrid::step() {
   const std::uint64_t retries = offload_.stats().transfer_retries;
   monitor_.observe_transfer_retries("accel", retries - seen_retries_);
   seen_retries_ = retries;
+
+  // 5b. Model-drift observations: modeled device seconds against what the
+  //     devices actually delivered (the accel channel sees the gray-
+  //     failure hook, so a throttled device reads as measured > predicted
+  //     off the model's *absolute* number — no multi-step EWMA to
+  //     separate first), plus measured whole-step wall time against the
+  //     plan's modeled makespan. The wall channel is fed the minimum of
+  //     the last three steps so one descheduled step (CI noise) cannot
+  //     fake a sustained drift.
+  if (drift_.policy().enabled) {
+    drift_.observe("host", step_, host_s, host_s);
+    if (used_accel)
+      drift_.observe("accel", step_, accel_s, accel_s * accel_factor);
+    wall_window_[wall_seen_ % 3] = wall_s;
+    wall_seen_ += 1;
+    Real wall_min = wall_window_[0];
+    for (int i = 1; i < std::min(wall_seen_, 3); ++i)
+      wall_min = std::min(wall_min, wall_window_[i]);
+    drift_.observe("step.wall", step_, modeled_step_seconds(), wall_min);
+    // Poll the detector and hand the evidence to the health ladder: a
+    // drifting channel contributes one bad signal per step, so a
+    // sustained drift marches the entity to Suspect (and on to
+    // Quarantined) through the same hysteresis as any other symptom —
+    // but starting earlier, at the detector's second slow step.
+    if (drift_.drifting("accel"))
+      monitor_.observe_drift("accel", step_, drift_.drift("accel"));
+    if (drift_.drifting("host"))
+      monitor_.observe_drift("host", step_, drift_.drift("host"));
+  }
 
   // 6. Fold signals; 7. a generation change means the availability view
   //    shifted — build and validate the next plan for the next boundary.

@@ -26,6 +26,7 @@
 #include "exec/offload.hpp"
 #include "exec/thread_pool.hpp"
 #include "mesh/mesh.hpp"
+#include "obs/profiling/drift.hpp"
 #include "resilience/fault.hpp"
 #include "resilience/health/monitor.hpp"
 #include "resilience/health/replan.hpp"
@@ -50,6 +51,9 @@ class SelfHealingHybrid {
     /// "service.session7."), so concurrent instances write distinguishable
     /// series. Empty keeps the historical process-global names.
     std::string metric_scope;
+    /// Online model-drift detection policy (MPAS_DRIFT overrides the
+    /// defaults; drift.enabled=false turns the monitor into a no-op).
+    obs::profiling::DriftPolicy drift = obs::profiling::DriftPolicy::from_env();
   };
 
   SelfHealingHybrid(const mesh::VoronoiMesh& mesh, sw::SwParams params,
@@ -75,6 +79,10 @@ class SelfHealingHybrid {
   [[nodiscard]] sw::SwModel& model() { return model_; }
   [[nodiscard]] const sw::SwModel& model() const { return model_; }
   [[nodiscard]] HealthMonitor& monitor() { return monitor_; }
+  [[nodiscard]] obs::profiling::ModelDriftMonitor& drift() { return drift_; }
+  [[nodiscard]] const obs::profiling::ModelDriftMonitor& drift() const {
+    return drift_;
+  }
   [[nodiscard]] const ReplanEngine& engine() const { return engine_; }
   [[nodiscard]] exec::OffloadRuntime& offload() { return offload_; }
   [[nodiscard]] std::int64_t step_index() const { return step_; }
@@ -100,6 +108,10 @@ class SelfHealingHybrid {
   void swap_in(ReplanResult plans[3], const DeviceAvailability& avail);
   void offload_step_traffic();
   [[nodiscard]] bool plan_uses_accel() const;
+  /// Attach the current plan's modeled per-node costs to the continuous
+  /// profiler (so the MPAS_PROFILE artifact carries measured *and*
+  /// predicted columns). No-op while the profiler is disabled.
+  void publish_node_predictions() const;
 
   const mesh::VoronoiMesh& mesh_;
   Options opts_;
@@ -107,6 +119,7 @@ class SelfHealingHybrid {
   std::unique_ptr<exec::ThreadPool> pool_;
   exec::OffloadRuntime offload_;
   HealthMonitor monitor_;
+  obs::profiling::ModelDriftMonitor drift_;
   ReplanEngine engine_;
 
   exec::BufferId buf_mesh_ = -1;
@@ -124,6 +137,11 @@ class SelfHealingHybrid {
   std::uint64_t seen_generation_ = 0;
   std::uint64_t seen_retries_ = 0;
   std::function<Real()> accel_slowdown_hook_;
+  /// Rolling window of measured whole-step wall seconds; the "step.wall"
+  /// drift channel is fed the window minimum so a single descheduled step
+  /// (CI noise) cannot fake a sustained drift.
+  Real wall_window_[3] = {0, 0, 0};
+  int wall_seen_ = 0;
 };
 
 }  // namespace mpas::resilience::health

@@ -1,6 +1,7 @@
 #include "resilience/health/monitor.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -162,6 +163,14 @@ void HealthMonitor::observe_transfer_retries(const std::string& entity,
   entity_ref(entity).step_retries += retries;
 }
 
+void HealthMonitor::observe_drift(const std::string& entity,
+                                  std::int64_t /*step*/, Real ratio) {
+  const util::LockGuard lock(mutex_);
+  Entity& e = entity_ref(entity);
+  e.drift_flagged = true;
+  e.drift_ratio = std::max(e.drift_ratio, ratio);
+}
+
 void HealthMonitor::observe_failure(const std::string& entity,
                                     std::int64_t step,
                                     const std::string& reason) {
@@ -190,10 +199,14 @@ void HealthMonitor::fold_step_signals(std::int64_t step) {
     const bool heartbeat = e.heartbeat;
     const Real seconds = e.step_seconds;
     const std::uint64_t retries = e.step_retries;
+    const bool drifted = e.drift_flagged;
+    const Real drift = e.drift_ratio;
     e.sampled = false;
     e.heartbeat = false;
     e.step_seconds = 0;
     e.step_retries = 0;
+    e.drift_flagged = false;
+    e.drift_ratio = 1.0;
 
     if (e.state == HealthState::Quarantined) continue;  // probation only
 
@@ -205,6 +218,13 @@ void HealthMonitor::fold_step_signals(std::int64_t step) {
     } else if (sampled && e.baseline_set &&
                seconds > policy_.slow_factor * e.baseline) {
       why = "slow step";
+    } else if (drifted) {
+      // Last rung of the why-ladder: the harder evidence above wins the
+      // reason string when both fire in the same step.
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "model drift (ratio %.2f)",
+                    static_cast<double>(drift));
+      why = buf;
     }
 
     if (sampled) e.last_seconds = seconds;

@@ -111,6 +111,17 @@ class HealthMonitor {
   /// total; the caller diffs OffloadRuntime / ResilienceStats counters).
   void observe_transfer_retries(const std::string& entity,
                                 std::uint64_t retries);
+  /// Model-drift evidence from the continuous profiler: the entity's
+  /// measured kernel cost diverged from the machine model's prediction by
+  /// `ratio` (>= 1) while the drift monitor's changepoint detector is in
+  /// alarm. Counts as a bad signal in end_step even when the entity's own
+  /// step-time baseline still looks clean — drift is the earliest gray-
+  /// failure symptom (the baseline EWMA needs several slow steps to
+  /// separate, the drift detector fires off the model's absolute
+  /// prediction), so it moves an entity to Suspect *before* the timing
+  /// ladder would.
+  void observe_drift(const std::string& entity, std::int64_t step,
+                     Real ratio);
   /// Hard fault (transfer escalation, lost rank): quarantine immediately,
   /// skipping the Suspect hysteresis — there is nothing gradual about it.
   void observe_failure(const std::string& entity, std::int64_t step,
@@ -166,6 +177,8 @@ class HealthMonitor {
     bool heartbeat = false;
     Real step_seconds = 0;
     std::uint64_t step_retries = 0;
+    bool drift_flagged = false;
+    Real drift_ratio = 1.0;
     // Probation bookkeeping.
     int probe_backoff = 0;
     std::int64_t next_probe_step = 0;

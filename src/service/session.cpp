@@ -118,6 +118,30 @@ void run_session(const SessionRunContext& ctx, SessionResult& result) {
                             "," + obs::trace_arg("step", t.step));
         });
   }
+  if (flight != nullptr) {
+    // Same black-box treatment for model-drift alarms: the earliest gray-
+    // failure breadcrumb a postmortem has (the listener runs after the
+    // drift monitor released its mutex — same re-entrancy contract as the
+    // health transition listener above).
+    const std::uint64_t id = ctx.id;
+    const std::string tenant = req.tenant;
+    sut.drift().add_alarm_listener(
+        [flight, id, tenant](const obs::profiling::DriftAlarm& a) {
+          std::ostringstream os;
+          os << a.channel << ": measured/modeled drifted to " << a.ratio
+             << "x (baseline " << a.baseline << ")";
+          flight->record(telemetry::FlightKind::DriftAlarm,
+                         static_cast<long>(a.step), os.str(),
+                         static_cast<double>(a.ratio),
+                         static_cast<double>(a.baseline));
+          auto& events = telemetry::EventLog::global();
+          if (events.enabled())
+            events.emit("drift", tenant, id,
+                        obs::trace_arg("channel", a.channel) + "," +
+                            obs::trace_arg("ratio", a.ratio) + "," +
+                            obs::trace_arg("step", a.step));
+        });
+  }
   sw::apply_initial_conditions(*tc, *ctx.mesh, sut.model().fields());
   sut.initialize();
 
@@ -179,6 +203,8 @@ void run_session(const SessionRunContext& ctx, SessionResult& result) {
       result.reason_code = ReasonCode::DeadlineExceeded;
       result.modeled_seconds = spent;
       result.replans = sut.replans();
+      result.worst_drift_ratio = sut.drift().worst_ratio();
+      result.drift_alarms = sut.drift().alarms();
       if (flight != nullptr)
         flight->record(telemetry::FlightKind::DeadlineCheck, s,
                        result.reason, spent + sut.modeled_step_seconds(),
@@ -252,6 +278,8 @@ void run_session(const SessionRunContext& ctx, SessionResult& result) {
   result.reason_code = ReasonCode::Completed;
   result.modeled_seconds = spent;
   result.replans = sut.replans();
+  result.worst_drift_ratio = sut.drift().worst_ratio();
+  result.drift_alarms = sut.drift().alarms();
   result.state_hash = state_hash(sut.model().fields());
 }
 

@@ -386,6 +386,14 @@ void SessionManager::finish_locked(Record& rec, SessionState state,
                       state != SessionState::TimedOut, rec.result.id);
     record_slo_locked(rec.result.tenant, telemetry::SloDimension::ErrorRate,
                       state != SessionState::Failed, rec.result.id);
+    // Per-tenant model-fidelity gauge: the worst measured-vs-modeled drift
+    // any of this tenant's sessions has reported (monotone max, so a
+    // single drifting session stays visible after later clean ones).
+    auto& worst = worst_drift_by_tenant_[rec.result.tenant];
+    worst = std::max(worst, rec.result.worst_drift_ratio);
+    obs::MetricsRegistry::global()
+        .gauge("service.tenant." + rec.result.tenant + ".worst_drift_ratio")
+        .set(static_cast<double>(worst));
   }
 
   MPAS_TRACE_INSTANT_ARGS(

@@ -425,9 +425,41 @@ void SwModel::set_schedules(core::Schedule setup, core::Schedule early,
   sched_final_ = std::move(final);
 }
 
+SwModel::NodeProfiles& SwModel::node_profiles(
+    const core::DataflowGraph& graph) {
+  NodeProfiles& np = &graph == &graphs_.setup   ? profiles_setup_
+                     : &graph == &graphs_.early ? profiles_early_
+                                                : profiles_final_;
+  if (!np.built) {
+    obs::profiling::PerfProfiler& profiler =
+        obs::profiling::PerfProfiler::global();
+    np.host.reserve(static_cast<std::size_t>(graph.num_nodes()));
+    np.accel.reserve(static_cast<std::size_t>(graph.num_nodes()));
+    for (int id = 0; id < graph.num_nodes(); ++id) {
+      const core::PatternNode& node = graph.node(id);
+      np.host.push_back(profiler.handle({node.label,
+                                         core::to_string(node.kernel), "host",
+                                         mesh_.subdivision_level}));
+      np.accel.push_back(profiler.handle({node.label,
+                                          core::to_string(node.kernel),
+                                          "accel", mesh_.subdivision_level}));
+    }
+    np.built = true;
+  }
+  return np;
+}
+
 void SwModel::execute_graph(const core::DataflowGraph& graph,
                             const core::Schedule& schedule,
                             const std::vector<FieldId>& halo_fields) {
+  // Per-node continuous-profiler slots, resolved once per graph on the
+  // first profiled step (np stays null while the profiler is disabled, so
+  // the steady-state cost of this hook is one relaxed load per step).
+  obs::profiling::PerfProfiler& profiler =
+      obs::profiling::PerfProfiler::global();
+  NodeProfiles* np = profiler.enabled() ? &node_profiles(graph) : nullptr;
+  static const obs::profiling::ProfileHandle kInertHandle{};
+
   // Run one node completely. `inner_parallel` chunks the node's iteration
   // range over the pool; it must be off in node-parallel mode (the pool's
   // parallel_for is not reentrant) and for irregular whole-array variants.
@@ -451,18 +483,33 @@ void SwModel::execute_graph(const core::DataflowGraph& graph,
       }
     };
 
+    const std::size_t uid = static_cast<std::size_t>(id);
     switch (asg.side) {
-      case core::DeviceSide::Host:
+      case core::DeviceSide::Host: {
+        obs::profiling::ProfileScope prof(profiler,
+                                          np ? np->host[uid] : kInertHandle);
         run_range(0, n, schedule.host_variant);
         break;
-      case core::DeviceSide::Accel:
+      }
+      case core::DeviceSide::Accel: {
+        obs::profiling::ProfileScope prof(profiler,
+                                          np ? np->accel[uid] : kInertHandle);
         run_range(0, n, schedule.accel_variant);
         break;
+      }
       case core::DeviceSide::Split: {
         const Index nh = static_cast<Index>(
             std::llround(static_cast<double>(n) * asg.host_fraction));
-        run_range(0, nh, schedule.host_variant);
-        run_range(nh, n, schedule.accel_variant);
+        {
+          obs::profiling::ProfileScope prof(
+              profiler, np ? np->host[uid] : kInertHandle);
+          run_range(0, nh, schedule.host_variant);
+        }
+        {
+          obs::profiling::ProfileScope prof(
+              profiler, np ? np->accel[uid] : kInertHandle);
+          run_range(nh, n, schedule.accel_variant);
+        }
         break;
       }
     }

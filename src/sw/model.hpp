@@ -24,6 +24,7 @@
 #include "core/dataflow.hpp"
 #include "core/schedule.hpp"
 #include "exec/thread_pool.hpp"
+#include "obs/profiling/perf_profiler.hpp"
 #include "sw/kernels.hpp"
 
 namespace mpas::sw {
@@ -92,12 +93,24 @@ class SwModel {
                      const core::Schedule& schedule,
                      const std::vector<FieldId>& halo_fields);
 
+  /// Continuous-profiler slots per graph node and device side, resolved
+  /// lazily on the first profiled step (never on the hot path): handles[id]
+  /// is the {host, accel} pair for node id. Keys carry the node label as
+  /// the pattern and the mesh's subdivision level.
+  struct NodeProfiles {
+    bool built = false;
+    std::vector<obs::profiling::ProfileHandle> host;
+    std::vector<obs::profiling::ProfileHandle> accel;
+  };
+  NodeProfiles& node_profiles(const core::DataflowGraph& graph);
+
   const mesh::VoronoiMesh& mesh_;
   SwParams params_;
   FieldStore fields_;
   std::unique_ptr<SwContext> ctx_;  // stable address for the node bodies
   SwGraphs graphs_;
   core::Schedule sched_setup_, sched_early_, sched_final_;
+  NodeProfiles profiles_setup_, profiles_early_, profiles_final_;
   exec::ThreadPool* pool_ = nullptr;
   bool node_parallel_ = false;
   HaloExchangeFn halo_exchange_;

@@ -1,5 +1,6 @@
 #include "sw/profiler.hpp"
 
+#include "machine/machine_model.hpp"
 #include "obs/trace.hpp"
 #include "sw/model.hpp"
 
@@ -7,10 +8,39 @@ namespace mpas::sw {
 
 StepProfiler::StepProfiler(const mesh::VoronoiMesh& mesh, SwParams params,
                            LoopVariant variant)
-    : mesh_(mesh), params_(params), variant_(variant), fields_(mesh) {}
+    : mesh_(mesh), params_(params), variant_(variant), fields_(mesh) {
+  // Wire the machine model's per-section predictions into the continuous
+  // profiler so the exported profile carries measured *and* modeled cost
+  // per kernel (compared share-normalized: the model prices Table-II
+  // hardware, the measurement this machine). Per-call = the group's
+  // modeled seconds per step over how often run() enters the section.
+  auto& profiler = obs::profiling::PerfProfiler::global();
+  if (!profiler.enabled()) return;
+  const std::map<std::string, Real> seconds = predicted_kernel_seconds(
+      machine::xeon_e5_2680v2(), machine::OptLevel::Full, mesh_.num_cells);
+  const std::map<std::string, Real> calls_per_step = {
+      {"step_setup", 1},          {"compute_tend", 4},
+      {"enforce_boundary_edge", 4}, {"compute_next_substep_state", 3},
+      {"compute_solve_diagnostics", 4}, {"accumulative_update", 4},
+      {"mpas_reconstruct", 1}};
+  for (const auto& [kernel, s] : seconds) {
+    const auto it = calls_per_step.find(kernel);
+    if (it == calls_per_step.end() || it->second <= 0) continue;
+    profiler.set_prediction(
+        {kernel, kernel, "serial", mesh_.subdivision_level}, s / it->second);
+  }
+}
+
+obs::profiling::ProfileHandle StepProfiler::profile_handle(
+    const std::string& section) const {
+  return obs::profiling::PerfProfiler::global().handle(
+      {section, section, "serial", mesh_.subdivision_level});
+}
 
 void StepProfiler::compute_solve_diagnostics(FieldId h_in, FieldId u_in) {
   ScopedTimer t(stats_, h_diagnostics_);
+  obs::profiling::ProfileScope p(obs::profiling::PerfProfiler::global(),
+                                 p_diagnostics_);
   MPAS_TRACE_SCOPE("kernel:compute_solve_diagnostics");
   SwContext ctx{mesh_, fields_, params_, 0, 0};
   diag_h_edge(ctx, h_in, 0, mesh_.num_edges);
@@ -35,6 +65,8 @@ void StepProfiler::run(int steps) {
     MPAS_TRACE_SCOPE("profiler:rk4_step");
     {
       ScopedTimer t(stats_, h_setup_);
+        obs::profiling::ProfileScope p(
+            obs::profiling::PerfProfiler::global(), p_setup_);
       MPAS_TRACE_SCOPE("kernel:step_setup");
       seed_provis_h(ctx, 0, mesh_.num_cells);
       seed_provis_u(ctx, 0, mesh_.num_edges);
@@ -44,6 +76,8 @@ void StepProfiler::run(int steps) {
     for (int stage = 0; stage < 4; ++stage) {
       {
         ScopedTimer t(stats_, h_tend_);
+        obs::profiling::ProfileScope p(
+            obs::profiling::PerfProfiler::global(), p_tend_);
         MPAS_TRACE_SCOPE("kernel:compute_tend");
         tend_thickness(ctx, FieldId::UProvis, 0, mesh_.num_cells, variant_);
         tend_momentum(ctx, FieldId::HProvis, FieldId::UProvis, 0,
@@ -51,6 +85,8 @@ void StepProfiler::run(int steps) {
       }
       {
         ScopedTimer t(stats_, h_boundary_);
+        obs::profiling::ProfileScope p(
+            obs::profiling::PerfProfiler::global(), p_boundary_);
         MPAS_TRACE_SCOPE("kernel:enforce_boundary_edge");
         enforce_boundary_edge(ctx, 0, mesh_.num_edges);
       }
@@ -59,6 +95,8 @@ void StepProfiler::run(int steps) {
         ctx.rk_substep_coeff = kA[stage] * dt;
         {
           ScopedTimer t(stats_, h_substep_);
+        obs::profiling::ProfileScope p(
+            obs::profiling::PerfProfiler::global(), p_substep_);
           MPAS_TRACE_SCOPE("kernel:compute_next_substep_state");
           next_substep_h(ctx, 0, mesh_.num_cells);
           next_substep_u(ctx, 0, mesh_.num_edges);
@@ -66,6 +104,8 @@ void StepProfiler::run(int steps) {
         compute_solve_diagnostics(FieldId::HProvis, FieldId::UProvis);
         {
           ScopedTimer t(stats_, h_accum_);
+        obs::profiling::ProfileScope p(
+            obs::profiling::PerfProfiler::global(), p_accum_);
           MPAS_TRACE_SCOPE("kernel:accumulative_update");
           accumulate_h(ctx, 0, mesh_.num_cells);
           accumulate_u(ctx, 0, mesh_.num_edges);
@@ -73,6 +113,8 @@ void StepProfiler::run(int steps) {
       } else {
         {
           ScopedTimer t(stats_, h_accum_);
+        obs::profiling::ProfileScope p(
+            obs::profiling::PerfProfiler::global(), p_accum_);
           MPAS_TRACE_SCOPE("kernel:accumulative_update");
           accumulate_h(ctx, 0, mesh_.num_cells);
           accumulate_u(ctx, 0, mesh_.num_edges);
@@ -82,6 +124,8 @@ void StepProfiler::run(int steps) {
         compute_solve_diagnostics(FieldId::H, FieldId::U);
         {
           ScopedTimer t(stats_, h_reconstruct_);
+        obs::profiling::ProfileScope p(
+            obs::profiling::PerfProfiler::global(), p_reconstruct_);
           MPAS_TRACE_SCOPE("kernel:mpas_reconstruct");
           reconstruct_vector(ctx, FieldId::U, 0, mesh_.num_cells, variant_);
           reconstruct_horizontal(ctx, 0, mesh_.num_cells);
@@ -100,7 +144,7 @@ std::vector<StepProfiler::Share> StepProfiler::shares() const {
   return out;
 }
 
-std::map<std::string, Real> predicted_kernel_shares(
+std::map<std::string, Real> predicted_kernel_seconds(
     const machine::DeviceSpec& device, machine::OptLevel opt,
     std::int64_t cells) {
   const SwGraphs graphs = build_sw_graphs(nullptr, false);
@@ -120,7 +164,14 @@ std::map<std::string, Real> predicted_kernel_shares(
   add_graph(graphs.setup, 1);
   add_graph(graphs.early, 3);
   add_graph(graphs.final, 1);
+  return seconds;
+}
 
+std::map<std::string, Real> predicted_kernel_shares(
+    const machine::DeviceSpec& device, machine::OptLevel opt,
+    std::int64_t cells) {
+  const std::map<std::string, Real> seconds =
+      predicted_kernel_seconds(device, opt, cells);
   Real total = 0;
   for (const auto& [k, v] : seconds) total += v;
   std::map<std::string, Real> shares;

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/profiling/perf_profiler.hpp"
 #include "sw/reference.hpp"
 #include "util/timer.hpp"
 
@@ -47,6 +48,12 @@ class StepProfiler {
   FieldStore fields_;
   TimingStats stats_;
 
+  /// Continuous-profiler slot for `section`, pre-resolved beside the
+  /// TimingStats handle (same no-lookup-on-the-hot-path discipline); with
+  /// the global profiler disabled each scope costs one relaxed load.
+  [[nodiscard]] obs::profiling::ProfileHandle profile_handle(
+      const std::string& section) const;
+
   // Sections resolved once in the constructor so the per-section cost in
   // run() is two clock reads and an atomic-free locked add — no string
   // hashing or map lookup inside the step loop.
@@ -57,7 +64,29 @@ class StepProfiler {
   TimingStats::SectionHandle h_substep_ = stats_.handle("compute_next_substep_state");
   TimingStats::SectionHandle h_accum_ = stats_.handle("accumulative_update");
   TimingStats::SectionHandle h_reconstruct_ = stats_.handle("mpas_reconstruct");
+
+  // Matching continuous-profiler slots (device "serial": the reference
+  // integrator runs everything on one host thread).
+  obs::profiling::ProfileHandle p_diagnostics_ =
+      profile_handle("compute_solve_diagnostics");
+  obs::profiling::ProfileHandle p_setup_ = profile_handle("step_setup");
+  obs::profiling::ProfileHandle p_tend_ = profile_handle("compute_tend");
+  obs::profiling::ProfileHandle p_boundary_ =
+      profile_handle("enforce_boundary_edge");
+  obs::profiling::ProfileHandle p_substep_ =
+      profile_handle("compute_next_substep_state");
+  obs::profiling::ProfileHandle p_accum_ =
+      profile_handle("accumulative_update");
+  obs::profiling::ProfileHandle p_reconstruct_ =
+      profile_handle("mpas_reconstruct");
 };
+
+/// Model-side prediction in absolute seconds per step: per-kernel-group
+/// modeled time of one full RK-4 step (setup + 3 x early + final) on the
+/// given device. predicted_kernel_shares() is this, normalized.
+std::map<std::string, Real> predicted_kernel_seconds(
+    const machine::DeviceSpec& device, machine::OptLevel opt,
+    std::int64_t cells);
 
 /// Model-side prediction: per-kernel share of one step on the given device
 /// at the given optimization level, from the pattern cost signatures.

@@ -46,6 +46,14 @@ inline constexpr int kThreadPool = 50;        // exec.thread_pool
 inline constexpr int kThreadPoolError = 52;   // exec.thread_pool.error
 inline constexpr int kMeshCache = 56;         // mesh.cache
 
+// ---- observability aggregators ----
+// Locked *before* the 60+ sinks: both publish metrics / trace events while
+// their own mutex is held, and the drift monitor is additionally queried
+// by health-layer callers (rank 30) only via its lock-free or post-unlock
+// paths (alarm listeners run after the monitor released its mutex).
+inline constexpr int kDriftMonitor = 58;      // obs.profile.drift
+inline constexpr int kPerfProfiler = 59;      // obs.profiler
+
 // ---- observability sinks (innermost but for logging) ----
 inline constexpr int kSlo = 60;               // obs.slo
 inline constexpr int kFlightRecorder = 62;    // obs.flight_recorder

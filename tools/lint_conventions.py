@@ -29,6 +29,8 @@ RAW_NEW_ALLOWLIST = {
     "src/util/aligned_vector.hpp": "aligned allocator wraps ::operator new",
     "src/obs/metrics.cpp": "intentionally leaky process-lifetime singleton",
     "src/obs/trace.cpp": "intentionally leaky process-lifetime singleton",
+    "src/obs/profiling/perf_profiler.cpp":
+        "intentionally leaky process-lifetime singleton",
     "src/analysis/lock_order.cpp":
         "intentionally leaky process-lifetime singleton",
 }

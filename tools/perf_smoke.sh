@@ -25,6 +25,7 @@ export MPAS_BENCH_OUT="$OUT"
 "$BUILD/bench/ablation_transfer_policy" steps=10 > /dev/null
 "$BUILD/bench/pattern_costs" cells=2562 > /dev/null
 "$BUILD/bench/telemetry_overhead" > /dev/null
+"$BUILD/bench/profiler_overhead" > /dev/null
 "$BUILD/bench/lock_contention" > /dev/null
 
 ls "$OUT"/BENCH_*.json
