@@ -7,6 +7,7 @@
 //
 //   obs_query <events.jsonl> [mode=summary|events|slo] [filters...]
 //   obs_query <profile.json> mode=profile [max_drift=<ratio>]
+//   obs_query <journal.jsonl> mode=recovery [require_recovered=<n>]
 //
 // Filters (combine freely):
 //   tenant=<name>   kind=<event kind>   session=<id>
@@ -24,6 +25,14 @@
 // slot, and with max_drift= exits 1 when the worst share-normalized
 // divergence (max(ratio, 1/ratio), machine-scale-free) exceeds it.
 //
+// Recovery mode folds a durability journal (MPAS_CHECKPOINT_DIR/
+// journal.jsonl) with the same replay the service boots from — torn
+// final lines from a SIGKILL are tolerated, not fatal — and audits the
+// crash-recovery story: exit 1 when any recovered session's terminal
+// state diverged from the uninterrupted reference, when anything is
+// still incomplete, or when require_recovered= sessions did not recover
+// to a terminal state.
+//
 // Presence assertions (any mode):
 //   require_kind=<kind> [require_min=<n>]
 //     exit 1 when fewer than n matching events of that kind exist.
@@ -40,6 +49,7 @@
 #include "obs/json.hpp"
 #include "obs/profiling/profile_store.hpp"
 #include "obs/profiling/profile_trace.hpp"
+#include "service/journal.hpp"
 #include "util/config.hpp"
 #include "util/table.hpp"
 
@@ -95,10 +105,10 @@ int main(int argc, char** argv) {
   }
   if (path.empty()) {
     std::cerr << "usage: obs_query <events.jsonl> "
-              << "[mode=summary|events|slo|profile]"
+              << "[mode=summary|events|slo|profile|recovery]"
               << " [tenant=] [kind=] [session=] [since=] [until=]"
               << " [slo_target=] [require_kind=] [require_min=] [limit=]"
-              << " [max_drift=]\n";
+              << " [max_drift=] [require_recovered=]\n";
     return 2;
   }
 
@@ -173,6 +183,77 @@ int main(int argc, char** argv) {
                 << " for every profiled slot\n";
     }
     return 0;
+  }
+
+  if (mode == "recovery") {
+    namespace service = mpas::service;
+    if (!std::ifstream(path).good()) {
+      std::cerr << "obs_query: cannot open '" << path << "'\n";
+      return 2;
+    }
+    // The same fold the service boots from: torn lines are skipped and
+    // counted (a SIGKILL tears at most the final line), never fatal.
+    const service::JournalReplay replay = service::replay_journal(path);
+    std::cout << "epochs: " << replay.epochs << "\n";
+    if (replay.malformed_lines > 0)
+      std::cout << "torn_lines_skipped: " << replay.malformed_lines << "\n";
+
+    mpas::Table table({"epoch", "session", "tenant", "recovered_from",
+                       "last_step", "state", "diverged"});
+    std::uint64_t recovered_terminal = 0;
+    std::uint64_t diverged = 0;
+    std::uint64_t incomplete = 0;
+    for (const auto& [key, s] : replay.sessions) {
+      const bool is_recovery = s.recovered_from != 0;
+      const bool done = s.terminal || s.readmitted;
+      if (!done) incomplete += 1;
+      if (is_recovery && s.terminal) {
+        recovered_terminal += 1;
+        if (s.terminal_diverged) diverged += 1;
+      }
+      table.add_row(
+          {std::to_string(s.epoch), std::to_string(s.id), s.tenant,
+           is_recovery ? service::hash_hex(s.recovered_from) +
+                             "@e" + std::to_string(s.recovered_from_epoch)
+                       : "-",
+           std::to_string(s.progress_step),
+           s.terminal     ? s.terminal_state
+           : s.readmitted ? std::string("readmitted")
+                          : std::string("INCOMPLETE"),
+           s.terminal ? (s.terminal_diverged ? "YES" : "no") : "-"});
+    }
+    std::cout << table.to_ascii();
+    std::cout << "recovered_terminal: " << recovered_terminal << "\n";
+    std::cout << "diverged: " << diverged << "\n";
+    std::cout << "incomplete: " << incomplete << "\n";
+
+    int rc = 0;
+    if (diverged > 0) {
+      std::cerr << "DIVERGED: " << diverged
+                << " recovered session(s) ended bitwise-different from the"
+                << " uninterrupted reference\n";
+      rc = 1;
+    }
+    if (incomplete > 0) {
+      std::cerr << "INCOMPLETE: " << incomplete
+                << " session(s) neither terminal nor readmitted\n";
+      rc = 1;
+    }
+    if (cfg.has("require_recovered")) {
+      const long want = cfg.get_int("require_recovered", 1);
+      if (static_cast<long>(recovered_terminal) < want) {
+        std::cerr << "MISSING RECOVERIES: " << recovered_terminal
+                  << " recovered session(s) reached terminal, need >= "
+                  << want << "\n";
+        rc = 1;
+      } else {
+        std::cout << recovered_terminal
+                  << " recovered session(s) reached terminal (>= " << want
+                  << ")\n";
+      }
+    }
+    if (rc == 0) std::cout << "recovery audit clean\n";
+    return rc;
   }
 
   std::ifstream in(path);

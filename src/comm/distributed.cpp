@@ -402,6 +402,7 @@ void DistributedSw::take_checkpoint() {
     for (int f = 0; f < sw::kNumFields; ++f)
       rs.checkpoint.save(r, f, store.get(static_cast<FieldId>(f)));
   }
+  rs.checkpoint.commit();
 }
 
 void DistributedSw::rollback() {

@@ -85,6 +85,37 @@ T read_pod(std::istream& is) {
   return value;
 }
 
+/// Payload reader with a byte budget: every element count read from the
+/// file is bounds-checked against the bytes actually remaining *before*
+/// any resize, so a truncated or bit-rotted length word fails closed
+/// instead of demanding a multi-gigabyte allocation.
+struct ReadCtx {
+  std::istream& is;
+  std::uint64_t budget;  // payload bytes left in the file
+
+  void take(std::uint64_t bytes) {
+    MPAS_CHECK_MSG(bytes <= budget,
+                   "mesh file truncated: payload wants " << bytes
+                       << " bytes but only " << budget << " remain");
+    budget -= bytes;
+  }
+
+  /// take(count * elem_size) without the multiplication overflowing.
+  void take_elems(std::uint64_t count, std::uint64_t elem_size) {
+    MPAS_CHECK_MSG(count <= budget / elem_size,
+                   "mesh file truncated: payload wants " << count
+                       << " elements of " << elem_size << " bytes but only "
+                       << budget << " bytes remain");
+    budget -= count * elem_size;
+  }
+};
+
+template <class T>
+T read_pod(ReadCtx& ctx) {
+  ctx.take(sizeof(T));
+  return read_pod<T>(ctx.is);
+}
+
 template <class Vec>
 void write_vector(std::ostream& os, const Vec& v) {
   const std::uint64_t n = v.size();
@@ -95,13 +126,15 @@ void write_vector(std::ostream& os, const Vec& v) {
 }
 
 template <class Vec>
-void read_vector(std::istream& is, Vec& v) {
-  const auto n = read_pod<std::uint64_t>(is);
+void read_vector(ReadCtx& ctx, Vec& v) {
+  const auto n = read_pod<std::uint64_t>(ctx);
+  ctx.take_elems(n, sizeof(typename Vec::value_type));  // before the resize
   v.resize(n);
   if (n) {
-    is.read(reinterpret_cast<char*>(v.data()),
-            static_cast<std::streamsize>(n * sizeof(typename Vec::value_type)));
-    MPAS_CHECK_MSG(is.good(), "unexpected end of mesh file");
+    ctx.is.read(
+        reinterpret_cast<char*>(v.data()),
+        static_cast<std::streamsize>(n * sizeof(typename Vec::value_type)));
+    MPAS_CHECK_MSG(ctx.is.good(), "unexpected end of mesh file");
   }
 }
 
@@ -115,14 +148,23 @@ void write_array2d(std::ostream& os, const Array2D<T>& a) {
 }
 
 template <class T>
-void read_array2d(std::istream& is, Array2D<T>& a) {
-  const auto rows = read_pod<std::int64_t>(is);
-  const auto cols = read_pod<std::int64_t>(is);
+void read_array2d(ReadCtx& ctx, Array2D<T>& a) {
+  const auto rows = read_pod<std::int64_t>(ctx);
+  const auto cols = read_pod<std::int64_t>(ctx);
+  MPAS_CHECK_MSG(rows >= 0 && cols >= 0,
+                 "mesh file corrupt: negative array dimensions");
+  const auto rows_u = static_cast<std::uint64_t>(rows);
+  const auto cols_u = static_cast<std::uint64_t>(cols);
+  // rows*cols*sizeof(T) <= budget, checked without the product overflowing.
+  MPAS_CHECK_MSG(rows_u == 0 || cols_u <= ctx.budget / sizeof(T) / rows_u,
+                 "mesh file truncated: payload wants a " << rows << "x" << cols
+                     << " array but only " << ctx.budget << " bytes remain");
+  ctx.budget -= rows_u * cols_u * sizeof(T);
   a.resize(static_cast<Index>(rows), static_cast<Index>(cols));
   if (a.size()) {
-    is.read(reinterpret_cast<char*>(a.data()),
-            static_cast<std::streamsize>(a.size() * sizeof(T)));
-    MPAS_CHECK_MSG(is.good(), "unexpected end of mesh file");
+    ctx.is.read(reinterpret_cast<char*>(a.data()),
+                static_cast<std::streamsize>(a.size() * sizeof(T)));
+    MPAS_CHECK_MSG(ctx.is.good(), "unexpected end of mesh file");
   }
 }
 
@@ -172,50 +214,50 @@ void write_payload(std::ostream& os, const VoronoiMesh& m) {
   write_vector(os, m.global_vertex_id);
 }
 
-void read_payload(std::istream& is, VoronoiMesh& m) {
-  m.num_cells = read_pod<Index>(is);
-  m.num_edges = read_pod<Index>(is);
-  m.num_vertices = read_pod<Index>(is);
-  m.sphere_radius = read_pod<Real>(is);
-  m.subdivision_level = read_pod<std::int32_t>(is);
+void read_payload(ReadCtx& ctx, VoronoiMesh& m) {
+  m.num_cells = read_pod<Index>(ctx);
+  m.num_edges = read_pod<Index>(ctx);
+  m.num_vertices = read_pod<Index>(ctx);
+  m.sphere_radius = read_pod<Real>(ctx);
+  m.subdivision_level = read_pod<std::int32_t>(ctx);
 
-  read_vector(is, m.x_cell);
-  read_vector(is, m.x_edge);
-  read_vector(is, m.x_vertex);
-  read_vector(is, m.n_edges_on_cell);
-  read_array2d(is, m.edges_on_cell);
-  read_array2d(is, m.cells_on_cell);
-  read_array2d(is, m.vertices_on_cell);
-  read_array2d(is, m.edge_sign_on_cell);
-  read_array2d(is, m.cells_on_edge);
-  read_array2d(is, m.vertices_on_edge);
-  read_vector(is, m.n_edges_on_edge);
-  read_array2d(is, m.edges_on_edge);
-  read_array2d(is, m.weights_on_edge);
-  read_array2d(is, m.cells_on_vertex);
-  read_array2d(is, m.edges_on_vertex);
-  read_array2d(is, m.edge_sign_on_vertex);
-  read_array2d(is, m.kite_areas_on_vertex);
-  read_array2d(is, m.kite_areas_on_cell);
-  read_vector(is, m.dc_edge);
-  read_vector(is, m.dv_edge);
-  read_vector(is, m.area_cell);
-  read_vector(is, m.area_triangle);
-  read_vector(is, m.f_cell);
-  read_vector(is, m.f_edge);
-  read_vector(is, m.f_vertex);
-  read_vector(is, m.lat_cell);
-  read_vector(is, m.lon_cell);
-  read_vector(is, m.lat_edge);
-  read_vector(is, m.lon_edge);
-  read_vector(is, m.lat_vertex);
-  read_vector(is, m.lon_vertex);
-  read_vector(is, m.boundary_edge);
-  read_vector(is, m.edge_normal);
-  read_vector(is, m.edge_tangent);
-  read_vector(is, m.global_cell_id);
-  read_vector(is, m.global_edge_id);
-  read_vector(is, m.global_vertex_id);
+  read_vector(ctx, m.x_cell);
+  read_vector(ctx, m.x_edge);
+  read_vector(ctx, m.x_vertex);
+  read_vector(ctx, m.n_edges_on_cell);
+  read_array2d(ctx, m.edges_on_cell);
+  read_array2d(ctx, m.cells_on_cell);
+  read_array2d(ctx, m.vertices_on_cell);
+  read_array2d(ctx, m.edge_sign_on_cell);
+  read_array2d(ctx, m.cells_on_edge);
+  read_array2d(ctx, m.vertices_on_edge);
+  read_vector(ctx, m.n_edges_on_edge);
+  read_array2d(ctx, m.edges_on_edge);
+  read_array2d(ctx, m.weights_on_edge);
+  read_array2d(ctx, m.cells_on_vertex);
+  read_array2d(ctx, m.edges_on_vertex);
+  read_array2d(ctx, m.edge_sign_on_vertex);
+  read_array2d(ctx, m.kite_areas_on_vertex);
+  read_array2d(ctx, m.kite_areas_on_cell);
+  read_vector(ctx, m.dc_edge);
+  read_vector(ctx, m.dv_edge);
+  read_vector(ctx, m.area_cell);
+  read_vector(ctx, m.area_triangle);
+  read_vector(ctx, m.f_cell);
+  read_vector(ctx, m.f_edge);
+  read_vector(ctx, m.f_vertex);
+  read_vector(ctx, m.lat_cell);
+  read_vector(ctx, m.lon_cell);
+  read_vector(ctx, m.lat_edge);
+  read_vector(ctx, m.lon_edge);
+  read_vector(ctx, m.lat_vertex);
+  read_vector(ctx, m.lon_vertex);
+  read_vector(ctx, m.boundary_edge);
+  read_vector(ctx, m.edge_normal);
+  read_vector(ctx, m.edge_tangent);
+  read_vector(ctx, m.global_cell_id);
+  read_vector(ctx, m.global_edge_id);
+  read_vector(ctx, m.global_vertex_id);
 }
 
 }  // namespace
@@ -243,8 +285,16 @@ void save_mesh(const VoronoiMesh& m, const std::string& path) {
 }
 
 VoronoiMesh load_mesh(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
+  std::ifstream is(path, std::ios::binary | std::ios::ate);
   MPAS_CHECK_MSG(is.good(), "cannot open mesh file '" << path << "'");
+  // The file's actual size bounds every element count the payload claims:
+  // a truncated cache can never coerce the reader into a huge allocation.
+  const std::streamoff file_size = is.tellg();
+  constexpr std::streamoff kHeaderBytes =
+      sizeof(kMagic) + sizeof(kVersion) + sizeof(std::uint64_t);
+  MPAS_CHECK_MSG(file_size >= kHeaderBytes,
+                 "mesh file '" << path << "' is too short to hold a header");
+  is.seekg(0);
   char magic[sizeof(kMagic)];
   is.read(magic, sizeof(magic));
   MPAS_CHECK_MSG(is.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
@@ -257,7 +307,8 @@ VoronoiMesh load_mesh(const std::string& path) {
   VoronoiMesh m;
   HashingInBuf hashing(is.rdbuf());
   std::istream payload(&hashing);
-  read_payload(payload, m);
+  ReadCtx ctx{payload, static_cast<std::uint64_t>(file_size - kHeaderBytes)};
+  read_payload(ctx, m);
   // Every payload byte must be consumed (trailing garbage is corruption
   // too) and must hash to what the writer recorded.
   MPAS_CHECK_MSG(payload.peek() == std::istream::traits_type::eof(),

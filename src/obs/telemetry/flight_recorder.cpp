@@ -42,6 +42,8 @@ const char* to_string(FlightKind kind) {
       return "deadline_check";
     case FlightKind::Cancel:
       return "cancel";
+    case FlightKind::Recovery:
+      return "recovery";
     case FlightKind::Terminal:
       return "terminal";
   }

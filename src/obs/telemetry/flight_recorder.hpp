@@ -37,6 +37,7 @@ enum class FlightKind : int {
   DriftAlarm,           // measured diverged from the machine model
   DeadlineCheck,        // modeled budget exceeded at a step boundary
   Cancel,               // cooperative cancellation honored
+  Recovery,             // crash recovery: durable restore / divergence audit
   Terminal,             // final state + reason
 };
 

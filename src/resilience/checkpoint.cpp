@@ -8,18 +8,33 @@ namespace mpas::resilience {
 
 void Checkpoint::begin(std::int64_t step) {
   MPAS_CHECK_MSG(step >= 0, "checkpoint step must be >= 0, got " << step);
-  slots_.clear();
-  step_ = step;
-  valid_ = true;
+  staging_slots_.clear();
+  staging_step_ = step;
+  staging_ = true;
 }
 
 void Checkpoint::save(int rank, int slot, std::span<const Real> data) {
-  MPAS_CHECK_MSG(valid_, "checkpoint save before begin()");
-  slots_[{rank, slot}].assign(data.begin(), data.end());
+  MPAS_CHECK_MSG(staging_, "checkpoint save before begin()");
+  staging_slots_[{rank, slot}].assign(data.begin(), data.end());
+}
+
+void Checkpoint::commit() {
+  MPAS_CHECK_MSG(staging_, "checkpoint commit before begin()");
+  slots_.swap(staging_slots_);
+  staging_slots_.clear();
+  step_ = staging_step_;
+  staging_ = false;
+  valid_ = true;
+}
+
+void Checkpoint::abandon() {
+  staging_slots_.clear();
+  staging_step_ = -1;
+  staging_ = false;
 }
 
 void Checkpoint::restore(int rank, int slot, std::span<Real> out) const {
-  MPAS_CHECK_MSG(valid_, "checkpoint restore before begin()");
+  MPAS_CHECK_MSG(valid_, "checkpoint restore before commit()");
   const auto it = slots_.find({rank, slot});
   MPAS_CHECK_MSG(it != slots_.end(),
                  "no checkpoint data for rank " << rank << " slot " << slot);
@@ -31,7 +46,7 @@ void Checkpoint::restore(int rank, int slot, std::span<Real> out) const {
 }
 
 std::int64_t Checkpoint::step() const {
-  MPAS_CHECK_MSG(valid_, "checkpoint step() before begin()");
+  MPAS_CHECK_MSG(valid_, "checkpoint step() before commit()");
   return step_;
 }
 

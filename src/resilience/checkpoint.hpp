@@ -6,6 +6,13 @@
 // and replays the lost steps — deterministic kernels plus the resilient
 // channel make the replay land on exactly the fault-free trajectory.
 //
+// The store is double-buffered: begin()/save() fill a *staging* snapshot
+// while the previously committed one stays restorable, and only an
+// explicit commit() swaps staging in. A fault that strikes mid-save (or a
+// caller that never finishes the snapshot) therefore still has the last
+// complete snapshot to roll back to — there is no window in which the old
+// state has been discarded but the new one is not yet whole.
+//
 // The store is deliberately dumb: (rank, slot) -> flat Real vector, where a
 // slot is whatever the caller indexes by (the integrator uses FieldId).
 // That keeps the resilience library free of sw/partition dependencies.
@@ -23,23 +30,39 @@ namespace mpas::resilience {
 
 class Checkpoint {
  public:
-  /// Start a new snapshot at `step`, discarding any previous one.
+  /// Start a new *staging* snapshot at `step`. The previously committed
+  /// snapshot (if any) remains the rollback target until commit().
   void begin(std::int64_t step);
 
-  /// Record one (rank, slot) array into the current snapshot.
+  /// Record one (rank, slot) array into the staging snapshot.
   void save(int rank, int slot, std::span<const Real> data);
 
-  /// Copy a saved array back. Size must match what was saved.
+  /// Atomically publish the staging snapshot: it becomes the committed
+  /// snapshot restore()/step()/bytes() read, and the old one is dropped.
+  void commit();
+
+  /// Drop an in-progress staging snapshot without publishing it.
+  void abandon();
+
+  /// Copy a *committed* array back. Size must match what was saved.
   void restore(int rank, int slot, std::span<Real> out) const;
 
+  /// True once a snapshot has been committed (restorable).
   [[nodiscard]] bool valid() const { return valid_; }
+  /// Step of the committed snapshot.
   [[nodiscard]] std::int64_t step() const;
+  /// Bytes held by the committed snapshot.
   [[nodiscard]] std::size_t bytes() const;
 
  private:
-  bool valid_ = false;
-  std::int64_t step_ = -1;
-  std::map<std::pair<int, int>, std::vector<Real>> slots_;
+  using SlotMap = std::map<std::pair<int, int>, std::vector<Real>>;
+
+  bool valid_ = false;     // a committed snapshot exists
+  bool staging_ = false;   // begin() seen, commit() not yet
+  std::int64_t step_ = -1;          // committed step
+  std::int64_t staging_step_ = -1;  // staging step
+  SlotMap slots_;          // committed
+  SlotMap staging_slots_;  // being filled between begin() and commit()
 };
 
 }  // namespace mpas::resilience

@@ -1,0 +1,294 @@
+#include "resilience/durable/store.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace mpas::resilience::durable {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kSuffix = ".mpasckpt";
+
+std::string generation_name(std::uint64_t gen) {
+  std::ostringstream os;
+  os << "ckpt_" << std::setw(8) << std::setfill('0') << gen << kSuffix;
+  return os.str();
+}
+
+std::string tmp_name(std::uint64_t gen) {
+  std::ostringstream os;
+  os << ".ckpt_" << std::setw(8) << std::setfill('0') << gen << ".tmp";
+  return os.str();
+}
+
+/// Parse "ckpt_<gen>.mpasckpt" -> gen, or nullopt for anything else.
+std::optional<std::uint64_t> parse_generation(const std::string& name) {
+  if (name.rfind("ckpt_", 0) != 0) return std::nullopt;
+  const std::size_t suffix = name.rfind(kSuffix);
+  if (suffix == std::string::npos || suffix + std::strlen(kSuffix) != name.size())
+    return std::nullopt;
+  const std::string digits = name.substr(5, suffix - 5);
+  if (digits.empty() ||
+      digits.find_first_not_of("0123456789") != std::string::npos)
+    return std::nullopt;
+  return std::stoull(digits);
+}
+
+/// write(2) the whole buffer, retrying on partial writes / EINTR.
+bool write_all(int fd, const std::uint8_t* data, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t wrote = ::write(fd, data + done, n - done);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(wrote);
+  }
+  return true;
+}
+
+}  // namespace
+
+DurableStore::DurableStore(DurableOptions opts) : opts_(std::move(opts)) {
+  MPAS_CHECK_MSG(!opts_.dir.empty(), "DurableStore needs a directory");
+  MPAS_CHECK_MSG(opts_.keep >= 1,
+                 "DurableStore keep must be >= 1, got " << opts_.keep);
+  fs::create_directories(opts_.dir);
+  sweep_orphan_tmps();
+  const auto gens = generations();
+  next_generation_ = gens.empty() ? 1 : gens.back() + 1;
+}
+
+void DurableStore::sweep_orphan_tmps() {
+  // A .tmp is a publish a previous process never completed: dead weight by
+  // definition (its generation either renamed — no tmp left — or never
+  // became visible). Sweep, don't salvage.
+  for (const auto& entry : fs::directory_iterator(opts_.dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(".ckpt_", 0) == 0 && name.size() > 4 &&
+        name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      std::error_code ec;
+      fs::remove(entry.path(), ec);
+      if (!ec)
+        MPAS_LOG_WARN << "durable: swept orphan tmp " << entry.path().string();
+    }
+  }
+}
+
+std::vector<std::uint64_t> DurableStore::generations() const {
+  std::vector<std::uint64_t> gens;
+  for (const auto& entry : fs::directory_iterator(opts_.dir)) {
+    if (const auto gen = parse_generation(entry.path().filename().string()))
+      gens.push_back(*gen);
+  }
+  std::sort(gens.begin(), gens.end());
+  return gens;
+}
+
+std::vector<FaultSpec> DurableStore::storage_faults(StorageOp op) {
+  if (opts_.injector == nullptr) return {};
+  return opts_.injector->on_storage(static_cast<int>(op));
+}
+
+PublishResult DurableStore::publish(const CheckpointImage& image) {
+  WallTimer timer;
+  PublishResult result;
+  result.generation = next_generation_;
+  const std::string tmp_path =
+      (fs::path(opts_.dir) / tmp_name(result.generation)).string();
+  const std::string final_path =
+      (fs::path(opts_.dir) / generation_name(result.generation)).string();
+  const auto chunks = encode_chunks(image);
+
+  // The crash-consistency protocol. Each numbered point below is one
+  // StorageOp fault site; a StorageCrash parked there stops the protocol
+  // exactly as a real crash between those two syscalls would.
+  auto crash_at = [&](StorageOp op, std::vector<FaultSpec>& fired) {
+    fired = storage_faults(op);
+    for (const auto& f : fired)
+      if (f.kind == FaultKind::StorageCrash) return true;
+    return false;
+  };
+  std::vector<FaultSpec> fired;
+
+  // 1. open the hidden temp file
+  if (crash_at(StorageOp::OpenTemp, fired)) {
+    result.crashed = true;
+    return result;
+  }
+  const int fd = ::open(tmp_path.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  if (fd < 0) {
+    MPAS_LOG_ERROR << "durable: open(" << tmp_path
+                   << ") failed: " << std::strerror(errno);
+    return result;
+  }
+
+  // 2. write every chunk (header, then each slot)
+  bool torn = false;
+  for (const auto& chunk : chunks) {
+    if (crash_at(StorageOp::WriteChunk, fired)) {
+      result.crashed = true;
+      break;
+    }
+    std::vector<std::uint8_t> damaged;  // keep alive through write_all
+    const std::uint8_t* data = chunk.data();
+    std::size_t n = chunk.size();
+    for (const auto& f : fired) {
+      if (f.kind == FaultKind::StorageTornWrite) {
+        n = chunk.size() / 2;  // half lands, then the "crash"
+        torn = true;
+      } else if (f.kind == FaultKind::StorageShortWrite) {
+        n = chunk.size() > 8 ? chunk.size() - 8 : 0;  // silent truncation
+      } else if (f.kind == FaultKind::StorageBitRot && !chunk.empty()) {
+        damaged = chunk;
+        damaged[f.word % damaged.size()] ^=
+            static_cast<std::uint8_t>(1u << (f.bit % 8));
+        data = damaged.data();
+      }
+    }
+    if (!write_all(fd, data, n)) {
+      MPAS_LOG_ERROR << "durable: write(" << tmp_path
+                     << ") failed: " << std::strerror(errno);
+      ::close(fd);
+      return result;
+    }
+    result.bytes += n;
+    if (torn) break;
+  }
+  if (result.crashed || torn) {
+    // Crash simulation: the fd leaks in a real crash; close it here so the
+    // test process does not run out, but leave the torn tmp on disk — the
+    // next open's sweep must handle it.
+    ::close(fd);
+    result.crashed = true;
+    return result;
+  }
+
+  // 3. fsync the temp: its bytes are durable before the rename can be
+  if (crash_at(StorageOp::FsyncTemp, fired)) {
+    ::close(fd);
+    result.crashed = true;
+    return result;
+  }
+  if (::fsync(fd) != 0) {
+    MPAS_LOG_ERROR << "durable: fsync(" << tmp_path
+                   << ") failed: " << std::strerror(errno);
+    ::close(fd);
+    return result;
+  }
+
+  // 4. close the temp fd
+  if (crash_at(StorageOp::CloseTemp, fired)) {
+    ::close(fd);
+    result.crashed = true;
+    return result;
+  }
+  ::close(fd);
+
+  // 5. atomic rename: the generation appears complete or not at all
+  if (crash_at(StorageOp::Rename, fired)) {
+    result.crashed = true;
+    return result;
+  }
+  if (std::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    MPAS_LOG_ERROR << "durable: rename(" << tmp_path << " -> " << final_path
+                   << ") failed: " << std::strerror(errno);
+    return result;
+  }
+
+  // 6. fsync the parent directory: the rename itself is durable
+  if (crash_at(StorageOp::FsyncDir, fired)) {
+    // The rename already happened — like a real crash here, the file is
+    // (probably) visible; recovery handles either outcome.
+    result.crashed = true;
+    result.published = true;
+    next_generation_ += 1;
+    return result;
+  }
+  const int dir_fd = ::open(opts_.dir.c_str(), O_RDONLY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+
+  result.published = true;
+  result.seconds = timer.seconds();
+  next_generation_ += 1;
+  prune();
+
+  auto& metrics = obs::MetricsRegistry::global();
+  metrics.counter("resilience.durable.checkpoints").add(1);
+  metrics.counter("resilience.durable.bytes")
+      .add(static_cast<std::uint64_t>(result.bytes));
+  metrics.histogram("resilience.durable.write_latency_us")
+      .record(result.seconds * 1e6);
+  metrics.gauge("resilience.durable.generation")
+      .set(static_cast<double>(result.generation));
+  MPAS_TRACE_INSTANT_ARGS(
+      "durable:publish",
+      obs::trace_arg("generation", result.generation) + "," +
+          obs::trace_arg("step", image.step) + "," +
+          obs::trace_arg("bytes", static_cast<std::uint64_t>(result.bytes)));
+  return result;
+}
+
+void DurableStore::prune() {
+  auto gens = generations();
+  while (gens.size() > static_cast<std::size_t>(opts_.keep)) {
+    std::error_code ec;
+    fs::remove(fs::path(opts_.dir) / generation_name(gens.front()), ec);
+    gens.erase(gens.begin());
+  }
+}
+
+std::optional<LoadResult> DurableStore::load_latest() {
+  auto gens = generations();
+  LoadResult result;
+  for (auto it = gens.rbegin(); it != gens.rend(); ++it) {
+    const std::string path =
+        (fs::path(opts_.dir) / generation_name(*it)).string();
+    try {
+      std::ifstream in(path, std::ios::binary);
+      MPAS_CHECK_MSG(in.good(), "cannot open " << path);
+      std::vector<std::uint8_t> bytes(
+          (std::istreambuf_iterator<char>(in)),
+          std::istreambuf_iterator<char>());
+      result.image = decode_checkpoint(bytes);
+      result.generation = *it;
+      return result;
+    } catch (const std::exception& e) {
+      // Fail closed and fall back: a damaged newest generation costs one
+      // checkpoint interval, never the run.
+      MPAS_LOG_WARN << "durable: generation " << *it << " unreadable ("
+                    << e.what() << "), falling back";
+      obs::MetricsRegistry::global()
+          .counter("resilience.durable.fallbacks")
+          .add(1);
+      MPAS_TRACE_INSTANT_ARGS("durable:fallback",
+                              obs::trace_arg("generation", *it));
+      result.fallbacks += 1;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace mpas::resilience::durable

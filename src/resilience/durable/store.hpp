@@ -1,0 +1,89 @@
+// The on-disk generation ring with crash-consistent publish.
+//
+// A DurableStore owns one directory of checkpoint generations:
+//
+//   ckpt_00000001.mpasckpt, ckpt_00000002.mpasckpt, ...
+//
+// publish() makes a new generation visible atomically via the classic
+// protocol — write to a hidden .tmp, fsync it, close, rename over the
+// final name, fsync the parent directory — so a crash at ANY point leaves
+// either the previous generations intact (tmp is garbage, swept at next
+// open) or the new one complete. The ring keeps the newest `keep`
+// generations; load_latest() walks them newest-first and falls back across
+// damaged ones (decode_checkpoint fails closed), so one rotted or torn file
+// costs one checkpoint interval, never the run.
+//
+// Every durability syscall is a fault-injection site (FaultInjector::
+// on_storage with the StorageOp protocol points), which is how the tests
+// sweep a simulated crash between every pair of syscalls and prove the
+// invariant above.
+//
+// Threading: a store is externally serialized — exactly one thread (the
+// DurableWriter, or a test) uses it at a time. That keeps file I/O out
+// from under any lock by construction.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "resilience/durable/format.hpp"
+#include "resilience/fault.hpp"
+
+namespace mpas::resilience::durable {
+
+struct DurableOptions {
+  std::string dir;          // created if missing
+  int keep = 3;             // generations retained (>= 1)
+  FaultInjector* injector = nullptr;  // optional storage-fault surface
+};
+
+struct PublishResult {
+  bool published = false;   // final name exists (may still be damaged by a
+                            // short write / bit rot — the reader decides)
+  bool crashed = false;     // a simulated StorageCrash/TornWrite stopped
+                            // the protocol mid-way
+  std::uint64_t generation = 0;
+  std::size_t bytes = 0;
+  double seconds = 0;       // wall time of the publish
+};
+
+struct LoadResult {
+  CheckpointImage image;
+  std::uint64_t generation = 0;
+  int fallbacks = 0;        // newer generations skipped as damaged
+};
+
+class DurableStore {
+ public:
+  explicit DurableStore(DurableOptions opts);
+
+  /// Publish `image` as the next generation (see protocol above). Never
+  /// throws on storage faults — a real I/O failure surfaces as
+  /// published=false so the writer can count it and carry on.
+  PublishResult publish(const CheckpointImage& image);
+
+  /// Newest intact generation, falling back across damaged ones. nullopt
+  /// when no generation decodes (empty or fully corrupted directory).
+  std::optional<LoadResult> load_latest();
+
+  /// Generations currently on disk, ascending.
+  [[nodiscard]] std::vector<std::uint64_t> generations() const;
+
+  [[nodiscard]] const std::string& dir() const { return opts_.dir; }
+  [[nodiscard]] int keep() const { return opts_.keep; }
+
+ private:
+  /// One protocol point: returns the faults firing here. Sets `crash` when
+  /// a StorageCrash (or the crash half of a torn write) stops the protocol.
+  std::vector<FaultSpec> storage_faults(StorageOp op);
+
+  void sweep_orphan_tmps();
+  void prune();
+
+  DurableOptions opts_;
+  std::uint64_t next_generation_ = 1;
+};
+
+}  // namespace mpas::resilience::durable

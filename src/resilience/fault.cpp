@@ -42,7 +42,24 @@ const char* to_string(FaultKind kind) {
     case FaultKind::TransferFail: return "transfer-fail";
     case FaultKind::TransferCorrupt: return "transfer-corrupt";
     case FaultKind::StateCorrupt: return "state-corrupt";
+    case FaultKind::StorageTornWrite: return "torn-write";
+    case FaultKind::StorageShortWrite: return "short-write";
+    case FaultKind::StorageBitRot: return "bit-rot";
+    case FaultKind::StorageCrash: return "storage-crash";
     case FaultKind::Count: break;
+  }
+  return "?";
+}
+
+const char* to_string(StorageOp op) {
+  switch (op) {
+    case StorageOp::OpenTemp: return "open-temp";
+    case StorageOp::WriteChunk: return "write-chunk";
+    case StorageOp::FsyncTemp: return "fsync-temp";
+    case StorageOp::CloseTemp: return "close-temp";
+    case StorageOp::Rename: return "rename";
+    case StorageOp::FsyncDir: return "fsync-dir";
+    case StorageOp::Count: break;
   }
   return "?";
 }
@@ -126,6 +143,24 @@ std::vector<FaultSpec> FaultInjector::on_step(int rank, std::int64_t step) {
     if (s.kind != FaultKind::RankStall && s.kind != FaultKind::StateCorrupt)
       continue;
     if (!matches(s.rank, rank) || !matches(s.step, step)) continue;
+    if (fires(arm)) fired.push_back(s);
+  }
+  return fired;
+}
+
+std::vector<FaultSpec> FaultInjector::on_storage(int op) {
+  util::LockGuard lock(mutex_);
+  std::vector<FaultSpec> fired;
+  for (Armed& arm : armed_) {
+    const FaultSpec& s = arm.spec;
+    const bool write_shape = s.kind == FaultKind::StorageTornWrite ||
+                             s.kind == FaultKind::StorageShortWrite ||
+                             s.kind == FaultKind::StorageBitRot;
+    if (!write_shape && s.kind != FaultKind::StorageCrash) continue;
+    // Torn/short/bit-rot damage a chunk write, so only chunk writes are
+    // events for them; a crash can be parked at any protocol point.
+    if (write_shape && op != static_cast<int>(StorageOp::WriteChunk)) continue;
+    if (!matches(s.op, op)) continue;
     if (fires(arm)) fired.push_back(s);
   }
   return fired;

@@ -39,12 +39,33 @@ enum class FaultKind : std::uint8_t {
   TransferFail,     // host<->device transfer aborts and must be retried
   TransferCorrupt,  // transfer completes but fails its integrity check
   StateCorrupt,     // silent data corruption: a bit flips in resident state
+  StorageTornWrite,   // a durable chunk write lands half-done, then crash
+  StorageShortWrite,  // a durable chunk write silently truncates
+  StorageBitRot,      // a published byte flips at rest
+  StorageCrash,       // process dies between two durability syscalls
   Count,
 };
 
 inline constexpr int kNumFaultKinds = static_cast<int>(FaultKind::Count);
 
 const char* to_string(FaultKind kind);
+
+/// The durability syscalls a checkpoint publish performs, in protocol
+/// order. Storage faults filter on these via FaultSpec::op so a
+/// crash-at-point sweep can park a StorageCrash between any two of them.
+enum class StorageOp : int {
+  OpenTemp = 0,   // creat() of the .tmp file
+  WriteChunk,     // one chunk write (header or a slot) — many per publish
+  FsyncTemp,      // fsync() of the .tmp file
+  CloseTemp,      // close() of the .tmp fd
+  Rename,         // rename(.tmp -> final)
+  FsyncDir,       // fsync() of the parent directory
+  Count,
+};
+
+inline constexpr int kNumStorageOps = static_cast<int>(StorageOp::Count);
+
+const char* to_string(StorageOp op);
 
 /// One scheduled fault. Site filters default to wildcards (-1 = any); the
 /// fields that apply depend on `kind` (message faults use from/to/tag,
@@ -59,6 +80,10 @@ struct FaultSpec {
   // Step-site filter (RankStall / StateCorrupt).
   int rank = -1;
   std::int64_t step = -1;
+  // Storage-site filter (Storage*): which durability syscall, as an
+  // int(StorageOp). -1 = any. Torn/short/bit-rot faults implicitly target
+  // chunk writes; `op` narrows a StorageCrash to one protocol point.
+  int op = -1;
 
   // Counted mode: fire on the `at_event`-th matching event (0-based), then
   // keep firing for `repeat` consecutive matching events in total.
@@ -102,6 +127,10 @@ class FaultInjector {
   std::vector<FaultSpec> on_message(int from, int to, int tag);
   std::vector<FaultSpec> on_transfer(int buffer);
   std::vector<FaultSpec> on_step(int rank, std::int64_t step);
+  /// Storage site: one durability syscall (`op` is an int(StorageOp)).
+  /// Write-shape faults (torn/short/bit-rot) only match WriteChunk events;
+  /// StorageCrash matches any op its filter allows.
+  std::vector<FaultSpec> on_storage(int op);
 
   [[nodiscard]] InjectorStats stats() const;
   [[nodiscard]] std::size_t num_armed() const;

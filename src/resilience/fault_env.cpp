@@ -24,6 +24,10 @@ constexpr KindName kKindNames[] = {
     {FaultKind::StateCorrupt, "sdc"},
     {FaultKind::TransferFail, "transfer-fail"},
     {FaultKind::TransferCorrupt, "transfer-corrupt"},
+    {FaultKind::StorageTornWrite, "torn-write"},
+    {FaultKind::StorageShortWrite, "short-write"},
+    {FaultKind::StorageBitRot, "bit-rot"},
+    {FaultKind::StorageCrash, "storage-crash"},
 };
 
 const char* spec_kind_name(FaultKind kind) {
@@ -122,6 +126,8 @@ FaultSpec parse_fault(const std::vector<std::string>& toks) {
       spec.rank = parse_int(value, key);
     } else if (key == "step") {
       spec.step = parse_int(value, key);
+    } else if (key == "op") {
+      spec.op = parse_int(value, key);
     } else if (key == "repeat") {
       spec.repeat = parse_int(value, key);
     } else if (key == "p") {
@@ -172,6 +178,7 @@ std::string to_string(const FaultCampaign& campaign) {
     if (spec.buffer != -1) out << " buffer=" << spec.buffer;
     if (spec.rank != -1) out << " rank=" << spec.rank;
     if (spec.step != -1) out << " step=" << spec.step;
+    if (spec.op != -1) out << " op=" << spec.op;
     if (spec.repeat != 1) out << " repeat=" << spec.repeat;
     if (spec.probability > 0) out << " p=" << spec.probability;
     if (spec.word != 0) out << " word=" << spec.word;

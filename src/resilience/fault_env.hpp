@@ -14,16 +14,19 @@
 //   fault       ::= kind ['@' uint] (key '=' value)*
 //   kind        ::= drop | corrupt | delay | stall | sdc
 //                 | transfer-fail | transfer-corrupt
-//   key         ::= from | to | tag | buffer | rank | step | repeat
+//                 | torn-write | short-write | bit-rot | storage-crash
+//   key         ::= from | to | tag | buffer | rank | step | op | repeat
 //                 | p | word | bit | ms
 //
 // '@N' is the counted-mode at_event (0-based N-th matching event); 'p' is
 // the probabilistic-mode per-event probability; 'ms' is the RankStall cost
-// in milliseconds. Unset keys keep FaultSpec defaults (wildcard filters).
+// in milliseconds; 'op' is the int(StorageOp) durability-syscall filter for
+// the storage kinds. Unset keys keep FaultSpec defaults (wildcard filters).
 //
 //   MPAS_FAULT="seed=7; drop@5 from=0 to=1; corrupt@17 word=2; delay@29"
 //   MPAS_FAULT="stall rank=2 step=1 ms=5; sdc rank=1 step=3"
 //   MPAS_FAULT="transfer-corrupt p=0.01"
+//   MPAS_FAULT="torn-write@3; storage-crash@0 op=4"
 #pragma once
 
 #include <string>

@@ -1,0 +1,192 @@
+#include "service/journal.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "obs/telemetry/event_log.hpp"
+#include "obs/trace.hpp"  // trace_arg
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace mpas::service {
+
+namespace {
+
+/// Count existing epoch lines so this process can claim the next epoch.
+/// Torn lines are skipped here exactly as in replay_journal.
+int count_epochs(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) return 0;
+  int epochs = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    try {
+      const auto v = obs::json::parse(line);
+      if (v.at("kind").as_string() == "epoch") epochs += 1;
+    } catch (const std::exception&) {
+      // torn tail — not an epoch line
+    }
+  }
+  return epochs;
+}
+
+}  // namespace
+
+std::string hash_hex(std::uint64_t hash) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+std::uint64_t parse_hash_hex(const std::string& hex) {
+  MPAS_CHECK_MSG(!hex.empty() &&
+                     hex.find_first_not_of("0123456789abcdefABCDEF") ==
+                         std::string::npos,
+                 "malformed hash hex '" << hex << "'");
+  return std::stoull(hex, nullptr, 16);
+}
+
+void SessionJournal::open(const std::string& path) {
+  const int epoch = count_epochs(path) + 1;
+  {
+    // concurrency-lint: allow(blocking-under-lock) serializing the sink is this lock's purpose
+    const util::LockGuard lock(mutex_);
+    if (out_.is_open()) out_.close();
+    out_.open(path, std::ios::app);  // append: the journal spans restarts
+    path_ = path;
+    enabled_.store(out_.good(), std::memory_order_relaxed);
+    epoch_.store(out_.good() ? epoch : 0, std::memory_order_relaxed);
+  }
+  if (enabled())
+    append("epoch", "", 0,
+           obs::trace_arg("epoch", static_cast<std::int64_t>(epoch)));
+}
+
+void SessionJournal::close() {
+  const util::LockGuard lock(mutex_);
+  enabled_.store(false, std::memory_order_relaxed);
+  epoch_.store(0, std::memory_order_relaxed);
+  if (out_.is_open()) {
+    out_.flush();
+    out_.close();
+  }
+  path_.clear();
+}
+
+void SessionJournal::append(const std::string& kind, const std::string& tenant,
+                            std::uint64_t session, const std::string& attrs) {
+  if (!enabled()) return;
+  obs::telemetry::WideEvent event;
+  event.tenant = tenant;
+  event.session = session;
+  event.kind = kind;
+  event.attrs = attrs;
+  const std::string line = obs::telemetry::to_jsonl(event);
+  // concurrency-lint: allow(blocking-under-lock) serializing the sink is this lock's purpose
+  const util::LockGuard lock(mutex_);
+  if (!out_.is_open()) return;
+  // Flushed per line: the journal is the WAL recovery replays — it must be
+  // complete up to the instant of a crash.
+  out_ << line << '\n' << std::flush;
+}
+
+std::string SessionJournal::path() const {
+  const util::LockGuard lock(mutex_);
+  return path_;
+}
+
+std::vector<JournalSession> JournalReplay::incomplete() const {
+  std::vector<JournalSession> out;
+  for (const auto& [key, s] : sessions) {
+    if (s.admitted && !s.terminal && !s.readmitted && s.epoch < epochs)
+      out.push_back(s);
+  }
+  return out;
+}
+
+JournalReplay replay_journal(const std::string& path) {
+  JournalReplay replay;
+  std::ifstream in(path);
+  if (!in.good()) return replay;  // fresh directory: nothing to fold
+
+  int epoch = 0;  // running epoch while folding forward
+  std::string line;
+  auto num = [](const obs::json::Value& v, const char* key, double dflt) {
+    return v.has(key) ? v.at(key).as_number() : dflt;
+  };
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    try {
+      const auto v = obs::json::parse(line);
+      const std::string kind = v.at("kind").as_string();
+      if (kind == "epoch") {
+        epoch += 1;
+        replay.epochs = epoch;
+        continue;
+      }
+      const auto id = static_cast<std::uint64_t>(num(v, "session", 0));
+      const auto key = std::make_pair(epoch, id);
+      if (kind == "admit") {
+        JournalSession s;
+        s.epoch = epoch;
+        s.id = id;
+        s.tenant = v.at("tenant").as_string();
+        s.admitted = true;
+        const auto& a = v.at("attrs");
+        s.request.tenant = s.tenant;
+        s.request.mesh_level = static_cast<int>(num(a, "mesh_level", 3));
+        s.request.test_case = static_cast<int>(num(a, "test_case", 2));
+        s.request.steps = static_cast<int>(num(a, "steps", 10));
+        s.request.output_every = static_cast<int>(num(a, "output_every", 1));
+        s.request.priority = static_cast<int>(num(a, "priority", 1));
+        s.request.deadline_modeled_s =
+            static_cast<Real>(num(a, "deadline_modeled_s", 0));
+        s.request.threads = static_cast<int>(num(a, "threads", 0));
+        s.request.allow_degraded = num(a, "allow_degraded", 1) != 0;
+        s.recovered_from =
+            a.has("recovered_from")
+                ? parse_hash_hex(a.at("recovered_from").as_string())
+                : 0;
+        s.recovered_from_epoch =
+            static_cast<int>(num(a, "recovered_from_epoch", 0));
+        replay.sessions[key] = std::move(s);
+      } else if (kind == "progress") {
+        auto it = replay.sessions.find(key);
+        if (it == replay.sessions.end()) continue;  // progress w/o admit
+        const auto& a = v.at("attrs");
+        it->second.progress_step = static_cast<std::int64_t>(num(a, "step", -1));
+        it->second.progress_generation =
+            static_cast<std::uint64_t>(num(a, "generation", 0));
+        if (a.has("hash"))
+          it->second.progress_hash = parse_hash_hex(a.at("hash").as_string());
+      } else if (kind == "terminal") {
+        auto it = replay.sessions.find(key);
+        if (it == replay.sessions.end()) continue;
+        it->second.terminal = true;
+        const auto& a = v.at("attrs");
+        if (a.has("state"))
+          it->second.terminal_state = a.at("state").as_string();
+        it->second.terminal_diverged = num(a, "diverged", 0) != 0;
+      } else if (kind == "readmitted") {
+        // Emitted against the *old* session's (epoch, id).
+        const auto& a = v.at("attrs");
+        const int of_epoch = static_cast<int>(num(a, "of_epoch", 0));
+        auto it = replay.sessions.find(std::make_pair(of_epoch, id));
+        if (it != replay.sessions.end()) it->second.readmitted = true;
+      }
+    } catch (const std::exception&) {
+      // A SIGKILL tears at most the final line; skip and count, never fail.
+      replay.malformed_lines += 1;
+    }
+  }
+  if (replay.malformed_lines > 0)
+    MPAS_LOG_WARN << "journal " << path << ": skipped "
+                  << replay.malformed_lines << " malformed line(s)";
+  return replay;
+}
+
+}  // namespace mpas::service

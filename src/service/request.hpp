@@ -128,6 +128,18 @@ struct SessionResult {
   /// alarms it raised. Alarms on a clean run are a model-fidelity bug.
   Real worst_drift_ratio = 1.0;
   std::uint64_t drift_alarms = 0;
+  /// Crash-recovery provenance: this session was re-admitted by the
+  /// RecoveryManager and resumed from a durable checkpoint.
+  bool recovered = false;
+  /// Step the durable restore landed on (-1 = started from step 0).
+  std::int64_t resumed_from_step = -1;
+  /// Session id (and journal epoch) this run continued.
+  std::uint64_t recovered_from = 0;
+  int recovered_from_epoch = 0;
+  /// A recovered session whose final state hash does NOT match the
+  /// uninterrupted reference trajectory. Always false for healthy
+  /// recoveries; obs_query mode=recovery and CI fail on any true.
+  bool diverged = false;
 };
 
 }  // namespace mpas::service

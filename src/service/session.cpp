@@ -8,10 +8,14 @@
 #include "mesh/mesh_cache.hpp"
 #include "obs/telemetry/event_log.hpp"
 #include "obs/trace.hpp"
+#include "service/durable_session.hpp"
+#include "service/recovery.hpp"
 #include "sw/model.hpp"
+#include "sw/state_codec.hpp"
 #include "sw/testcases.hpp"
 #include "util/error.hpp"
 #include "util/lock_ranks.hpp"
+#include "util/logging.hpp"
 #include "util/mutex.hpp"
 
 namespace mpas::service {
@@ -143,6 +147,43 @@ void run_session(const SessionRunContext& ctx, SessionResult& result) {
         });
   }
   sw::apply_initial_conditions(*tc, *ctx.mesh, sut.model().fields());
+  int start_step = 0;
+  if (ctx.resume != nullptr) {
+    // Crash recovery: overwrite the prognostic fields with the durable
+    // snapshot *before* initialize(), which recomputes every diagnostic
+    // deterministically from H/U — the same restore protocol the restart
+    // test (tests/test_output.cpp) proves continues bit-for-bit.
+    result.recovered = true;
+    result.recovered_from = ctx.resume->from_id;
+    result.recovered_from_epoch = ctx.resume->from_epoch;
+    if (ctx.resume->step >= 0) {
+      sw::restore_prognostic(ctx.resume->image, sut.model().fields());
+      const std::uint64_t restored = state_hash(sut.model().fields());
+      MPAS_CHECK_MSG(restored == ctx.resume->expect_hash,
+                     "durable restore hash mismatch for session "
+                         << ctx.id << ": restored " << restored
+                         << ", checkpoint recorded " << ctx.resume->expect_hash);
+      start_step = static_cast<int>(ctx.resume->step);
+      result.resumed_from_step = ctx.resume->step;
+    }
+    if (flight != nullptr) {
+      std::ostringstream os;
+      os << "resumed from "
+         << (ctx.resume->step >= 0 ? "durable step " +
+                                         std::to_string(ctx.resume->step)
+                                   : std::string("step 0 (no checkpoint)"))
+         << " of session " << ctx.resume->from_id << " (epoch "
+         << ctx.resume->from_epoch << ")";
+      flight->record(telemetry::FlightKind::Recovery,
+                     static_cast<long>(start_step), os.str(),
+                     static_cast<double>(ctx.resume->generation));
+    }
+    MPAS_TRACE_INSTANT_ARGS(
+        "durable:resume",
+        obs::trace_arg("id", static_cast<std::int64_t>(ctx.id)) + "," +
+            obs::trace_arg("from_step",
+                           static_cast<std::int64_t>(start_step)));
+  }
   sut.initialize();
 
   // Per-session trace track: concurrent sessions writing one MPAS_TRACE
@@ -176,7 +217,7 @@ void run_session(const SessionRunContext& ctx, SessionResult& result) {
   int ewma_samples = 0;
   int last_replans = sut.replans();
 
-  for (int s = 0; s < req.steps; ++s) {
+  for (int s = start_step; s < req.steps; ++s) {
     // Step boundary: the only place cancellation, deadlines, and injected
     // device faults are honored — a step in flight always completes.
     if (ctx.cancel != nullptr &&
@@ -272,6 +313,12 @@ void run_session(const SessionRunContext& ctx, SessionResult& result) {
       result.outputs_written += 1;
       spent += output_seconds;
     }
+
+    // Durability hook: stage a prognostic snapshot when the cadence hits.
+    // The final step is excluded — the terminal journal record supersedes
+    // any checkpoint there. Disabled path: this one branch.
+    if (ctx.durable != nullptr && s + 1 < req.steps)
+      ctx.durable->on_step(s + 1, sut.model().fields());
   }
 
   result.state = SessionState::Completed;
@@ -281,6 +328,25 @@ void run_session(const SessionRunContext& ctx, SessionResult& result) {
   result.worst_drift_ratio = sut.drift().worst_ratio();
   result.drift_alarms = sut.drift().alarms();
   result.state_hash = state_hash(sut.model().fields());
+
+  if (result.recovered) {
+    // The recovery contract: a resumed trajectory must land bitwise on the
+    // uninterrupted run. The reference is memoized, so repeated audits of
+    // one (level, case, steps) key cost one extra run process-wide.
+    result.diverged = result.state_hash !=
+                      reference_hash(req.mesh_level, req.test_case, req.steps);
+    if (flight != nullptr)
+      flight->record(telemetry::FlightKind::Recovery, req.steps,
+                     result.diverged
+                         ? "recovered trajectory DIVERGED from reference"
+                         : "recovered trajectory bitwise-identical to "
+                           "reference");
+    if (result.diverged)
+      MPAS_LOG_ERROR << "session " << ctx.id
+                     << " recovered but diverged from the reference "
+                        "trajectory (hash "
+                     << result.state_hash << ")";
+  }
 }
 
 }  // namespace mpas::service

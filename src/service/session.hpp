@@ -19,6 +19,9 @@
 
 namespace mpas::service {
 
+struct ResumeState;
+class SessionCheckpointer;
+
 /// FNV-1a over the H and U field bytes — the session's solution digest.
 std::uint64_t state_hash(const sw::FieldStore& fields);
 
@@ -43,6 +46,13 @@ struct SessionRunContext {
   /// The run records health transitions, replans, EWMA excursions, and
   /// deadline/cancel decisions into it.
   obs::telemetry::FlightRecorder* flight = nullptr;
+  /// Crash-recovery restore point (null = fresh session). When set with a
+  /// non-negative step, the prognostic fields are restored before
+  /// initialize() and the step loop starts there.
+  const ResumeState* resume = nullptr;
+  /// Durable checkpointing hook (null = durability off — the disabled
+  /// path costs exactly this one branch per step).
+  SessionCheckpointer* durable = nullptr;
 };
 
 /// Run the session to a terminal state. Throws TransientError for

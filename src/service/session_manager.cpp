@@ -9,6 +9,7 @@
 #include "obs/metrics.hpp"
 #include "obs/telemetry/event_log.hpp"
 #include "obs/trace.hpp"
+#include "resilience/fault_env.hpp"
 #include "service/session.hpp"
 #include "util/env.hpp"
 #include "util/error.hpp"
@@ -36,6 +37,15 @@ SessionManager::SessionManager(ServiceOptions opts)
   analysis::LockOrderRegistry::install_from_env();
   MPAS_CHECK_MSG(opts_.workers >= 1, "service needs at least one worker");
   MPAS_CHECK_MSG(opts_.max_attempts >= 1, "need at least one attempt");
+  if (opts_.durable.enabled()) {
+    // Durability boot: open (append) the session journal — claiming this
+    // process's epoch — then replay it and re-admit whatever the previous
+    // epoch left unfinished, all before any new work can race the ids.
+    std::filesystem::create_directories(opts_.durable.dir);
+    journal_.open(opts_.durable.journal_path());
+    RecoveryManager recovery(opts_.durable, &journal_);
+    recoveries_ = recovery.recover(*this);
+  }
   workers_.reserve(static_cast<std::size_t>(opts_.workers));
   for (int i = 0; i < opts_.workers; ++i)
     workers_.emplace_back([this, i] { worker_loop(i); });
@@ -74,7 +84,19 @@ std::uint64_t SessionManager::submit(SessionRequest request) {
   return id;
 }
 
-std::uint64_t SessionManager::submit_locked(SessionRequest request) {
+std::uint64_t SessionManager::submit_recovered(SessionRequest request,
+                                               ResumeState resume) {
+  std::uint64_t id = 0;
+  {
+    const util::LockGuard lock(mutex_);
+    id = submit_locked(std::move(request), std::move(resume));
+  }
+  flush_flight_dumps();
+  return id;
+}
+
+std::uint64_t SessionManager::submit_locked(
+    SessionRequest request, std::optional<ResumeState> resume) {
   const std::uint64_t id = next_id_++;
   auto rec = std::make_unique<Record>();
   rec->effective = request;
@@ -204,6 +226,50 @@ std::uint64_t SessionManager::submit_locked(SessionRequest request) {
                     "," + obs::trace_arg("latency_us", latency_us) + "," +
                     obs::trace_arg("burn_rate", input.tenant_burn_rate));
 
+  // Durability WAL: the admit record carries the *effective* request — the
+  // exact experiment to re-run — so recovery can re-admit it verbatim. The
+  // journal's lock is a leaf (rank above mutex_); appending here is safe.
+  if (journal_.enabled()) {
+    std::string attrs =
+        obs::trace_arg("mesh_level", static_cast<std::int64_t>(
+                                         verdict.effective.mesh_level)) +
+        "," +
+        obs::trace_arg("test_case",
+                       static_cast<std::int64_t>(verdict.effective.test_case)) +
+        "," +
+        obs::trace_arg("steps",
+                       static_cast<std::int64_t>(verdict.effective.steps)) +
+        "," +
+        obs::trace_arg("output_every", static_cast<std::int64_t>(
+                                           verdict.effective.output_every)) +
+        "," +
+        obs::trace_arg("priority",
+                       static_cast<std::int64_t>(verdict.effective.priority)) +
+        "," +
+        obs::trace_arg("deadline_modeled_s",
+                       verdict.effective.deadline_modeled_s) +
+        "," +
+        obs::trace_arg("threads",
+                       static_cast<std::int64_t>(verdict.effective.threads)) +
+        "," +
+        obs::trace_arg("allow_degraded",
+                       static_cast<std::int64_t>(
+                           verdict.effective.allow_degraded ? 1 : 0));
+    if (resume.has_value())
+      attrs += "," +
+               obs::trace_arg("recovered_from", hash_hex(resume->from_id)) +
+               "," +
+               obs::trace_arg("recovered_from_epoch",
+                              static_cast<std::int64_t>(resume->from_epoch));
+    journal_.append("admit", request.tenant, id, attrs);
+  }
+  if (resume.has_value()) {
+    rec->result.recovered = true;
+    rec->result.recovered_from = resume->from_id;
+    rec->result.recovered_from_epoch = resume->from_epoch;
+    rec->resume = std::move(resume);
+  }
+
   queue_.push({id, request.tenant, verdict.effective.priority, verdict.cost,
                verdict.borrowed, id});
   records_.emplace(id, std::move(rec));
@@ -262,6 +328,22 @@ void SessionManager::run_one(std::uint64_t id) {
   }
   Record& rec = *rec_ptr;
 
+  // Durable checkpointer, created here — outside mutex_ — because opening
+  // the store touches the filesystem. A recovered session inherits its
+  // chain root's directory; a fresh one roots a new chain at (epoch, id).
+  // rec.resume/rec.durable are safe to touch without the lock: only this
+  // worker references them between dispatch and terminal.
+  if (opts_.durable.enabled() && rec.durable == nullptr) {
+    const std::string chain_dir =
+        rec.resume.has_value()
+            ? opts_.durable.session_dir(rec.resume->from_epoch,
+                                        rec.resume->from_id)
+            : opts_.durable.session_dir(journal_.epoch(), id);
+    rec.durable = std::make_unique<SessionCheckpointer>(
+        opts_.durable, chain_dir, id, req.tenant, &journal_,
+        resilience::env_fault_injector());
+  }
+
   Real backoff_spent = 0;
   for (int attempt = 1; attempt <= opts_.max_attempts; ++attempt) {
     try {
@@ -280,6 +362,8 @@ void SessionManager::run_one(std::uint64_t id) {
       ctx.modeled_seconds_spent = backoff_spent;
       ctx.sim = opts_.sim;
       ctx.flight = rec.flight.get();
+      ctx.resume = rec.resume.has_value() ? &*rec.resume : nullptr;
+      ctx.durable = rec.durable.get();
       run_session(ctx, local);
 
       {
@@ -287,6 +371,10 @@ void SessionManager::run_one(std::uint64_t id) {
         rec.result = local;
         finish_locked(rec, local.state, local.reason, local.reason_code);
       }
+      // A session the journal just marked terminal can never be recovered:
+      // its checkpoint generations are dead weight. File I/O, so strictly
+      // after the lock.
+      if (rec.durable != nullptr) rec.durable->retire();
       flush_flight_dumps();
       return;
     } catch (const TransientError& e) {
@@ -328,6 +416,7 @@ void SessionManager::run_one(std::uint64_t id) {
         }
       }
       if (terminal) {
+        if (rec.durable != nullptr) rec.durable->retire();
         flush_flight_dumps();
         return;
       }
@@ -345,6 +434,7 @@ void SessionManager::run_one(std::uint64_t id) {
         finish_locked(rec, SessionState::Failed, os.str(),
                       ReasonCode::SessionFault);
       }
+      if (rec.durable != nullptr) rec.durable->retire();
       flush_flight_dumps();
       return;
     }
@@ -381,6 +471,10 @@ void SessionManager::finish_locked(Record& rec, SessionState state,
                    state == SessionState::Failed ||
                    state == SessionState::TimedOut ||
                    state == SessionState::Cancelled;
+  if (ran && rec.result.recovered) {
+    stats_.recovered += 1;
+    if (rec.result.diverged) stats_.recovered_diverged += 1;
+  }
   if (ran) {
     record_slo_locked(rec.result.tenant, telemetry::SloDimension::DeadlineMiss,
                       state != SessionState::TimedOut, rec.result.id);
@@ -416,6 +510,23 @@ void SessionManager::finish_locked(Record& rec, SessionState state,
             "," +
             obs::trace_arg("modeled_s", rec.result.modeled_seconds));
 
+  // Durability WAL: the terminal record is what makes a session complete
+  // in the replay — without it the next restart would re-admit this one.
+  // The journal's lock is a leaf above mutex_; appending here is safe.
+  if (journal_.enabled())
+    journal_.append(
+        "terminal", rec.result.tenant, rec.result.id,
+        obs::trace_arg("state", std::string(to_string(state))) + "," +
+            obs::trace_arg("steps_done",
+                           static_cast<std::int64_t>(rec.result.steps_done)) +
+            "," + obs::trace_arg("hash", hash_hex(rec.result.state_hash)) +
+            "," +
+            obs::trace_arg("recovered", static_cast<std::int64_t>(
+                                            rec.result.recovered ? 1 : 0)) +
+            "," +
+            obs::trace_arg("diverged", static_cast<std::int64_t>(
+                                           rec.result.diverged ? 1 : 0)));
+
   // Black-box dump decision: terminal failure, quarantine involvement, or
   // dump-everything mode. The ring stays silent for healthy sessions. Only
   // the *decision* happens here — writing the file is I/O, which must not
@@ -429,8 +540,14 @@ void SessionManager::finish_locked(Record& rec, SessionState state,
     const bool quarantine_involved =
         rec.result.replans > 0 ||
         rec.flight->count(telemetry::FlightKind::HealthTransition) > 0;
-    if (flight_dump_.should_dump(failed, quarantine_involved)) {
+    // Crash-recovered sessions always leave a black box: the recovery
+    // audit (obs_query mode=recovery) reads resume/divergence from it.
+    const bool recovery_involved =
+        rec.flight->count(telemetry::FlightKind::Recovery) > 0;
+    if (flight_dump_.should_dump(failed,
+                                 quarantine_involved || recovery_involved)) {
       const std::string trigger = failed               ? "failure"
+                                  : recovery_involved  ? "recovery"
                                   : quarantine_involved ? "quarantine"
                                                         : "all";
       pending_dumps_.push_back(
@@ -626,6 +743,9 @@ void SessionManager::publish_locked() const {
   set("service.sessions.retries", static_cast<double>(stats_.retries));
   set("service.slo.breaches", static_cast<double>(stats_.slo_breaches));
   set("service.flight_dumps", static_cast<double>(stats_.flight_dumps));
+  set("service.sessions.recovered", static_cast<double>(stats_.recovered));
+  set("service.sessions.recovered_diverged",
+      static_cast<double>(stats_.recovered_diverged));
   for (const auto& [tenant, seconds] : stats_.admitted_seconds_by_tenant)
     set("service.tenant." + tenant + ".admitted_modeled_s", seconds);
 }

@@ -25,11 +25,16 @@
 #include <thread>
 #include <vector>
 
+#include <optional>
+
 #include "obs/telemetry/flight_recorder.hpp"
 #include "obs/telemetry/slo.hpp"
 #include "service/admission.hpp"
+#include "service/durable_session.hpp"
 #include "service/fair_queue.hpp"
+#include "service/journal.hpp"
 #include "service/mesh_store.hpp"
+#include "service/recovery.hpp"
 #include "service/request.hpp"
 #include "util/annotations.hpp"
 #include "util/lock_ranks.hpp"
@@ -50,6 +55,9 @@ struct ServiceOptions {
   /// Flight-recorder dump policy (MPAS_FLIGHT_DUMP grammar by default).
   obs::telemetry::FlightDumpPolicy flight_dump =
       obs::telemetry::FlightDumpPolicy::from_env();
+  /// Durable checkpointing + crash recovery (MPAS_CHECKPOINT_* env knobs
+  /// by default; an empty dir disables durability entirely).
+  DurabilityPolicy durable = DurabilityPolicy::from_env();
 };
 
 /// Aggregate service counters (also published as service.* metrics).
@@ -66,6 +74,8 @@ struct ServiceStats {
   std::uint64_t retries = 0;
   std::uint64_t slo_breaches = 0;   // breach edges across tenants/dims
   std::uint64_t flight_dumps = 0;   // black-box files written
+  std::uint64_t recovered = 0;      // crash-recovered sessions gone terminal
+  std::uint64_t recovered_diverged = 0;  // ...whose trajectory diverged
   /// Modeled seconds of admitted work per tenant (the fairness audit).
   std::map<std::string, Real> admitted_seconds_by_tenant;
 };
@@ -86,6 +96,11 @@ class SessionManager {
   /// returns an id; a rejected request's result() is immediately terminal
   /// with the refusal reason.
   std::uint64_t submit(SessionRequest request);
+
+  /// Re-admit a crash-recovered session through the normal ladder,
+  /// attaching its durable restore point. Called by the RecoveryManager
+  /// (and by recovery tests); not a user entry point.
+  std::uint64_t submit_recovered(SessionRequest request, ResumeState resume);
 
   /// Cooperative cancel: evicts a queued session immediately, asks a
   /// running one to stop at its next step boundary. False when already
@@ -115,6 +130,14 @@ class SessionManager {
   [[nodiscard]] const obs::telemetry::SloTracker& slo() const {
     return slo_;
   }
+  /// The durability policy in force (off when dir is empty).
+  [[nodiscard]] const DurabilityPolicy& durability() const {
+    return opts_.durable;
+  }
+  /// Re-admissions performed by startup crash recovery.
+  [[nodiscard]] const std::vector<RecoveryOutcome>& recoveries() const {
+    return recoveries_;
+  }
 
  private:
   struct Record {
@@ -125,6 +148,12 @@ class SessionManager {
     /// Black box (admitted sessions only). unique_ptr: the recorder must
     /// stay addressable by a running session while records_ rebalances.
     std::unique_ptr<obs::telemetry::FlightRecorder> flight;
+    /// Crash-recovery restore point (recovered sessions only).
+    std::optional<ResumeState> resume;
+    /// Durable checkpointer, created by run_one *outside* the manager lock
+    /// (opening the store is file I/O). unique_ptr for the same stable-
+    /// address reason as the flight recorder.
+    std::unique_ptr<SessionCheckpointer> durable;
   };
 
   /// A flight-recorder dump decided under the lock but executed after it:
@@ -145,7 +174,9 @@ class SessionManager {
   void run_one(std::uint64_t id);
   /// The locked core of submit(); the public wrapper flushes any flight
   /// dumps a shed verdict queued.
-  std::uint64_t submit_locked(SessionRequest request) MPAS_REQUIRES(mutex_);
+  std::uint64_t submit_locked(SessionRequest request,
+                              std::optional<ResumeState> resume = std::nullopt)
+      MPAS_REQUIRES(mutex_);
   /// Mark `id` terminal and release its admission reservation (lock held).
   /// Queues (never performs) the flight-recorder dump; every caller must
   /// call flush_flight_dumps() after releasing mutex_.
@@ -170,6 +201,11 @@ class SessionManager {
   MeshStore meshes_;
   obs::telemetry::SloTracker slo_;
   obs::telemetry::FlightDumpPolicy flight_dump_;
+  /// The durability WAL (inert unless opts_.durable is enabled). Owns its
+  /// own leaf lock; appended to both under and outside mutex_.
+  SessionJournal journal_;
+  /// Startup crash-recovery re-admissions (empty when durability is off).
+  std::vector<RecoveryOutcome> recoveries_;
 
   // Lock order (DESIGN.md §14): the manager's mutex (rank
   // kSessionManager = 10) is the lowest-ranked lock in the service stack.

@@ -1,0 +1,53 @@
+#include "sw/state_codec.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mpas::sw {
+
+namespace {
+
+// All service snapshots are single-rank (the session owns its model); the
+// rank slot stays 0 so the format matches the distributed layout.
+constexpr int kRank = 0;
+constexpr FieldId kPrognostic[] = {FieldId::H, FieldId::U};
+
+}  // namespace
+
+resilience::durable::CheckpointImage snapshot_prognostic(
+    const FieldStore& fields, std::int64_t step) {
+  resilience::durable::CheckpointImage image;
+  image.step = step;
+  for (const FieldId id : kPrognostic) {
+    resilience::durable::CheckpointSlot slot;
+    slot.rank = kRank;
+    slot.slot = static_cast<int>(id);
+    const auto data = fields.get(id);
+    slot.data.assign(data.begin(), data.end());
+    image.slots.push_back(std::move(slot));
+  }
+  return image;
+}
+
+void restore_prognostic(const resilience::durable::CheckpointImage& image,
+                        FieldStore& fields) {
+  for (const FieldId id : kPrognostic) {
+    const auto it = std::find_if(
+        image.slots.begin(), image.slots.end(), [&](const auto& s) {
+          return s.rank == kRank && s.slot == static_cast<int>(id);
+        });
+    MPAS_CHECK_MSG(it != image.slots.end(),
+                   "durable image lacks prognostic field "
+                       << field_info(id).name);
+    auto out = fields.get(id);
+    MPAS_CHECK_MSG(it->data.size() == out.size(),
+                   "durable image field " << field_info(id).name << " has "
+                                          << it->data.size() << " entries, mesh needs "
+                                          << out.size()
+                                          << " (different mesh level?)");
+    std::copy(it->data.begin(), it->data.end(), out.begin());
+  }
+}
+
+}  // namespace mpas::sw

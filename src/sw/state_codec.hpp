@@ -1,0 +1,26 @@
+// (De)serialization between a FieldStore and a durable CheckpointImage.
+//
+// Only the prognostic pair (H, U) is captured: every diagnostic field is
+// recomputed deterministically by SwModel::initialize() from H/U, and the
+// restart test (tests/test_output.cpp) proves a run restored this way
+// continues bit-for-bit. Keeping the image minimal keeps the fsync path
+// fast and the add-a-field checklist (DESIGN.md §16) short.
+#pragma once
+
+#include <cstdint>
+
+#include "resilience/durable/format.hpp"
+#include "sw/fields.hpp"
+
+namespace mpas::sw {
+
+/// Snapshot the prognostic state at `step` into a durable image.
+resilience::durable::CheckpointImage snapshot_prognostic(
+    const FieldStore& fields, std::int64_t step);
+
+/// Restore a snapshot taken by snapshot_prognostic. Throws mpas::Error on
+/// shape mismatch (image from a different mesh) or missing slots.
+void restore_prognostic(const resilience::durable::CheckpointImage& image,
+                        FieldStore& fields);
+
+}  // namespace mpas::sw

@@ -40,6 +40,7 @@ inline constexpr int kChannel = 38;           // resilience.channel
 inline constexpr int kSimWorld = 40;          // comm.simworld
 inline constexpr int kDistributedError = 44;  // comm.distributed.error
 inline constexpr int kFaultInjector = 46;     // resilience.fault
+inline constexpr int kDurableWriter = 48;     // resilience.durable.writer
 
 // ---- execution ----
 inline constexpr int kThreadPool = 50;        // exec.thread_pool
@@ -58,6 +59,7 @@ inline constexpr int kPerfProfiler = 59;      // obs.profiler
 inline constexpr int kSlo = 60;               // obs.slo
 inline constexpr int kFlightRecorder = 62;    // obs.flight_recorder
 inline constexpr int kEventLog = 64;          // obs.event_log
+inline constexpr int kSessionJournal = 65;    // service.journal
 inline constexpr int kMetricsSession = 66;    // obs.metrics.session
 inline constexpr int kMetrics = 68;           // obs.metrics
 inline constexpr int kTraceSession = 76;      // obs.trace.session

@@ -177,5 +177,36 @@ TEST(MeshIo, TruncatedFileThrows) {
   std::remove(cut.c_str());
 }
 
+// Truncation sweep: a cache file cut at ANY length must throw Error —
+// never crash, never allocate from a fabricated element count (the byte
+// budget bounds every count by the bytes actually present). Dense over
+// the header and first length words, strided through the bulk payload.
+TEST(MeshIo, TruncationSweepFailsClosedEverywhere) {
+  const VoronoiMesh m = build_icosahedral_voronoi_mesh(1);
+  const std::string full = temp_path("mpas_sweep_full.mpasmesh");
+  save_mesh(m, full);
+  std::ifstream in(full, std::ios::binary);
+  const std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+  std::remove(full.c_str());
+  ASSERT_GT(bytes.size(), 256u);
+
+  const std::string cut = temp_path("mpas_sweep_cut.mpasmesh");
+  const auto try_size = [&](std::size_t size) {
+    {
+      std::ofstream os(cut, std::ios::binary);
+      os.write(bytes.data(), static_cast<std::streamsize>(size));
+    }
+    EXPECT_THROW(load_mesh(cut), Error) << "truncated to " << size << " of "
+                                        << bytes.size() << " bytes";
+  };
+  for (std::size_t size = 0; size < 256; ++size) try_size(size);
+  for (std::size_t size = 256; size < bytes.size(); size += 19)
+    try_size(size);
+  try_size(bytes.size() - 1);
+  std::remove(cut.c_str());
+}
+
 }  // namespace
 }  // namespace mpas::mesh

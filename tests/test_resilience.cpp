@@ -188,6 +188,9 @@ TEST(CheckpointStore, SaveRestoreRoundTripsBitwise) {
   const std::vector<Real> b{2.0};
   cp.save(0, 3, a);
   cp.save(1, 3, b);
+  EXPECT_FALSE(cp.valid());  // staged, not yet published
+  cp.commit();
+  EXPECT_TRUE(cp.valid());
   EXPECT_EQ(cp.step(), 10);
   EXPECT_EQ(cp.bytes(), 5 * sizeof(Real));
   std::vector<Real> out(a.size(), 99.0);
@@ -199,13 +202,46 @@ TEST(CheckpointStore, GuardsMisuse) {
   Checkpoint cp;
   std::vector<Real> out(2);
   EXPECT_THROW(cp.save(0, 0, out), Error);  // before begin()
+  EXPECT_THROW(cp.commit(), Error);         // nothing staged
   cp.begin(0);
   cp.save(0, 0, std::vector<Real>{1.0, 2.0, 3.0});
+  EXPECT_THROW(cp.restore(0, 0, out), Error);  // not committed yet
+  cp.commit();
   EXPECT_THROW(cp.restore(0, 0, out), Error);  // size mismatch
   EXPECT_THROW(cp.restore(5, 0, out), Error);  // unknown rank
-  cp.begin(1);                                 // discards the old snapshot
-  EXPECT_THROW(cp.restore(0, 0, out), Error);
   EXPECT_THROW(cp.begin(-1), Error);
+}
+
+// The regression the double buffer exists for: a snapshot that is begun
+// but never committed (a fault mid-save, say) must leave the previously
+// committed snapshot fully restorable — there is no window in which the
+// old state is discarded before the new one is whole.
+TEST(CheckpointStore, HalfWrittenSnapshotLeavesCommittedIntact) {
+  Checkpoint cp;
+  const std::vector<Real> good{1.0, 2.0, 3.0};
+  cp.begin(5);
+  cp.save(0, 0, good);
+  cp.commit();
+
+  // A new snapshot starts and dies half-written...
+  cp.begin(9);
+  cp.save(0, 0, std::vector<Real>{-1.0, -2.0, -3.0});
+  // ...(no commit): the rollback target is still the step-5 snapshot.
+  EXPECT_TRUE(cp.valid());
+  EXPECT_EQ(cp.step(), 5);
+  std::vector<Real> out(good.size());
+  cp.restore(0, 0, out);
+  expect_bitwise_equal(out, good, "committed snapshot after torn staging");
+
+  // abandon() drops the torn staging; a fresh begin/commit then publishes.
+  cp.abandon();
+  EXPECT_THROW(cp.commit(), Error);
+  cp.begin(12);
+  cp.save(0, 0, std::vector<Real>{7.0, 8.0, 9.0});
+  cp.commit();
+  EXPECT_EQ(cp.step(), 12);
+  cp.restore(0, 0, out);
+  EXPECT_EQ(out[0], 7.0);
 }
 
 // ----------------------------------------------------------------- channel

@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# The kill -9 drill behind the CI crash-recovery job.
+#
+# Launches examples/crash_recovery as a durable victim, waits for its
+# first durable progress mark to hit the journal, SIGKILLs it mid-run,
+# and then asserts the restarted service recovers: the incomplete session
+# is re-admitted, resumed from its newest intact checkpoint generation,
+# and lands bitwise-identical to the uninterrupted reference trajectory.
+# Finally audits the journal offline with obs_query mode=recovery and
+# checks that a parseable recovery flight dump was written.
+#
+# Usage: tools/crash_recovery_test.sh <build_dir> <work_dir>
+set -euo pipefail
+
+BUILD=${1:?usage: crash_recovery_test.sh <build_dir> <work_dir>}
+WORK=${2:?usage: crash_recovery_test.sh <build_dir> <work_dir>}
+
+CKPT="$WORK/ckpt"
+FLIGHT="$WORK/flight"
+rm -rf "$CKPT" "$FLIGHT"
+mkdir -p "$CKPT"
+
+export MPAS_CHECKPOINT_DIR="$CKPT"
+export MPAS_CHECKPOINT_EVERY=2
+export MPAS_CHECKPOINT_KEEP=3
+
+echo "== victim: durable run, to be SIGKILLed mid-flight"
+"$BUILD/examples/crash_recovery" mode=run steps=6000 level=2 &
+VICTIM=$!
+
+# Wait for the first durable progress mark (checkpoint generation on disk
+# AND journaled), then kill without mercy. A victim that finishes before
+# the kill means the run was far too short — fail loudly.
+for _ in $(seq 1 3000); do
+  if grep -q '"kind":"progress"' "$CKPT/journal.jsonl" 2> /dev/null; then
+    break
+  fi
+  if ! kill -0 "$VICTIM" 2> /dev/null; then
+    echo "FAIL: victim exited before any durable progress" >&2
+    wait "$VICTIM" || true
+    exit 1
+  fi
+  sleep 0.01
+done
+grep -q '"kind":"progress"' "$CKPT/journal.jsonl" || {
+  echo "FAIL: no durable progress mark within 30s" >&2
+  kill -9 "$VICTIM" 2> /dev/null || true
+  exit 1
+}
+
+kill -9 "$VICTIM"
+wait "$VICTIM" && {
+  echo "FAIL: victim exited cleanly despite SIGKILL" >&2
+  exit 1
+} || STATUS=$?
+if [ "$STATUS" -ne 137 ]; then
+  echo "FAIL: victim exit status $STATUS, expected 137 (SIGKILL)" >&2
+  exit 1
+fi
+echo "   victim killed (status 137) with $(ls "$CKPT"/sessions/*/ | wc -l) file(s) durable"
+
+echo "== restart: recovery must resume and land on the reference bits"
+MPAS_FLIGHT_DUMP="$FLIGHT" \
+  "$BUILD/examples/crash_recovery" mode=resume require_recovered=1
+
+echo "== offline audit: journal folds clean, nothing incomplete"
+"$BUILD/examples/obs_query" "$CKPT/journal.jsonl" mode=recovery \
+  require_recovered=1
+
+echo "== flight dump: a parseable recovery black box exists"
+DUMPED=0
+for f in "$FLIGHT"/*.json; do
+  [ -e "$f" ] || continue
+  python3 -m json.tool "$f" > /dev/null
+  if grep -q '"recovery"' "$f"; then DUMPED=1; fi
+done
+if [ "$DUMPED" -ne 1 ]; then
+  echo "FAIL: no flight dump records a recovery event" >&2
+  exit 1
+fi
+
+echo "crash-recovery drill passed"

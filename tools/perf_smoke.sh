@@ -27,5 +27,6 @@ export MPAS_BENCH_OUT="$OUT"
 "$BUILD/bench/telemetry_overhead" > /dev/null
 "$BUILD/bench/profiler_overhead" > /dev/null
 "$BUILD/bench/lock_contention" > /dev/null
+"$BUILD/bench/durable_overhead" > /dev/null
 
 ls "$OUT"/BENCH_*.json
